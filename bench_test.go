@@ -1,0 +1,232 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at benchmark scale (DESIGN.md maps each to its experiment
+// id). The interesting output is the custom metrics — virtual MB/s,
+// speedups, verify counts — not ns/op: each iteration runs a complete
+// discrete-event simulation whose virtual time is deterministic.
+//
+// Full-scale regeneration: go run ./cmd/archsim -exp all
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// reportAll surfaces an experiment's metrics through the benchmark
+// harness.
+func reportAll(b *testing.B, r experiments.Report, keys ...string) {
+	b.Helper()
+	for _, k := range keys {
+		v, ok := r.Metrics[k]
+		if !ok {
+			b.Fatalf("metric %q missing from %s", k, r.Name)
+		}
+		b.ReportMetric(v, k)
+	}
+}
+
+// campaignReports caches one small-scale campaign replay across the
+// four figure benchmarks.
+var campaignReports []experiments.Report
+
+func campaign(b *testing.B) []experiments.Report {
+	b.Helper()
+	if campaignReports == nil {
+		campaignReports = experiments.Campaign(experiments.CampaignParams{
+			Seed: 2010, Jobs: 8, MaxSimFiles: 5000,
+		})
+	}
+	return campaignReports
+}
+
+// BenchmarkFig8FilesPerJob regenerates Figure 8 (files archived per
+// job; paper: 1 .. 2.92M, avg 167k).
+func BenchmarkFig8FilesPerJob(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaignReports = nil
+		reps := campaign(b)
+		reportAll(b, reps[0], "min", "mean", "max")
+	}
+}
+
+// BenchmarkFig9BytesPerJob regenerates Figure 9 (GB archived per job;
+// paper: 4 .. 32,593 GB, avg 2,442 GB).
+func BenchmarkFig9BytesPerJob(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaignReports = nil
+		reps := campaign(b)
+		reportAll(b, reps[1], "min", "mean", "max")
+	}
+}
+
+// BenchmarkFig10DataRate regenerates Figure 10 (MB/s per job; paper:
+// 73 .. 1,868, avg ~575).
+func BenchmarkFig10DataRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaignReports = nil
+		reps := campaign(b)
+		r := reps[2]
+		reportAll(b, r, "min", "mean", "max")
+		if r.Metrics["max"] > 1880 {
+			b.Fatalf("rate %f exceeds the trunk ceiling", r.Metrics["max"])
+		}
+	}
+}
+
+// BenchmarkFig11AvgFileSize regenerates Figure 11 (average file size
+// per job; paper: 0.004 .. 4,220 MB, avg 596 MB).
+func BenchmarkFig11AvgFileSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaignReports = nil
+		reps := campaign(b)
+		reportAll(b, reps[3], "min", "mean", "max")
+	}
+}
+
+// BenchmarkParallelVsSerialArchive regenerates E5 (§5.2's ~575 vs
+// ~70 MB/s comparison).
+func BenchmarkParallelVsSerialArchive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ParallelVsSerial(2010)
+		reportAll(b, r, "serial_mbs", "parallel_mbs", "speedup")
+	}
+}
+
+// BenchmarkSmallFileTape regenerates E6 (§6.1: 8 MB files at ~4 MB/s
+// against ~100 MB/s streaming, and the aggregation fix).
+func BenchmarkSmallFileTape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SmallFileTapeWith(experiments.SmallFileTapeParams{
+			Seed: 2010, SmallFiles: 600, SmallSize: 8e6, LargeFiles: 12, LargeSize: 1e9,
+		})
+		reportAll(b, r, "small_mbs", "large_mbs", "aggregated_mbs")
+	}
+}
+
+// BenchmarkRecallOrdering regenerates E7 (§4.2.5/§6.2: tape-ordered
+// machine-sticky recall vs the stock recall daemons).
+func BenchmarkRecallOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RecallOrderingWith(experiments.RecallParams{
+			Seed: 2010, Files: 160, Size: 300e6,
+		})
+		reportAll(b, r, "naive_seconds", "ordered_seconds", "speedup", "naive_verifies", "ordered_verifies")
+	}
+}
+
+// BenchmarkLargeFileNto1 regenerates E8 (§4.1.2(3): worker sweep over a
+// single large file).
+func BenchmarkLargeFileNto1(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.LargeFileSweepWith(2010, 20e9, []int{workers})
+				reportAll(b, r, fmt.Sprintf("mbs_w%d", workers))
+			}
+		})
+	}
+}
+
+// BenchmarkVeryLargeNtoN regenerates E9 (§4.1.2(4): ArchiveFUSE N-to-N
+// vs N-to-1 for a very large file).
+func BenchmarkVeryLargeNtoN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.VeryLargeNtoNWith(2010, 150e9)
+		reportAll(b, r, "nto1_mbs", "fuse_mbs")
+	}
+}
+
+// BenchmarkRestartableTransfer regenerates E10 (§4.5: resume after a
+// mid-transfer failure without re-sending good chunks).
+func BenchmarkRestartableTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RestartableTransferWith(2010, 20e9, 2e9, 4)
+		reportAll(b, r, "first_chunks", "resume_skipped", "resume_copied", "content_ok")
+		if r.Metrics["content_ok"] != 1 {
+			b.Fatal("restart failed content verification")
+		}
+	}
+}
+
+// BenchmarkSyncDeleteVsReconcile regenerates E11 (§4.2.6/§6.3: the
+// synchronous deleter against the tree-walk reconcile baseline).
+func BenchmarkSyncDeleteVsReconcile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SyncDeleteVsReconcileWith(2010, []int{2000, 20000}, 10)
+		reportAll(b, r, "ratio_pop2000", "ratio_pop20000")
+	}
+}
+
+// BenchmarkMigratorBalance regenerates E12 (§4.2.4: size-balanced
+// candidate distribution vs round-robin).
+func BenchmarkMigratorBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.MigratorBalanceWith(2010, 4, 40)
+		reportAll(b, r, "rr_makespan_s", "bal_makespan_s", "speedup")
+	}
+}
+
+// BenchmarkInodeScan regenerates E13 (§4.2.1: one million inodes in ten
+// minutes), at 100k-inode benchmark scale (one virtual minute).
+func BenchmarkInodeScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.InodeScanWith(2010, 100_000)
+		reportAll(b, r, "inodes", "seconds")
+	}
+}
+
+// BenchmarkScalingGap regenerates E14 (Figure 1's gap: archive
+// bandwidth scaling with mover count vs the flat non-parallel archive).
+func BenchmarkScalingGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ScalingGapWith(2010, []int{1, 4, 10})
+		reportAll(b, r, "mbs_n1", "mbs_n4", "mbs_n10", "serial_mbs")
+	}
+}
+
+// BenchmarkAblationCoLocation quantifies TSM co-location groups
+// (§4.2.2): volumes touched and ordered-recall time with and without.
+func BenchmarkAblationCoLocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationCoLocation(2010)
+		reportAll(b, r, "scatter_volumes", "coloc_volumes", "scatter_recall_s", "coloc_recall_s")
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps PFTool's ChunkSize tunable
+// (§4.1.2(5)) over a single 40 GB file.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationChunkSize(2010)
+		reportAll(b, r, "mbs_cs40000", "mbs_cs4000", "mbs_cs256")
+	}
+}
+
+// BenchmarkAblationBatching compares per-file copy jobs against the
+// Manager's default batching (coordination messages are the cost).
+func BenchmarkAblationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationBatching(2010)
+		reportAll(b, r, "msgs_1", "msgs_512", "mbs_512")
+	}
+}
+
+// BenchmarkAblationLANFree compares the LAN-free SAN data path against
+// funneling all data through the TSM server (§4.2.2).
+func BenchmarkAblationLANFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationLANFree(2010)
+		reportAll(b, r, "lanfree_s", "central_s", "slowdown")
+	}
+}
+
+// BenchmarkReclamation exercises volume reclamation after synchronous
+// deletes.
+func BenchmarkReclamation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Reclamation(2010)
+		reportAll(b, r, "live_before", "live_after", "bytes_freed_gb")
+	}
+}

@@ -1,0 +1,141 @@
+// Command archsim regenerates the paper's tables and figures on the
+// simulated deployment. Each experiment is listed in DESIGN.md's
+// per-experiment index.
+//
+// Usage:
+//
+//	archsim -exp all              # every experiment
+//	archsim -exp fig10 -seed 7    # one figure
+//	archsim -list                 # show experiment names
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/archive"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list)")
+	seed := flag.Int64("seed", 2010, "workload seed")
+	jobs := flag.Int("jobs", 0, "override campaign job count (0 = the paper's 62)")
+	full := flag.Bool("full", false, "lift the per-job file-count cap (needs several GB of memory)")
+	csvDir := flag.String("csv", "", "write per-job campaign data as CSV into this directory")
+	saveTrace := flag.String("save-trace", "", "write the generated campaign job sequence to this JSON file")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+
+	var reports []experiments.Report
+	var err error
+	switch *exp {
+	case "campaign", "fig8", "fig9", "fig10", "fig11":
+		p := experiments.CampaignParams{Seed: *seed, Jobs: *jobs}
+		if *full {
+			p.MaxSimFiles = -1
+		}
+		if *saveTrace != "" {
+			if err := saveCampaignTrace(*saveTrace, p); err != nil {
+				fmt.Fprintln(os.Stderr, "archsim: trace:", err)
+				os.Exit(1)
+			}
+		}
+		var data archive.CampaignResult
+		data, reports = experiments.CampaignData(p)
+		if *csvDir != "" {
+			if err := writeCampaignCSV(*csvDir, data); err != nil {
+				fmt.Fprintln(os.Stderr, "archsim: csv:", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		reports, err = experiments.Run(*exp, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	for _, r := range reports {
+		fmt.Println(r)
+	}
+}
+
+// saveCampaignTrace writes the exact job sequence the campaign will
+// run, so the experiment replays bit-identically elsewhere.
+func saveCampaignTrace(path string, p experiments.CampaignParams) error {
+	cfg := workload.PaperCampaign(p.Seed)
+	if p.Jobs > 0 {
+		cfg.Jobs = p.Jobs
+	}
+	switch {
+	case p.MaxSimFiles > 0:
+		cfg.MaxSimFiles = p.MaxSimFiles
+	case p.MaxSimFiles < 0:
+		cfg.MaxSimFiles = 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := workload.WriteTrace(f, p.Seed, workload.Generate(cfg)); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+	return nil
+}
+
+// writeCampaignCSV dumps the per-job series behind Figures 8–11, one
+// row per job, ready for external plotting.
+func writeCampaignCSV(dir string, data archive.CampaignResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "campaign_jobs.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{
+		"job", "project", "files", "bytes", "gb", "rate_mbs",
+		"avg_file_mb", "elapsed_s", "background",
+	}); err != nil {
+		return err
+	}
+	for _, j := range data.Jobs {
+		avgMB := 0.0
+		if j.Files > 0 {
+			avgMB = float64(j.Bytes) / float64(j.Files) / 1e6
+		}
+		if err := w.Write([]string{
+			strconv.Itoa(j.Spec.ID),
+			j.Spec.Project,
+			strconv.Itoa(j.Files),
+			strconv.FormatInt(j.Bytes, 10),
+			strconv.FormatFloat(float64(j.Bytes)/1e9, 'f', 3, 64),
+			strconv.FormatFloat(j.RateMBs, 'f', 2, 64),
+			strconv.FormatFloat(avgMB, 'f', 3, 64),
+			strconv.FormatFloat(j.Elapsed.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(j.Spec.Background, 'f', 3, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+	return nil
+}

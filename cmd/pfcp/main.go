@@ -1,0 +1,69 @@
+// Command pfcp is the simulated counterpart of PFTool's parallel copy
+// (§4.1.3): it stands up the paper's deployment, synthesizes a source
+// tree on the scratch file system, archives it in parallel, and prints
+// the Manager's performance report.
+//
+// With -retrieve the tree is first archived and migrated to tape, then
+// copied back through the tape-ordered TapeProc path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/hsm"
+	"repro/internal/simtime"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pfcp: ")
+	flags := cli.Register()
+	retrieve := flag.Bool("retrieve", false, "archive + migrate to tape, then copy back from tape")
+	report := flag.Bool("report", false, "print the Manager's full performance report (with WatchDog history)")
+	flag.Parse()
+
+	clock := simtime.NewClock()
+	clock.Go(func() {
+		sys, err := cli.Deploy(clock, flags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tun := flags.Tunables()
+		tun.Verbose = false
+		res, err := sys.Pfcp("/src", "/archive/src", tun)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *report {
+			fmt.Print(res.Report())
+		} else {
+			fmt.Println("archive:", res.Summary())
+		}
+		if !*retrieve {
+			return
+		}
+		mres, err := sys.MigrateTree("/archive/src", hsm.MigrateOptions{Balanced: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("migrate: %d files, %d bytes to tape across %d movers\n",
+			mres.Files, mres.Bytes, len(mres.NodeBytes))
+		if err := sys.Scratch.RemoveAll("/src"); err != nil {
+			log.Fatal(err)
+		}
+		rtun := flags.Tunables()
+		rres, err := sys.PfcpRetrieve("/archive/src", "/src", rtun)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("retrieve:", rres.Summary())
+	})
+	if _, err := clock.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pfcp:", err)
+		os.Exit(1)
+	}
+}

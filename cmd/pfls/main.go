@@ -1,0 +1,40 @@
+// Command pfls is the simulated counterpart of PFTool's parallel list
+// (§4.1.3): it stands up the deployment, synthesizes a tree on scratch,
+// walks it with the parallel tree walker, and prints the listing
+// summary (and, with -v, one line per entry through the OutPutProc).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/simtime"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pfls: ")
+	flags := cli.Register()
+	flag.Parse()
+
+	clock := simtime.NewClock()
+	clock.Go(func() {
+		sys, err := cli.Deploy(clock, flags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tun := flags.Tunables()
+		res, err := sys.PflsTo("scratch", "/src", tun, os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Summary())
+	})
+	if _, err := clock.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pfls:", err)
+		os.Exit(1)
+	}
+}

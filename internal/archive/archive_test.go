@@ -1,0 +1,347 @@
+package archive
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/hsm"
+	"repro/internal/pfs"
+	"repro/internal/pftool"
+	"repro/internal/simtime"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+func testTunables() pftool.Tunables {
+	t := pftool.DefaultTunables()
+	t.NumWorkers = 8
+	t.NumReadDirs = 2
+	t.NumTapeProcs = 2
+	return t
+}
+
+func runSys(t *testing.T, fn func(s *System)) {
+	t.Helper()
+	clock := simtime.NewClock()
+	s := NewDefault(clock)
+	clock.Go(func() { fn(s) })
+	if _, err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seedScratch(t *testing.T, s *System, root string, n int, size int64) {
+	t.Helper()
+	if err := s.Scratch.MkdirAll(root); err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]pfs.FileSpec, n)
+	for i := range specs {
+		specs[i] = pfs.FileSpec{
+			Path:    fmt.Sprintf("%s/f%04d", root, i),
+			Content: synthetic.NewUniform(uint64(i+1), size),
+		}
+	}
+	if err := s.Scratch.WriteFiles(specs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndArchiveVerifyMigrateRetrieve(t *testing.T) {
+	runSys(t, func(s *System) {
+		seedScratch(t, s, "/proj", 12, 1e9)
+		// Archive.
+		cres, err := s.Pfcp("/proj", "/arc/proj", testTunables())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cres.FilesCopied != 12 {
+			t.Fatalf("FilesCopied = %d", cres.FilesCopied)
+		}
+		// Verify.
+		vres, err := s.Pfcm("/proj", "/arc/proj", testTunables())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vres.Matched != 12 || vres.Mismatched != 0 {
+			t.Fatalf("verify = %+v", vres)
+		}
+		// Migrate to tape.
+		mres, err := s.MigrateTree("/arc/proj", hsm.MigrateOptions{Balanced: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mres.Files != 12 {
+			t.Fatalf("migrated = %+v", mres)
+		}
+		// Scratch is purged (it is scratch).
+		if err := s.Scratch.RemoveAll("/proj"); err != nil {
+			t.Fatal(err)
+		}
+		// Retrieve from tape back to scratch.
+		rres, err := s.PfcpRetrieve("/arc/proj", "/proj2", testTunables())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rres.Restored != 12 || rres.FilesCopied != 12 {
+			t.Fatalf("retrieve = %+v", rres)
+		}
+		got, err := s.Scratch.ReadContent("/proj2/f0003")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(synthetic.NewUniform(4, 1e9)) {
+			t.Error("retrieved content mismatch")
+		}
+	})
+}
+
+func TestPflsBothSides(t *testing.T) {
+	runSys(t, func(s *System) {
+		seedScratch(t, s, "/proj", 5, 1e6)
+		res, err := s.Pfls("scratch", "/proj", testTunables())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FilesListed != 5 {
+			t.Errorf("scratch FilesListed = %d", res.FilesListed)
+		}
+		s.Archive.MkdirAll("/a")
+		s.Archive.WriteFile("/a/x", synthetic.NewUniform(1, 10))
+		res, err = s.Pfls("archive", "/a", testTunables())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FilesListed != 1 {
+			t.Errorf("archive FilesListed = %d", res.FilesListed)
+		}
+	})
+}
+
+func TestTrashCanLazyInit(t *testing.T) {
+	runSys(t, func(s *System) {
+		can, err := s.TrashCan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		can2, err := s.TrashCan()
+		if err != nil || can2 != can {
+			t.Error("TrashCan should be cached")
+		}
+	})
+}
+
+func TestRunJobProducesRate(t *testing.T) {
+	runSys(t, func(s *System) {
+		spec := workload.JobSpec{
+			ID: 1, Project: "materials",
+			NumFiles: 64, TotalBytes: 64e9, AvgFileSize: 1e9,
+			Background: 0.2,
+		}
+		jr, err := RunJob(s, spec, 42, testTunables())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Files != 64 || jr.Bytes != 64e9 {
+			t.Errorf("jr = %+v", jr)
+		}
+		if jr.RateMBs < 50 || jr.RateMBs > 1880 {
+			t.Errorf("rate = %.1f MB/s, outside physical range", jr.RateMBs)
+		}
+		// Trees are torn down.
+		if s.Scratch.Exists("/campaign/job0001") {
+			t.Error("scratch tree not cleaned")
+		}
+		if s.Archive.Exists("/archive/materials/job0001") {
+			t.Error("archive tree not cleaned")
+		}
+	})
+}
+
+func TestMiniCampaignStatsShape(t *testing.T) {
+	runSys(t, func(s *System) {
+		cfg := workload.CampaignConfig{
+			Jobs: 8, Seed: 3,
+			MinJobBytes: 4e9, MaxJobBytes: 200e9,
+			MinFileSize: 1e6, MaxFileSize: 4e9,
+			MaxSimFiles: 3000,
+		}
+		res, err := RunCampaign(s, cfg, testTunables(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Jobs) != 8 {
+			t.Fatalf("jobs = %d", len(res.Jobs))
+		}
+		f10 := res.Figure10()
+		if f10.Min() <= 0 {
+			t.Error("zero rate recorded")
+		}
+		if f10.Max() > 1880 {
+			t.Errorf("rate %v exceeds trunk capacity", f10.Max())
+		}
+		if res.Figure8().N() != 8 || res.Figure9().N() != 8 || res.Figure11().N() != 8 {
+			t.Error("figure summaries incomplete")
+		}
+	})
+}
+
+// TestCampaignLeavesNoResourceLeaks: after a mini campaign tears its
+// trees down, the scratch and archive pools must be back to zero and
+// no tape drive may still be held.
+func TestCampaignLeavesNoResourceLeaks(t *testing.T) {
+	runSys(t, func(s *System) {
+		cfg := workload.CampaignConfig{
+			Jobs: 5, Seed: 9,
+			MinJobBytes: 4e9, MaxJobBytes: 100e9,
+			MinFileSize: 1e6, MaxFileSize: 2e9,
+			MaxSimFiles: 2000,
+		}
+		if _, err := RunCampaign(s, cfg, testTunables(), nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, pool := range s.Scratch.Pools() {
+			if pool.Used() != 0 {
+				t.Errorf("scratch pool %s leaked %d bytes", pool.Spec.Name, pool.Used())
+			}
+		}
+		for _, pool := range s.Archive.Pools() {
+			if pool.Used() != 0 {
+				t.Errorf("archive pool %s leaked %d bytes", pool.Spec.Name, pool.Used())
+			}
+		}
+		if s.Scratch.NumInodes() != 2 { // / and /campaign
+			t.Errorf("scratch inodes = %d", s.Scratch.NumInodes())
+		}
+	})
+}
+
+func TestRunCampaignJobsFromTrace(t *testing.T) {
+	runSys(t, func(s *System) {
+		jobs := []workload.JobSpec{
+			{ID: 1, Project: "alpha", NumFiles: 10, TotalBytes: 10e9, AvgFileSize: 1e9},
+			{ID: 2, Project: "beta", NumFiles: 5, TotalBytes: 5e9, AvgFileSize: 1e9, Background: 0.3},
+		}
+		res, err := RunCampaignJobs(s, jobs, 3, testTunables(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Jobs) != 2 || res.Jobs[0].Files != 10 || res.Jobs[1].Files != 5 {
+			t.Errorf("res = %+v", res.Jobs)
+		}
+	})
+}
+
+func TestSerialBaselineMuchSlowerThanParallel(t *testing.T) {
+	var serialRate, parallelRate float64
+	runSys(t, func(s *System) {
+		seedScratch(t, s, "/proj", 40, 500e6) // the paper's mid-size regime
+		sres, err := SerialArchiveBaseline(s, "/proj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialRate = sres.RateMBs
+		pres, err := s.Pfcp("/proj", "/arc/proj", testTunables())
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallelRate = pres.Rate() / 1e6
+	})
+	// The paper: ~575 MB/s parallel vs ~70 MB/s non-parallel.
+	if serialRate < 40 || serialRate > 110 {
+		t.Errorf("serial rate = %.1f MB/s, want ~70", serialRate)
+	}
+	if parallelRate < 3*serialRate {
+		t.Errorf("parallel (%.1f) should be >3x serial (%.1f)", parallelRate, serialRate)
+	}
+}
+
+func TestBuildCatalogIndexesArchive(t *testing.T) {
+	runSys(t, func(s *System) {
+		seedScratch(t, s, "/proj", 6, 1e9)
+		if _, err := s.Pfcp("/proj", "/arc/proj", testTunables()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.MigrateTree("/arc/proj", hsm.MigrateOptions{Balanced: true}); err != nil {
+			t.Fatal(err)
+		}
+		cat, n, err := s.BuildCatalog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 6 {
+			t.Errorf("indexed %d files, want 6", n)
+		}
+		mig := pfs.Migrated
+		hits := cat.Search(catalog.Query{State: &mig})
+		if len(hits) != 6 {
+			t.Errorf("migrated hits = %d, want 6", len(hits))
+		}
+		for _, h := range hits {
+			if h.Volume == "" {
+				t.Errorf("%s missing volume", h.Path)
+			}
+		}
+	})
+}
+
+// TestRetrieveAggregatedFilesThroughPftool covers the aggregate path
+// end to end: small files bundled on tape, then retrieved through the
+// TapeProc restore pipeline.
+func TestRetrieveAggregatedFilesThroughPftool(t *testing.T) {
+	clock := simtime.NewClock()
+	opts := DefaultOptions()
+	opts.HSM = hsm.Config{AggregateThreshold: 100e6, AggregateTarget: 1e9}
+	s := New(clock, opts)
+	clock.Go(func() {
+		s.Archive.MkdirAll("/arc/small")
+		var infos []pfs.Info
+		for i := 0; i < 30; i++ {
+			p := fmt.Sprintf("/arc/small/f%03d", i)
+			s.Archive.WriteFile(p, synthetic.NewUniform(uint64(i+1), 8e6))
+			info, _ := s.Archive.Stat(p)
+			infos = append(infos, info)
+		}
+		mres, err := s.HSM.Migrate(infos, hsm.MigrateOptions{Balanced: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mres.Aggregates == 0 {
+			t.Fatal("setup: nothing aggregated")
+		}
+		rres, err := s.PfcpRetrieve("/arc/small", "/back", testTunables())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rres.FilesCopied != 30 {
+			t.Errorf("FilesCopied = %d, want 30", rres.FilesCopied)
+		}
+		got, err := s.Scratch.ReadContent("/back/f007")
+		if err != nil || !got.Equal(synthetic.NewUniform(8, 8e6)) {
+			t.Errorf("aggregated member content mismatch: %v", err)
+		}
+	})
+	if _, err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemComponentsWired(t *testing.T) {
+	clock := simtime.NewClock()
+	s := NewDefault(clock)
+	if s.TSM.Library() != s.Library {
+		t.Error("TSM not wired to library")
+	}
+	if len(s.Cluster.Nodes()) != 10 {
+		t.Errorf("nodes = %d", len(s.Cluster.Nodes()))
+	}
+	if len(s.Library.Drives()) != 24 {
+		t.Errorf("drives = %d", len(s.Library.Drives()))
+	}
+	if got := s.Placement().Choose("/x", 100, 0); got != "slow" {
+		t.Errorf("placement = %s", got)
+	}
+	_ = time.Second
+}

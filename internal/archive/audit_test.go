@@ -1,0 +1,111 @@
+package archive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hsm"
+)
+
+func TestAuditCleanAfterNormalLifecycle(t *testing.T) {
+	runSys(t, func(s *System) {
+		seedScratch(t, s, "/proj", 8, 1e9)
+		if _, err := s.Pfcp("/proj", "/arc/proj", testTunables()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.MigrateTree("/arc/proj", hsm.MigrateOptions{Balanced: true}); err != nil {
+			t.Fatal(err)
+		}
+		// Delete two files the right way: trashcan + synchronous purge.
+		can, _ := s.TrashCan()
+		can.Delete("alice", "/arc/proj/f0000")
+		can.Delete("alice", "/arc/proj/f0001")
+		if _, err := s.Deleter.Purge(can, nil); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Audit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Clean() {
+			t.Errorf("audit found problems after a clean lifecycle: %s", res)
+		}
+		if res.StubsChecked != 6 {
+			t.Errorf("StubsChecked = %d, want 6", res.StubsChecked)
+		}
+	})
+}
+
+func TestAuditDetectsOrphanFromRawUnlink(t *testing.T) {
+	runSys(t, func(s *System) {
+		seedScratch(t, s, "/proj", 2, 1e9)
+		s.Pfcp("/proj", "/arc/proj", testTunables())
+		s.MigrateTree("/arc/proj", hsm.MigrateOptions{})
+		// A user bypasses the trashcan: raw unlink orphans the object.
+		if err := s.Archive.Remove("/arc/proj/f0000"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Audit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Orphans != 1 {
+			t.Errorf("Orphans = %d, want 1", res.Orphans)
+		}
+		if res.Clean() {
+			t.Error("audit reported clean despite an orphan")
+		}
+		if !strings.Contains(res.String(), "INCONSISTENT") {
+			t.Errorf("String = %q", res.String())
+		}
+	})
+}
+
+func TestAuditDetectsLostObject(t *testing.T) {
+	runSys(t, func(s *System) {
+		seedScratch(t, s, "/proj", 2, 1e9)
+		s.Pfcp("/proj", "/arc/proj", testTunables())
+		s.MigrateTree("/arc/proj", hsm.MigrateOptions{})
+		// Simulate an operator deleting the TSM object out from under a
+		// stub (the worst case: the data is gone).
+		rec, err := s.Shadow.ByPath("/arc/proj/f0001")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.TSM.Delete(rec.ObjectID)
+		res, err := s.Audit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MissingObject != 1 || res.StaleShadow != 1 {
+			t.Errorf("res = %s", res)
+		}
+	})
+}
+
+func TestAuditDetectsMissingShadowRow(t *testing.T) {
+	runSys(t, func(s *System) {
+		seedScratch(t, s, "/proj", 2, 1e9)
+		s.Pfcp("/proj", "/arc/proj", testTunables())
+		s.MigrateTree("/arc/proj", hsm.MigrateOptions{})
+		rec, err := s.Shadow.ByPath("/arc/proj/f0000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The shadow drifts (a sync job missed this row).
+		s.Shadow.Delete(rec.ObjectID)
+		res, err := s.Audit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MissingShadow != 1 {
+			t.Errorf("MissingShadow = %d, want 1", res.MissingShadow)
+		}
+		// The fix: re-sync the shadow from TSM, audit comes back clean.
+		s.Shadow.SyncFromTSM(s.TSM)
+		res, _ = s.Audit()
+		if !res.Clean() {
+			t.Errorf("audit still dirty after shadow re-sync: %s", res)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package archive assembles the complete COTS Parallel Archive System
+// of the paper's Figure 7: the scratch parallel file system (Panasas),
+// the FTA cluster joined by two 10GigE trunks, the archive parallel
+// file system (GPFS with ILM pools), the backup/archive server (TSM)
+// with LAN-free movers, the LTO-4 tape library, the indexed shadow
+// database, the HSM engine, the trashcan and synchronous deleter, and
+// PFTool on top. This is the package downstream users interact with;
+// everything below it is a subsystem.
+package archive
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/internal/hsm"
+	"repro/internal/ilm"
+	"repro/internal/metadb"
+	"repro/internal/pfs"
+	"repro/internal/pftool"
+	"repro/internal/simtime"
+	"repro/internal/tape"
+	"repro/internal/trash"
+	"repro/internal/tsm"
+)
+
+// Options sizes a deployment. DefaultOptions reproduces the paper's.
+type Options struct {
+	Cluster    cluster.Config
+	TapeDrives int
+	Cartridges int
+	Robots     int
+	TapeSpec   tape.Spec
+	TSM        tsm.Config
+	HSM        hsm.Config
+	Scratch    pfs.Config
+	Archive    pfs.Config
+	// ShadowQueryCost is the per-lookup cost of the indexed shadow DB.
+	ShadowQueryCost time.Duration
+	// LoadPeriod is the LoadManager refresh interval.
+	LoadPeriod time.Duration
+	// SmallFileLimit drives the archive placement policy: files below
+	// it land in the slow pool.
+	SmallFileLimit int64
+}
+
+// DefaultOptions returns the §4.3.1 deployment: 15 x64 machines (10
+// movers), 100 TB of FC disk, 24 LTO-4 drives, one TSM server, two
+// 10GigE trunks.
+func DefaultOptions() Options {
+	return Options{
+		Cluster:         cluster.RoadrunnerConfig(),
+		TapeDrives:      24,
+		Cartridges:      4096,
+		Robots:          2,
+		TapeSpec:        tape.LTO4(),
+		TSM:             tsm.DefaultConfig(),
+		HSM:             hsm.Config{},
+		Scratch:         pfs.PanasasConfig("panfs"),
+		Archive:         pfs.GPFSConfig("gpfs"),
+		ShadowQueryCost: 100 * time.Microsecond,
+		LoadPeriod:      time.Minute,
+		SmallFileLimit:  1e6,
+	}
+}
+
+// System is one wired deployment.
+type System struct {
+	Clock   *simtime.Clock
+	Opts    Options
+	Scratch *pfs.FS
+	Archive *pfs.FS
+	Cluster *cluster.Cluster
+	Library *tape.Library
+	TSM     *tsm.Server
+	Shadow  *metadb.DB
+	HSM     *hsm.Engine
+	LoadMgr *cluster.LoadManager
+	Trash   *trash.Can
+	Deleter *trash.Deleter
+	Recon   *trash.Reconciler
+}
+
+// New builds a deployment on the clock. It must be called from outside
+// or inside an actor before jobs run; the trashcan directory is created
+// lazily on first use if the call site is not an actor.
+func New(clock *simtime.Clock, opts Options) *System {
+	s := &System{
+		Clock:   clock,
+		Opts:    opts,
+		Scratch: pfs.New(clock, opts.Scratch),
+		Archive: pfs.New(clock, opts.Archive),
+		Cluster: cluster.New(clock, opts.Cluster),
+	}
+	s.Library = tape.NewLibrary(clock, opts.TapeDrives, opts.Cartridges, opts.Robots, opts.TapeSpec)
+	s.TSM = tsm.NewServer(clock, opts.TSM, s.Library)
+	s.Shadow = metadb.New(clock, opts.ShadowQueryCost)
+	s.HSM = hsm.New(clock, s.Archive, s.TSM, s.Shadow, s.Cluster.Nodes(), opts.HSM)
+	s.LoadMgr = cluster.NewLoadManager(clock, s.Cluster, opts.LoadPeriod)
+	s.Deleter = trash.NewDeleter(clock, s.Archive, s.TSM, s.Shadow)
+	s.Recon = trash.NewReconciler(clock, s.Archive, s.TSM, s.Shadow)
+	return s
+}
+
+// NewDefault builds the paper's deployment.
+func NewDefault(clock *simtime.Clock) *System { return New(clock, DefaultOptions()) }
+
+// BuildCatalog constructs a fresh multi-dimensional metadata catalog
+// from a full policy scan of the archive (§7 future work), joining tape
+// volumes from the shadow database.
+func (s *System) BuildCatalog() (*catalog.Catalog, int, error) {
+	cat := catalog.New(s.Clock, 500*time.Microsecond)
+	n, err := catalog.IndexArchive(cat, s.Archive, s.Shadow, nil)
+	return cat, n, err
+}
+
+// TrashCan returns (creating on first use) the archive trashcan.
+func (s *System) TrashCan() (*trash.Can, error) {
+	if s.Trash != nil {
+		return s.Trash, nil
+	}
+	can, err := trash.NewCan(s.Archive, "/.trash")
+	if err != nil {
+		return nil, err
+	}
+	s.Trash = can
+	return can, nil
+}
+
+// Restorer returns the PFTool tape restorer backed by the HSM engine.
+func (s *System) Restorer() pftool.Restorer { return hsmRestorer{s.HSM} }
+
+type hsmRestorer struct{ eng *hsm.Engine }
+
+func (r hsmRestorer) Locate(paths []string) ([]pftool.TapeLoc, []string) {
+	locs, missing := r.eng.Locate(paths)
+	out := make([]pftool.TapeLoc, len(locs))
+	for i, l := range locs {
+		out[i] = pftool.TapeLoc{Path: l.Path, Volume: l.Volume, Seq: l.Seq, Bytes: l.Bytes}
+	}
+	return out, missing
+}
+
+func (r hsmRestorer) RecallPinned(node string, paths []string) error {
+	return r.eng.RecallPinned(node, paths)
+}
+
+// machineList picks the MPI machine list for a PFTool launch.
+func (s *System) machineList() []*cluster.Node { return s.LoadMgr.MachineList() }
+
+// Pfcp archives src (on scratch) to dst (on the archive FS) — the
+// forward direction of §5. The archive's ILM placement policy routes
+// small files to the slow pool (§4.2.1).
+func (s *System) Pfcp(src, dst string, tun pftool.Tunables) (pftool.Result, error) {
+	placement := s.Placement()
+	return pftool.Run(pftool.Request{
+		Op: pftool.OpCopy, Src: src, Dst: dst,
+		SrcFS: s.Scratch, DstFS: s.Archive,
+		Nodes: s.machineList(), Trunk: s.Cluster.Trunk(),
+		Restorer:  s.Restorer(),
+		Placement: &placement,
+		Tunables:  tun,
+	})
+}
+
+// PfcpRetrieve copies src (on the archive FS, possibly on tape) back to
+// dst on scratch, exercising the TapeProc restore path.
+func (s *System) PfcpRetrieve(src, dst string, tun pftool.Tunables) (pftool.Result, error) {
+	return pftool.Run(pftool.Request{
+		Op: pftool.OpCopy, Src: src, Dst: dst,
+		SrcFS: s.Archive, DstFS: s.Scratch,
+		Nodes: s.machineList(), Trunk: s.Cluster.Trunk(),
+		Restorer: s.Restorer(),
+		Tunables: tun,
+	})
+}
+
+// Pfls lists a tree on the named side ("scratch" or "archive").
+func (s *System) Pfls(side, src string, tun pftool.Tunables) (pftool.Result, error) {
+	return s.PflsTo(side, src, tun, nil)
+}
+
+// PflsTo is Pfls with the OutPutProc writing to out (for verbose
+// listings).
+func (s *System) PflsTo(side, src string, tun pftool.Tunables, out io.Writer) (pftool.Result, error) {
+	fs := s.Scratch
+	if side == "archive" {
+		fs = s.Archive
+	}
+	return pftool.Run(pftool.Request{
+		Op: pftool.OpList, Src: src,
+		SrcFS:    fs,
+		Nodes:    s.machineList(),
+		Tunables: tun,
+		Output:   out,
+	})
+}
+
+// Pfcm byte-compares a scratch tree against its archive copy.
+func (s *System) Pfcm(src, dst string, tun pftool.Tunables) (pftool.Result, error) {
+	return pftool.Run(pftool.Request{
+		Op: pftool.OpCompare, Src: src, Dst: dst,
+		SrcFS: s.Scratch, DstFS: s.Archive,
+		Nodes: s.machineList(), Trunk: s.Cluster.Trunk(),
+		Tunables: tun,
+	})
+}
+
+// MigrateTree migrates every resident file under root on the archive FS
+// to tape using the parallel data migrator.
+func (s *System) MigrateTree(root string, opt hsm.MigrateOptions) (hsm.MigrateResult, error) {
+	list, err := ilm.RunList(s.Archive, ilm.ListPolicy{
+		Name:  "migrate-" + root,
+		Where: ilm.And(ilm.IsFile(), ilm.PathPrefix(root), ilm.StateIs(pfs.Resident)),
+	})
+	if err != nil {
+		return hsm.MigrateResult{}, err
+	}
+	return s.HSM.Migrate(list, opt)
+}
+
+// Placement returns the archive's ILM placement policy.
+func (s *System) Placement() ilm.Placement {
+	return ilm.ArchivePlacement(s.Opts.SmallFileLimit)
+}

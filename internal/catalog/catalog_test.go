@@ -1,0 +1,249 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hsm"
+	"repro/internal/metadb"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/synthetic"
+	"repro/internal/tape"
+	"repro/internal/tsm"
+)
+
+func newCat() (*simtime.Clock, *Catalog) {
+	c := simtime.NewClock()
+	return c, New(c, 500*time.Microsecond)
+}
+
+func entry(path, project, owner string, size int64, mod time.Duration) Entry {
+	return Entry{Path: path, Project: project, Owner: owner, Size: size, ModTime: mod}
+}
+
+func seed(cat *Catalog) {
+	cat.Upsert(entry("/astro/a1", "astro", "alice", 100, 10*time.Second))
+	cat.Upsert(entry("/astro/a2", "astro", "bob", 5000, 20*time.Second))
+	cat.Upsert(entry("/mat/m1", "materials", "alice", 200, 30*time.Second))
+	cat.Upsert(entry("/mat/m2", "materials", "alice", 9000, 40*time.Second))
+	cat.Upsert(entry("/laser/l1", "laser", "carol", 50, 50*time.Second))
+}
+
+func runCat(t *testing.T, fn func(cat *Catalog)) {
+	t.Helper()
+	c, cat := newCat()
+	c.Go(func() { fn(cat) })
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchByProject(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		seed(cat)
+		got := cat.Search(Query{Project: "astro"})
+		if len(got) != 2 || got[0].Path != "/astro/a1" || got[1].Path != "/astro/a2" {
+			t.Errorf("got %+v", got)
+		}
+	})
+}
+
+func TestSearchMultiDimensional(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		seed(cat)
+		// Owner alice AND size >= 150 AND modified after 25s: only m1
+		// fails size? m1=200 >= 150 ok mod 30s ok; m2=9000 mod 40s ok;
+		// a1 is alice but size 100 < 150.
+		got := cat.Search(Query{Owner: "alice", MinSize: 150, ModifiedAfter: 25 * time.Second})
+		if len(got) != 2 || got[0].Path != "/mat/m1" || got[1].Path != "/mat/m2" {
+			t.Errorf("got %+v", got)
+		}
+	})
+}
+
+func TestSearchSizeRange(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		seed(cat)
+		got := cat.Search(Query{MinSize: 100, MaxSize: 300})
+		if len(got) != 2 {
+			t.Errorf("got %d entries, want 2 (a1, m1)", len(got))
+		}
+	})
+}
+
+func TestSearchTimeWindow(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		seed(cat)
+		got := cat.Search(Query{ModifiedAfter: 15 * time.Second, ModifiedBefore: 45 * time.Second})
+		if len(got) != 3 {
+			t.Errorf("got %d entries, want 3", len(got))
+		}
+	})
+}
+
+func TestSearchPathPrefixAndLimit(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		seed(cat)
+		got := cat.Search(Query{PathPrefix: "/mat/"})
+		if len(got) != 2 {
+			t.Errorf("prefix: got %d, want 2", len(got))
+		}
+		got = cat.Search(Query{Limit: 2})
+		if len(got) != 2 {
+			t.Errorf("limit: got %d, want 2", len(got))
+		}
+	})
+}
+
+func TestSearchTags(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		e := entry("/x/t", "x", "dave", 1, 0)
+		e.Tags = map[string]string{"campaign": "run7", "quality": "gold"}
+		cat.Upsert(e)
+		cat.Upsert(entry("/x/u", "x", "dave", 1, 0))
+		got := cat.Search(Query{Tags: map[string]string{"campaign": "run7"}})
+		if len(got) != 1 || got[0].Path != "/x/t" {
+			t.Errorf("got %+v", got)
+		}
+		if got := cat.Search(Query{Tags: map[string]string{"campaign": "run8"}}); len(got) != 0 {
+			t.Errorf("wrong tag matched: %+v", got)
+		}
+	})
+}
+
+func TestSearchMissingIndexValue(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		seed(cat)
+		if got := cat.Search(Query{Project: "nonexistent"}); len(got) != 0 {
+			t.Errorf("got %+v", got)
+		}
+		if got := cat.Search(Query{Owner: "mallory"}); len(got) != 0 {
+			t.Errorf("got %+v", got)
+		}
+	})
+}
+
+func TestUpsertReplacesAndReindexes(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		cat.Upsert(entry("/p/f", "old", "alice", 10, 0))
+		cat.Upsert(entry("/p/f", "new", "bob", 20, 0))
+		if cat.Len() != 1 {
+			t.Errorf("Len = %d, want 1", cat.Len())
+		}
+		if got := cat.Search(Query{Project: "old"}); len(got) != 0 {
+			t.Error("stale project index")
+		}
+		if got := cat.Search(Query{Project: "new", Owner: "bob"}); len(got) != 1 {
+			t.Error("new index missing")
+		}
+	})
+}
+
+func TestRemove(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		seed(cat)
+		cat.Remove("/astro/a1")
+		cat.Remove("/does/not/exist") // no-op
+		if cat.Len() != 4 {
+			t.Errorf("Len = %d, want 4", cat.Len())
+		}
+		if got := cat.Search(Query{Project: "astro"}); len(got) != 1 {
+			t.Errorf("got %+v", got)
+		}
+	})
+}
+
+func TestStateQuery(t *testing.T) {
+	runCat(t, func(cat *Catalog) {
+		e := entry("/p/mig", "p", "", 1, 0)
+		e.State = pfs.Migrated
+		e.Volume = "VOL0007"
+		cat.Upsert(e)
+		cat.Upsert(entry("/p/res", "p", "", 1, 0))
+		mig := pfs.Migrated
+		got := cat.Search(Query{State: &mig})
+		if len(got) != 1 || got[0].Path != "/p/mig" {
+			t.Errorf("got %+v", got)
+		}
+		got = cat.Search(Query{Volume: "VOL0007"})
+		if len(got) != 1 {
+			t.Errorf("volume query: %+v", got)
+		}
+	})
+}
+
+func TestSearchChargesTime(t *testing.T) {
+	c, cat := newCat()
+	c.Go(func() {
+		seed(cat)
+		for i := 0; i < 10; i++ {
+			cat.Search(Query{Project: "astro"})
+		}
+	})
+	end := c.RunFor()
+	if end != 10*500*time.Microsecond {
+		t.Errorf("10 searches took %v, want 5ms", end)
+	}
+	if cat.Queries() != 10 {
+		t.Errorf("Queries = %d", cat.Queries())
+	}
+}
+
+func TestIndexArchiveEndToEnd(t *testing.T) {
+	clock := simtime.NewClock()
+	cfg := pfs.GPFSConfig("gpfs")
+	cfg.MetaOpCost = 0
+	fs := pfs.New(clock, cfg)
+	lib := tape.NewLibrary(clock, 2, 16, 1, tape.LTO4())
+	srv := tsm.NewServer(clock, tsm.DefaultConfig(), lib)
+	shadow := metadb.New(clock, 100*time.Microsecond)
+	cl := cluster.New(clock, cluster.RoadrunnerConfig())
+	eng := hsm.New(clock, fs, srv, shadow, cl.Nodes(), hsm.Config{})
+	cat := New(clock, 500*time.Microsecond)
+	clock.Go(func() {
+		fs.MkdirAll("/astro")
+		fs.MkdirAll("/materials")
+		var infos []pfs.Info
+		for i := 0; i < 4; i++ {
+			p := fmt.Sprintf("/astro/f%d", i)
+			fs.WriteFile(p, synthetic.NewUniform(uint64(i+1), 1e6))
+			fs.SetXattr(p, "owner", "alice")
+			info, _ := fs.Stat(p)
+			infos = append(infos, info)
+		}
+		fs.WriteFile("/materials/m0", synthetic.NewUniform(99, 2e6))
+		// Migrate the astro files so they carry tape volumes.
+		if _, err := eng.Migrate(infos, hsm.MigrateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		n, err := IndexArchive(cat, fs, shadow, nil)
+		if err != nil || n != 5 {
+			t.Fatalf("IndexArchive = %d, %v", n, err)
+		}
+		mig := pfs.Migrated
+		got := cat.Search(Query{Project: "astro", State: &mig})
+		if len(got) != 4 {
+			t.Fatalf("astro migrated = %d, want 4", len(got))
+		}
+		for _, e := range got {
+			if e.Volume == "" {
+				t.Errorf("%s missing tape volume", e.Path)
+			}
+			if e.Owner != "alice" {
+				t.Errorf("%s owner = %q", e.Path, e.Owner)
+			}
+		}
+		// Find everything on one tape — the pre-recall planning query.
+		vol := got[0].Volume
+		onTape := cat.Search(Query{Volume: vol})
+		if len(onTape) == 0 {
+			t.Error("volume query found nothing")
+		}
+	})
+	if _, err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package chunkfs is the reproduction of ArchiveFUSE (§4.1.2(4),
+// §4.4–4.5): a mapping layer that presents a very large file as N
+// equal-size chunk files so that migration, recall, and copy all
+// parallelize N-to-N instead of contending N-to-1 on a single inode.
+// It also carries the per-chunk good/bad marks behind the paper's
+// restartable transfers ("we mark regular file chunks or FUSE file
+// chunks as good or bad so that we don't have to re-send known good
+// chunks"), and the truncate/overwrite interception that feeds
+// replaced chunks to the trashcan instead of orphaning them on tape
+// (§6.3).
+package chunkfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/pfs"
+	"repro/internal/synthetic"
+)
+
+// Chunk-state extended attribute key and values.
+const (
+	StateXattr = "chunkfs.state"
+	StateGood  = "good"
+	StateBad   = "bad"
+)
+
+// manifest xattr on the chunk directory records the logical size.
+const (
+	sizeXattr  = "chunkfs.size"
+	chunkXattr = "chunkfs.chunksize"
+)
+
+// Errors.
+var (
+	ErrNotChunked = errors.New("chunkfs: not a chunk directory")
+	ErrIncomplete = errors.New("chunkfs: chunk set incomplete or bad")
+)
+
+// ChunkDir returns the chunk-directory path that represents the logical
+// file p.
+func ChunkDir(p string) string { return p + ".chunks" }
+
+// IsChunkDir reports whether p names a chunk directory.
+func IsChunkDir(p string) bool { return strings.HasSuffix(p, ".chunks") }
+
+// LogicalPath inverts ChunkDir.
+func LogicalPath(chunkDir string) string { return strings.TrimSuffix(chunkDir, ".chunks") }
+
+// ChunkName formats the i-th chunk file name.
+func ChunkName(i int) string { return fmt.Sprintf("chunk.%06d", i) }
+
+// Plan describes how a logical file splits.
+type Plan struct {
+	LogicalSize int64
+	ChunkSize   int64
+	NumChunks   int
+}
+
+// PlanFor computes the chunking of a file of the given size. Sizes of
+// zero still get one (empty) chunk so the manifest round-trips.
+func PlanFor(size, chunkSize int64) Plan {
+	if chunkSize <= 0 {
+		panic("chunkfs: chunk size must be positive")
+	}
+	n := int((size + chunkSize - 1) / chunkSize)
+	if n == 0 {
+		n = 1
+	}
+	return Plan{LogicalSize: size, ChunkSize: chunkSize, NumChunks: n}
+}
+
+// ChunkRange returns the byte range [off, off+len) of chunk i.
+func (p Plan) ChunkRange(i int) (off, length int64) {
+	off = int64(i) * p.ChunkSize
+	length = p.ChunkSize
+	if off+length > p.LogicalSize {
+		length = p.LogicalSize - off
+	}
+	if length < 0 {
+		length = 0
+	}
+	return off, length
+}
+
+// Split converts the regular file at p into a chunk directory of
+// numbered chunk files, each referencing a slice of the original
+// content (a metadata operation: no data moves, exactly like the FUSE
+// layer's re-presentation of the same blocks). The original file is
+// removed. Chunks start unmarked (no state xattr).
+func Split(fs *pfs.FS, p string, chunkSize int64) (Plan, error) {
+	content, err := fs.ReadContent(p)
+	if err != nil {
+		return Plan{}, err
+	}
+	info, err := fs.Stat(p)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan := PlanFor(info.Size, chunkSize)
+	dir := ChunkDir(p)
+	if err := fs.MkdirAll(dir); err != nil {
+		return Plan{}, err
+	}
+	specs := make([]pfs.FileSpec, plan.NumChunks)
+	for i := 0; i < plan.NumChunks; i++ {
+		off, length := plan.ChunkRange(i)
+		specs[i] = pfs.FileSpec{
+			Path:    path.Join(dir, ChunkName(i)),
+			Content: content.Slice(off, length),
+			Pool:    info.Pool,
+		}
+	}
+	if err := fs.WriteFiles(specs); err != nil {
+		return Plan{}, err
+	}
+	if err := fs.SetXattr(dir, sizeXattr, fmt.Sprint(plan.LogicalSize)); err != nil {
+		return Plan{}, err
+	}
+	if err := fs.SetXattr(dir, chunkXattr, fmt.Sprint(plan.ChunkSize)); err != nil {
+		return Plan{}, err
+	}
+	if err := fs.Remove(p); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
+}
+
+// PrepareDir creates an empty chunk directory with a manifest for a
+// logical file about to be written chunk-by-chunk (the destination side
+// of PFTool's N-to-N very-large-file copy). It returns the plan and the
+// chunk directory path.
+func PrepareDir(fs *pfs.FS, logicalPath string, size, chunkSize int64) (Plan, string, error) {
+	plan := PlanFor(size, chunkSize)
+	dir := ChunkDir(logicalPath)
+	if err := fs.MkdirAll(dir); err != nil {
+		return Plan{}, "", err
+	}
+	if err := fs.SetXattr(dir, sizeXattr, fmt.Sprint(plan.LogicalSize)); err != nil {
+		return Plan{}, "", err
+	}
+	if err := fs.SetXattr(dir, chunkXattr, fmt.Sprint(plan.ChunkSize)); err != nil {
+		return Plan{}, "", err
+	}
+	return plan, dir, nil
+}
+
+// ReadPlan reads the manifest of a chunk directory.
+func ReadPlan(fs *pfs.FS, dir string) (Plan, error) {
+	sizeStr, err := fs.GetXattr(dir, sizeXattr)
+	if err != nil {
+		return Plan{}, err
+	}
+	chunkStr, _ := fs.GetXattr(dir, chunkXattr)
+	if sizeStr == "" || chunkStr == "" {
+		return Plan{}, fmt.Errorf("%w: %s", ErrNotChunked, dir)
+	}
+	var size, chunk int64
+	if _, err := fmt.Sscan(sizeStr, &size); err != nil {
+		return Plan{}, fmt.Errorf("chunkfs: bad size manifest on %s: %v", dir, err)
+	}
+	if _, err := fmt.Sscan(chunkStr, &chunk); err != nil {
+		return Plan{}, fmt.Errorf("chunkfs: bad chunk manifest on %s: %v", dir, err)
+	}
+	return PlanFor(size, chunk), nil
+}
+
+// Chunks lists the chunk files of dir in index order.
+func Chunks(fs *pfs.FS, dir string) ([]pfs.Info, error) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []pfs.Info
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name, "chunk.") {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// MarkChunk sets a chunk's transfer state (StateGood / StateBad).
+func MarkChunk(fs *pfs.FS, dir string, i int, state string) error {
+	return fs.SetXattr(path.Join(dir, ChunkName(i)), StateXattr, state)
+}
+
+// ChunkState reads a chunk's transfer state ("" if unmarked).
+func ChunkState(fs *pfs.FS, dir string, i int) (string, error) {
+	return fs.GetXattr(path.Join(dir, ChunkName(i)), StateXattr)
+}
+
+// Join reassembles the chunk directory dir into the regular file at
+// target, verifying that every chunk is present with the planned size
+// and none is marked bad. The chunk directory is removed on success.
+func Join(fs *pfs.FS, dir, target string) error {
+	plan, err := ReadPlan(fs, dir)
+	if err != nil {
+		return err
+	}
+	parts := make([]synthetic.Content, plan.NumChunks)
+	for i := 0; i < plan.NumChunks; i++ {
+		cp := path.Join(dir, ChunkName(i))
+		info, err := fs.Stat(cp)
+		if err != nil {
+			return fmt.Errorf("%w: missing %s", ErrIncomplete, cp)
+		}
+		_, wantLen := plan.ChunkRange(i)
+		if info.Size != wantLen {
+			return fmt.Errorf("%w: %s has %d bytes, want %d", ErrIncomplete, cp, info.Size, wantLen)
+		}
+		if st, _ := fs.GetXattr(cp, StateXattr); st == StateBad {
+			return fmt.Errorf("%w: %s marked bad", ErrIncomplete, cp)
+		}
+		c, err := fs.ReadContent(cp)
+		if err != nil {
+			return err
+		}
+		parts[i] = c
+	}
+	if err := fs.WriteFile(target, synthetic.Concat(parts...)); err != nil {
+		return err
+	}
+	return fs.RemoveAll(dir)
+}
+
+// InterceptOverwrite implements the FUSE layer's §6.3 behaviour: before
+// a logical file held as chunks is overwritten, its existing chunks are
+// moved into trashDir (so the synchronous deleter can reap their tape
+// copies) instead of being truncated in place. It returns the trashed
+// chunk paths.
+func InterceptOverwrite(fs *pfs.FS, dir, trashDir string) ([]string, error) {
+	chunks, err := Chunks(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.MkdirAll(trashDir); err != nil {
+		return nil, err
+	}
+	var moved []string
+	for _, c := range chunks {
+		dst := path.Join(trashDir, fmt.Sprintf("%d-%s", c.ID, c.Name))
+		if err := fs.Rename(c.Path, dst); err != nil {
+			return moved, err
+		}
+		moved = append(moved, dst)
+	}
+	return moved, nil
+}

@@ -1,0 +1,107 @@
+package chunkfs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/synthetic"
+	"repro/internal/vfs"
+)
+
+func TestPrepareDirThenWriteChunksThenJoin(t *testing.T) {
+	// The PFTool N-to-N destination flow: PrepareDir, write chunk files
+	// independently, Join.
+	sim(t, func(fs *pfs.FS) {
+		content := synthetic.NewUniform(3, 1e6)
+		plan, dir, err := PrepareDir(fs, "/out", 1e6, 300e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NumChunks != 4 || dir != "/out.chunks" {
+			t.Fatalf("plan = %+v, dir = %s", plan, dir)
+		}
+		// Write chunks out of order, as parallel workers would.
+		for _, i := range []int{2, 0, 3, 1} {
+			off, length := plan.ChunkRange(i)
+			if err := fs.WriteFile(dir+"/"+ChunkName(i), content.Slice(off, length)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := Join(fs, dir, "/out"); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := fs.ReadContent("/out")
+		if !got.Equal(content) {
+			t.Error("content mismatch")
+		}
+	})
+}
+
+func TestSplitMissingFileFails(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		if _, err := Split(fs, "/ghost", 100); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestSplitZeroLengthFile(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/empty", synthetic.Content{})
+		plan, err := Split(fs, "/empty", 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NumChunks != 1 {
+			t.Errorf("NumChunks = %d, want 1", plan.NumChunks)
+		}
+		if err := Join(fs, ChunkDir("/empty"), "/empty"); err != nil {
+			t.Fatal(err)
+		}
+		info, _ := fs.Stat("/empty")
+		if info.Size != 0 {
+			t.Errorf("Size = %d", info.Size)
+		}
+	})
+}
+
+func TestChunksIgnoresForeignFiles(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/f", synthetic.NewUniform(1, 1000))
+		Split(fs, "/f", 400)
+		dir := ChunkDir("/f")
+		fs.WriteFile(dir+"/README", synthetic.NewUniform(9, 10))
+		chunks, err := Chunks(fs, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunks) != 3 {
+			t.Errorf("Chunks = %d, want 3 (README excluded)", len(chunks))
+		}
+	})
+}
+
+func TestQuickSplitJoinRandomSizes(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		r := rand.New(rand.NewSource(13))
+		for i := 0; i < 40; i++ {
+			size := int64(r.Intn(100000) + 1)
+			chunk := int64(r.Intn(30000) + 1)
+			content := synthetic.NewUniform(r.Uint64()|1, size)
+			fs.WriteFile("/f", content)
+			if _, err := Split(fs, "/f", chunk); err != nil {
+				t.Fatalf("size=%d chunk=%d: %v", size, chunk, err)
+			}
+			if err := Join(fs, ChunkDir("/f"), "/f"); err != nil {
+				t.Fatalf("size=%d chunk=%d: %v", size, chunk, err)
+			}
+			got, _ := fs.ReadContent("/f")
+			if !got.Equal(content) {
+				t.Fatalf("size=%d chunk=%d: content mismatch", size, chunk)
+			}
+			fs.Remove("/f")
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package chunkfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/synthetic"
+)
+
+func sim(t *testing.T, fn func(fs *pfs.FS)) {
+	t.Helper()
+	c := simtime.NewClock()
+	cfg := pfs.GPFSConfig("gpfs")
+	cfg.MetaOpCost = 0
+	fs := pfs.New(c, cfg)
+	c.Go(func() { fn(fs) })
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanFor(t *testing.T) {
+	cases := []struct {
+		size, chunk int64
+		want        int
+	}{
+		{100, 30, 4},
+		{90, 30, 3},
+		{1, 30, 1},
+		{0, 30, 1},
+		{30, 30, 1},
+		{31, 30, 2},
+	}
+	for _, tc := range cases {
+		if got := PlanFor(tc.size, tc.chunk).NumChunks; got != tc.want {
+			t.Errorf("PlanFor(%d,%d).NumChunks = %d, want %d", tc.size, tc.chunk, got, tc.want)
+		}
+	}
+}
+
+func TestChunkRange(t *testing.T) {
+	p := PlanFor(100, 30)
+	off, l := p.ChunkRange(0)
+	if off != 0 || l != 30 {
+		t.Errorf("chunk 0 = [%d,%d)", off, off+l)
+	}
+	off, l = p.ChunkRange(3)
+	if off != 90 || l != 10 {
+		t.Errorf("chunk 3 = %d+%d, want 90+10", off, l)
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		content := synthetic.NewUniform(42, 1e6)
+		fs.MkdirAll("/d")
+		fs.WriteFile("/d/big", content)
+		plan, err := Split(fs, "/d/big", 300e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NumChunks != 4 {
+			t.Errorf("NumChunks = %d, want 4", plan.NumChunks)
+		}
+		if fs.Exists("/d/big") {
+			t.Error("original file should be gone after split")
+		}
+		chunks, err := Chunks(fs, "/d/big.chunks")
+		if err != nil || len(chunks) != 4 {
+			t.Fatalf("Chunks = %d, %v", len(chunks), err)
+		}
+		// Chunk contents slice the original exactly.
+		c0, _ := fs.ReadContent("/d/big.chunks/chunk.000000")
+		if !c0.Equal(content.Slice(0, 300e3)) {
+			t.Error("chunk 0 content mismatch")
+		}
+		if err := Join(fs, "/d/big.chunks", "/d/big"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadContent("/d/big")
+		if err != nil || !got.Equal(content) {
+			t.Errorf("joined content mismatch: %v", err)
+		}
+		if fs.Exists("/d/big.chunks") {
+			t.Error("chunk dir should be removed after join")
+		}
+	})
+}
+
+func TestSplitPreservesPoolPlacement(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFileIn("/f", synthetic.NewUniform(1, 1000), "slow")
+		if _, err := Split(fs, "/f", 400); err != nil {
+			t.Fatal(err)
+		}
+		chunks, _ := Chunks(fs, ChunkDir("/f"))
+		for _, c := range chunks {
+			if c.Pool != "slow" {
+				t.Errorf("chunk %s in pool %s, want slow", c.Name, c.Pool)
+			}
+		}
+	})
+}
+
+func TestSplitNoDataMovement(t *testing.T) {
+	// Split is a FUSE re-presentation: pool usage must not change.
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/f", synthetic.NewUniform(1, 1000))
+		pool, _ := fs.Pool("fast")
+		before := pool.Used()
+		Split(fs, "/f", 100)
+		if pool.Used() != before {
+			t.Errorf("pool usage changed %d -> %d", before, pool.Used())
+		}
+	})
+}
+
+func TestReadPlanRoundTrip(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/f", synthetic.NewUniform(1, 12345))
+		want, _ := Split(fs, "/f", 5000)
+		got, err := ReadPlan(fs, ChunkDir("/f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("ReadPlan = %+v, want %+v", got, want)
+		}
+	})
+}
+
+func TestReadPlanOnPlainDirFails(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.MkdirAll("/plain")
+		if _, err := ReadPlan(fs, "/plain"); !errors.Is(err, ErrNotChunked) {
+			t.Errorf("err = %v, want ErrNotChunked", err)
+		}
+	})
+}
+
+func TestChunkStateMarks(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/f", synthetic.NewUniform(1, 1000))
+		Split(fs, "/f", 400)
+		dir := ChunkDir("/f")
+		if st, _ := ChunkState(fs, dir, 0); st != "" {
+			t.Errorf("fresh chunk state = %q, want empty", st)
+		}
+		MarkChunk(fs, dir, 0, StateGood)
+		MarkChunk(fs, dir, 1, StateBad)
+		if st, _ := ChunkState(fs, dir, 0); st != StateGood {
+			t.Errorf("state = %q, want good", st)
+		}
+		if st, _ := ChunkState(fs, dir, 1); st != StateBad {
+			t.Errorf("state = %q, want bad", st)
+		}
+	})
+}
+
+func TestJoinRefusesBadChunk(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/f", synthetic.NewUniform(1, 1000))
+		Split(fs, "/f", 400)
+		MarkChunk(fs, ChunkDir("/f"), 1, StateBad)
+		if err := Join(fs, ChunkDir("/f"), "/f"); !errors.Is(err, ErrIncomplete) {
+			t.Errorf("err = %v, want ErrIncomplete", err)
+		}
+	})
+}
+
+func TestJoinRefusesMissingChunk(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/f", synthetic.NewUniform(1, 1000))
+		Split(fs, "/f", 400)
+		fs.Remove(ChunkDir("/f") + "/chunk.000001")
+		if err := Join(fs, ChunkDir("/f"), "/f"); !errors.Is(err, ErrIncomplete) {
+			t.Errorf("err = %v, want ErrIncomplete", err)
+		}
+	})
+}
+
+func TestJoinRefusesShortChunk(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/f", synthetic.NewUniform(1, 1000))
+		Split(fs, "/f", 400)
+		fs.Truncate(ChunkDir("/f")+"/chunk.000000", 100)
+		if err := Join(fs, ChunkDir("/f"), "/f"); !errors.Is(err, ErrIncomplete) {
+			t.Errorf("err = %v, want ErrIncomplete", err)
+		}
+	})
+}
+
+func TestInterceptOverwriteMovesChunksToTrash(t *testing.T) {
+	sim(t, func(fs *pfs.FS) {
+		fs.WriteFile("/f", synthetic.NewUniform(1, 1000))
+		Split(fs, "/f", 400)
+		moved, err := InterceptOverwrite(fs, ChunkDir("/f"), "/.trash/alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moved) != 3 {
+			t.Errorf("moved %d chunks, want 3", len(moved))
+		}
+		for _, p := range moved {
+			if !fs.Exists(p) {
+				t.Errorf("trashed chunk %s missing", p)
+			}
+		}
+		chunks, _ := Chunks(fs, ChunkDir("/f"))
+		if len(chunks) != 0 {
+			t.Errorf("%d chunks remain in place", len(chunks))
+		}
+	})
+}
+
+func TestPathHelpers(t *testing.T) {
+	if ChunkDir("/a/b") != "/a/b.chunks" {
+		t.Error("ChunkDir wrong")
+	}
+	if !IsChunkDir("/a/b.chunks") || IsChunkDir("/a/b") {
+		t.Error("IsChunkDir wrong")
+	}
+	if LogicalPath("/a/b.chunks") != "/a/b" {
+		t.Error("LogicalPath wrong")
+	}
+	if ChunkName(7) != "chunk.000007" {
+		t.Error("ChunkName wrong")
+	}
+}

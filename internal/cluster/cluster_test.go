@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestNewClusterShape(t *testing.T) {
+	c := simtime.NewClock()
+	cl := New(c, RoadrunnerConfig())
+	if len(cl.Nodes()) != 10 {
+		t.Errorf("nodes = %d, want 10", len(cl.Nodes()))
+	}
+	if cl.Node(0).Name != "fta01" || cl.Node(9).Name != "fta10" {
+		t.Errorf("names = %s..%s", cl.Node(0).Name, cl.Node(9).Name)
+	}
+	if cl.Trunk().Rate() != 1.87e9 {
+		t.Errorf("trunk rate = %v", cl.Trunk().Rate())
+	}
+}
+
+func TestTrunkSharedAcrossNodes(t *testing.T) {
+	c := simtime.NewClock()
+	cl := New(c, RoadrunnerConfig())
+	// 10 nodes each pushing 2.36 GB through the shared trunk: the trunk
+	// carries 23.6 GB total at 2.36 GB/s -> ~10s, not ~1s.
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Go(func() {
+			simtime.TransferAll(c, 1870e6, cl.Node(i).NIC(), cl.Trunk())
+		})
+	}
+	end := c.RunFor()
+	if end < 9*time.Second || end > 12*time.Second {
+		t.Errorf("end = %v, want ~10s (trunk-bound)", end)
+	}
+}
+
+func TestNICBoundWhenTrunkIdle(t *testing.T) {
+	c := simtime.NewClock()
+	cl := New(c, RoadrunnerConfig())
+	// One node alone: its NIC (1.18 GB/s) binds before the trunk.
+	c.Go(func() {
+		simtime.TransferAll(c, 1.18e9, cl.Node(0).NIC(), cl.Trunk())
+	})
+	end := c.RunFor()
+	if end < 900*time.Millisecond || end > 1100*time.Millisecond {
+		t.Errorf("end = %v, want ~1s (NIC-bound)", end)
+	}
+}
+
+func TestLoadManagerSortsAscending(t *testing.T) {
+	c := simtime.NewClock()
+	cl := New(c, RoadrunnerConfig())
+	lm := NewLoadManager(c, cl, time.Minute)
+	c.Go(func() {
+		for i, n := range cl.Nodes() {
+			n.SetLoad(float64(2 + i)) // fta01..fta10 = 2..11
+		}
+		cl.Node(0).SetLoad(5)
+		cl.Node(1).SetLoad(1)
+		cl.Node(2).SetLoad(3)
+		list := lm.MachineList()
+		if list[0].Name != "fta02" {
+			t.Errorf("least loaded = %s, want fta02", list[0].Name)
+		}
+		if list[len(list)-1].Name != "fta10" {
+			t.Errorf("most loaded = %s, want fta10", list[len(list)-1].Name)
+		}
+	})
+	c.RunFor()
+}
+
+func TestLoadManagerCachesWithinPeriod(t *testing.T) {
+	c := simtime.NewClock()
+	cl := New(c, RoadrunnerConfig())
+	lm := NewLoadManager(c, cl, time.Minute)
+	c.Go(func() {
+		first := lm.MachineList()
+		cl.Node(int(0)).SetLoad(100) // changes load, but within the period
+		second := lm.MachineList()
+		if first[0] != second[0] {
+			t.Error("list changed within refresh period")
+		}
+		c.Sleep(2 * time.Minute)
+		third := lm.MachineList()
+		if third[len(third)-1].Name != "fta01" {
+			t.Error("refresh after period did not re-sort")
+		}
+	})
+	c.RunFor()
+}
+
+func TestPickCycles(t *testing.T) {
+	c := simtime.NewClock()
+	cfg := RoadrunnerConfig()
+	cfg.Nodes = 3
+	cl := New(c, cfg)
+	lm := NewLoadManager(c, cl, time.Minute)
+	c.Go(func() {
+		picked := lm.Pick(7)
+		if len(picked) != 7 {
+			t.Fatalf("picked %d, want 7", len(picked))
+		}
+		if picked[0] != picked[3] || picked[1] != picked[4] {
+			t.Error("Pick should cycle through the machine list")
+		}
+	})
+	c.RunFor()
+}
+
+func TestNodeSlotsBound(t *testing.T) {
+	c := simtime.NewClock()
+	cfg := RoadrunnerConfig()
+	cfg.NodeSlots = 2
+	cl := New(c, cfg)
+	n := cl.Node(0)
+	var done int
+	for i := 0; i < 4; i++ {
+		c.Go(func() {
+			n.Slots().Use(1, func() { c.Sleep(time.Second) })
+			done++
+		})
+	}
+	end := c.RunFor()
+	if done != 4 {
+		t.Errorf("done = %d, want 4", done)
+	}
+	if end != 2*time.Second {
+		t.Errorf("end = %v, want 2s (2 slots x 2 waves)", end)
+	}
+}

@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5–§6) plus the design-point studies DESIGN.md
+// calls out. Each experiment builds a fresh deployment on its own
+// virtual clock, drives it, and returns a Report with the same rows or
+// series the paper presents. cmd/archsim prints the reports; the
+// repository-root benchmarks re-run them at benchmark scale.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	Name    string // experiment id, e.g. "fig10"
+	Title   string // what the paper calls it
+	Body    string // rendered rows/series
+	Metrics map[string]float64
+	Notes   []string
+}
+
+// String renders the report for terminal output.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.Name, r.Title)
+	b.WriteString(r.Body)
+	if len(r.Notes) > 0 {
+		b.WriteString("notes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+func (r *Report) metric(k string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[k] = v
+}
+
+// All runs every experiment at full scale and returns the reports in
+// presentation order.
+func All(seed int64) []Report {
+	camp := Campaign(CampaignParams{Seed: seed})
+	return append(camp, []Report{
+		ParallelVsSerial(seed),
+		SmallFileTape(seed),
+		RecallOrdering(seed),
+		LargeFileSweep(seed),
+		VeryLargeNtoN(seed),
+		RestartableTransfer(seed),
+		SyncDeleteVsReconcile(seed),
+		MigratorBalance(seed),
+		InodeScan(seed),
+		ScalingGap(seed),
+		AblationCoLocation(seed),
+		AblationChunkSize(seed),
+		AblationBatching(seed),
+		AblationLANFree(seed),
+		Reclamation(seed),
+	}...)
+}
+
+// Names lists the runnable experiment names.
+func Names() []string {
+	return []string{
+		"campaign", "fig8", "fig9", "fig10", "fig11",
+		"parallel-vs-serial", "smallfile", "recall", "largefile",
+		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
+		"ablation-colocation", "ablation-chunksize", "ablation-batching",
+		"ablation-lanfree", "reclaim",
+		"all",
+	}
+}
+
+// Run executes one experiment (or the whole campaign group) by name.
+func Run(name string, seed int64) ([]Report, error) {
+	switch name {
+	case "campaign", "fig8", "fig9", "fig10", "fig11":
+		return Campaign(CampaignParams{Seed: seed}), nil
+	case "parallel-vs-serial":
+		return []Report{ParallelVsSerial(seed)}, nil
+	case "smallfile":
+		return []Report{SmallFileTape(seed)}, nil
+	case "recall":
+		return []Report{RecallOrdering(seed)}, nil
+	case "largefile":
+		return []Report{LargeFileSweep(seed)}, nil
+	case "verylarge":
+		return []Report{VeryLargeNtoN(seed)}, nil
+	case "restart":
+		return []Report{RestartableTransfer(seed)}, nil
+	case "delete":
+		return []Report{SyncDeleteVsReconcile(seed)}, nil
+	case "migrate":
+		return []Report{MigratorBalance(seed)}, nil
+	case "scan":
+		return []Report{InodeScan(seed)}, nil
+	case "kiviat":
+		return []Report{ScalingGap(seed)}, nil
+	case "ablation-colocation":
+		return []Report{AblationCoLocation(seed)}, nil
+	case "ablation-chunksize":
+		return []Report{AblationChunkSize(seed)}, nil
+	case "ablation-batching":
+		return []Report{AblationBatching(seed)}, nil
+	case "ablation-lanfree":
+		return []Report{AblationLANFree(seed)}, nil
+	case "reclaim":
+		return []Report{Reclamation(seed)}, nil
+	case "all":
+		return All(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// summaryRows renders a figure summary in the harness's standard shape.
+func summaryRows(t *stats.Table, s *stats.Summary, unit string) {
+	t.Row("min", s.Min(), unit)
+	t.Row("median", s.Median(), unit)
+	t.Row("mean", s.Mean(), unit)
+	t.Row("max", s.Max(), unit)
+}

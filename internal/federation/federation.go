@@ -1,0 +1,215 @@
+// Package federation implements §6.4's future-work proposal: "By
+// leveraging the remote file system feature of GPFS, it might be
+// possible to tether multiple archive file systems together thus
+// allowing for multiple TSM servers." A Federation partitions the
+// archive namespace across cells — each cell an archive file system
+// with its own TSM server, shadow database, and HSM engine — while
+// presenting a single namespace to callers. This removes the paper's
+// single point of failure and multiplies metadata transaction capacity,
+// at the cost of the cross-cell coordination the paper warns native
+// support would avoid.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/hsm"
+	"repro/internal/metadb"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/tsm"
+)
+
+// Errors.
+var (
+	ErrCellDown = errors.New("federation: cell is down")
+	ErrNoCells  = errors.New("federation: no cells")
+)
+
+// Cell is one archive file system + TSM server + HSM engine.
+type Cell struct {
+	Name   string
+	FS     *pfs.FS
+	Server *tsm.Server
+	Shadow *metadb.DB
+	Engine *hsm.Engine
+	down   bool
+}
+
+// Down reports whether the cell is failed.
+func (c *Cell) Down() bool { return c.down }
+
+// SetDown fails or revives the cell (failure injection for the single
+// point-of-failure study).
+func (c *Cell) SetDown(down bool) { c.down = down }
+
+// Federation is the tethered namespace.
+type Federation struct {
+	clock *simtime.Clock
+	cells []*Cell
+}
+
+// New assembles a federation over the given cells.
+func New(clock *simtime.Clock, cells ...*Cell) (*Federation, error) {
+	if len(cells) == 0 {
+		return nil, ErrNoCells
+	}
+	return &Federation{clock: clock, cells: cells}, nil
+}
+
+// Cells returns the member cells.
+func (f *Federation) Cells() []*Cell { return f.cells }
+
+// CellFor routes a path to its owning cell by hashing the first path
+// component (the "project" level): a whole project lives in one cell,
+// preserving co-location and single-cell recalls.
+func (f *Federation) CellFor(path string) *Cell {
+	h := fnv.New32a()
+	h.Write([]byte(topComponent(path)))
+	return f.cells[int(h.Sum32())%len(f.cells)]
+}
+
+func topComponent(p string) string {
+	p = strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// up returns the owning cell or ErrCellDown.
+func (f *Federation) up(path string) (*Cell, error) {
+	c := f.CellFor(path)
+	if c.down {
+		return nil, fmt.Errorf("%w: %s owns %s", ErrCellDown, c.Name, path)
+	}
+	return c, nil
+}
+
+// Stat resolves a path in its owning cell.
+func (f *Federation) Stat(path string) (pfs.Info, error) {
+	c, err := f.up(path)
+	if err != nil {
+		return pfs.Info{}, err
+	}
+	return c.FS.Stat(path)
+}
+
+// Migrate partitions candidate files by owning cell and migrates each
+// cell's share on its own engine, in parallel. Files that live in a
+// down cell are reported in the error but the healthy cells complete.
+func (f *Federation) Migrate(files []pfs.Info, opt hsm.MigrateOptions) (map[string]hsm.MigrateResult, error) {
+	byCell := make(map[*Cell][]pfs.Info)
+	var downPaths []string
+	for _, file := range files {
+		c := f.CellFor(file.Path)
+		if c.down {
+			downPaths = append(downPaths, file.Path)
+			continue
+		}
+		byCell[c] = append(byCell[c], file)
+	}
+	results := make(map[string]hsm.MigrateResult)
+	var firstErr error
+	wg := simtime.NewWaitGroup(f.clock)
+	for c, share := range byCell {
+		c, share := c, share
+		wg.Add(1)
+		f.clock.Go(func() {
+			defer wg.Done()
+			res, err := c.Engine.Migrate(share, opt)
+			results[c.Name] = res
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("federation: cell %s: %w", c.Name, err)
+			}
+		})
+	}
+	wg.Wait()
+	if firstErr == nil && len(downPaths) > 0 {
+		firstErr = fmt.Errorf("%w: %d file(s) owned by failed cells", ErrCellDown, len(downPaths))
+	}
+	return results, firstErr
+}
+
+// Recall partitions paths by owning cell and recalls each share in
+// parallel with the given mode.
+func (f *Federation) Recall(paths []string, mode hsm.RecallMode) (map[string]hsm.RecallResult, error) {
+	byCell := make(map[*Cell][]string)
+	var downPaths []string
+	for _, p := range paths {
+		c := f.CellFor(p)
+		if c.down {
+			downPaths = append(downPaths, p)
+			continue
+		}
+		byCell[c] = append(byCell[c], p)
+	}
+	results := make(map[string]hsm.RecallResult)
+	var firstErr error
+	wg := simtime.NewWaitGroup(f.clock)
+	for c, share := range byCell {
+		c, share := c, share
+		wg.Add(1)
+		f.clock.Go(func() {
+			defer wg.Done()
+			res, err := c.Engine.Recall(share, mode)
+			results[c.Name] = res
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("federation: cell %s: %w", c.Name, err)
+			}
+		})
+	}
+	wg.Wait()
+	if firstErr == nil && len(downPaths) > 0 {
+		firstErr = fmt.Errorf("%w: %d path(s) owned by failed cells", ErrCellDown, len(downPaths))
+	}
+	return results, firstErr
+}
+
+// QueryByPath answers the unindexed TSM path query against the single
+// owning cell: each cell's database holds only its partition, so the
+// scan is 1/N the size of a monolithic server's.
+func (f *Federation) QueryByPath(path string) (tsm.Object, error) {
+	c, err := f.up(path)
+	if err != nil {
+		return tsm.Object{}, err
+	}
+	return c.Server.QueryByPath(path)
+}
+
+// LookupShadow answers the indexed shadow query in the owning cell.
+func (f *Federation) LookupShadow(path string) (metadb.Record, error) {
+	c, err := f.up(path)
+	if err != nil {
+		return metadb.Record{}, err
+	}
+	return c.Shadow.ByPath(path)
+}
+
+// HealthySlice returns the names of healthy cells, sorted — the
+// namespace fraction that survives a server failure.
+func (f *Federation) HealthySlice() []string {
+	var out []string
+	for _, c := range f.cells {
+		if !c.down {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalObjects sums live objects across healthy cells.
+func (f *Federation) TotalObjects() int {
+	n := 0
+	for _, c := range f.cells {
+		if !c.down {
+			n += c.Server.NumObjects()
+		}
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hsm"
+	"repro/internal/metadb"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/synthetic"
+	"repro/internal/tape"
+	"repro/internal/tsm"
+)
+
+type env struct {
+	clock *simtime.Clock
+	fed   *Federation
+}
+
+// newEnv builds an n-cell federation, each cell with its own library
+// and movers (the cells share the FTA cluster, as §6.4 envisions).
+func newEnv(t *testing.T, n int) *env {
+	t.Helper()
+	clock := simtime.NewClock()
+	cl := cluster.New(clock, cluster.RoadrunnerConfig())
+	var cells []*Cell
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("cell%d", i)
+		cfg := pfs.GPFSConfig("gpfs-" + name)
+		cfg.MetaOpCost = 0
+		cfg.ScanPerInode = 0
+		fs := pfs.New(clock, cfg)
+		lib := tape.NewLibrary(clock, 4, 32, 1, tape.LTO4())
+		srv := tsm.NewServer(clock, tsm.DefaultConfig(), lib)
+		shadow := metadb.New(clock, 100*time.Microsecond)
+		eng := hsm.New(clock, fs, srv, shadow, cl.Nodes(), hsm.Config{})
+		cells = append(cells, &Cell{Name: name, FS: fs, Server: srv, Shadow: shadow, Engine: eng})
+	}
+	fed, err := New(clock, cells...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{clock: clock, fed: fed}
+}
+
+func (e *env) run(t *testing.T, fn func()) {
+	t.Helper()
+	e.clock.Go(fn)
+	if _, err := e.clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedProject creates a project's files in its owning cell.
+func (e *env) seedProject(t *testing.T, project string, n int, size int64) []pfs.Info {
+	t.Helper()
+	cell := e.fed.CellFor("/" + project)
+	root := "/" + project
+	if err := cell.FS.MkdirAll(root); err != nil {
+		t.Fatal(err)
+	}
+	var infos []pfs.Info
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("%s/f%03d", root, i)
+		if err := cell.FS.WriteFile(p, synthetic.NewUniform(uint64(i+1), size)); err != nil {
+			t.Fatal(err)
+		}
+		info, _ := cell.FS.Stat(p)
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+func TestNewRequiresCells(t *testing.T) {
+	if _, err := New(simtime.NewClock()); !errors.Is(err, ErrNoCells) {
+		t.Errorf("err = %v, want ErrNoCells", err)
+	}
+}
+
+func TestRoutingIsStableAndProjectGranular(t *testing.T) {
+	e := newEnv(t, 3)
+	a := e.fed.CellFor("/projA/sub/file")
+	b := e.fed.CellFor("/projA/other/file2")
+	if a != b {
+		t.Error("same project routed to different cells")
+	}
+	if e.fed.CellFor("/projA") != a {
+		t.Error("project root routed differently")
+	}
+	// With several projects, more than one cell gets used.
+	used := make(map[*Cell]bool)
+	for i := 0; i < 20; i++ {
+		used[e.fed.CellFor(fmt.Sprintf("/proj%02d", i))] = true
+	}
+	if len(used) < 2 {
+		t.Error("all projects landed in one cell")
+	}
+}
+
+func TestMigrateAndRecallAcrossCells(t *testing.T) {
+	e := newEnv(t, 2)
+	e.run(t, func() {
+		var all []pfs.Info
+		var paths []string
+		for _, proj := range []string{"alpha", "beta", "gamma", "delta"} {
+			infos := e.seedProject(t, proj, 5, 500e6)
+			all = append(all, infos...)
+			for _, i := range infos {
+				paths = append(paths, i.Path)
+			}
+		}
+		results, err := e.fed.Migrate(all, hsm.MigrateOptions{Balanced: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, r := range results {
+			total += r.Files
+		}
+		if total != 20 {
+			t.Errorf("migrated %d files, want 20", total)
+		}
+		if e.fed.TotalObjects() != 20 {
+			t.Errorf("TotalObjects = %d", e.fed.TotalObjects())
+		}
+		rres, err := e.fed.Recall(paths, hsm.RecallOrdered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recalled := 0
+		for _, r := range rres {
+			recalled += r.Files
+		}
+		if recalled != 20 {
+			t.Errorf("recalled %d files, want 20", recalled)
+		}
+	})
+}
+
+func TestCellFailureIsPartial(t *testing.T) {
+	e := newEnv(t, 2)
+	e.run(t, func() {
+		// Find two projects owned by different cells.
+		var projA, projB string
+		for i := 0; projB == "" && i < 100; i++ {
+			p := fmt.Sprintf("proj%02d", i)
+			if projA == "" {
+				projA = p
+				continue
+			}
+			if e.fed.CellFor("/"+p) != e.fed.CellFor("/"+projA) {
+				projB = p
+			}
+		}
+		if projB == "" {
+			t.Skip("hash put all probes in one cell")
+		}
+		infosA := e.seedProject(t, projA, 3, 100e6)
+		infosB := e.seedProject(t, projB, 3, 100e6)
+		if _, err := e.fed.Migrate(append(infosA, infosB...), hsm.MigrateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Kill projB's cell: the paper's single-server design loses
+		// everything; the federation keeps projA fully usable.
+		e.fed.CellFor("/" + projB).SetDown(true)
+		if len(e.fed.HealthySlice()) != 1 {
+			t.Errorf("healthy = %v", e.fed.HealthySlice())
+		}
+		if _, err := e.fed.Stat(infosB[0].Path); !errors.Is(err, ErrCellDown) {
+			t.Errorf("stat in down cell: %v", err)
+		}
+		rres, err := e.fed.Recall([]string{infosA[0].Path, infosB[0].Path}, hsm.RecallOrdered)
+		if !errors.Is(err, ErrCellDown) {
+			t.Errorf("recall err = %v, want ErrCellDown", err)
+		}
+		recalled := 0
+		for _, r := range rres {
+			recalled += r.Files
+		}
+		if recalled != 1 {
+			t.Errorf("healthy cell recalled %d, want 1", recalled)
+		}
+
+		// Revive and everything works again.
+		e.fed.CellFor("/" + projB).SetDown(false)
+		if _, err := e.fed.Stat(infosB[0].Path); err != nil {
+			t.Errorf("stat after revive: %v", err)
+		}
+	})
+}
+
+func TestPartitionedPathQueriesScanLess(t *testing.T) {
+	// The unindexed TSM path scan is 1/N the cost when each cell holds
+	// 1/N of the objects.
+	scanTime := func(cells int) time.Duration {
+		e := newEnv(t, cells)
+		var elapsed time.Duration
+		e.run(t, func() {
+			var all []pfs.Info
+			for i := 0; i < 12; i++ {
+				infos := e.seedProject(t, fmt.Sprintf("proj%02d", i), 400, 1e5)
+				all = append(all, infos...)
+			}
+			if _, err := e.fed.Migrate(all, hsm.MigrateOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			start := e.clock.Now()
+			for i := 0; i < 50; i++ {
+				if _, err := e.fed.QueryByPath(all[i*7%len(all)].Path); err != nil {
+					t.Fatal(err)
+				}
+			}
+			elapsed = e.clock.Now() - start
+		})
+		return elapsed
+	}
+	one := scanTime(1)
+	four := scanTime(4)
+	if four*2 > one {
+		t.Errorf("4-cell queries (%v) should be much cheaper than 1-cell (%v)", four, one)
+	}
+}
+
+func TestShadowLookupRoutes(t *testing.T) {
+	e := newEnv(t, 2)
+	e.run(t, func() {
+		infos := e.seedProject(t, "rho", 2, 1e6)
+		if _, err := e.fed.Migrate(infos, hsm.MigrateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := e.fed.LookupShadow(infos[0].Path)
+		if err != nil || rec.Volume == "" {
+			t.Errorf("LookupShadow = %+v, %v", rec, err)
+		}
+	})
+}

@@ -1,0 +1,734 @@
+// Package hsm is the hierarchical storage management engine gluing the
+// archive file system (pfs) to the backup/archive product (tsm): the
+// role TSM's HSM client plays in the paper, plus the paper's own
+// improvements layered on top:
+//
+//   - the parallel data migrator of §4.2.4, which replaces the GPFS
+//     migration policy with a list policy whose candidates are sorted
+//     and distributed by size so every machine finishes at the same
+//     time;
+//   - the tape-ordered, machine-sticky recall of §4.2.5/§6.2, which
+//     groups recalls by volume, sorts them by tape sequence, and pins
+//     each volume to one machine so the tape streams front-to-back with
+//     no label re-verification hand-offs (the naive mode that sprays
+//     requests round-robin across recall daemons is retained as the
+//     baseline);
+//   - small-file aggregation (§6.1's proposed fix), which bundles files
+//     below a threshold into large tape objects so the drive stays
+//     streaming.
+package hsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/metadb"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/synthetic"
+	"repro/internal/tsm"
+)
+
+// Recall routing modes.
+type RecallMode int
+
+const (
+	// RecallNaive assigns requests to recall daemons round-robin in
+	// arrival order, with no tape awareness — stock HSM behaviour.
+	RecallNaive RecallMode = iota
+	// RecallOrdered groups by volume, sorts by tape sequence, and pins
+	// each volume to a single machine — the paper's optimization.
+	RecallOrdered
+)
+
+// Errors.
+var (
+	ErrNotMigrated = errors.New("hsm: file is not migrated")
+	ErrNoNodes     = errors.New("hsm: no mover nodes configured")
+)
+
+// Config tunes the engine.
+type Config struct {
+	// PremigrateOnly leaves data on disk after the tape copy (punch is
+	// deferred until space is needed).
+	PremigrateOnly bool
+	// AggregateThreshold bundles files smaller than this into large
+	// tape objects; zero disables aggregation.
+	AggregateThreshold int64
+	// AggregateTarget is the bundle size aggregation packs toward.
+	AggregateTarget int64
+	// Group is the TSM co-location group for stored objects.
+	Group string
+}
+
+// aggMember locates one small file inside an aggregate object.
+type aggMember struct {
+	path  string
+	bytes int64
+}
+
+// Engine drives migration and recall for one archive deployment.
+type Engine struct {
+	clock  *simtime.Clock
+	fs     *pfs.FS
+	srv    *tsm.Server
+	shadow *metadb.DB
+	nodes  []*cluster.Node
+	cfg    Config
+
+	aggOf      map[string]uint64      // member path -> aggregate object ID
+	aggMembers map[uint64][]aggMember // aggregate object ID -> members
+
+	migratedFiles int
+	recalledFiles int
+	migratedBytes int64
+	recalledBytes int64
+}
+
+// New creates an engine. nodes are the machines running HSM movers and
+// recall daemons (the FTA cluster).
+func New(clock *simtime.Clock, fs *pfs.FS, srv *tsm.Server, shadow *metadb.DB, nodes []*cluster.Node, cfg Config) *Engine {
+	if cfg.AggregateTarget <= 0 {
+		cfg.AggregateTarget = 4e9
+	}
+	return &Engine{
+		clock:      clock,
+		fs:         fs,
+		srv:        srv,
+		shadow:     shadow,
+		nodes:      nodes,
+		cfg:        cfg,
+		aggOf:      make(map[string]uint64),
+		aggMembers: make(map[uint64][]aggMember),
+	}
+}
+
+// MigratedFiles reports lifetime migrated file count.
+func (e *Engine) MigratedFiles() int { return e.migratedFiles }
+
+// RecalledFiles reports lifetime recalled file count.
+func (e *Engine) RecalledFiles() int { return e.recalledFiles }
+
+// MigratedBytes reports lifetime migrated bytes.
+func (e *Engine) MigratedBytes() int64 { return e.migratedBytes }
+
+// RecalledBytes reports lifetime recalled bytes.
+func (e *Engine) RecalledBytes() int64 { return e.recalledBytes }
+
+// PartitionRoundRobin splits candidates across n bins in list order —
+// the GPFS-policy-engine behaviour the paper replaces: one process can
+// end up with all the large files.
+func PartitionRoundRobin(files []pfs.Info, n int) [][]pfs.Info {
+	bins := make([][]pfs.Info, n)
+	for i, f := range files {
+		bins[i%n] = append(bins[i%n], f)
+	}
+	return bins
+}
+
+// PartitionBalanced sorts candidates by size descending and greedily
+// assigns each to the least-loaded bin (LPT scheduling): the paper's
+// "combine, sort, and distribute the candidate files by file size
+// evenly across machines".
+func PartitionBalanced(files []pfs.Info, n int) [][]pfs.Info {
+	sorted := append([]pfs.Info(nil), files...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
+	bins := make([][]pfs.Info, n)
+	loads := make([]int64, n)
+	for _, f := range sorted {
+		best := 0
+		for i := 1; i < n; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		bins[best] = append(bins[best], f)
+		loads[best] += f.Size
+	}
+	return bins
+}
+
+// MigrateOptions tunes one migration run.
+type MigrateOptions struct {
+	Balanced bool // size-balanced partitioning (vs round-robin)
+	// StreamsPerNode runs this many concurrent mover streams on each
+	// machine (the GPFS policy engine "may start multiple migrations";
+	// zero means one).
+	StreamsPerNode int
+}
+
+// MigrateResult reports one migration run.
+type MigrateResult struct {
+	Files       int
+	Bytes       int64
+	Aggregates  int
+	Skipped     int // non-resident or directory entries ignored
+	NodeBytes   []int64
+	NodeFinish  []simtime.Duration // per-node completion times
+	FirstErrors []string
+}
+
+// Migrate moves the candidate files to tape across the engine's nodes
+// in parallel, stubbing them (or premigrating, per config). Candidates
+// that are directories or already migrated are skipped.
+func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResult, error) {
+	if len(e.nodes) == 0 {
+		return MigrateResult{}, ErrNoNodes
+	}
+	var work []pfs.Info
+	res := MigrateResult{}
+	for _, f := range candidates {
+		if f.IsDir() || f.State != pfs.Resident {
+			res.Skipped++
+			continue
+		}
+		work = append(work, f)
+	}
+	var bins [][]pfs.Info
+	if opt.Balanced {
+		bins = PartitionBalanced(work, len(e.nodes))
+	} else {
+		bins = PartitionRoundRobin(work, len(e.nodes))
+	}
+	streams := opt.StreamsPerNode
+	if streams <= 0 {
+		streams = 1
+	}
+	res.NodeBytes = make([]int64, len(e.nodes))
+	res.NodeFinish = make([]simtime.Duration, len(e.nodes))
+	var firstErr error
+	wg := simtime.NewWaitGroup(e.clock)
+	for i := range e.nodes {
+		i := i
+		// Each node may run several mover streams; its bin splits
+		// round-robin across them (sizes are already balanced).
+		sub := make([][]pfs.Info, streams)
+		for j, f := range bins[i] {
+			sub[j%streams] = append(sub[j%streams], f)
+		}
+		for _, share := range sub {
+			if len(share) == 0 {
+				continue
+			}
+			share := share
+			wg.Add(1)
+			e.clock.Go(func() {
+				defer wg.Done()
+				files, bytes, aggs, err := e.migrateOnNode(e.nodes[i], share)
+				res.Files += files
+				res.Bytes += bytes
+				res.Aggregates += aggs
+				res.NodeBytes[i] += bytes
+				res.NodeFinish[i] = e.clock.Now()
+				if err != nil && firstErr == nil {
+					firstErr = err
+					res.FirstErrors = append(res.FirstErrors, err.Error())
+				}
+			})
+		}
+	}
+	wg.Wait()
+	e.migratedFiles += res.Files
+	e.migratedBytes += res.Bytes
+	return res, firstErr
+}
+
+// migrateOnNode runs one node's share of a migration.
+func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info) (nfiles int, nbytes int64, naggs int, err error) {
+	pool := e.fs.DefaultPool()
+	var bundle []pfs.Info
+	var bundleBytes int64
+	flush := func() error {
+		if len(bundle) == 0 {
+			return nil
+		}
+		if err := e.storeAggregate(node, pool, bundle, bundleBytes); err != nil {
+			return err
+		}
+		nfiles += len(bundle)
+		nbytes += bundleBytes
+		naggs++
+		bundle, bundleBytes = nil, 0
+		return nil
+	}
+	for _, f := range files {
+		if e.cfg.AggregateThreshold > 0 && f.Size < e.cfg.AggregateThreshold {
+			bundle = append(bundle, f)
+			bundleBytes += f.Size
+			if bundleBytes >= e.cfg.AggregateTarget {
+				if err := flush(); err != nil {
+					return nfiles, nbytes, naggs, err
+				}
+			}
+			continue
+		}
+		if err := e.storeSingle(node, pool, f); err != nil {
+			return nfiles, nbytes, naggs, err
+		}
+		nfiles++
+		nbytes += f.Size
+	}
+	if err := flush(); err != nil {
+		return nfiles, nbytes, naggs, err
+	}
+	return nfiles, nbytes, naggs, nil
+}
+
+func (e *Engine) dataPath(node *cluster.Node) []*simtime.Pipe {
+	return []*simtime.Pipe{e.fs.DefaultPool().Pipe(), node.HBA()}
+}
+
+// storeSingle stores one file as one tape object and stubs it.
+func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info) error {
+	obj, err := e.srv.Store(tsm.StoreRequest{
+		Client:   node.Name,
+		Class:    tsm.ClassMigrate,
+		Path:     f.Path,
+		FileID:   uint64(f.ID),
+		Bytes:    f.Size,
+		Group:    e.cfg.Group,
+		DataPath: e.dataPath(node),
+	})
+	if err != nil {
+		return fmt.Errorf("hsm: migrating %s: %w", f.Path, err)
+	}
+	if e.shadow != nil {
+		e.shadow.UpsertObject(obj)
+	}
+	return e.stub(f.Path)
+}
+
+// storeAggregate bundles small files into one tape object. Each member
+// is stubbed; the aggregate index remembers where members live.
+func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pfs.Info, total int64) error {
+	obj, err := e.srv.Store(tsm.StoreRequest{
+		Client:   node.Name,
+		Class:    tsm.ClassMigrate,
+		Path:     fmt.Sprintf("<aggregate:%s:%s+%d>", node.Name, members[0].Path, len(members)),
+		Bytes:    total,
+		Group:    e.cfg.Group,
+		DataPath: e.dataPath(node),
+	})
+	if err != nil {
+		return fmt.Errorf("hsm: migrating aggregate of %d files: %w", len(members), err)
+	}
+	if e.shadow != nil {
+		e.shadow.UpsertObject(obj)
+	}
+	for _, m := range members {
+		e.aggOf[m.Path] = obj.ID
+		e.aggMembers[obj.ID] = append(e.aggMembers[obj.ID], aggMember{path: m.Path, bytes: m.Size})
+		if err := e.stub(m.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) stub(path string) error {
+	if err := e.fs.SetPremigrated(path); err != nil {
+		return err
+	}
+	if e.cfg.PremigrateOnly {
+		return nil
+	}
+	return e.fs.Punch(path)
+}
+
+// PunchPremigrated punches every premigrated file under root, the cheap
+// space-reclaim pass enabled by premigrate-only mode.
+func (e *Engine) PunchPremigrated(root string) (int, error) {
+	var victims []string
+	err := e.fs.Walk(root, func(i pfs.Info) error {
+		if !i.IsDir() && i.State == pfs.Premigrated {
+			victims = append(victims, i.Path)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range victims {
+		if err := e.fs.Punch(p); err != nil {
+			return 0, err
+		}
+	}
+	return len(victims), nil
+}
+
+// recallItem is one resolved recall work unit.
+type recallItem struct {
+	path   string
+	object uint64
+	volume string
+	seq    int
+	bytes  int64
+}
+
+// RecallResult reports one recall run.
+type RecallResult struct {
+	Files     int
+	Bytes     int64
+	Volumes   int
+	NotFound  []string
+	Aggregate int // files recovered via aggregate recall
+}
+
+// Recall brings the named migrated files back to disk using mode's
+// routing. Paths that are not migrated are skipped silently if already
+// resident, or reported in NotFound when unknown.
+func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
+	if len(e.nodes) == 0 {
+		return RecallResult{}, ErrNoNodes
+	}
+	res := RecallResult{}
+	var items []recallItem
+	aggWanted := make(map[uint64][]string) // aggregate object -> requested members
+	for _, p := range paths {
+		st, err := e.fs.State(p)
+		if err != nil {
+			res.NotFound = append(res.NotFound, p)
+			continue
+		}
+		if st != pfs.Migrated {
+			continue // already on disk
+		}
+		if aggID, ok := e.aggOf[p]; ok {
+			aggWanted[aggID] = append(aggWanted[aggID], p)
+			continue
+		}
+		rec, err := e.locate(p)
+		if err != nil {
+			res.NotFound = append(res.NotFound, p)
+			continue
+		}
+		items = append(items, rec)
+	}
+	// Aggregate objects are recalled whole; every requested member
+	// becomes resident in one tape read.
+	aggIDs := make([]uint64, 0, len(aggWanted))
+	for id := range aggWanted {
+		aggIDs = append(aggIDs, id)
+	}
+	sort.Slice(aggIDs, func(i, j int) bool { return aggIDs[i] < aggIDs[j] })
+	for _, id := range aggIDs {
+		obj, err := e.srv.Get(id)
+		if err != nil {
+			res.NotFound = append(res.NotFound, aggWanted[id]...)
+			continue
+		}
+		items = append(items, recallItem{
+			path:   "", // marker: aggregate
+			object: id,
+			volume: obj.Volume,
+			seq:    obj.Seq,
+			bytes:  obj.Bytes,
+		})
+		res.Aggregate += len(aggWanted[id])
+	}
+
+	bins := e.routeRecalls(items, mode)
+	volumes := make(map[string]bool)
+	for _, it := range items {
+		volumes[it.volume] = true
+	}
+	res.Volumes = len(volumes)
+
+	var firstErr error
+	wg := simtime.NewWaitGroup(e.clock)
+	for i := range e.nodes {
+		i := i
+		if len(bins[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		e.clock.Go(func() {
+			defer wg.Done()
+			node := e.nodes[i]
+			if mode == RecallOrdered {
+				// Volume runs are contiguous in an ordered bin: one
+				// drive session per volume (real restore sessions hold
+				// the drive for the whole stream).
+				for j := 0; j < len(bins[i]); {
+					k := j
+					vol := bins[i][j].volume
+					var ids []uint64
+					for k < len(bins[i]) && bins[i][k].volume == vol {
+						ids = append(ids, bins[i][k].object)
+						k++
+					}
+					_, err := e.srv.RecallBatch(tsm.RecallBatchRequest{
+						Client: node.Name, Volume: vol,
+						ObjectIDs: ids, DataPath: e.dataPath(node),
+					})
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("hsm: recalling volume %s: %w", vol, err)
+						}
+						j = k
+						continue
+					}
+					for _, it := range bins[i][j:k] {
+						e.restoreItem(it, &res, &firstErr)
+					}
+					j = k
+				}
+				return
+			}
+			// Naive: stock per-file recall, drive released between
+			// files — the behaviour §6.2 complains about.
+			for _, it := range bins[i] {
+				if _, err := e.srv.Recall(tsm.RecallRequest{
+					Client:   node.Name,
+					ObjectID: it.object,
+					DataPath: e.dataPath(node),
+				}); err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("hsm: recalling object %d: %w", it.object, err)
+					}
+					continue
+				}
+				e.restoreItem(it, &res, &firstErr)
+			}
+		})
+	}
+	wg.Wait()
+	e.recalledFiles += res.Files
+	e.recalledBytes += res.Bytes
+	return res, firstErr
+}
+
+// restoreItem lands one recalled item (a plain file or a whole
+// aggregate's members) back on disk.
+func (e *Engine) restoreItem(it recallItem, res *RecallResult, firstErr *error) {
+	if it.path != "" {
+		if err := e.fs.Restore(it.path, true); err != nil {
+			if *firstErr == nil {
+				*firstErr = err
+			}
+			return
+		}
+		res.Files++
+		res.Bytes += it.bytes
+		return
+	}
+	for _, m := range e.aggMembers[it.object] {
+		if err := e.fs.Restore(m.path, true); err != nil {
+			if *firstErr == nil {
+				*firstErr = err
+			}
+			continue
+		}
+		res.Files++
+		res.Bytes += m.bytes
+	}
+}
+
+// routeRecalls assigns items to node bins per the routing mode.
+func (e *Engine) routeRecalls(items []recallItem, mode RecallMode) [][]recallItem {
+	bins := make([][]recallItem, len(e.nodes))
+	switch mode {
+	case RecallOrdered:
+		// Group by volume, sort each volume by tape sequence, and pin
+		// each whole volume to one node (volumes round-robin across
+		// nodes by aggregate size, largest first, to balance).
+		byVol := make(map[string][]recallItem)
+		for _, it := range items {
+			byVol[it.volume] = append(byVol[it.volume], it)
+		}
+		type volLoad struct {
+			vol   string
+			bytes int64
+		}
+		var vols []volLoad
+		for v, list := range byVol {
+			sort.Slice(list, func(i, j int) bool { return list[i].seq < list[j].seq })
+			byVol[v] = list
+			var b int64
+			for _, it := range list {
+				b += it.bytes
+			}
+			vols = append(vols, volLoad{v, b})
+		}
+		sort.Slice(vols, func(i, j int) bool {
+			if vols[i].bytes != vols[j].bytes {
+				return vols[i].bytes > vols[j].bytes
+			}
+			return vols[i].vol < vols[j].vol
+		})
+		loads := make([]int64, len(e.nodes))
+		for _, v := range vols {
+			best := 0
+			for i := 1; i < len(loads); i++ {
+				if loads[i] < loads[best] {
+					best = i
+				}
+			}
+			bins[best] = append(bins[best], byVol[v.vol]...)
+			loads[best] += v.bytes
+		}
+	default: // RecallNaive
+		for i, it := range items {
+			bins[i%len(e.nodes)] = append(bins[i%len(e.nodes)], it)
+		}
+	}
+	return bins
+}
+
+// locate resolves a path to its tape location, preferring the indexed
+// shadow database and falling back to TSM's full-scan path query.
+func (e *Engine) locate(p string) (recallItem, error) {
+	if e.shadow != nil {
+		if rec, err := e.shadow.ByPath(p); err == nil {
+			return recallItem{path: p, object: rec.ObjectID, volume: rec.Volume, seq: rec.Seq, bytes: rec.Bytes}, nil
+		}
+	}
+	obj, err := e.srv.QueryByPath(p)
+	if err != nil {
+		return recallItem{}, fmt.Errorf("%w: %s", ErrNotMigrated, p)
+	}
+	return recallItem{path: p, object: obj.ID, volume: obj.Volume, seq: obj.Seq, bytes: obj.Bytes}, nil
+}
+
+// RecallOne recalls a single file (the DMAPI read-event path a "grep"
+// through the chroot jail would trigger).
+func (e *Engine) RecallOne(path string) error {
+	_, err := e.Recall([]string{path}, RecallOrdered)
+	return err
+}
+
+// ReadThrough returns a file's content, transparently recalling it
+// first when migrated — the DMAPI read-event path GPFS raises when an
+// application touches a stub (§4.2.2: "this tiered storage is
+// transparent to the user").
+func (e *Engine) ReadThrough(path string) (synthetic.Content, error) {
+	content, err := e.fs.ReadContent(path)
+	if err == nil {
+		return content, nil
+	}
+	if !errors.Is(err, pfs.ErrOffline) {
+		return synthetic.Content{}, err
+	}
+	if rerr := e.RecallOne(path); rerr != nil {
+		return synthetic.Content{}, rerr
+	}
+	return e.fs.ReadContent(path)
+}
+
+// TapeLoc is the tape address of one migrated file, exposed for
+// PFTool's tape-ordered recall planning.
+type TapeLoc struct {
+	Path   string
+	Volume string
+	Seq    int
+	Bytes  int64
+}
+
+// Locate resolves migrated paths to tape locations; unknown or
+// unlocatable paths are returned in missing. Aggregate members resolve
+// to their bundle's volume/sequence.
+func (e *Engine) Locate(paths []string) (locs []TapeLoc, missing []string) {
+	for _, p := range paths {
+		if aggID, ok := e.aggOf[p]; ok {
+			if obj, err := e.srv.Get(aggID); err == nil {
+				locs = append(locs, TapeLoc{Path: p, Volume: obj.Volume, Seq: obj.Seq, Bytes: obj.Bytes})
+				continue
+			}
+		}
+		it, err := e.locate(p)
+		if err != nil {
+			missing = append(missing, p)
+			continue
+		}
+		locs = append(locs, TapeLoc{Path: p, Volume: it.volume, Seq: it.seq, Bytes: it.bytes})
+	}
+	return locs, missing
+}
+
+// RecallPinned recalls the given paths as the named client machine,
+// batching by volume in the order given. This is the primitive under
+// PFTool's TapeProc: one machine owns one tape end to end in a single
+// drive session, so there are no LAN-free hand-off penalties and the
+// tape reads front to back.
+func (e *Engine) RecallPinned(nodeName string, paths []string) error {
+	var node *cluster.Node
+	for _, n := range e.nodes {
+		if n.Name == nodeName {
+			node = n
+			break
+		}
+	}
+	if node == nil {
+		return fmt.Errorf("hsm: unknown node %q", nodeName)
+	}
+	// Resolve still-migrated paths to recall items, deduplicating
+	// aggregate bundles.
+	var items []recallItem
+	seenAgg := make(map[uint64]bool)
+	for _, p := range paths {
+		st, err := e.fs.State(p)
+		if err != nil {
+			return err
+		}
+		if st != pfs.Migrated {
+			continue
+		}
+		if aggID, ok := e.aggOf[p]; ok {
+			if seenAgg[aggID] {
+				continue
+			}
+			seenAgg[aggID] = true
+			obj, err := e.srv.Get(aggID)
+			if err != nil {
+				return err
+			}
+			items = append(items, recallItem{object: aggID, volume: obj.Volume, seq: obj.Seq, bytes: obj.Bytes})
+			continue
+		}
+		it, err := e.locate(p)
+		if err != nil {
+			return err
+		}
+		items = append(items, it)
+	}
+	// One drive session per volume run, in the caller's order (the
+	// caller has already tape-ordered the paths).
+	for j := 0; j < len(items); {
+		k := j
+		vol := items[j].volume
+		var ids []uint64
+		for k < len(items) && items[k].volume == vol {
+			ids = append(ids, items[k].object)
+			k++
+		}
+		if _, err := e.srv.RecallBatch(tsm.RecallBatchRequest{
+			Client: nodeName, Volume: vol,
+			ObjectIDs: ids, DataPath: e.dataPath(node),
+		}); err != nil {
+			return err
+		}
+		for _, it := range items[j:k] {
+			if it.path != "" {
+				if err := e.fs.Restore(it.path, true); err != nil {
+					return err
+				}
+				e.recalledFiles++
+				e.recalledBytes += it.bytes
+				continue
+			}
+			for _, m := range e.aggMembers[it.object] {
+				if mst, _ := e.fs.State(m.path); mst == pfs.Migrated {
+					if err := e.fs.Restore(m.path, true); err != nil {
+						return err
+					}
+					e.recalledFiles++
+					e.recalledBytes += m.bytes
+				}
+			}
+		}
+		j = k
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+// Package metadb is the indexed shadow of the TSM object database. The
+// paper's team could not add indexes to TSM's proprietary DB, so they
+// exported the fields PFTool needs — tape volume, tape sequence number,
+// and object ID per file — into MySQL and indexed them there (§4.2.5).
+// This package plays the MySQL role: an in-memory store with secondary
+// indexes by path, file ID, object ID, and volume, answering the two
+// queries the paper's glue depends on:
+//
+//   - "what tape and sequence holds this file?" — enabling PFTool's
+//     tape-ordered recall, and
+//   - "what TSM object ID matches this GPFS file ID?" — enabling the
+//     synchronous deleter.
+package metadb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/tsm"
+)
+
+// ErrNotFound is returned when no record matches a query.
+var ErrNotFound = errors.New("metadb: record not found")
+
+// Record is one row of the shadow database.
+type Record struct {
+	ObjectID uint64
+	FileID   uint64
+	Path     string
+	Bytes    int64
+	Volume   string
+	Seq      int
+}
+
+// DB is the indexed shadow database. Queries charge a small indexed
+// lookup cost; compare tsm.Server.QueryByPath, which scans.
+type DB struct {
+	clock     *simtime.Clock
+	queryCost time.Duration
+
+	byObject map[uint64]*Record
+	byFileID map[uint64]*Record
+	byPath   map[string]*Record
+	byVolume map[string][]*Record // kept sorted by Seq
+
+	queries int
+	syncs   int
+}
+
+// New creates an empty shadow database. queryCost is the per-query
+// indexed lookup charge (a loopback MySQL round trip; ~100µs is
+// realistic).
+func New(clock *simtime.Clock, queryCost time.Duration) *DB {
+	return &DB{
+		clock:     clock,
+		queryCost: queryCost,
+		byObject:  make(map[uint64]*Record),
+		byFileID:  make(map[uint64]*Record),
+		byPath:    make(map[string]*Record),
+		byVolume:  make(map[string][]*Record),
+	}
+}
+
+// Queries reports the number of lookups served.
+func (db *DB) Queries() int { return db.queries }
+
+// Syncs reports how many export/import cycles have run.
+func (db *DB) Syncs() int { return db.syncs }
+
+// Len reports the number of records.
+func (db *DB) Len() int { return len(db.byObject) }
+
+func (db *DB) charge() {
+	db.queries++
+	if db.queryCost > 0 {
+		db.clock.Sleep(db.queryCost)
+	}
+}
+
+// Upsert inserts or replaces the record for an object.
+func (db *DB) Upsert(r Record) {
+	if old, ok := db.byObject[r.ObjectID]; ok {
+		db.removeIndexes(old)
+	}
+	rec := &r
+	db.byObject[r.ObjectID] = rec
+	db.byFileID[r.FileID] = rec
+	db.byPath[r.Path] = rec
+	vol := db.byVolume[r.Volume]
+	i := sort.Search(len(vol), func(i int) bool { return vol[i].Seq >= rec.Seq })
+	vol = append(vol, nil)
+	copy(vol[i+1:], vol[i:])
+	vol[i] = rec
+	db.byVolume[r.Volume] = vol
+}
+
+// Delete removes the record for an object. Deleting a missing object
+// is an error (it signals the shadow drifted from TSM).
+func (db *DB) Delete(objectID uint64) error {
+	rec, ok := db.byObject[objectID]
+	if !ok {
+		return fmt.Errorf("%w: object %d", ErrNotFound, objectID)
+	}
+	db.removeIndexes(rec)
+	return nil
+}
+
+func (db *DB) removeIndexes(rec *Record) {
+	delete(db.byObject, rec.ObjectID)
+	if cur, ok := db.byFileID[rec.FileID]; ok && cur == rec {
+		delete(db.byFileID, rec.FileID)
+	}
+	if cur, ok := db.byPath[rec.Path]; ok && cur == rec {
+		delete(db.byPath, rec.Path)
+	}
+	vol := db.byVolume[rec.Volume]
+	for i, r := range vol {
+		if r == rec {
+			db.byVolume[rec.Volume] = append(vol[:i], vol[i+1:]...)
+			break
+		}
+	}
+	if len(db.byVolume[rec.Volume]) == 0 {
+		delete(db.byVolume, rec.Volume)
+	}
+}
+
+// ByPath returns the record for a client path.
+func (db *DB) ByPath(path string) (Record, error) {
+	db.charge()
+	rec, ok := db.byPath[path]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: path %s", ErrNotFound, path)
+	}
+	return *rec, nil
+}
+
+// ByFileID returns the record for a filesystem file ID — the
+// synchronous deleter's lookup.
+func (db *DB) ByFileID(fileID uint64) (Record, error) {
+	db.charge()
+	rec, ok := db.byFileID[fileID]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: file ID %d", ErrNotFound, fileID)
+	}
+	return *rec, nil
+}
+
+// ByObject returns the record for a TSM object ID.
+func (db *DB) ByObject(objectID uint64) (Record, error) {
+	db.charge()
+	rec, ok := db.byObject[objectID]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: object %d", ErrNotFound, objectID)
+	}
+	return *rec, nil
+}
+
+// VolumeFiles returns the records on a volume in ascending tape
+// sequence — the query behind PFTool's ordered recall.
+func (db *DB) VolumeFiles(volume string) []Record {
+	db.charge()
+	vol := db.byVolume[volume]
+	out := make([]Record, len(vol))
+	for i, r := range vol {
+		out[i] = *r
+	}
+	return out
+}
+
+// ByPaths resolves a batch of paths in one round trip (one charge),
+// returning records for the paths that exist, in input order.
+func (db *DB) ByPaths(paths []string) []Record {
+	db.charge()
+	out := make([]Record, 0, len(paths))
+	for _, p := range paths {
+		if rec, ok := db.byPath[p]; ok {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// SyncFromTSM rebuilds the shadow from a TSM export (the nightly batch
+// job of the real deployment). The TSM side charges its own scan cost.
+func (db *DB) SyncFromTSM(server *tsm.Server) int {
+	objs := server.Export()
+	db.byObject = make(map[uint64]*Record, len(objs))
+	db.byFileID = make(map[uint64]*Record, len(objs))
+	db.byPath = make(map[string]*Record, len(objs))
+	db.byVolume = make(map[string][]*Record)
+	for _, o := range objs {
+		db.Upsert(Record{
+			ObjectID: o.ID,
+			FileID:   o.FileID,
+			Path:     o.Path,
+			Bytes:    o.Bytes,
+			Volume:   o.Volume,
+			Seq:      o.Seq,
+		})
+	}
+	db.syncs++
+	return len(objs)
+}
+
+// UpsertObject mirrors one TSM object into the shadow (the incremental
+// path used after each migration, cheaper than a full re-export).
+func (db *DB) UpsertObject(o tsm.Object) {
+	db.Upsert(Record{
+		ObjectID: o.ID,
+		FileID:   o.FileID,
+		Path:     o.Path,
+		Bytes:    o.Bytes,
+		Volume:   o.Volume,
+		Seq:      o.Seq,
+	})
+}

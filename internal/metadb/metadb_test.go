@@ -1,0 +1,181 @@
+package metadb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/tape"
+	"repro/internal/tsm"
+)
+
+func newDB() (*simtime.Clock, *DB) {
+	c := simtime.NewClock()
+	return c, New(c, 100*time.Microsecond)
+}
+
+func rec(obj, fid uint64, path, vol string, seq int) Record {
+	return Record{ObjectID: obj, FileID: fid, Path: path, Bytes: 100, Volume: vol, Seq: seq}
+}
+
+func TestUpsertAndLookups(t *testing.T) {
+	c, db := newDB()
+	c.Go(func() {
+		db.Upsert(rec(1, 10, "/a", "VOL1", 3))
+		db.Upsert(rec(2, 20, "/b", "VOL1", 1))
+
+		if r, err := db.ByPath("/a"); err != nil || r.ObjectID != 1 {
+			t.Errorf("ByPath = %+v, %v", r, err)
+		}
+		if r, err := db.ByFileID(20); err != nil || r.ObjectID != 2 {
+			t.Errorf("ByFileID = %+v, %v", r, err)
+		}
+		if r, err := db.ByObject(1); err != nil || r.Path != "/a" {
+			t.Errorf("ByObject = %+v, %v", r, err)
+		}
+		if db.Len() != 2 {
+			t.Errorf("Len = %d, want 2", db.Len())
+		}
+	})
+	c.RunFor()
+}
+
+func TestVolumeFilesSortedBySeq(t *testing.T) {
+	c, db := newDB()
+	c.Go(func() {
+		db.Upsert(rec(1, 10, "/a", "VOL1", 5))
+		db.Upsert(rec(2, 20, "/b", "VOL1", 2))
+		db.Upsert(rec(3, 30, "/c", "VOL1", 9))
+		db.Upsert(rec(4, 40, "/d", "VOL2", 1))
+		files := db.VolumeFiles("VOL1")
+		if len(files) != 3 {
+			t.Fatalf("got %d files, want 3", len(files))
+		}
+		if files[0].Seq != 2 || files[1].Seq != 5 || files[2].Seq != 9 {
+			t.Errorf("order = %d,%d,%d, want 2,5,9", files[0].Seq, files[1].Seq, files[2].Seq)
+		}
+	})
+	c.RunFor()
+}
+
+func TestUpsertReplaces(t *testing.T) {
+	c, db := newDB()
+	c.Go(func() {
+		db.Upsert(rec(1, 10, "/a", "VOL1", 3))
+		db.Upsert(rec(1, 10, "/a", "VOL2", 7)) // moved volumes
+		if db.Len() != 1 {
+			t.Errorf("Len = %d, want 1", db.Len())
+		}
+		if got := db.VolumeFiles("VOL1"); len(got) != 0 {
+			t.Errorf("VOL1 still has %d records", len(got))
+		}
+		if r, _ := db.ByObject(1); r.Volume != "VOL2" || r.Seq != 7 {
+			t.Errorf("record = %+v", r)
+		}
+	})
+	c.RunFor()
+}
+
+func TestDelete(t *testing.T) {
+	c, db := newDB()
+	c.Go(func() {
+		db.Upsert(rec(1, 10, "/a", "VOL1", 1))
+		if err := db.Delete(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.ByObject(1); !errors.Is(err, ErrNotFound) {
+			t.Errorf("err = %v, want ErrNotFound", err)
+		}
+		if _, err := db.ByFileID(10); !errors.Is(err, ErrNotFound) {
+			t.Errorf("ByFileID after delete: %v", err)
+		}
+		if err := db.Delete(1); !errors.Is(err, ErrNotFound) {
+			t.Errorf("double delete: %v", err)
+		}
+	})
+	c.RunFor()
+}
+
+func TestByPathsBatch(t *testing.T) {
+	c, db := newDB()
+	c.Go(func() {
+		db.Upsert(rec(1, 10, "/a", "V", 1))
+		db.Upsert(rec(2, 20, "/b", "V", 2))
+		q0 := db.Queries()
+		got := db.ByPaths([]string{"/a", "/missing", "/b"})
+		if len(got) != 2 {
+			t.Errorf("got %d records, want 2", len(got))
+		}
+		if db.Queries() != q0+1 {
+			t.Errorf("batch used %d queries, want 1", db.Queries()-q0)
+		}
+	})
+	c.RunFor()
+}
+
+func TestQueriesChargeTime(t *testing.T) {
+	c, db := newDB()
+	c.Go(func() {
+		db.Upsert(rec(1, 10, "/a", "V", 1))
+		for i := 0; i < 10; i++ {
+			db.ByPath("/a")
+		}
+	})
+	end := c.RunFor()
+	if end != 10*100*time.Microsecond {
+		t.Errorf("10 queries took %v, want 1ms", end)
+	}
+}
+
+func TestSyncFromTSM(t *testing.T) {
+	clock := simtime.NewClock()
+	lib := tape.NewLibrary(clock, 2, 10, 1, tape.LTO4())
+	srv := tsm.NewServer(clock, tsm.DefaultConfig(), lib)
+	db := New(clock, 100*time.Microsecond)
+	clock.Go(func() {
+		for i := 0; i < 5; i++ {
+			if _, err := srv.Store(tsm.StoreRequest{
+				Client: "fta01",
+				Path:   "/f" + string(rune('0'+i)),
+				FileID: uint64(100 + i),
+				Bytes:  1e9,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := db.SyncFromTSM(srv)
+		if n != 5 || db.Len() != 5 {
+			t.Errorf("synced %d, Len %d, want 5", n, db.Len())
+		}
+		// The shadow answers the tape-order query TSM cannot.
+		r, err := db.ByFileID(102)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := db.VolumeFiles(r.Volume)
+		for i := 1; i < len(files); i++ {
+			if files[i].Seq <= files[i-1].Seq {
+				t.Error("volume files not in tape order")
+			}
+		}
+		if db.Syncs() != 1 {
+			t.Errorf("Syncs = %d, want 1", db.Syncs())
+		}
+	})
+	if _, err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpsertObjectIncremental(t *testing.T) {
+	c, db := newDB()
+	c.Go(func() {
+		db.UpsertObject(tsm.Object{ID: 9, FileID: 90, Path: "/x", Bytes: 5, Volume: "V", Seq: 4})
+		r, err := db.ByObject(9)
+		if err != nil || r.FileID != 90 || r.Seq != 4 {
+			t.Errorf("record = %+v, %v", r, err)
+		}
+	})
+	c.RunFor()
+}

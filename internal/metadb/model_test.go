@@ -1,0 +1,102 @@
+package metadb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestModelBasedRandomOps drives the shadow DB with a random
+// upsert/delete sequence and cross-checks every index against a naive
+// reference model after each step.
+func TestModelBasedRandomOps(t *testing.T) {
+	clock := simtime.NewClock()
+	db := New(clock, 0)
+	r := rand.New(rand.NewSource(42))
+	ref := make(map[uint64]Record) // objectID -> record
+
+	clock.Go(func() {
+		for step := 0; step < 3000; step++ {
+			switch op := r.Intn(10); {
+			case op < 6: // upsert
+				rec := Record{
+					ObjectID: uint64(r.Intn(200) + 1),
+					FileID:   uint64(r.Intn(300) + 1),
+					Path:     fmt.Sprintf("/p/%d", r.Intn(250)),
+					Bytes:    int64(r.Intn(1000)),
+					Volume:   fmt.Sprintf("VOL%02d", r.Intn(8)),
+					Seq:      r.Intn(100) + 1,
+				}
+				db.Upsert(rec)
+				ref[rec.ObjectID] = rec
+			default: // delete
+				id := uint64(r.Intn(200) + 1)
+				err := db.Delete(id)
+				_, existed := ref[id]
+				if existed != (err == nil) {
+					t.Fatalf("step %d: delete(%d) err=%v but existed=%v", step, id, err, existed)
+				}
+				delete(ref, id)
+			}
+			if step%100 == 0 {
+				checkModel(t, db, ref, step)
+			}
+		}
+		checkModel(t, db, ref, 3000)
+	})
+	clock.RunFor()
+}
+
+func checkModel(t *testing.T, db *DB, ref map[uint64]Record, step int) {
+	t.Helper()
+	if db.Len() != len(ref) {
+		t.Fatalf("step %d: Len=%d, ref=%d", step, db.Len(), len(ref))
+	}
+	// Every reference record resolves by object ID.
+	for id, want := range ref {
+		got, err := db.ByObject(id)
+		if err != nil {
+			t.Fatalf("step %d: ByObject(%d): %v", step, id, err)
+		}
+		if got != want {
+			t.Fatalf("step %d: ByObject(%d)=%+v, want %+v", step, id, got, want)
+		}
+	}
+	// Secondary indexes never resurface deleted records, and resolve to
+	// *a* live record with the queried key (later upserts can steal a
+	// path or file ID from an earlier record).
+	for id, want := range ref {
+		if got, err := db.ByFileID(want.FileID); err == nil {
+			if _, live := ref[got.ObjectID]; !live {
+				t.Fatalf("step %d: ByFileID returned dead record %+v", step, got)
+			}
+			if got.FileID != want.FileID {
+				t.Fatalf("step %d: ByFileID(%d) returned fileID %d", step, want.FileID, got.FileID)
+			}
+		}
+		_ = id
+	}
+	// Volume listings: sorted by seq, all live, counts match reference.
+	volCount := make(map[string]int)
+	for _, rec := range ref {
+		volCount[rec.Volume]++
+	}
+	for vol, want := range volCount {
+		files := db.VolumeFiles(vol)
+		if len(files) != want {
+			t.Fatalf("step %d: VolumeFiles(%s)=%d, want %d", step, vol, len(files), want)
+		}
+		for i := 1; i < len(files); i++ {
+			if files[i].Seq < files[i-1].Seq {
+				t.Fatalf("step %d: VolumeFiles(%s) out of order", step, vol)
+			}
+		}
+		for _, f := range files {
+			if _, live := ref[f.ObjectID]; !live {
+				t.Fatalf("step %d: dead record %d on volume %s", step, f.ObjectID, vol)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 2)
+	var got Message
+	comm.Start(0, func() {
+		comm.Send(0, 1, 7, "hello")
+	})
+	comm.Start(1, func() {
+		m, ok := comm.Recv(1, Any, Any)
+		if !ok {
+			t.Error("Recv failed")
+		}
+		got = m
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+	if got.From != 0 || got.Tag != 7 || got.Data.(string) != "hello" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRecvBlocksInVirtualTime(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 2)
+	var at time.Duration
+	comm.Start(1, func() {
+		comm.Recv(1, Any, Any)
+		at = c.Now()
+	})
+	comm.Start(0, func() {
+		c.Sleep(5 * time.Second)
+		comm.Send(0, 1, 0, nil)
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+	if at != 5*time.Second {
+		t.Errorf("received at %v, want 5s", at)
+	}
+}
+
+func TestTagMatchingHoldsAside(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 2)
+	var order []int
+	comm.Start(0, func() {
+		comm.Send(0, 1, 1, "low")
+		comm.Send(0, 1, 2, "high")
+	})
+	comm.Start(1, func() {
+		// Receive tag 2 first even though tag 1 arrived first.
+		m, _ := comm.Recv(1, Any, 2)
+		order = append(order, m.Tag)
+		m, _ = comm.Recv(1, Any, 1)
+		order = append(order, m.Tag)
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Errorf("order = %v, want [2 1]", order)
+	}
+}
+
+func TestSourceMatching(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 3)
+	var from int
+	comm.Start(0, func() { comm.Send(0, 2, 0, nil) })
+	comm.Start(1, func() { comm.Send(1, 2, 0, nil) })
+	comm.Start(2, func() {
+		m, _ := comm.Recv(2, 1, Any) // only from rank 1
+		from = m.From
+		comm.Recv(2, 0, Any)
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+	if from != 1 {
+		t.Errorf("from = %d, want 1", from)
+	}
+}
+
+func TestPairwiseOrderPreserved(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 2)
+	var got []int
+	comm.Start(0, func() {
+		for i := 0; i < 10; i++ {
+			comm.Send(0, 1, 0, i)
+		}
+	})
+	comm.Start(1, func() {
+		for i := 0; i < 10; i++ {
+			m, _ := comm.Recv(1, 0, 0)
+			got = append(got, m.Data.(int))
+		}
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 2)
+	comm.Start(1, func() {
+		if _, ok := comm.TryRecv(1, Any, Any); ok {
+			t.Error("TryRecv on empty mailbox succeeded")
+		}
+		comm.Send(1, 1, 3, "self")
+		if m, ok := comm.TryRecv(1, Any, 3); !ok || m.Data.(string) != "self" {
+			t.Errorf("TryRecv = %+v, %v", m, ok)
+		}
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+}
+
+func TestCloseDrainsThenFails(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 2)
+	var results []bool
+	comm.Start(0, func() {
+		comm.Send(0, 1, 0, "queued")
+		comm.Close(1)
+	})
+	comm.Start(1, func() {
+		_, ok1 := comm.Recv(1, Any, Any)
+		_, ok2 := comm.Recv(1, Any, Any)
+		results = append(results, ok1, ok2)
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+	if len(results) != 2 || !results[0] || results[1] {
+		t.Errorf("results = %v, want [true false]", results)
+	}
+}
+
+func TestSendToClosedDropped(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 2)
+	comm.Start(0, func() {
+		comm.Close(1)
+		comm.Send(0, 1, 0, "lost") // must not panic
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+}
+
+func TestManyWorkersManagerPattern(t *testing.T) {
+	// The PFTool shape: workers request jobs, the manager hands out
+	// work until exhausted, then closes everyone.
+	const workers = 8
+	const jobs = 100
+	c := simtime.NewClock()
+	comm := New(c, 1+workers)
+	const (
+		tagRequest = iota
+		tagJob
+	)
+	completed := 0
+	comm.Start(0, func() {
+		next := 0
+		for completed < jobs {
+			m, ok := comm.Recv(0, Any, tagRequest)
+			if !ok {
+				return
+			}
+			if m.Data != nil {
+				completed++
+			}
+			if next < jobs {
+				comm.Send(0, m.From, tagJob, next)
+				next++
+			}
+		}
+		comm.CloseAll()
+	})
+	for w := 1; w <= workers; w++ {
+		w := w
+		comm.Start(w, func() {
+			comm.Send(w, 0, tagRequest, nil) // initial request
+			for {
+				m, ok := comm.Recv(w, 0, tagJob)
+				if !ok {
+					return
+				}
+				c.Sleep(time.Millisecond) // do the job
+				comm.Send(w, 0, tagRequest, m.Data)
+			}
+		})
+	}
+	c.Go(comm.Wait)
+	c.RunFor()
+	if completed != jobs {
+		t.Errorf("completed = %d, want %d", completed, jobs)
+	}
+}
+
+func TestRankRangePanics(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	comm.Send(0, 5, 0, nil)
+}

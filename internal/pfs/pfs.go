@@ -1,0 +1,609 @@
+// Package pfs simulates a parallel file system in the mold of GPFS (the
+// paper's archive tier) and Panasas (its scratch tier): a vfs namespace
+// plus storage pools with capacity and aggregate-bandwidth accounting,
+// metadata operation costs, a fast batched inode scan (the engine under
+// GPFS ILM policies), and DMAPI-style migration state per file
+// (resident / premigrated / migrated stub), which is what the HSM layer
+// punches and recalls.
+//
+// pfs deliberately does NOT charge data-transfer time inside its
+// namespace operations: data movement belongs to the movers (PFTool
+// workers, HSM migrators), which run transfers across the full path —
+// source pool, NIC, destination pool — via simtime.TransferAll. pfs
+// exposes each pool's bandwidth as a simtime.Pipe for exactly that use.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/synthetic"
+	"repro/internal/vfs"
+)
+
+// Errors specific to the pfs layer (namespace errors come from vfs).
+var (
+	ErrOffline  = errors.New("pfs: file data is migrated offline")
+	ErrNoSpace  = errors.New("pfs: storage pool out of space")
+	ErrNoPool   = errors.New("pfs: no such storage pool")
+	ErrBadState = errors.New("pfs: invalid migration state transition")
+)
+
+// MigState is the DMAPI-style per-file data residency state.
+type MigState int
+
+// Residency states.
+const (
+	Resident    MigState = iota // data on disk only
+	Premigrated                 // data on disk and on the backend
+	Migrated                    // stub: data on the backend only
+)
+
+func (s MigState) String() string {
+	switch s {
+	case Resident:
+		return "resident"
+	case Premigrated:
+		return "premigrated"
+	case Migrated:
+		return "migrated"
+	}
+	return fmt.Sprintf("MigState(%d)", int(s))
+}
+
+// PoolSpec describes one storage pool.
+type PoolSpec struct {
+	Name     string
+	Capacity int64   // bytes
+	Rate     float64 // aggregate bandwidth, bytes per second
+	// StreamRate caps a single client stream (one file descriptor's
+	// worth of striped I/O): an aggregate pool of many NSD servers
+	// serves many streams at Rate total, but one stream only reaches
+	// the few NSDs its stripes land on. Zero means uncapped.
+	StreamRate float64
+}
+
+// Config describes a file system instance.
+type Config struct {
+	Name         string
+	Pools        []PoolSpec
+	DefaultPool  string
+	MetaOpCost   time.Duration // per metadata operation
+	MetaParallel int           // concurrent metadata operations served
+	ScanPerInode time.Duration // policy-scan cost per inode
+	ScanParallel int           // scan pipeline width
+}
+
+// GPFSConfig returns the archive-tier file system used in the paper's
+// deployment: a 100 TB fast FC pool plus a slow pool for small files,
+// with metadata rates calibrated to "one million inodes in ten minutes"
+// for policy scans.
+func GPFSConfig(name string) Config {
+	return Config{
+		Name: name,
+		Pools: []PoolSpec{
+			{Name: "fast", Capacity: 100e12, Rate: 3.0e9, StreamRate: 800e6},
+			{Name: "slow", Capacity: 100e12, Rate: 0.8e9, StreamRate: 300e6},
+		},
+		DefaultPool:  "fast",
+		MetaOpCost:   200 * time.Microsecond,
+		MetaParallel: 64,
+		ScanPerInode: 600 * time.Microsecond, // 1e6 inodes / 10 min
+		ScanParallel: 1,
+	}
+}
+
+// PanasasConfig returns the scratch-tier file system: one large fast
+// pool; the supercomputer's scratch is never the bottleneck in the
+// archive path.
+func PanasasConfig(name string) Config {
+	return Config{
+		Name: name,
+		Pools: []PoolSpec{
+			{Name: "scratch", Capacity: 2000e12, Rate: 5.0e9, StreamRate: 800e6},
+		},
+		DefaultPool:  "scratch",
+		MetaOpCost:   150 * time.Microsecond,
+		MetaParallel: 64,
+		ScanPerInode: 600 * time.Microsecond,
+		ScanParallel: 1,
+	}
+}
+
+// Pool is a live storage pool.
+type Pool struct {
+	Spec PoolSpec
+	pipe *simtime.Pipe
+	used int64
+}
+
+// Used reports bytes resident in the pool.
+func (p *Pool) Used() int64 { return p.used }
+
+// Free reports remaining capacity.
+func (p *Pool) Free() int64 { return p.Spec.Capacity - p.used }
+
+// Pipe returns the pool's bandwidth pipe for mover data paths.
+func (p *Pool) Pipe() *simtime.Pipe { return p.pipe }
+
+// StreamRate reports the single-stream ceiling (0 = uncapped).
+func (p *Pool) StreamRate() float64 { return p.Spec.StreamRate }
+
+// Info combines namespace stat with pfs residency data.
+type Info struct {
+	vfs.Info
+	Pool  string
+	State MigState
+}
+
+type fileMeta struct {
+	pool  string
+	state MigState
+}
+
+// FS is one simulated parallel file system.
+type FS struct {
+	clock   *simtime.Clock
+	cfg     Config
+	ns      *vfs.FS
+	pools   map[string]*Pool
+	order   []string
+	meta    map[vfs.FileID]*fileMeta
+	metaRes *simtime.Resource
+}
+
+// New creates a file system from cfg on the given clock.
+func New(clock *simtime.Clock, cfg Config) *FS {
+	if cfg.MetaParallel <= 0 {
+		cfg.MetaParallel = 1
+	}
+	if cfg.ScanParallel <= 0 {
+		cfg.ScanParallel = 1
+	}
+	fs := &FS{
+		clock:   clock,
+		cfg:     cfg,
+		ns:      vfs.New(cfg.Name, func() time.Duration { return clock.Now() }),
+		pools:   make(map[string]*Pool),
+		meta:    make(map[vfs.FileID]*fileMeta),
+		metaRes: simtime.NewResource(clock, cfg.MetaParallel),
+	}
+	for _, ps := range cfg.Pools {
+		fs.pools[ps.Name] = &Pool{
+			Spec: ps,
+			pipe: simtime.NewPipe(clock, cfg.Name+"/"+ps.Name, ps.Rate),
+		}
+		fs.order = append(fs.order, ps.Name)
+	}
+	if _, ok := fs.pools[cfg.DefaultPool]; !ok {
+		panic("pfs: default pool not in pool list")
+	}
+	return fs
+}
+
+// Name reports the file system's label.
+func (fs *FS) Name() string { return fs.cfg.Name }
+
+// Clock returns the simulation clock the FS runs on.
+func (fs *FS) Clock() *simtime.Clock { return fs.clock }
+
+// Pool returns the named pool.
+func (fs *FS) Pool(name string) (*Pool, error) {
+	p, ok := fs.pools[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoPool, name)
+	}
+	return p, nil
+}
+
+// Pools returns all pools in declaration order.
+func (fs *FS) Pools() []*Pool {
+	out := make([]*Pool, 0, len(fs.order))
+	for _, n := range fs.order {
+		out = append(out, fs.pools[n])
+	}
+	return out
+}
+
+// DefaultPool returns the placement default.
+func (fs *FS) DefaultPool() *Pool { return fs.pools[fs.cfg.DefaultPool] }
+
+// chargeMeta bills one metadata operation against the metadata service.
+func (fs *FS) chargeMeta(ops int) {
+	if fs.cfg.MetaOpCost <= 0 || ops <= 0 {
+		return
+	}
+	fs.metaRes.Acquire(1)
+	fs.clock.Sleep(time.Duration(ops) * fs.cfg.MetaOpCost)
+	fs.metaRes.Release(1)
+}
+
+// MkdirAll creates a directory chain (one metadata operation).
+func (fs *FS) MkdirAll(p string) error {
+	fs.chargeMeta(1)
+	return fs.ns.MkdirAll(p)
+}
+
+// WriteFile creates or replaces a file in the default pool.
+func (fs *FS) WriteFile(p string, content synthetic.Content) error {
+	return fs.WriteFileIn(p, content, fs.cfg.DefaultPool)
+}
+
+// WriteFileIn creates or replaces a file, placing its data in the named
+// pool. It charges metadata cost but not data-transfer time (see the
+// package comment). Capacity is enforced.
+func (fs *FS) WriteFileIn(p string, content synthetic.Content, pool string) error {
+	fs.chargeMeta(1)
+	return fs.writeFileQuiet(p, content, pool)
+}
+
+// writeFileQuiet is WriteFileIn without the metadata charge, used by
+// bulk operations that bill in one batch.
+func (fs *FS) writeFileQuiet(p string, content synthetic.Content, pool string) error {
+	pl, ok := fs.pools[pool]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoPool, pool)
+	}
+	var oldSize int64
+	var oldMeta *fileMeta
+	if prev, err := fs.ns.Stat(p); err == nil {
+		if prev.IsDir() {
+			return fmt.Errorf("%w: %s", vfs.ErrIsDir, p)
+		}
+		oldMeta = fs.meta[prev.ID]
+		if oldMeta != nil && oldMeta.state != Migrated {
+			oldSize = prev.Size
+		}
+	}
+	need := content.Len() - oldSize
+	if oldMeta != nil && oldMeta.pool != pool {
+		need = content.Len() // moving pools: old accounting released below
+	}
+	if need > pl.Free() {
+		return fmt.Errorf("%w: pool %s needs %d, free %d", ErrNoSpace, pool, need, pl.Free())
+	}
+	if err := fs.ns.WriteFile(p, content); err != nil {
+		return err
+	}
+	info, _ := fs.ns.Stat(p)
+	if oldMeta != nil {
+		if oldMeta.state != Migrated {
+			fs.pools[oldMeta.pool].used -= oldSize
+		}
+	}
+	pl.used += content.Len()
+	fs.meta[info.ID] = &fileMeta{pool: pool, state: Resident}
+	return nil
+}
+
+// FileSpec names one file for bulk creation.
+type FileSpec struct {
+	Path    string
+	Content synthetic.Content
+	Pool    string // empty = default pool
+}
+
+// WriteFiles creates many files, billing metadata cost as one batch —
+// the bulk path PFTool workers use when landing a batch of small files.
+func (fs *FS) WriteFiles(specs []FileSpec) error {
+	fs.chargeMeta(len(specs))
+	for _, s := range specs {
+		pool := s.Pool
+		if pool == "" {
+			pool = fs.cfg.DefaultPool
+		}
+		if err := fs.writeFileQuiet(s.Path, s.Content, pool); err != nil {
+			return fmt.Errorf("writing %s: %w", s.Path, err)
+		}
+	}
+	return nil
+}
+
+// ReadContent returns the file's data. Migrated stubs return ErrOffline;
+// callers must recall through the HSM first (or use a recall-aware
+// wrapper), exactly like a DMAPI read event.
+func (fs *FS) ReadContent(p string) (synthetic.Content, error) {
+	fs.chargeMeta(1)
+	info, err := fs.ns.Stat(p)
+	if err != nil {
+		return synthetic.Content{}, err
+	}
+	if info.IsDir() {
+		return synthetic.Content{}, fmt.Errorf("%w: %s", vfs.ErrIsDir, p)
+	}
+	if m := fs.meta[info.ID]; m != nil && m.state == Migrated {
+		return synthetic.Content{}, fmt.Errorf("%w: %s", ErrOffline, p)
+	}
+	return fs.ns.ReadFile(p)
+}
+
+// WriteAt writes into an existing resident file (append or overwrite),
+// updating pool accounting.
+func (fs *FS) WriteAt(p string, off int64, data synthetic.Content) error {
+	fs.chargeMeta(1)
+	info, err := fs.ns.Stat(p)
+	if err != nil {
+		return err
+	}
+	m := fs.meta[info.ID]
+	if m == nil {
+		return fmt.Errorf("pfs: no pool metadata for %s", p)
+	}
+	if m.state == Migrated {
+		return fmt.Errorf("%w: %s", ErrOffline, p)
+	}
+	grow := off + data.Len() - info.Size
+	if grow > 0 {
+		pl := fs.pools[m.pool]
+		if grow > pl.Free() {
+			return fmt.Errorf("%w: pool %s", ErrNoSpace, m.pool)
+		}
+		pl.used += grow
+	}
+	// Any write dirties a premigrated copy back to resident.
+	m.state = Resident
+	return fs.ns.WriteAt(p, off, data)
+}
+
+// Truncate shortens a resident file, releasing pool space.
+func (fs *FS) Truncate(p string, length int64) error {
+	fs.chargeMeta(1)
+	info, err := fs.ns.Stat(p)
+	if err != nil {
+		return err
+	}
+	m := fs.meta[info.ID]
+	if m != nil && m.state == Migrated {
+		return fmt.Errorf("%w: %s", ErrOffline, p)
+	}
+	if err := fs.ns.Truncate(p, length); err != nil {
+		return err
+	}
+	if m != nil {
+		fs.pools[m.pool].used -= info.Size - length
+		m.state = Resident
+	}
+	return nil
+}
+
+// Stat returns combined namespace + residency information.
+func (fs *FS) Stat(p string) (Info, error) {
+	fs.chargeMeta(1)
+	return fs.statQuiet(p)
+}
+
+func (fs *FS) statQuiet(p string) (Info, error) {
+	vi, err := fs.ns.Stat(p)
+	if err != nil {
+		return Info{}, err
+	}
+	return fs.decorate(vi), nil
+}
+
+func (fs *FS) decorate(vi vfs.Info) Info {
+	out := Info{Info: vi}
+	if m := fs.meta[vi.ID]; m != nil {
+		out.Pool = m.pool
+		out.State = m.state
+	}
+	return out
+}
+
+// StatID resolves a file ID (the synchronous deleter's lookup).
+func (fs *FS) StatID(id vfs.FileID) (Info, error) {
+	fs.chargeMeta(1)
+	vi, err := fs.ns.StatID(id)
+	if err != nil {
+		return Info{}, err
+	}
+	return fs.decorate(vi), nil
+}
+
+// ReadDir lists a directory, billing metadata cost for the whole batch
+// in one charge (bulk stat — how PFTool's ReadDir processes work).
+func (fs *FS) ReadDir(p string) ([]Info, error) {
+	entries, err := fs.ns.ReadDir(p)
+	if err != nil {
+		fs.chargeMeta(1)
+		return nil, err
+	}
+	fs.chargeMeta(1 + len(entries)/64) // amortized bulk readdir
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = fs.decorate(e)
+	}
+	return out, nil
+}
+
+// Remove unlinks a file or empty directory, releasing pool space for
+// resident data.
+func (fs *FS) Remove(p string) error {
+	fs.chargeMeta(1)
+	info, err := fs.ns.Stat(p)
+	if err != nil {
+		return err
+	}
+	if err := fs.ns.Remove(p); err != nil {
+		return err
+	}
+	fs.releaseMeta(info)
+	return nil
+}
+
+// RemoveAll removes a subtree, releasing pool space.
+func (fs *FS) RemoveAll(p string) error {
+	var infos []vfs.Info
+	if err := fs.ns.Walk(p, func(i vfs.Info) error {
+		infos = append(infos, i)
+		return nil
+	}); err != nil {
+		if errors.Is(err, vfs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	fs.chargeMeta(len(infos))
+	if err := fs.ns.RemoveAll(p); err != nil {
+		return err
+	}
+	for _, i := range infos {
+		fs.releaseMeta(i)
+	}
+	return nil
+}
+
+func (fs *FS) releaseMeta(info vfs.Info) {
+	m := fs.meta[info.ID]
+	if m == nil {
+		return
+	}
+	if m.state != Migrated {
+		fs.pools[m.pool].used -= info.Size
+	}
+	delete(fs.meta, info.ID)
+}
+
+// Rename moves a file or tree (one metadata operation; IDs persist).
+// A replaced destination file has its pool space released.
+func (fs *FS) Rename(oldp, newp string) error {
+	fs.chargeMeta(1)
+	si, err := fs.ns.Stat(oldp)
+	if err != nil {
+		return err
+	}
+	var replaced *vfs.Info
+	if di, derr := fs.ns.Stat(newp); derr == nil && !di.IsDir() && di.ID != si.ID {
+		replaced = &di
+	}
+	if err := fs.ns.Rename(oldp, newp); err != nil {
+		return err
+	}
+	if replaced != nil {
+		fs.releaseMeta(*replaced)
+	}
+	return nil
+}
+
+// Exists reports whether p resolves (free: a dcache hit).
+func (fs *FS) Exists(p string) bool { return fs.ns.Exists(p) }
+
+// SetXattr sets an extended attribute (used by HSM bookkeeping).
+func (fs *FS) SetXattr(p, k, v string) error { return fs.ns.SetXattr(p, k, v) }
+
+// GetXattr reads an extended attribute.
+func (fs *FS) GetXattr(p, k string) (string, error) { return fs.ns.GetXattr(p, k) }
+
+// Walk visits the subtree without metadata charges (callers doing
+// policy-grade scans should use Scan, which bills correctly).
+func (fs *FS) Walk(p string, fn func(Info) error) error {
+	return fs.ns.Walk(p, func(vi vfs.Info) error {
+		return fn(fs.decorate(vi))
+	})
+}
+
+// NumInodes reports the total inode count.
+func (fs *FS) NumInodes() int { return fs.ns.NumInodes() }
+
+// NumFiles reports the regular-file count.
+func (fs *FS) NumFiles() int { return fs.ns.NumFiles() }
+
+// TotalBytes reports the logical size of all files.
+func (fs *FS) TotalBytes() int64 { return fs.ns.TotalBytes() }
+
+// --- Migration state transitions (driven by the HSM layer) ---
+
+// SetPremigrated marks a resident file premigrated (a valid copy now
+// exists on the backend; data remains on disk).
+func (fs *FS) SetPremigrated(p string) error {
+	return fs.transition(p, func(m *fileMeta, info vfs.Info) error {
+		if m.state == Migrated {
+			return fmt.Errorf("%w: %s is migrated", ErrBadState, p)
+		}
+		m.state = Premigrated
+		return nil
+	})
+}
+
+// Punch converts a premigrated file to a migrated stub, freeing its
+// disk blocks while keeping the inode, size, and xattrs visible.
+func (fs *FS) Punch(p string) error {
+	return fs.transition(p, func(m *fileMeta, info vfs.Info) error {
+		if m.state != Premigrated {
+			return fmt.Errorf("%w: punch requires premigrated, %s is %v", ErrBadState, p, m.state)
+		}
+		fs.pools[m.pool].used -= info.Size
+		m.state = Migrated
+		return nil
+	})
+}
+
+// Restore lands recalled data back into the file, making it resident
+// (or premigrated, if keepBackendCopy is true — a recall leaves the
+// tape copy valid).
+func (fs *FS) Restore(p string, keepBackendCopy bool) error {
+	return fs.transition(p, func(m *fileMeta, info vfs.Info) error {
+		if m.state != Migrated {
+			return fmt.Errorf("%w: restore requires migrated, %s is %v", ErrBadState, p, m.state)
+		}
+		pl := fs.pools[m.pool]
+		if info.Size > pl.Free() {
+			return fmt.Errorf("%w: pool %s recall of %d bytes", ErrNoSpace, m.pool, info.Size)
+		}
+		pl.used += info.Size
+		if keepBackendCopy {
+			m.state = Premigrated
+		} else {
+			m.state = Resident
+		}
+		return nil
+	})
+}
+
+func (fs *FS) transition(p string, fn func(*fileMeta, vfs.Info) error) error {
+	fs.chargeMeta(1)
+	info, err := fs.ns.Stat(p)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		return fmt.Errorf("%w: %s", vfs.ErrIsDir, p)
+	}
+	m := fs.meta[info.ID]
+	if m == nil {
+		return fmt.Errorf("pfs: no pool metadata for %s", p)
+	}
+	return fn(m, info)
+}
+
+// State reports a file's residency state.
+func (fs *FS) State(p string) (MigState, error) {
+	info, err := fs.statQuiet(p)
+	if err != nil {
+		return 0, err
+	}
+	return info.State, nil
+}
+
+// Scan runs a full-filesystem inode scan, invoking fn for every inode,
+// and charges the calibrated scan cost (NumInodes x ScanPerInode /
+// ScanParallel) in batches so concurrent actors interleave. This is the
+// GPFS policy-engine primitive underlying ILM list and migration
+// policies.
+func (fs *FS) Scan(fn func(Info) error) error {
+	const batch = 10000
+	per := fs.cfg.ScanPerInode / time.Duration(fs.cfg.ScanParallel)
+	count := 0
+	err := fs.ns.Walk("/", func(vi vfs.Info) error {
+		count++
+		if count%batch == 0 {
+			fs.clock.Sleep(time.Duration(batch) * per)
+		}
+		return fn(fs.decorate(vi))
+	})
+	if rem := count % batch; rem > 0 {
+		fs.clock.Sleep(time.Duration(rem) * per)
+	}
+	return err
+}

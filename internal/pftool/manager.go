@@ -1,0 +1,596 @@
+package pftool
+
+import (
+	"fmt"
+	"path"
+	"sort"
+
+	"repro/internal/chunkfs"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/synthetic"
+)
+
+// Message tags (Figure 3's queues and request/response flows).
+const (
+	tagIdle       = iota // proc -> manager: ready for work
+	tagDirJob            // manager -> readdir
+	tagDirResult         // readdir -> manager
+	tagCopyJob           // manager -> worker
+	tagCopyResult        // worker -> manager
+	tagTapeJob           // manager -> tapeproc
+	tagTapeResult        // tapeproc -> manager
+	tagOutput            // anyone -> outputproc
+)
+
+// copyKind distinguishes worker job flavors.
+type copyKind int
+
+const (
+	kindBatch   copyKind = iota // a batch of whole small/medium files
+	kindChunk                   // one chunk of an N-to-1 large-file copy
+	kindFuse                    // one chunk file of an N-to-N very large copy
+	kindCompare                 // a batch of byte comparisons (pfcm)
+)
+
+// fileCopy is one whole-file work item inside a batch.
+type fileCopy struct {
+	src, dst string
+	bytes    int64
+}
+
+// copyJob is the Manager -> Worker work unit (one CopyQ entry).
+type copyJob struct {
+	kind  copyKind
+	batch []fileCopy
+
+	// Chunk fields (kindChunk, kindFuse).
+	src, dst    string // dst is the final file (chunk) path
+	off, length int64
+	chunkIdx    int
+	logical     string // the logical destination file this chunk belongs to
+}
+
+// copyResult is the Worker -> Manager completion report.
+type copyResult struct {
+	files    int
+	skipped  int
+	bytes    int64
+	chunks   int
+	skChunks int
+	matched  int
+	mismatch int
+	missing  int
+	logical  string // set for chunk completions
+	err      string
+}
+
+// dirJob is the Manager -> ReadDir work unit (one DirQ entry).
+type dirJob struct {
+	src, dst string
+}
+
+// dirResult carries an exposed directory back to the Manager.
+type dirResult struct {
+	src, dst string
+	entries  []pfs.Info
+	err      string
+}
+
+// tapeJob is the Manager -> TapeProc work unit (one TapeCQ).
+type tapeJob struct {
+	volume string
+	paths  []string // already tape-ordered when Tunables.TapeOrdered
+	sizes  []int64
+}
+
+// tapeResult reports restored files ready for normal copying.
+type tapeResult struct {
+	paths []string
+	sizes []int64
+	bytes int64
+	err   string
+}
+
+// pendingFile is a classified file awaiting batch flush.
+type pendingFile struct {
+	info pfs.Info
+	dst  string
+}
+
+// run holds the state of one PFTool invocation.
+type run struct {
+	req    Request
+	clock  *simtime.Clock
+	comm   *mpi.Comm
+	layout rankLayout
+
+	res Result
+
+	// Manager queues (Figure 3).
+	dirQ  []dirJob
+	copyQ []copyJob
+	tapeQ []tapeJob
+
+	idleReadDirs  []int
+	idleWorkers   []int
+	idleTapeProcs []int
+
+	dirsOut int // dir jobs issued or queued
+	copyOut int
+	tapeOut int
+
+	batch      []fileCopy // accumulating small-file batch
+	batchBytes int64
+
+	cmpBatch      []fileCopy
+	cmpBatchBytes int64
+
+	tapePending []pendingFile // migrated source files awaiting Locate
+	tapeDsts    map[string]string
+
+	chunkRemaining map[string]int // logical dst -> chunks outstanding
+
+	progress int64 // watchdog heartbeat
+	done     bool  // set when the manager finishes; stops the watchdog
+	aborted  bool
+
+	walkDone bool
+}
+
+// nodeFor maps a rank to its FTA node (round-robin over the machine
+// list, skipping the coordination ranks which do no data movement).
+func (r *run) nodeFor(rank int) *cluster.Node {
+	return r.req.Nodes[rank%len(r.req.Nodes)]
+}
+
+// execute wires up all ranks and runs the job to completion.
+func (r *run) execute() Result {
+	r.chunkRemaining = make(map[string]int)
+	r.tapeDsts = make(map[string]string)
+	r.res.Op = r.req.Op
+	r.res.Started = r.clock.Now()
+
+	l := r.layout
+	r.comm.Start(l.manager, r.manager)
+	r.comm.Start(l.output, r.outputProc)
+	r.comm.Start(l.watchdog, r.watchdog)
+	for _, rank := range l.readdirs {
+		rank := rank
+		r.comm.Start(rank, func() { r.readDirProc(rank) })
+	}
+	for _, rank := range l.workers {
+		rank := rank
+		r.comm.Start(rank, func() { r.workerProc(rank) })
+	}
+	for _, rank := range l.tapeprocs {
+		rank := rank
+		r.comm.Start(rank, func() { r.tapeProc(rank) })
+	}
+	r.comm.Wait()
+	return r.res
+}
+
+// manager is rank 0: the conductor of Figure 3.
+func (r *run) manager() {
+	defer func() {
+		r.res.Finished = r.clock.Now()
+		r.res.Messages = r.comm.Sent()
+		r.done = true
+		r.comm.CloseAll()
+	}()
+	if !r.seed() {
+		return
+	}
+	for {
+		r.assign()
+		if r.finished() {
+			return
+		}
+		msg, ok := r.comm.Recv(r.layout.manager, mpi.Any, mpi.Any)
+		if !ok {
+			// The WatchDog closed our mailbox: the run stalled.
+			r.res.Stalled = true
+			return
+		}
+		r.handle(msg)
+		if r.aborted {
+			return
+		}
+	}
+}
+
+// seed primes the queues from the source root. Returns false on a
+// fatal setup error.
+func (r *run) seed() bool {
+	info, err := r.req.SrcFS.Stat(r.req.Src)
+	if err != nil {
+		r.fail(fmt.Sprintf("stat %s: %v", r.req.Src, err))
+		return false
+	}
+	if info.IsDir() {
+		if r.req.Op == OpCopy {
+			if err := r.req.DstFS.MkdirAll(r.req.Dst); err != nil {
+				r.fail(err.Error())
+				return false
+			}
+			r.res.DirsCreated++
+		}
+		r.dirQ = append(r.dirQ, dirJob{src: r.req.Src, dst: r.req.Dst})
+		r.dirsOut++
+		return true
+	}
+	if r.req.Op == OpCopy {
+		if parent := path.Dir(r.req.Dst); parent != "/" {
+			if err := r.req.DstFS.MkdirAll(parent); err != nil {
+				r.fail(err.Error())
+				return false
+			}
+		}
+	}
+	r.classify(info, r.req.Dst)
+	r.endOfWalk()
+	return true
+}
+
+// finished reports whether every queue is drained and every job done.
+func (r *run) finished() bool {
+	return r.dirsOut == 0 && r.copyOut == 0 && r.tapeOut == 0 &&
+		len(r.dirQ) == 0 && len(r.copyQ) == 0 && len(r.tapeQ) == 0 &&
+		len(r.batch) == 0 && len(r.cmpBatch) == 0 && len(r.tapePending) == 0
+}
+
+// assign hands queued jobs to idle processes.
+func (r *run) assign() {
+	for len(r.dirQ) > 0 && len(r.idleReadDirs) > 0 {
+		job := r.dirQ[0]
+		r.dirQ = r.dirQ[1:]
+		rank := r.idleReadDirs[0]
+		r.idleReadDirs = r.idleReadDirs[1:]
+		r.comm.Send(r.layout.manager, rank, tagDirJob, job)
+	}
+	for len(r.copyQ) > 0 && len(r.idleWorkers) > 0 {
+		job := r.copyQ[0]
+		r.copyQ = r.copyQ[1:]
+		rank := r.idleWorkers[0]
+		r.idleWorkers = r.idleWorkers[1:]
+		r.comm.Send(r.layout.manager, rank, tagCopyJob, job)
+	}
+	for len(r.tapeQ) > 0 && len(r.idleTapeProcs) > 0 {
+		job := r.tapeQ[0]
+		r.tapeQ = r.tapeQ[1:]
+		rank := r.idleTapeProcs[0]
+		r.idleTapeProcs = r.idleTapeProcs[1:]
+		r.comm.Send(r.layout.manager, rank, tagTapeJob, job)
+	}
+}
+
+// handle processes one inbound message.
+func (r *run) handle(msg mpi.Message) {
+	switch msg.Tag {
+	case tagIdle:
+		r.markIdle(msg.From)
+	case tagDirResult:
+		r.markIdle(msg.From)
+		res := msg.Data.(dirResult)
+		r.dirsOut--
+		if res.err != "" {
+			r.fail(res.err)
+			return
+		}
+		r.expand(res)
+		if r.dirsOut == 0 && len(r.dirQ) == 0 {
+			r.endOfWalk()
+		}
+	case tagCopyResult:
+		r.markIdle(msg.From)
+		res := msg.Data.(copyResult)
+		r.copyOut--
+		r.progress++
+		r.res.FilesCopied += res.files
+		r.res.FilesSkipped += res.skipped
+		r.res.BytesCopied += res.bytes
+		r.res.ChunksCopied += res.chunks
+		r.res.ChunksSkipped += res.skChunks
+		r.res.Matched += res.matched
+		r.res.Mismatched += res.mismatch
+		r.res.Missing += res.missing
+		if res.err != "" {
+			// A failed chunk must NOT count toward its file's
+			// completion: the in-progress mark stays so a restart
+			// resumes instead of re-preallocating over good chunks.
+			r.fail(res.err)
+			return
+		}
+		if res.logical != "" {
+			r.chunkRemaining[res.logical]--
+			if r.chunkRemaining[res.logical] == 0 {
+				delete(r.chunkRemaining, res.logical)
+				r.res.FilesCopied++
+				r.req.DstFS.SetXattr(res.logical, "pfcp.inprogress", "")
+			}
+		}
+	case tagTapeResult:
+		r.markIdle(msg.From)
+		res := msg.Data.(tapeResult)
+		r.tapeOut--
+		r.progress++
+		if res.err != "" {
+			r.fail(res.err)
+			return
+		}
+		r.res.Restored += len(res.paths)
+		// Restored files now copy like any resident file.
+		for i, p := range res.paths {
+			info, err := r.req.SrcFS.Stat(p)
+			if err != nil {
+				r.fail(err.Error())
+				return
+			}
+			r.classify(info, r.tapeDsts[p])
+			_ = res.sizes[i]
+		}
+		if r.tapeOut == 0 && len(r.tapeQ) == 0 {
+			r.flushBatches()
+		}
+	}
+}
+
+func (r *run) markIdle(rank int) {
+	l := r.layout
+	switch {
+	case contains(l.readdirs, rank):
+		r.idleReadDirs = append(r.idleReadDirs, rank)
+	case contains(l.workers, rank):
+		r.idleWorkers = append(r.idleWorkers, rank)
+	case contains(l.tapeprocs, rank):
+		r.idleTapeProcs = append(r.idleTapeProcs, rank)
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// expand processes one exposed directory: counts, creates destination
+// directories, recurses, and classifies files.
+func (r *run) expand(res dirResult) {
+	for _, e := range res.entries {
+		dst := ""
+		if res.dst != "" {
+			dst = path.Join(res.dst, e.Name)
+		}
+		if e.IsDir() {
+			r.res.DirsListed++
+			if r.req.Op == OpCopy {
+				if err := r.req.DstFS.MkdirAll(dst); err != nil {
+					r.fail(err.Error())
+					return
+				}
+				r.res.DirsCreated++
+			}
+			r.dirQ = append(r.dirQ, dirJob{src: e.Path, dst: dst})
+			r.dirsOut++
+			continue
+		}
+		r.res.FilesListed++
+		r.res.BytesListed += e.Size
+		if r.req.Tunables.Verbose {
+			r.comm.Send(r.layout.manager, r.layout.output, tagOutput,
+				fmt.Sprintf("%s %12d %s", e.State, e.Size, e.Path))
+		}
+		r.classify(e, dst)
+	}
+}
+
+// classify routes one file to the right queue: tape restore for
+// migrated sources, chunked paths for large files, batches otherwise.
+func (r *run) classify(info pfs.Info, dst string) {
+	t := r.req.Tunables
+	switch r.req.Op {
+	case OpList:
+		return
+	case OpCompare:
+		r.cmpBatch = append(r.cmpBatch, fileCopy{src: info.Path, dst: dst, bytes: info.Size})
+		r.cmpBatchBytes += info.Size
+		if len(r.cmpBatch) >= t.CopyBatchFiles || r.cmpBatchBytes >= t.CopyBatchBytes {
+			r.flushCompare()
+		}
+		return
+	}
+	// OpCopy.
+	if info.State == pfs.Migrated {
+		if r.req.Restorer == nil {
+			r.fail(fmt.Sprintf("%s is migrated and no restorer is configured", info.Path))
+			return
+		}
+		r.tapePending = append(r.tapePending, pendingFile{info: info, dst: dst})
+		r.tapeDsts[info.Path] = dst
+		return
+	}
+	switch {
+	case info.Size >= t.VeryLargeThreshold && t.FuseChunkSize > 0:
+		r.enqueueFuse(info, dst)
+	case info.Size >= t.LargeFileThreshold:
+		r.enqueueChunked(info, dst)
+	default:
+		r.batch = append(r.batch, fileCopy{src: info.Path, dst: dst, bytes: info.Size})
+		r.batchBytes += info.Size
+		if len(r.batch) >= t.CopyBatchFiles || r.batchBytes >= t.CopyBatchBytes {
+			r.flushBatch()
+		}
+	}
+}
+
+// enqueueChunked prepares an N-to-1 chunked copy of a single large file
+// (§4.1.2(3)): the destination inode is preallocated and each worker
+// overwrites one chunk.
+func (r *run) enqueueChunked(info pfs.Info, dst string) {
+	t := r.req.Tunables
+	plan := chunkfs.PlanFor(info.Size, t.ChunkSize)
+	resume := false
+	if t.Restart {
+		if inprog, _ := r.req.DstFS.GetXattr(dst, "pfcp.inprogress"); inprog == "1" {
+			if di, err := r.req.DstFS.Stat(dst); err == nil && di.Size == info.Size {
+				resume = true
+			}
+		}
+	}
+	if !resume {
+		// Preallocate the full-size destination inode with placeholder
+		// data so chunks can land in any order.
+		placeholder := placeholderContent(dst, info.Size)
+		if err := r.req.DstFS.WriteFile(dst, placeholder); err != nil {
+			r.fail(err.Error())
+			return
+		}
+		r.req.DstFS.SetXattr(dst, "pfcp.inprogress", "1")
+	}
+	r.chunkRemaining[dst] = plan.NumChunks
+	for i := 0; i < plan.NumChunks; i++ {
+		off, length := plan.ChunkRange(i)
+		r.copyQ = append(r.copyQ, copyJob{
+			kind: kindChunk, src: info.Path, dst: dst,
+			off: off, length: length, chunkIdx: i, logical: dst,
+		})
+		r.copyOut++
+	}
+}
+
+// enqueueFuse prepares an N-to-N copy of a very large file (§4.1.2(4)):
+// the destination is a chunk directory and each worker writes an
+// independent chunk file.
+func (r *run) enqueueFuse(info pfs.Info, dst string) {
+	t := r.req.Tunables
+	plan, dir, err := chunkfs.PrepareDir(r.req.DstFS, dst, info.Size, t.FuseChunkSize)
+	if err != nil {
+		r.fail(err.Error())
+		return
+	}
+	r.chunkRemaining[dir] = plan.NumChunks
+	for i := 0; i < plan.NumChunks; i++ {
+		off, length := plan.ChunkRange(i)
+		r.copyQ = append(r.copyQ, copyJob{
+			kind: kindFuse, src: info.Path,
+			dst: path.Join(dir, chunkfs.ChunkName(i)),
+			off: off, length: length, chunkIdx: i, logical: dir,
+		})
+		r.copyOut++
+	}
+}
+
+// endOfWalk fires when the parallel tree walk completes: final batches
+// flush and the tape restore plan is built.
+func (r *run) endOfWalk() {
+	r.walkDone = true
+	r.flushBatches()
+	r.buildTapeJobs()
+}
+
+func (r *run) flushBatches() {
+	r.flushBatch()
+	r.flushCompare()
+}
+
+func (r *run) flushBatch() {
+	if len(r.batch) == 0 {
+		return
+	}
+	r.copyQ = append(r.copyQ, copyJob{kind: kindBatch, batch: r.batch})
+	r.copyOut++
+	r.batch = nil
+	r.batchBytes = 0
+}
+
+func (r *run) flushCompare() {
+	if len(r.cmpBatch) == 0 {
+		return
+	}
+	r.copyQ = append(r.copyQ, copyJob{kind: kindCompare, batch: r.cmpBatch})
+	r.copyOut++
+	r.cmpBatch = nil
+	r.cmpBatchBytes = 0
+}
+
+// buildTapeJobs turns the migrated-file backlog into TapeCQs: grouped
+// by volume and, when TapeOrdered, sorted by tape sequence with one
+// queue per volume so a single TapeProc (hence a single machine)
+// streams each tape front to back (§4.2.5).
+func (r *run) buildTapeJobs() {
+	if len(r.tapePending) == 0 {
+		return
+	}
+	paths := make([]string, len(r.tapePending))
+	for i, p := range r.tapePending {
+		paths[i] = p.info.Path
+	}
+	r.tapePending = nil
+	locs, missing := r.req.Restorer.Locate(paths)
+	for _, m := range missing {
+		r.fail(fmt.Sprintf("no tape location for %s", m))
+		return
+	}
+	if r.req.Tunables.TapeOrdered {
+		byVol := make(map[string][]TapeLoc)
+		for _, l := range locs {
+			byVol[l.Volume] = append(byVol[l.Volume], l)
+		}
+		vols := make([]string, 0, len(byVol))
+		for v := range byVol {
+			vols = append(vols, v)
+		}
+		sort.Strings(vols)
+		for _, v := range vols {
+			list := byVol[v]
+			sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+			job := tapeJob{volume: v}
+			for _, l := range list {
+				job.paths = append(job.paths, l.Path)
+				job.sizes = append(job.sizes, l.Bytes)
+			}
+			r.tapeQ = append(r.tapeQ, job)
+			r.tapeOut++
+		}
+		return
+	}
+	// Naive: arrival order, fixed-size groups, no volume affinity.
+	const group = 32
+	for i := 0; i < len(locs); i += group {
+		end := i + group
+		if end > len(locs) {
+			end = len(locs)
+		}
+		job := tapeJob{volume: "(unordered)"}
+		for _, l := range locs[i:end] {
+			job.paths = append(job.paths, l.Path)
+			job.sizes = append(job.sizes, l.Bytes)
+		}
+		r.tapeQ = append(r.tapeQ, job)
+		r.tapeOut++
+	}
+}
+
+// fail records a fatal error and aborts the run.
+func (r *run) fail(msg string) {
+	r.res.Errors = append(r.res.Errors, msg)
+	r.aborted = true
+}
+
+// placeholderContent generates the preallocation filler for an N-to-1
+// destination inode. The seed is derived from the path so reruns are
+// deterministic.
+func placeholderContent(path string, size int64) (c synthetic.Content) {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= 1099511628211
+	}
+	return synthetic.NewUniform(h|1<<63, size)
+}

@@ -1,0 +1,316 @@
+// Package pftool is the paper's primary contribution: the Parallel
+// File Tool (§4.1), a user-space MPI program that tree-walks, lists,
+// copies, and compares file trees in parallel between the scratch and
+// archive parallel file systems.
+//
+// The process architecture follows Figure 3 exactly: one Manager
+// coordinating a directory queue (DirQ), a copy queue (CopyQ) and
+// per-tape copy queues (TapeCQs); a pool of ReadDir processes that
+// expose directories; a pool of Workers that stat and move data; a pool
+// of TapeProc processes that restore migrated files in tape order; one
+// OutPutProc for output; and a WatchDog that kills the run if data
+// movement stalls. All processes run as ranks of an mpi.Comm, and the
+// total process count is tunable per invocation (§4.1.2(5)).
+//
+// The three commands of §4.1.3 map to Op values: pfls (parallel list),
+// pfcp (parallel copy), pfcm (parallel byte compare).
+package pftool
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ilm"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+)
+
+// Op selects the PFTool command.
+type Op int
+
+// Operations.
+const (
+	OpList    Op = iota // pfls
+	OpCopy              // pfcp
+	OpCompare           // pfcm
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpList:
+		return "pfls"
+	case OpCopy:
+		return "pfcp"
+	case OpCompare:
+		return "pfcm"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// TapeLoc describes where a migrated file lives on tape.
+type TapeLoc struct {
+	Path   string
+	Volume string
+	Seq    int
+	Bytes  int64
+}
+
+// Restorer recalls migrated files from the tape backend; the HSM engine
+// provides the production implementation.
+type Restorer interface {
+	// Locate resolves migrated paths to tape locations; unknown paths
+	// are returned in missing.
+	Locate(paths []string) (locs []TapeLoc, missing []string)
+	// RecallPinned recalls the given paths as the named client machine,
+	// in the order given (the caller has already tape-ordered them).
+	RecallPinned(node string, paths []string) error
+}
+
+// Tunables are the runtime-adjustable parameters of §4.1.2(5).
+type Tunables struct {
+	NumWorkers   int // Worker MPI processes
+	NumReadDirs  int // ReadDir MPI processes
+	NumTapeProcs int // TapeProc MPI processes (restore direction only)
+
+	ChunkSize          int64 // N-to-1 chunk size for single large files
+	LargeFileThreshold int64 // files at least this large copy chunked
+	VeryLargeThreshold int64 // files at least this large copy N-to-N via the FUSE layer
+	FuseChunkSize      int64 // chunk-file size for the N-to-N path
+
+	CopyBatchBytes int64 // small files batch up to this many bytes
+	CopyBatchFiles int   // ... or this many files per copy job
+
+	TapeOrdered bool // sort tape recalls by volume/sequence (§4.2.5)
+	Restart     bool // skip chunks already marked good (§4.5)
+
+	WatchdogInterval time.Duration // progress check period
+	StallTimeout     time.Duration // kill the run after this much silence
+
+	Verbose bool // emit one line per entry through OutPutProc
+
+	// InjectFault, when non-nil, is consulted before each chunk/batch
+	// copy; returning true makes the Worker fail that piece (test and
+	// experiment hook for restartable transfers).
+	InjectFault func(dstPath string, chunk int) bool
+}
+
+// DefaultTunables returns production defaults.
+func DefaultTunables() Tunables {
+	return Tunables{
+		NumWorkers:         20,
+		NumReadDirs:        4,
+		NumTapeProcs:       4,
+		ChunkSize:          4e9,
+		LargeFileThreshold: 10e9,
+		VeryLargeThreshold: 100e9,
+		FuseChunkSize:      16e9,
+		CopyBatchBytes:     256e6,
+		CopyBatchFiles:     512,
+		TapeOrdered:        true,
+		WatchdogInterval:   time.Minute,
+		StallTimeout:       15 * time.Minute,
+	}
+}
+
+// Request describes one PFTool invocation.
+type Request struct {
+	Op  Op
+	Src string
+	Dst string // unused for pfls
+
+	SrcFS *pfs.FS
+	DstFS *pfs.FS // unused for pfls
+
+	// Nodes is the MPI machine list from the LoadManager; worker ranks
+	// are placed on these round-robin.
+	Nodes []*cluster.Node
+	// Trunk, when non-nil, is the shared network between the two file
+	// systems; all data crosses it.
+	Trunk *simtime.Pipe
+	// Restorer recalls migrated source files before copying; nil means
+	// migrated files are reported as errors.
+	Restorer Restorer
+	// Placement, when non-nil, chooses the destination storage pool per
+	// file (the archive's ILM placement policy, §4.2.1: small files to
+	// the slow pool). Transfer time is still charged on the default
+	// pool's pipe — the slow pool holds small files, so its share of
+	// the bytes is negligible.
+	Placement *ilm.Placement
+
+	Tunables Tunables
+	Output   io.Writer // OutPutProc destination; nil discards
+}
+
+// Result reports one PFTool run.
+type Result struct {
+	Op Op
+
+	FilesCopied  int
+	FilesSkipped int // restart: destination already current
+	DirsCreated  int
+	BytesCopied  int64
+
+	FilesListed int
+	DirsListed  int
+	BytesListed int64
+
+	Matched    int
+	Mismatched int
+	Missing    int
+
+	Restored      int
+	ChunksCopied  int
+	ChunksSkipped int
+
+	Errors  []string
+	Stalled bool
+
+	// Messages is the MPI traffic the run generated — the coordination
+	// cost that copy batching amortizes.
+	Messages int
+
+	// History is the WatchDog's periodic record (§4.1.1(3)): files and
+	// bytes copied as of each sampling interval, the "current and
+	// historical statistics" the paper's WatchDog keeps.
+	History []HistoryPoint
+
+	Started  time.Duration
+	Finished time.Duration
+
+	OutputLines int
+}
+
+// HistoryPoint is one WatchDog sample.
+type HistoryPoint struct {
+	At    time.Duration // virtual time of the sample
+	Files int
+	Bytes int64
+}
+
+// Elapsed is the virtual wall-clock duration of the run.
+func (r Result) Elapsed() time.Duration { return r.Finished - r.Started }
+
+// Rate is the achieved copy data rate in bytes per second.
+func (r Result) Rate() float64 {
+	e := r.Elapsed().Seconds()
+	if e <= 0 {
+		return 0
+	}
+	return float64(r.BytesCopied) / e
+}
+
+// Summary renders the end-of-job performance report the Manager prints.
+func (r Result) Summary() string {
+	switch r.Op {
+	case OpList:
+		return fmt.Sprintf("%v: %d files, %d dirs, %d bytes in %v",
+			r.Op, r.FilesListed, r.DirsListed, r.BytesListed, r.Elapsed())
+	case OpCompare:
+		return fmt.Sprintf("%v: %d matched, %d mismatched, %d missing in %v",
+			r.Op, r.Matched, r.Mismatched, r.Missing, r.Elapsed())
+	default:
+		return fmt.Sprintf("%v: %d files, %d bytes in %v (%.1f MB/s), %d restored, %d chunks (+%d skipped), %d errors",
+			r.Op, r.FilesCopied, r.BytesCopied, r.Elapsed(), r.Rate()/1e6,
+			r.Restored, r.ChunksCopied, r.ChunksSkipped, len(r.Errors))
+	}
+}
+
+// rankLayout computes the MPI rank assignment of Figure 3.
+type rankLayout struct {
+	manager   int
+	output    int
+	watchdog  int
+	readdirs  []int
+	workers   []int
+	tapeprocs []int
+	size      int
+}
+
+func layoutFor(t Tunables) rankLayout {
+	l := rankLayout{manager: 0, output: 1, watchdog: 2}
+	next := 3
+	for i := 0; i < t.NumReadDirs; i++ {
+		l.readdirs = append(l.readdirs, next)
+		next++
+	}
+	for i := 0; i < t.NumWorkers; i++ {
+		l.workers = append(l.workers, next)
+		next++
+	}
+	for i := 0; i < t.NumTapeProcs; i++ {
+		l.tapeprocs = append(l.tapeprocs, next)
+		next++
+	}
+	l.size = next
+	return l
+}
+
+// Run executes one PFTool invocation on the clock of the request's
+// source file system and returns the Manager's final report. It must be
+// called from a simulation actor.
+func Run(req Request) (Result, error) {
+	if err := validate(&req); err != nil {
+		return Result{}, err
+	}
+	clock := req.SrcFS.Clock()
+	layout := layoutFor(req.Tunables)
+	comm := mpi.New(clock, layout.size)
+	run := &run{
+		req:    req,
+		clock:  clock,
+		comm:   comm,
+		layout: layout,
+	}
+	res := run.execute()
+	if len(res.Errors) > 0 {
+		return res, fmt.Errorf("pftool: %s: %s", req.Op, res.Errors[0])
+	}
+	if res.Stalled {
+		return res, fmt.Errorf("pftool: %s: watchdog killed a stalled run", req.Op)
+	}
+	return res, nil
+}
+
+func validate(req *Request) error {
+	if req.SrcFS == nil {
+		return fmt.Errorf("pftool: no source file system")
+	}
+	if req.Op != OpList && req.DstFS == nil {
+		return fmt.Errorf("pftool: %v needs a destination file system", req.Op)
+	}
+	if len(req.Nodes) == 0 {
+		return fmt.Errorf("pftool: empty machine list")
+	}
+	t := &req.Tunables
+	if t.NumWorkers <= 0 || t.NumReadDirs <= 0 {
+		return fmt.Errorf("pftool: need at least one worker and one readdir process")
+	}
+	if t.NumTapeProcs < 0 {
+		return fmt.Errorf("pftool: negative tape process count")
+	}
+	if t.NumTapeProcs == 0 {
+		t.NumTapeProcs = 1 // the pool always exists; it idles when unused
+	}
+	if t.ChunkSize <= 0 || t.CopyBatchBytes <= 0 || t.CopyBatchFiles <= 0 {
+		return fmt.Errorf("pftool: chunk and batch sizes must be positive")
+	}
+	if t.LargeFileThreshold <= 0 {
+		t.LargeFileThreshold = 10e9
+	}
+	if t.VeryLargeThreshold < t.LargeFileThreshold {
+		t.VeryLargeThreshold = t.LargeFileThreshold * 10
+	}
+	if t.FuseChunkSize <= 0 {
+		t.FuseChunkSize = 16e9
+	}
+	if t.WatchdogInterval <= 0 {
+		t.WatchdogInterval = time.Minute
+	}
+	if t.StallTimeout <= 0 {
+		t.StallTimeout = 15 * time.Minute
+	}
+	return nil
+}

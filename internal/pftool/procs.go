@@ -1,0 +1,329 @@
+package pftool
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+)
+
+// readDirProc is one ReadDir process: it exposes directories the
+// Manager assigns from the DirQ and ships the entries back (§4.1.1(4)).
+func (r *run) readDirProc(rank int) {
+	mgr := r.layout.manager
+	r.comm.Send(rank, mgr, tagIdle, nil)
+	for {
+		msg, ok := r.comm.Recv(rank, mgr, tagDirJob)
+		if !ok {
+			return
+		}
+		job := msg.Data.(dirJob)
+		entries, err := r.req.SrcFS.ReadDir(job.src)
+		res := dirResult{src: job.src, dst: job.dst, entries: entries}
+		if err != nil {
+			res.err = fmt.Sprintf("readdir %s: %v", job.src, err)
+		}
+		r.comm.Send(rank, mgr, tagDirResult, res)
+	}
+}
+
+// workerProc is one Worker process: it executes copy, chunk, and
+// compare jobs from the CopyQ (§4.1.1(6)).
+func (r *run) workerProc(rank int) {
+	mgr := r.layout.manager
+	node := r.nodeFor(rank)
+	r.comm.Send(rank, mgr, tagIdle, nil)
+	for {
+		msg, ok := r.comm.Recv(rank, mgr, tagCopyJob)
+		if !ok {
+			return
+		}
+		job := msg.Data.(copyJob)
+		var res copyResult
+		switch job.kind {
+		case kindBatch:
+			res = r.copyBatch(node, job)
+		case kindChunk, kindFuse:
+			res = r.copyChunk(node, job)
+		case kindCompare:
+			res = r.compareBatch(node, job)
+		}
+		r.comm.Send(rank, mgr, tagCopyResult, res)
+	}
+}
+
+// transfer moves bytes across the data path in bounded quanta, ticking
+// the WatchDog's progress counter between quanta — the paper's WatchDog
+// watches "number of bytes copied in the past T minutes", so a healthy
+// hours-long single-chunk transfer must not look like a stall.
+//
+// Each call is one client stream: besides the shared pipes, it is
+// bounded by the pools' single-stream ceilings (a stream only reaches
+// the NSDs its stripes land on), which is exactly why PFTool runs many
+// workers in the first place.
+func (r *run) transfer(node *cluster.Node, bytes int64) {
+	floor := r.streamFloor()
+	const quantum = 8e9
+	for bytes > 0 {
+		n := bytes
+		if n > quantum {
+			n = quantum
+		}
+		start := r.clock.Now()
+		simtime.TransferAll(r.clock, n, r.dataPipes(node)...)
+		if floor > 0 {
+			minDur := simtime.Duration(float64(n) / floor * 1e9)
+			if spent := r.clock.Now() - start; spent < minDur {
+				r.clock.Sleep(minDur - spent)
+			}
+		}
+		r.progress++
+		bytes -= n
+	}
+}
+
+// streamFloor returns the tightest single-stream rate cap on the data
+// path (0 = uncapped).
+func (r *run) streamFloor() float64 {
+	floor := r.req.SrcFS.DefaultPool().StreamRate()
+	if r.req.DstFS != nil {
+		if d := r.req.DstFS.DefaultPool().StreamRate(); d > 0 && (floor == 0 || d < floor) {
+			floor = d
+		}
+	}
+	return floor
+}
+
+// dataPipes assembles the shared resources a transfer of the given
+// direction crosses: source pool, the inter-system trunk (if any), the
+// worker node's NIC, and the destination pool.
+func (r *run) dataPipes(node *cluster.Node) []*simtime.Pipe {
+	pipes := []*simtime.Pipe{r.req.SrcFS.DefaultPool().Pipe()}
+	if r.req.Trunk != nil {
+		pipes = append(pipes, r.req.Trunk)
+	}
+	pipes = append(pipes, node.NIC())
+	if r.req.DstFS != nil {
+		pipes = append(pipes, r.req.DstFS.DefaultPool().Pipe())
+	}
+	return pipes
+}
+
+// copyBatch copies a batch of whole files. With Restart enabled, files
+// whose destination already exists with the same size and an equal or
+// newer mtime are skipped — the paper's whole-file restart rule (§4.5).
+func (r *run) copyBatch(node *cluster.Node, job copyJob) copyResult {
+	res := copyResult{}
+	var toWrite []pfs.FileSpec
+	var transferBytes int64
+	for _, f := range job.batch {
+		if r.req.Tunables.Restart {
+			if di, err := r.req.DstFS.Stat(f.dst); err == nil {
+				si, serr := r.req.SrcFS.Stat(f.src)
+				if serr == nil && !di.IsDir() && di.Size == si.Size && di.ModTime >= si.ModTime {
+					res.skipped++
+					continue
+				}
+			}
+		}
+		if r.req.Tunables.InjectFault != nil && r.req.Tunables.InjectFault(f.dst, -1) {
+			res.err = fmt.Sprintf("injected fault copying %s", f.dst)
+			return res
+		}
+		content, err := r.req.SrcFS.ReadContent(f.src)
+		if err != nil {
+			res.err = fmt.Sprintf("read %s: %v", f.src, err)
+			return res
+		}
+		spec := pfs.FileSpec{Path: f.dst, Content: content}
+		if r.req.Placement != nil {
+			spec.Pool = r.req.Placement.Choose(f.dst, f.bytes, r.clock.Now())
+		}
+		toWrite = append(toWrite, spec)
+		transferBytes += f.bytes
+		res.files++
+		res.bytes += f.bytes
+	}
+	if transferBytes > 0 {
+		node.Slots().Acquire(1)
+		r.transfer(node, transferBytes)
+		node.Slots().Release(1)
+	}
+	if len(toWrite) > 0 {
+		if err := r.req.DstFS.WriteFiles(toWrite); err != nil {
+			return copyResult{err: err.Error()}
+		}
+	}
+	return res
+}
+
+// copyChunk copies one chunk of a large file: N-to-1 (overwrite into a
+// preallocated inode) or N-to-N (write an independent chunk file).
+// Chunks are marked good on completion so restarts skip them (§4.5).
+func (r *run) copyChunk(node *cluster.Node, job copyJob) copyResult {
+	res := copyResult{logical: job.logical}
+	markKey := fmt.Sprintf("pfcp.chunk.%d", job.chunkIdx)
+	if r.req.Tunables.Restart {
+		var mark string
+		switch job.kind {
+		case kindChunk:
+			mark, _ = r.req.DstFS.GetXattr(job.dst, markKey)
+		case kindFuse:
+			if di, err := r.req.DstFS.Stat(job.dst); err == nil && di.Size == job.length {
+				mark, _ = r.req.DstFS.GetXattr(job.dst, "chunkfs.state")
+			}
+		}
+		if mark == "good" {
+			res.skChunks++
+			return res
+		}
+	}
+	if r.req.Tunables.InjectFault != nil && r.req.Tunables.InjectFault(job.logical, job.chunkIdx) {
+		if job.kind == kindChunk {
+			r.req.DstFS.SetXattr(job.dst, markKey, "bad")
+		}
+		res.err = fmt.Sprintf("injected fault on %s chunk %d", job.logical, job.chunkIdx)
+		return res
+	}
+	content, err := r.req.SrcFS.ReadContent(job.src)
+	if err != nil {
+		res.err = fmt.Sprintf("read %s: %v", job.src, err)
+		return res
+	}
+	slice := content.Slice(job.off, job.length)
+	node.Slots().Acquire(1)
+	r.transfer(node, job.length)
+	node.Slots().Release(1)
+	switch job.kind {
+	case kindChunk:
+		if err := r.req.DstFS.WriteAt(job.dst, job.off, slice); err != nil {
+			res.err = err.Error()
+			return res
+		}
+		r.req.DstFS.SetXattr(job.dst, markKey, "good")
+	case kindFuse:
+		if err := r.req.DstFS.WriteFile(job.dst, slice); err != nil {
+			res.err = err.Error()
+			return res
+		}
+		r.req.DstFS.SetXattr(job.dst, "chunkfs.state", "good")
+	}
+	res.chunks++
+	res.bytes += job.length
+	return res
+}
+
+// compareBatch byte-compares source and destination files (pfcm). Both
+// sides are read in full, so the comparison pays two transfers.
+func (r *run) compareBatch(node *cluster.Node, job copyJob) copyResult {
+	res := copyResult{}
+	var transferBytes int64
+	for _, f := range job.batch {
+		srcContent, err := r.req.SrcFS.ReadContent(f.src)
+		if err != nil {
+			res.missing++
+			continue
+		}
+		dstPath := f.dst
+		dstContent, err := r.req.DstFS.ReadContent(dstPath)
+		if err != nil && errors.Is(err, pfs.ErrOffline) {
+			res.missing++
+			continue
+		}
+		if err != nil {
+			res.missing++
+			continue
+		}
+		transferBytes += f.bytes + dstContent.Len()
+		if srcContent.Equal(dstContent) {
+			res.matched++
+		} else {
+			res.mismatch++
+		}
+	}
+	if transferBytes > 0 {
+		node.Slots().Acquire(1)
+		r.transfer(node, transferBytes)
+		node.Slots().Release(1)
+	}
+	return res
+}
+
+// tapeProc is one TapeProc process: it restores one TapeCQ (a
+// tape-ordered volume worth of migrated files) as its own machine, then
+// reports the restored files back so the Manager can line up normal
+// copy jobs (§4.1.1(5)).
+func (r *run) tapeProc(rank int) {
+	mgr := r.layout.manager
+	node := r.nodeFor(rank)
+	r.comm.Send(rank, mgr, tagIdle, nil)
+	for {
+		msg, ok := r.comm.Recv(rank, mgr, tagTapeJob)
+		if !ok {
+			return
+		}
+		job := msg.Data.(tapeJob)
+		res := tapeResult{paths: job.paths, sizes: job.sizes}
+		if err := r.req.Restorer.RecallPinned(node.Name, job.paths); err != nil {
+			res.err = fmt.Sprintf("restore volume %s: %v", job.volume, err)
+		}
+		for _, s := range job.sizes {
+			res.bytes += s
+		}
+		r.comm.Send(rank, mgr, tagTapeResult, res)
+	}
+}
+
+// outputProc is the OutPutProc: it serializes display output (§4.1.1(2)).
+func (r *run) outputProc() {
+	rank := r.layout.output
+	for {
+		msg, ok := r.comm.Recv(rank, mpi.Any, tagOutput)
+		if !ok {
+			return
+		}
+		r.res.OutputLines++
+		if r.req.Output != nil {
+			fmt.Fprintln(r.req.Output, msg.Data.(string))
+		}
+	}
+}
+
+// watchdog is the WatchDog process: it samples run-time progress
+// periodically and force-terminates the whole job if data movement
+// stalls (§4.1.1(3)).
+func (r *run) watchdog() {
+	t := r.req.Tunables
+	var lastProgress int64 = -1
+	var silentFor simtime.Duration
+	for {
+		r.clock.Sleep(t.WatchdogInterval)
+		if r.done {
+			return
+		}
+		// Record the periodic statistics the paper's WatchDog keeps:
+		// totals as of this interval (per-interval deltas are the
+		// difference of consecutive points).
+		r.res.History = append(r.res.History, HistoryPoint{
+			At:    r.clock.Now(),
+			Files: r.res.FilesCopied,
+			Bytes: r.res.BytesCopied,
+		})
+		if r.progress != lastProgress {
+			lastProgress = r.progress
+			silentFor = 0
+			continue
+		}
+		silentFor += t.WatchdogInterval
+		if silentFor >= t.StallTimeout {
+			// Force termination: closing every mailbox makes all
+			// blocked receives return and the Manager report a stall.
+			r.res.Stalled = true
+			r.comm.CloseAll()
+			return
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package pftool
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/synthetic"
+)
+
+// TestRandomTreeCopyCorrectness is the end-to-end correctness property:
+// for random trees (random depth, fanout, and file sizes spanning the
+// batch, chunk, and FUSE paths), pfcp produces a destination where
+// every file is byte-identical and pfcm agrees.
+func TestRandomTreeCopyCorrectness(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(trial) + 100))
+			e := newEnv()
+			e.run(t, func() {
+				// Build a random tree.
+				dirs := []string{"/src"}
+				e.scratch.MkdirAll("/src")
+				for i := 0; i < r.Intn(6)+2; i++ {
+					parent := dirs[r.Intn(len(dirs))]
+					d := fmt.Sprintf("%s/d%d", parent, i)
+					if err := e.scratch.MkdirAll(d); err != nil {
+						t.Fatal(err)
+					}
+					dirs = append(dirs, d)
+				}
+				type file struct {
+					path    string
+					content synthetic.Content
+				}
+				var files []file
+				nFiles := r.Intn(30) + 5
+				for i := 0; i < nFiles; i++ {
+					var size int64
+					switch r.Intn(10) {
+					case 0: // chunked N-to-1 path
+						size = int64(r.Intn(30)+11) * 1e9
+					case 1: // empty file
+						size = 0
+					default: // batch path
+						size = int64(r.Intn(2e6) + 1)
+					}
+					f := file{
+						path:    fmt.Sprintf("%s/f%03d", dirs[r.Intn(len(dirs))], i),
+						content: synthetic.NewUniform(r.Uint64()|1, size),
+					}
+					if err := e.scratch.WriteFile(f.path, f.content); err != nil {
+						t.Fatal(err)
+					}
+					files = append(files, f)
+				}
+				tun := tunablesForTest()
+				tun.CopyBatchFiles = r.Intn(20) + 1
+				tun.CopyBatchBytes = int64(r.Intn(100e6) + 1e6)
+				tun.ChunkSize = int64(r.Intn(8)+2) * 1e9
+				req := baseRequest(e, OpCopy)
+				req.Tunables = tun
+				res, err := Run(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.FilesCopied != len(files) {
+					t.Errorf("FilesCopied = %d, want %d", res.FilesCopied, len(files))
+				}
+				for _, f := range files {
+					dst := "/dst" + strings.TrimPrefix(f.path, "/src")
+					got, err := e.archive.ReadContent(dst)
+					if err != nil {
+						t.Fatalf("%s: %v", dst, err)
+					}
+					if !got.Equal(f.content) {
+						t.Fatalf("%s: content mismatch", dst)
+					}
+				}
+				// pfcm agrees.
+				cmpReq := baseRequest(e, OpCompare)
+				cmpReq.Tunables = tunablesForTest()
+				cres, err := Run(cmpReq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cres.Matched != len(files) || cres.Mismatched != 0 || cres.Missing != 0 {
+					t.Errorf("pfcm = %+v, want %d matched", cres, len(files))
+				}
+			})
+		})
+	}
+}
+
+// TestRandomRestartAlwaysConverges injects a failure at a random chunk
+// of a random chunked file and verifies the resume completes with
+// correct content and no chunk left behind.
+func TestRandomRestartAlwaysConverges(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) + 500))
+		e := newEnv()
+		e.run(t, func() {
+			nChunks := r.Intn(12) + 3
+			chunkSize := int64(2e9)
+			size := int64(nChunks) * chunkSize
+			content := synthetic.NewUniform(r.Uint64()|1, size)
+			e.scratch.MkdirAll("/src")
+			e.scratch.WriteFile("/src/big", content)
+
+			req := baseRequest(e, OpCopy)
+			req.Tunables.ChunkSize = chunkSize
+			req.Tunables.LargeFileThreshold = chunkSize // force the chunked path
+			failAt := r.Intn(nChunks)
+			failed := false
+			req.Tunables.InjectFault = func(dst string, chunk int) bool {
+				if chunk == failAt && !failed {
+					failed = true
+					return true
+				}
+				return false
+			}
+			if _, err := Run(req); err == nil {
+				t.Fatal("expected injected failure")
+			}
+
+			resume := baseRequest(e, OpCopy)
+			resume.Tunables.ChunkSize = chunkSize
+			resume.Tunables.LargeFileThreshold = chunkSize
+			resume.Tunables.Restart = true
+			res, err := Run(resume)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ChunksCopied+res.ChunksSkipped != nChunks {
+				t.Errorf("chunks %d+%d != %d", res.ChunksCopied, res.ChunksSkipped, nChunks)
+			}
+			got, err := e.archive.ReadContent("/dst/big")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(content) {
+				t.Error("content mismatch after random restart")
+			}
+		})
+	}
+}
+
+// TestCopyEmptyDirAndFile covers degenerate inputs.
+func TestCopyEmptyDirAndFile(t *testing.T) {
+	e := newEnv()
+	e.run(t, func() {
+		e.scratch.MkdirAll("/src/empty")
+		e.scratch.WriteFile("/src/zero", synthetic.Content{})
+		res, err := Run(baseRequest(e, OpCopy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FilesCopied != 1 {
+			t.Errorf("FilesCopied = %d, want 1 (the zero-byte file)", res.FilesCopied)
+		}
+		if !e.archive.Exists("/dst/empty") {
+			t.Error("empty dir not replicated")
+		}
+		info, err := e.archive.Stat("/dst/zero")
+		if err != nil || info.Size != 0 {
+			t.Errorf("zero file: %+v, %v", info, err)
+		}
+	})
+}
+
+// TestDeterministicPftoolRun re-runs an identical job and requires
+// identical virtual timing.
+func TestDeterministicPftoolRun(t *testing.T) {
+	elapsed := func() (d pfsDuration) {
+		e := newEnv()
+		e.run(t, func() {
+			seedTree(t, e.scratch, "/src", []int64{1e6, 5e6, 2e9, 42})
+			res, err := Run(baseRequest(e, OpCopy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d = pfsDuration(res.Elapsed())
+		})
+		return d
+	}
+	if a, b := elapsed(), elapsed(); a != b {
+		t.Errorf("two identical runs took %v and %v", a, b)
+	}
+}
+
+type pfsDuration int64
+
+func (d pfsDuration) String() string { return fmt.Sprintf("%dns", int64(d)) }
+
+var _ = pfs.Resident // keep the pfs import for the helpers above

@@ -1,0 +1,237 @@
+// Package simtime provides a discrete-event virtual clock with
+// goroutine-based actors, timed sleeps, FIFO resources and blocking
+// queues. It is the timing foundation for every simulated substrate in
+// this repository: terabyte-scale archive experiments advance virtual
+// time deterministically and finish in milliseconds of real time.
+//
+// The model: actors are ordinary goroutines registered with Clock.Go.
+// The scheduler (Clock.Run) advances virtual time only when every actor
+// is blocked in a simtime primitive (Sleep, Resource.Acquire, Queue.Pop,
+// Cond.Wait, ...). Blocking on anything else (a bare channel, a mutex
+// held across a Sleep) stalls virtual time and is a programming error.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Duration aliases time.Duration; virtual time is a Duration since the
+// simulation epoch (zero).
+type Duration = time.Duration
+
+// Clock is a discrete-event scheduler. The zero value is not usable;
+// call NewClock.
+type Clock struct {
+	mu      sync.Mutex
+	sched   *sync.Cond // scheduler waits here for running to hit zero
+	now     Duration
+	queue   eventHeap
+	seq     uint64
+	running int // actors currently runnable (not parked, not finished)
+	parked  int // actors parked on a non-time wait (queue/cond/resource)
+	started bool
+	actors  int // actors that have been registered and not yet finished
+}
+
+type event struct {
+	at       Duration
+	seq      uint64 // FIFO tiebreak for equal timestamps
+	wake     chan struct{}
+	fn       func() // if non-nil, spawn as actor instead of waking
+	canceled *bool
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock {
+	c := &Clock{}
+	c.sched = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Go registers fn as an actor goroutine. Actors may spawn further
+// actors. Go may be called before or during Run.
+//
+// Actor bodies are started through the event queue in registration
+// order, and every wakeup likewise flows through the queue, so exactly
+// one actor executes at a time: the simulation is fully deterministic.
+func (c *Clock) Go(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.atLocked(c.now, fn)
+}
+
+func (c *Clock) finish() {
+	c.mu.Lock()
+	c.running--
+	c.actors--
+	if c.running == 0 {
+		c.sched.Signal()
+	}
+	c.mu.Unlock()
+}
+
+// Sleep blocks the calling actor for d of virtual time. Non-positive
+// durations yield to the scheduler at the current instant (other events
+// scheduled for the same instant but earlier in FIFO order run first).
+func (c *Clock) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.seq++
+	heap.Push(&c.queue, event{at: c.now + d, seq: c.seq, wake: ch})
+	c.running--
+	if c.running == 0 {
+		c.sched.Signal()
+	}
+	c.mu.Unlock()
+	<-ch
+}
+
+// park blocks the calling actor until another actor (or the scheduler)
+// closes ch via unpark. The caller must hold c.mu; park releases it.
+func (c *Clock) park(ch chan struct{}) {
+	c.running--
+	c.parked++
+	if c.running == 0 {
+		c.sched.Signal()
+	}
+	c.mu.Unlock()
+	<-ch
+}
+
+// unpark schedules a wake event at the current instant for a parked
+// actor. The caller must hold c.mu. Routing wakeups through the event
+// queue (rather than waking directly) keeps execution single-threaded
+// and therefore deterministic: the woken actor runs only after the
+// waker has blocked.
+func (c *Clock) unpark(ch chan struct{}) {
+	c.parked--
+	c.seq++
+	heap.Push(&c.queue, event{at: c.now, seq: c.seq, wake: ch})
+	if c.running == 0 {
+		c.sched.Signal()
+	}
+}
+
+// At schedules fn to run as a fresh actor at virtual time t (clamped to
+// now). The returned cancel function prevents the callback if it has
+// not fired yet; cancellation is best-effort, so periodic callbacks
+// should carry a generation check of their own.
+func (c *Clock) At(t Duration, fn func()) (cancel func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.atLocked(t, fn)
+}
+
+// After schedules fn to run as a fresh actor after d of virtual time.
+func (c *Clock) After(d Duration, fn func()) (cancel func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.atLocked(c.now+d, fn)
+}
+
+// atLocked requires c.mu held.
+func (c *Clock) atLocked(t Duration, fn func()) (cancel func()) {
+	if t < c.now {
+		t = c.now
+	}
+	canceled := new(bool)
+	c.seq++
+	heap.Push(&c.queue, event{at: t, seq: c.seq, fn: fn, canceled: canceled})
+	if c.running == 0 {
+		c.sched.Signal()
+	}
+	return func() {
+		c.mu.Lock()
+		*canceled = true
+		c.mu.Unlock()
+	}
+}
+
+// Run drives the simulation until no actor remains runnable and no
+// timed event is pending. It returns the final virtual time. If actors
+// remain parked on queues/conditions that nobody will ever signal, Run
+// returns a deadlock error naming the count.
+func (c *Clock) Run() (Duration, error) {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("simtime: Run called twice")
+	}
+	c.started = true
+	for {
+		for c.running > 0 {
+			c.sched.Wait()
+		}
+		if c.queue.Len() == 0 {
+			break
+		}
+		ev := heap.Pop(&c.queue).(event)
+		if ev.canceled != nil && *ev.canceled {
+			continue
+		}
+		if ev.at > c.now {
+			c.now = ev.at
+		}
+		if ev.fn != nil {
+			c.running++
+			c.actors++
+			go func() {
+				defer c.finish()
+				ev.fn()
+			}()
+		} else {
+			c.running++
+			close(ev.wake)
+		}
+		// Loop back; we wait until the woken chain blocks again.
+	}
+	end := c.now
+	deadlocked := c.parked
+	c.mu.Unlock()
+	if deadlocked > 0 {
+		return end, fmt.Errorf("simtime: deadlock, %d actor(s) parked with no pending events", deadlocked)
+	}
+	return end, nil
+}
+
+// RunFor is a convenience wrapper: it panics on deadlock and returns the
+// final virtual time. Useful in tests and examples.
+func (c *Clock) RunFor() Duration {
+	end, err := c.Run()
+	if err != nil {
+		panic(err)
+	}
+	return end
+}

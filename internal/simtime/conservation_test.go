@@ -1,0 +1,133 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPipeConservationRandomFlows is the conservation property of the
+// fluid model: however flows arrive, (a) no flow finishes faster than
+// bytes/rate, and (b) aggregate throughput never exceeds the pipe rate.
+func TestPipeConservationRandomFlows(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		c := NewClock()
+		const rate = 1e6
+		p := NewPipe(c, "x", rate)
+		type flow struct {
+			bytes    int64
+			start    Duration
+			started  Duration
+			finished Duration
+		}
+		flows := make([]*flow, r.Intn(20)+2)
+		var total int64
+		for i := range flows {
+			f := &flow{
+				bytes: int64(r.Intn(5e6) + 1),
+				start: Duration(r.Intn(10)) * time.Second,
+			}
+			flows[i] = f
+			total += f.bytes
+			c.Go(func() {
+				c.Sleep(f.start)
+				f.started = c.Now()
+				p.Transfer(f.bytes)
+				f.finished = c.Now()
+			})
+		}
+		end := c.RunFor()
+		// (a) per-flow lower bound.
+		for i, f := range flows {
+			minDur := Duration(float64(f.bytes) / rate * 1e9)
+			if got := f.finished - f.started; got < minDur-time.Millisecond {
+				t.Fatalf("trial %d flow %d: took %v, faster than line rate allows (%v)", trial, i, got, minDur)
+			}
+		}
+		// (b) aggregate: all bytes cannot beat the pipe, measured from
+		// the first start.
+		var firstStart Duration = 1 << 60
+		for _, f := range flows {
+			if f.started < firstStart {
+				firstStart = f.started
+			}
+		}
+		minEnd := firstStart + Duration(float64(total)/rate*1e9)
+		// Idle gaps can only make it later, never earlier.
+		if end < minEnd-10*time.Millisecond {
+			t.Fatalf("trial %d: finished at %v, impossible before %v", trial, end, minEnd)
+		}
+	}
+}
+
+// TestResourceConservation acquires random unit counts concurrently and
+// checks the in-use gauge never exceeds capacity at any observation.
+func TestResourceConservation(t *testing.T) {
+	c := NewClock()
+	const capacity = 7
+	res := NewResource(c, capacity)
+	r := rand.New(rand.NewSource(3))
+	violated := false
+	for i := 0; i < 30; i++ {
+		n := r.Intn(capacity) + 1
+		hold := time.Duration(r.Intn(1000)+1) * time.Millisecond
+		c.Go(func() {
+			res.Acquire(n)
+			if res.InUse() > capacity {
+				violated = true
+			}
+			c.Sleep(hold)
+			res.Release(n)
+		})
+	}
+	c.RunFor()
+	if violated {
+		t.Error("resource exceeded capacity")
+	}
+	if res.InUse() != 0 {
+		t.Errorf("leaked %d units", res.InUse())
+	}
+}
+
+// TestDeterministicReplay runs a mixed scenario twice and requires
+// identical virtual end times and event traces.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (Duration, []string) {
+		c := NewClock()
+		p := NewPipe(c, "x", 1e6)
+		res := NewResource(c, 2)
+		q := NewQueue(c)
+		var trace []string
+		for i := 0; i < 8; i++ {
+			i := i
+			c.Go(func() {
+				res.Acquire(1)
+				p.Transfer(int64(100e3 * (i + 1)))
+				res.Release(1)
+				q.Push(i)
+			})
+		}
+		c.Go(func() {
+			for i := 0; i < 8; i++ {
+				v, _ := q.Pop()
+				trace = append(trace, string(rune('a'+v.(int))))
+			}
+		})
+		end := c.RunFor()
+		return end, trace
+	}
+	end1, trace1 := run()
+	end2, trace2 := run()
+	if end1 != end2 {
+		t.Errorf("end times differ: %v vs %v", end1, end2)
+	}
+	if len(trace1) != len(trace2) {
+		t.Fatalf("trace lengths differ")
+	}
+	for i := range trace1 {
+		if trace1[i] != trace2[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, trace1, trace2)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package simtime
+
+// Pipe is a fair-share fluid bandwidth model: a channel of fixed
+// capacity (bytes/second) shared equally among concurrent transfers,
+// the classic processor-sharing approximation of a network link, disk
+// array, or SAN path. A Transfer of B bytes over a pipe of rate R with
+// n concurrent flows progresses at R/n and completes when it has
+// accumulated B bytes of service.
+//
+// The implementation integrates per-flow service exactly: svc(t) is the
+// cumulative service any always-active flow would have received, and a
+// flow joining at svc0 with B bytes completes when svc reaches svc0+B.
+// One pending completion timer per pipe keeps the event count
+// proportional to the number of transfers, not their size, so petabyte
+// transfers cost O(1) events.
+type Pipe struct {
+	clock *Clock
+	rate  float64 // bytes per virtual second
+	name  string
+
+	// All fields below are guarded by clock.mu, like the other
+	// simtime primitives.
+	flows    map[*pipeFlow]struct{}
+	svc      float64 // cumulative per-flow service, bytes
+	last     Duration
+	gen      uint64 // completion-timer generation
+	total    float64
+	maxFlows int
+}
+
+type pipeFlow struct {
+	target float64 // svc value at which this flow completes
+	ch     chan struct{}
+}
+
+// NewPipe creates a pipe carrying rate bytes per virtual second.
+func NewPipe(clock *Clock, name string, rate float64) *Pipe {
+	if rate <= 0 {
+		panic("simtime: pipe rate must be positive")
+	}
+	return &Pipe{
+		clock: clock,
+		rate:  rate,
+		name:  name,
+		flows: make(map[*pipeFlow]struct{}),
+	}
+}
+
+// Name reports the pipe's label.
+func (p *Pipe) Name() string { return p.name }
+
+// Rate reports the pipe capacity in bytes per virtual second.
+func (p *Pipe) Rate() float64 { return p.rate }
+
+// Active reports the number of in-flight transfers.
+func (p *Pipe) Active() int {
+	p.clock.mu.Lock()
+	defer p.clock.mu.Unlock()
+	return len(p.flows)
+}
+
+// TotalBytes reports the cumulative bytes carried.
+func (p *Pipe) TotalBytes() float64 {
+	p.clock.mu.Lock()
+	defer p.clock.mu.Unlock()
+	p.settleLocked()
+	return p.total
+}
+
+// MaxConcurrency reports the peak number of simultaneous flows seen.
+func (p *Pipe) MaxConcurrency() int {
+	p.clock.mu.Lock()
+	defer p.clock.mu.Unlock()
+	return p.maxFlows
+}
+
+// Transfer moves n bytes through the pipe, blocking the calling actor
+// for the fair-share duration. Zero or negative sizes return
+// immediately.
+func (p *Pipe) Transfer(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.clock.mu.Lock()
+	p.settleLocked()
+	f := &pipeFlow{target: p.svc + float64(n), ch: make(chan struct{})}
+	p.flows[f] = struct{}{}
+	if len(p.flows) > p.maxFlows {
+		p.maxFlows = len(p.flows)
+	}
+	p.total += float64(n)
+	p.rescheduleLocked()
+	p.clock.park(f.ch) // releases clock.mu
+}
+
+// settleLocked advances svc to the present. clock.mu must be held.
+func (p *Pipe) settleLocked() {
+	now := p.clock.now
+	if n := len(p.flows); n > 0 && now > p.last {
+		p.svc += (now - p.last).Seconds() * p.rate / float64(n)
+	}
+	p.last = now
+}
+
+// rescheduleLocked arms the completion timer for the earliest-finishing
+// flow. clock.mu must be held.
+func (p *Pipe) rescheduleLocked() {
+	p.gen++
+	if len(p.flows) == 0 {
+		return
+	}
+	minTarget := 0.0
+	first := true
+	for f := range p.flows {
+		if first || f.target < minTarget {
+			minTarget, first = f.target, false
+		}
+	}
+	deficit := minTarget - p.svc
+	if deficit < 0 {
+		deficit = 0
+	}
+	secs := deficit * float64(len(p.flows)) / p.rate
+	gen := p.gen
+	// +1ns guarantees forward progress even when float rounding makes
+	// the computed deficit vanish.
+	p.clock.atLocked(p.clock.now+durationFromSeconds(secs)+1, func() {
+		p.complete(gen)
+	})
+}
+
+// complete fires at a completion instant: it settles service, releases
+// every flow whose target has been reached, and re-arms the timer.
+func (p *Pipe) complete(gen uint64) {
+	p.clock.mu.Lock()
+	if gen != p.gen {
+		p.clock.mu.Unlock()
+		return // stale timer: membership changed since it was armed
+	}
+	p.settleLocked()
+	// At petabyte service values float64 keeps ~1-byte absolute
+	// precision; 64 bytes of slack is invisible at simulation scale and
+	// absorbs accumulated rounding across many settle steps.
+	const eps = 64.0
+	for f := range p.flows {
+		if f.target <= p.svc+eps {
+			delete(p.flows, f)
+			p.clock.unpark(f.ch)
+		}
+	}
+	p.rescheduleLocked()
+	p.clock.mu.Unlock()
+}
+
+func durationFromSeconds(s float64) Duration {
+	return Duration(s * 1e9)
+}
+
+// TransferAll moves n bytes through every pipe concurrently and returns
+// when the slowest finishes: the standard model for a data path that
+// crosses several shared resources (source array, NIC, destination
+// array), where end-to-end throughput is set by the bottleneck hop.
+func TransferAll(c *Clock, n int64, pipes ...*Pipe) {
+	if n <= 0 || len(pipes) == 0 {
+		return
+	}
+	if len(pipes) == 1 {
+		pipes[0].Transfer(n)
+		return
+	}
+	wg := NewWaitGroup(c)
+	for _, p := range pipes[1:] {
+		p := p
+		wg.Add(1)
+		c.Go(func() {
+			p.Transfer(n)
+			wg.Done()
+		})
+	}
+	pipes[0].Transfer(n)
+	wg.Wait()
+}

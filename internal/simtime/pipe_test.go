@@ -1,0 +1,158 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func approxDuration(got, want Duration, tolerance Duration) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tolerance
+}
+
+func TestPipeSingleFlowExactTime(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 100) // 100 B/s
+	c.Go(func() {
+		p.Transfer(1000) // 10s at full rate
+	})
+	end := c.RunFor()
+	if !approxDuration(end, 10*time.Second, time.Millisecond) {
+		t.Errorf("end = %v, want ~10s", end)
+	}
+}
+
+func TestPipeTwoEqualFlowsShareFairly(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 100)
+	var f1, f2 Duration
+	c.Go(func() { p.Transfer(1000); f1 = c.Now() })
+	c.Go(func() { p.Transfer(1000); f2 = c.Now() })
+	c.RunFor()
+	// Each gets 50 B/s: both finish at ~20s.
+	if !approxDuration(f1, 20*time.Second, 10*time.Millisecond) {
+		t.Errorf("f1 = %v, want ~20s", f1)
+	}
+	if !approxDuration(f2, 20*time.Second, 10*time.Millisecond) {
+		t.Errorf("f2 = %v, want ~20s", f2)
+	}
+}
+
+func TestPipeShortFlowFinishesFirstThenLongSpeedsUp(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 100)
+	var short, long Duration
+	c.Go(func() { p.Transfer(500); short = c.Now() })
+	c.Go(func() { p.Transfer(1500); long = c.Now() })
+	c.RunFor()
+	// Both at 50 B/s until short is done at t=10; long has 1000 left,
+	// then runs at 100 B/s, finishing at t=20.
+	if !approxDuration(short, 10*time.Second, 10*time.Millisecond) {
+		t.Errorf("short = %v, want ~10s", short)
+	}
+	if !approxDuration(long, 20*time.Second, 10*time.Millisecond) {
+		t.Errorf("long = %v, want ~20s", long)
+	}
+}
+
+func TestPipeLateJoinerSlowsEarlier(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 100)
+	var first Duration
+	c.Go(func() { p.Transfer(1000); first = c.Now() })
+	c.Go(func() {
+		c.Sleep(5 * time.Second)
+		p.Transfer(10000)
+	})
+	c.RunFor()
+	// First runs alone 0-5s (500 bytes done), then shares 50 B/s to
+	// deliver the remaining 500: finishes at 15s.
+	if !approxDuration(first, 15*time.Second, 10*time.Millisecond) {
+		t.Errorf("first = %v, want ~15s", first)
+	}
+}
+
+func TestPipeAggregateThroughputIsConserved(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 1e6) // 1 MB/s
+	const flows = 20
+	const each = int64(500_000)
+	for i := 0; i < flows; i++ {
+		i := i
+		c.Go(func() {
+			c.Sleep(time.Duration(i) * 100 * time.Millisecond)
+			p.Transfer(each)
+		})
+	}
+	end := c.RunFor()
+	// Total = 10 MB through 1 MB/s pipe: cannot beat 10s no matter the
+	// concurrency, and with staggering should not exceed it by much.
+	minEnd := durationFromSeconds(float64(flows) * float64(each) / 1e6)
+	if end < minEnd {
+		t.Errorf("end = %v is faster than link capacity allows (%v)", end, minEnd)
+	}
+	if end > minEnd+3*time.Second {
+		t.Errorf("end = %v, want close to %v", end, minEnd)
+	}
+	if got := p.TotalBytes(); math.Abs(got-float64(flows)*float64(each)) > 1 {
+		t.Errorf("TotalBytes = %v, want %v", got, flows*int(each))
+	}
+}
+
+func TestPipeZeroTransferImmediate(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 100)
+	c.Go(func() {
+		p.Transfer(0)
+		p.Transfer(-5)
+	})
+	if end := c.RunFor(); end != 0 {
+		t.Errorf("zero transfers advanced time to %v", end)
+	}
+}
+
+func TestPipeManySequentialTransfers(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 1000)
+	c.Go(func() {
+		for i := 0; i < 100; i++ {
+			p.Transfer(100) // 0.1s each
+		}
+	})
+	end := c.RunFor()
+	if !approxDuration(end, 10*time.Second, 50*time.Millisecond) {
+		t.Errorf("end = %v, want ~10s", end)
+	}
+}
+
+func TestPipeMaxConcurrencyTracked(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 1000)
+	for i := 0; i < 5; i++ {
+		c.Go(func() { p.Transfer(1000) })
+	}
+	c.RunFor()
+	if p.MaxConcurrency() != 5 {
+		t.Errorf("MaxConcurrency = %d, want 5", p.MaxConcurrency())
+	}
+}
+
+func TestPipePetabyteScaleIsCheap(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "trunk", 2.5e9) // 2.5 GB/s
+	const pb = int64(1) << 50
+	c.Go(func() { p.Transfer(pb) })
+	start := time.Now()
+	end := c.RunFor()
+	if real := time.Since(start); real > time.Second {
+		t.Errorf("petabyte transfer took %v real time; fluid model should be O(1)", real)
+	}
+	wantSecs := float64(pb) / 2.5e9
+	if math.Abs(end.Seconds()-wantSecs) > 1 {
+		t.Errorf("end = %vs, want ~%vs", end.Seconds(), wantSecs)
+	}
+}

@@ -1,0 +1,229 @@
+package simtime
+
+import "container/list"
+
+// Resource is a counted resource with FIFO admission: think tape
+// drives, link transmission slots, or CPU slots. Acquire blocks in
+// virtual time until the requested units are available; waiters are
+// served strictly in arrival order (no barging), which models the FIFO
+// queues of real devices and keeps simulations fair and reproducible.
+type Resource struct {
+	clock *Clock
+	cap   int
+	inUse int
+	wait  list.List // of *resWaiter
+}
+
+type resWaiter struct {
+	n  int
+	ch chan struct{}
+}
+
+// NewResource creates a resource with capacity units. Capacity must be
+// positive.
+func NewResource(clock *Clock, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("simtime: resource capacity must be positive")
+	}
+	return &Resource{clock: clock, cap: capacity}
+}
+
+// Cap reports the resource capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse reports the units currently held.
+func (r *Resource) InUse() int {
+	r.clock.mu.Lock()
+	defer r.clock.mu.Unlock()
+	return r.inUse
+}
+
+// Acquire blocks the calling actor until n units are available and the
+// caller is at the head of the FIFO queue. n must be in [1, capacity].
+func (r *Resource) Acquire(n int) {
+	if n <= 0 || n > r.cap {
+		panic("simtime: Acquire out of range")
+	}
+	r.clock.mu.Lock()
+	if r.wait.Len() == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		r.clock.mu.Unlock()
+		return
+	}
+	w := &resWaiter{n: n, ch: make(chan struct{})}
+	r.wait.PushBack(w)
+	r.clock.park(w.ch) // releases the lock
+}
+
+// TryAcquire acquires n units without blocking, reporting success.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.cap {
+		panic("simtime: TryAcquire out of range")
+	}
+	r.clock.mu.Lock()
+	defer r.clock.mu.Unlock()
+	if r.wait.Len() == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and admits queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	r.clock.mu.Lock()
+	defer r.clock.mu.Unlock()
+	if n <= 0 || n > r.inUse {
+		panic("simtime: Release out of range")
+	}
+	r.inUse -= n
+	for e := r.wait.Front(); e != nil; {
+		w := e.Value.(*resWaiter)
+		if r.inUse+w.n > r.cap {
+			break // strict FIFO: head of queue blocks followers
+		}
+		next := e.Next()
+		r.wait.Remove(e)
+		r.inUse += w.n
+		r.clock.unpark(w.ch)
+		e = next
+	}
+}
+
+// Use acquires n units, runs fn, and releases, panic-safe.
+func (r *Resource) Use(n int, fn func()) {
+	r.Acquire(n)
+	defer r.Release(n)
+	fn()
+}
+
+// Queue is an unbounded FIFO mailbox of values with blocking Pop. It is
+// the inter-actor communication primitive: MPI mailboxes, work queues,
+// and daemon inboxes are all Queues. Close wakes all blocked Poppers.
+type Queue struct {
+	clock  *Clock
+	items  list.List // of interface{}
+	wait   list.List // of chan struct{}
+	closed bool
+}
+
+// NewQueue creates an empty queue on clock.
+func NewQueue(clock *Clock) *Queue {
+	return &Queue{clock: clock}
+}
+
+// Push appends v and wakes one blocked Pop, if any. Push on a closed
+// queue panics (it indicates a protocol bug in the caller).
+func (q *Queue) Push(v interface{}) {
+	q.clock.mu.Lock()
+	defer q.clock.mu.Unlock()
+	if q.closed {
+		panic("simtime: Push on closed queue")
+	}
+	q.items.PushBack(v)
+	if e := q.wait.Front(); e != nil {
+		ch := q.wait.Remove(e).(chan struct{})
+		q.clock.unpark(ch)
+	}
+}
+
+// Pop removes and returns the head value, blocking in virtual time
+// while the queue is empty. ok is false if the queue was closed and
+// drained.
+func (q *Queue) Pop() (v interface{}, ok bool) {
+	for {
+		q.clock.mu.Lock()
+		if e := q.items.Front(); e != nil {
+			v = q.items.Remove(e)
+			q.clock.mu.Unlock()
+			return v, true
+		}
+		if q.closed {
+			q.clock.mu.Unlock()
+			return nil, false
+		}
+		ch := make(chan struct{})
+		q.wait.PushBack(ch)
+		q.clock.park(ch) // releases the lock
+	}
+}
+
+// TryPop removes the head value without blocking.
+func (q *Queue) TryPop() (v interface{}, ok bool) {
+	q.clock.mu.Lock()
+	defer q.clock.mu.Unlock()
+	if e := q.items.Front(); e != nil {
+		return q.items.Remove(e), true
+	}
+	return nil, false
+}
+
+// Len reports the number of queued values.
+func (q *Queue) Len() int {
+	q.clock.mu.Lock()
+	defer q.clock.mu.Unlock()
+	return q.items.Len()
+}
+
+// Close marks the queue closed; blocked and future Pops return ok=false
+// once drained. Closing twice is a no-op.
+func (q *Queue) Close() {
+	q.clock.mu.Lock()
+	defer q.clock.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for e := q.wait.Front(); e != nil; {
+		next := e.Next()
+		ch := q.wait.Remove(e).(chan struct{})
+		q.clock.unpark(ch)
+		e = next
+	}
+}
+
+// WaitGroup counts outstanding work items in virtual time. Unlike
+// sync.WaitGroup it parks the waiter through the simulation clock, so
+// waiting does not stall virtual time.
+type WaitGroup struct {
+	clock *Clock
+	n     int
+	wait  []chan struct{}
+}
+
+// NewWaitGroup creates a WaitGroup on clock.
+func NewWaitGroup(clock *Clock) *WaitGroup {
+	return &WaitGroup{clock: clock}
+}
+
+// Add adds delta (which may be negative) to the counter. The counter
+// must not go negative. When it reaches zero all Waiters wake.
+func (w *WaitGroup) Add(delta int) {
+	w.clock.mu.Lock()
+	defer w.clock.mu.Unlock()
+	w.n += delta
+	if w.n < 0 {
+		panic("simtime: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		for _, ch := range w.wait {
+			w.clock.unpark(ch)
+		}
+		w.wait = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks the calling actor until the counter is zero.
+func (w *WaitGroup) Wait() {
+	w.clock.mu.Lock()
+	if w.n == 0 {
+		w.clock.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	w.wait = append(w.wait, ch)
+	w.clock.park(ch)
+}

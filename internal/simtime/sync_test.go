@@ -1,0 +1,240 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResourceSerializesAtCapacity(t *testing.T) {
+	c := NewClock()
+	r := NewResource(c, 1)
+	var finish []Duration
+	for i := 0; i < 3; i++ {
+		c.Go(func() {
+			r.Acquire(1)
+			c.Sleep(10 * time.Second)
+			r.Release(1)
+			finish = append(finish, c.Now())
+		})
+	}
+	end := c.RunFor()
+	if end != 30*time.Second {
+		t.Errorf("end = %v, want 30s (capacity 1 serializes)", end)
+	}
+	if len(finish) != 3 {
+		t.Fatalf("finished %d, want 3", len(finish))
+	}
+	for i, f := range finish {
+		want := time.Duration(i+1) * 10 * time.Second
+		if f != want {
+			t.Errorf("finish[%d] = %v, want %v", i, f, want)
+		}
+	}
+}
+
+func TestResourceParallelWithinCapacity(t *testing.T) {
+	c := NewClock()
+	r := NewResource(c, 3)
+	for i := 0; i < 3; i++ {
+		c.Go(func() {
+			r.Use(1, func() { c.Sleep(10 * time.Second) })
+		})
+	}
+	if end := c.RunFor(); end != 10*time.Second {
+		t.Errorf("end = %v, want 10s (all three run in parallel)", end)
+	}
+}
+
+func TestResourceFIFONoBarging(t *testing.T) {
+	c := NewClock()
+	r := NewResource(c, 2)
+	var order []string
+	// big arrives first wanting 2 units while 1 is held; small arrives
+	// later wanting 1. Strict FIFO means small must wait behind big.
+	c.Go(func() {
+		r.Acquire(1)
+		c.Sleep(10 * time.Second)
+		r.Release(1)
+	})
+	c.Go(func() {
+		c.Sleep(time.Second)
+		r.Acquire(2)
+		order = append(order, "big")
+		r.Release(2)
+	})
+	c.Go(func() {
+		c.Sleep(2 * time.Second)
+		r.Acquire(1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	c.RunFor()
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Errorf("order = %v, want [big small]", order)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	c := NewClock()
+	r := NewResource(c, 1)
+	var got, gotWhileHeld bool
+	c.Go(func() {
+		got = r.TryAcquire(1)
+		gotWhileHeld = r.TryAcquire(1)
+		r.Release(1)
+	})
+	c.RunFor()
+	if !got {
+		t.Error("first TryAcquire failed on idle resource")
+	}
+	if gotWhileHeld {
+		t.Error("second TryAcquire succeeded past capacity")
+	}
+}
+
+func TestResourceReleaseTooMuchPanics(t *testing.T) {
+	c := NewClock()
+	r := NewResource(c, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.Release(1)
+}
+
+func TestQueuePushPopFIFO(t *testing.T) {
+	c := NewClock()
+	q := NewQueue(c)
+	var got []int
+	c.Go(func() {
+		for i := 0; i < 5; i++ {
+			q.Push(i)
+		}
+		q.Close()
+	})
+	c.Go(func() {
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	c.RunFor()
+	if len(got) != 5 {
+		t.Fatalf("got %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("got[%d] = %d, want %d (FIFO order)", i, v, i)
+		}
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	c := NewClock()
+	q := NewQueue(c)
+	var popped Duration
+	c.Go(func() {
+		v, ok := q.Pop()
+		if !ok || v.(string) != "x" {
+			t.Errorf("Pop = %v, %v", v, ok)
+		}
+		popped = c.Now()
+	})
+	c.Go(func() {
+		c.Sleep(7 * time.Second)
+		q.Push("x")
+	})
+	c.RunFor()
+	if popped != 7*time.Second {
+		t.Errorf("popped at %v, want 7s", popped)
+	}
+}
+
+func TestQueueCloseWakesAll(t *testing.T) {
+	c := NewClock()
+	q := NewQueue(c)
+	woken := 0
+	for i := 0; i < 4; i++ {
+		c.Go(func() {
+			if _, ok := q.Pop(); !ok {
+				woken++
+			}
+		})
+	}
+	c.Go(func() {
+		c.Sleep(time.Second)
+		q.Close()
+	})
+	c.RunFor()
+	if woken != 4 {
+		t.Errorf("woken = %d, want 4", woken)
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	c := NewClock()
+	q := NewQueue(c)
+	c.Go(func() {
+		if _, ok := q.TryPop(); ok {
+			t.Error("TryPop on empty queue succeeded")
+		}
+		q.Push(1)
+		if v, ok := q.TryPop(); !ok || v.(int) != 1 {
+			t.Errorf("TryPop = %v, %v", v, ok)
+		}
+	})
+	c.RunFor()
+}
+
+func TestQueueLen(t *testing.T) {
+	c := NewClock()
+	q := NewQueue(c)
+	c.Go(func() {
+		q.Push(1)
+		q.Push(2)
+		if q.Len() != 2 {
+			t.Errorf("Len = %d, want 2", q.Len())
+		}
+	})
+	c.RunFor()
+}
+
+func TestWaitGroupBlocksUntilDone(t *testing.T) {
+	c := NewClock()
+	wg := NewWaitGroup(c)
+	wg.Add(3)
+	var waited Duration
+	for i := 1; i <= 3; i++ {
+		i := i
+		c.Go(func() {
+			c.Sleep(time.Duration(i) * time.Second)
+			wg.Done()
+		})
+	}
+	c.Go(func() {
+		wg.Wait()
+		waited = c.Now()
+	})
+	c.RunFor()
+	if waited != 3*time.Second {
+		t.Errorf("Wait returned at %v, want 3s", waited)
+	}
+}
+
+func TestWaitGroupZeroWaitImmediate(t *testing.T) {
+	c := NewClock()
+	wg := NewWaitGroup(c)
+	done := false
+	c.Go(func() {
+		wg.Wait()
+		done = true
+	})
+	c.RunFor()
+	if !done {
+		t.Error("Wait on zero counter did not return")
+	}
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Sum() != 15 || s.Mean() != 3 {
+		t.Errorf("N=%d Sum=%v Mean=%v", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min=%v Max=%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Errorf("Median=%v", s.Median())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.GeoMean() != 0 || s.Stddev() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Percentile(0) != 1 || s.Percentile(100) != 100 {
+		t.Errorf("P0=%v P100=%v", s.Percentile(0), s.Percentile(100))
+	}
+	if p := s.Percentile(90); p < 89 || p > 91 {
+		t.Errorf("P90=%v", p)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(100)
+	if g := s.GeoMean(); math.Abs(g-10) > 1e-9 {
+		t.Errorf("GeoMean=%v, want 10", g)
+	}
+	// Non-positive values are excluded.
+	s.Add(0)
+	if g := s.GeoMean(); math.Abs(g-10) > 1e-9 {
+		t.Errorf("GeoMean with zero=%v, want 10", g)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if d := s.Stddev(); math.Abs(d-2) > 1e-9 {
+		t.Errorf("Stddev=%v, want 2", d)
+	}
+}
+
+func TestQuickPercentileWithinMinMax(t *testing.T) {
+	f := func(vals []float64, p uint8) bool {
+		var s Summary
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		q := s.Percentile(float64(p % 101))
+		return q >= s.Min() && q <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogHistogramBuckets(t *testing.T) {
+	h := NewLogHistogram()
+	h.Add(5)   // decade 0
+	h.Add(50)  // decade 1
+	h.Add(55)  // decade 1
+	h.Add(5e6) // decade 6
+	h.Add(0)   // sentinel
+	h.Add(-3)  // sentinel
+	if h.Total() != 6 {
+		t.Errorf("Total=%d", h.Total())
+	}
+	if h.Bucket(0) != 1 || h.Bucket(1) != 2 || h.Bucket(6) != 1 {
+		t.Errorf("buckets: %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(6))
+	}
+	out := h.Render("files")
+	if !strings.Contains(out, "1e6") || !strings.Contains(out, "#") {
+		t.Errorf("Render = %q", out)
+	}
+}
+
+func TestLogHistogramEmptyRender(t *testing.T) {
+	if out := NewLogHistogram().Render("x"); out != "(empty)\n" {
+		t.Errorf("Render = %q", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("job", "MB/s")
+	tb.Row(1, 575.25)
+	tb.Row(2, 73.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "job") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "575.25") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if MB(5e6) != 5 || GB(3e9) != 3 {
+		t.Error("unit conversions wrong")
+	}
+}

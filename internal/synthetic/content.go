@@ -1,0 +1,263 @@
+// Package synthetic represents file contents symbolically so that the
+// archive simulator can move, compare, and corrupt terabyte-scale files
+// without materializing their bytes.
+//
+// A Content is a sequence of extents, each referring to a deterministic
+// pseudo-random byte stream identified by a 64-bit seed and an offset
+// within that stream. Copying propagates extents; comparison normalizes
+// and compares extent lists; and any byte of any extent can be generated
+// on demand for spot checks, so the representation behaves exactly like
+// real data at five orders of magnitude less cost. Two distinct seed
+// streams are treated as never byte-equal, which holds with probability
+// 1-2^-64 per block for the splitmix64 generator used here.
+package synthetic
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Extent is a run of bytes drawn from one seed stream.
+type Extent struct {
+	Off     int64  // offset within the file
+	Len     int64  // length in bytes
+	Seed    uint64 // identifies the generator stream
+	SeedOff int64  // offset within the seed stream
+}
+
+// Content is an immutable description of file bytes as ordered,
+// non-overlapping, gap-free extents. The zero value is empty content.
+type Content struct {
+	extents []Extent
+}
+
+// NewUniform returns content of the given length drawn from the seed
+// stream starting at stream offset zero.
+func NewUniform(seed uint64, length int64) Content {
+	if length < 0 {
+		panic("synthetic: negative length")
+	}
+	if length == 0 {
+		return Content{}
+	}
+	return Content{extents: []Extent{{Off: 0, Len: length, Seed: seed, SeedOff: 0}}}
+}
+
+// Len reports the total content length in bytes.
+func (c Content) Len() int64 {
+	var n int64
+	for _, e := range c.extents {
+		n += e.Len
+	}
+	return n
+}
+
+// Extents returns a copy of the normalized extent list.
+func (c Content) Extents() []Extent {
+	out := make([]Extent, len(c.extents))
+	copy(out, c.extents)
+	return out
+}
+
+// Slice returns the sub-content [off, off+length). It panics if the
+// range is out of bounds.
+func (c Content) Slice(off, length int64) Content {
+	if off < 0 || length < 0 || off+length > c.Len() {
+		panic(fmt.Sprintf("synthetic: slice [%d,%d) out of bounds of %d", off, off+length, c.Len()))
+	}
+	if length == 0 {
+		return Content{}
+	}
+	var out []Extent
+	var outOff int64
+	for _, e := range c.extents {
+		if off >= e.Off+e.Len || off+length <= e.Off {
+			continue
+		}
+		start := off
+		if e.Off > start {
+			start = e.Off
+		}
+		end := off + length
+		if e.Off+e.Len < end {
+			end = e.Off + e.Len
+		}
+		out = append(out, Extent{
+			Off:     outOff,
+			Len:     end - start,
+			Seed:    e.Seed,
+			SeedOff: e.SeedOff + (start - e.Off),
+		})
+		outOff += end - start
+	}
+	return Content{extents: normalize(out)}
+}
+
+// Concat returns the concatenation of c followed by others, in order.
+func Concat(parts ...Content) Content {
+	var out []Extent
+	var off int64
+	for _, p := range parts {
+		for _, e := range p.extents {
+			out = append(out, Extent{Off: off + e.Off, Len: e.Len, Seed: e.Seed, SeedOff: e.SeedOff})
+		}
+		off += p.Len()
+	}
+	return Content{extents: normalize(out)}
+}
+
+// Overwrite returns c with the range [off, off+repl.Len()) replaced by
+// repl. The replaced range must lie within c.
+func (c Content) Overwrite(off int64, repl Content) Content {
+	rl := repl.Len()
+	if off < 0 || off+rl > c.Len() {
+		panic("synthetic: overwrite out of bounds")
+	}
+	head := c.Slice(0, off)
+	tail := c.Slice(off+rl, c.Len()-off-rl)
+	return Concat(head, repl, tail)
+}
+
+// Truncate returns c cut to the given length (which must not exceed
+// the current length).
+func (c Content) Truncate(length int64) Content {
+	return c.Slice(0, length)
+}
+
+// Equal reports whether two contents are byte-identical, comparing
+// normalized extent lists. Distinct seed streams are treated as
+// never-equal (see the package comment).
+func (c Content) Equal(d Content) bool {
+	a, b := c.extents, d.extents
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Digest returns a 64-bit fingerprint of the content: equal contents
+// have equal digests, and distinct contents collide only with hash
+// probability.
+func (c Content) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8 * 4]byte
+	for _, e := range c.extents {
+		putU64(buf[0:], uint64(e.Off))
+		putU64(buf[8:], uint64(e.Len))
+		putU64(buf[16:], e.Seed)
+		putU64(buf[24:], uint64(e.SeedOff))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// ReadAt generates the actual bytes of the content at off into p,
+// returning the number of bytes produced (short at EOF).
+func (c Content) ReadAt(p []byte, off int64) int {
+	total := c.Len()
+	if off >= total {
+		return 0
+	}
+	n := int64(len(p))
+	if off+n > total {
+		n = total - off
+	}
+	// Locate extents overlapping [off, off+n).
+	idx := sort.Search(len(c.extents), func(i int) bool {
+		return c.extents[i].Off+c.extents[i].Len > off
+	})
+	written := int64(0)
+	for i := idx; i < len(c.extents) && written < n; i++ {
+		e := c.extents[i]
+		start := off + written
+		rel := start - e.Off
+		chunk := e.Len - rel
+		if chunk > n-written {
+			chunk = n - written
+		}
+		generate(p[written:written+chunk], e.Seed, e.SeedOff+rel)
+		written += chunk
+	}
+	return int(written)
+}
+
+// ByteAt generates the single byte at offset off.
+func (c Content) ByteAt(off int64) byte {
+	var b [1]byte
+	if c.ReadAt(b[:], off) != 1 {
+		panic("synthetic: ByteAt out of bounds")
+	}
+	return b[0]
+}
+
+// generate fills p with stream bytes starting at streamOff of seed.
+func generate(p []byte, seed uint64, streamOff int64) {
+	i := int64(0)
+	for i < int64(len(p)) {
+		abs := streamOff + i
+		block := abs >> 3
+		word := splitmix64(seed + uint64(block)*0x9E3779B97F4A7C15)
+		rem := abs & 7
+		for rem < 8 && i < int64(len(p)) {
+			p[i] = byte(word >> (8 * uint(rem)))
+			i++
+			rem++
+		}
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality, fast mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// normalize sorts extents by offset and merges adjacent extents that
+// are contiguous in both file space and the same seed stream.
+func normalize(in []Extent) []Extent {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].Off < in[j].Off })
+	out := in[:1]
+	for _, e := range in[1:] {
+		last := &out[len(out)-1]
+		if e.Seed == last.Seed &&
+			e.Off == last.Off+last.Len &&
+			e.SeedOff == last.SeedOff+last.Len {
+			last.Len += e.Len
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// String renders a compact description for debugging.
+func (c Content) String() string {
+	if len(c.extents) == 0 {
+		return "synthetic.Content{}"
+	}
+	s := "synthetic.Content{"
+	for i, e := range c.extents {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("[%d+%d s=%x@%d]", e.Off, e.Len, e.Seed, e.SeedOff)
+	}
+	return s + "}"
+}

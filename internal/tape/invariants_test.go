@@ -1,0 +1,148 @@
+package tape
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// TestInvariantCartridgeLayout appends random objects across random
+// cartridges and verifies the physical invariants of a sequential
+// medium: strictly increasing sequence numbers, contiguous
+// non-overlapping extents, and EOD equal to the sum of file sizes.
+func TestInvariantCartridgeLayout(t *testing.T) {
+	clock := simtime.NewClock()
+	lib := NewLibrary(clock, 2, 6, 1, LTO4())
+	r := rand.New(rand.NewSource(7))
+	clock.Go(func() {
+		d := lib.Drive(0)
+		d.Acquire()
+		defer d.Release()
+		for i := 0; i < 200; i++ {
+			cart := lib.Cartridges()[r.Intn(6)]
+			if d.Mounted() != cart {
+				if err := lib.Mount(d, cart); err != nil {
+					t.Fatal(err)
+				}
+			}
+			size := int64(r.Intn(1e9) + 1)
+			if cart.Remaining() < size {
+				continue
+			}
+			if _, err := d.Append(uint64(i+1), size); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, cart := range lib.Cartridges() {
+			files := cart.Files()
+			var sum int64
+			for i, f := range files {
+				if f.Seq != i+1 {
+					t.Fatalf("%s: file %d has seq %d", cart.Label, i, f.Seq)
+				}
+				if f.Off != sum {
+					t.Fatalf("%s: file %d at offset %d, want %d (contiguous)", cart.Label, i, f.Off, sum)
+				}
+				if f.Bytes <= 0 {
+					t.Fatalf("%s: file %d has size %d", cart.Label, i, f.Bytes)
+				}
+				sum += f.Bytes
+			}
+			if cart.Used() != sum {
+				t.Fatalf("%s: Used=%d, sum=%d", cart.Label, cart.Used(), sum)
+			}
+			if cart.Used() > LTO4().Capacity {
+				t.Fatalf("%s: over capacity", cart.Label)
+			}
+		}
+	})
+	if _, err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantNoDoubleMount tries to mount one cartridge into two
+// drives; the library must refuse.
+func TestInvariantNoDoubleMount(t *testing.T) {
+	clock := simtime.NewClock()
+	lib := NewLibrary(clock, 2, 2, 1, LTO4())
+	clock.Go(func() {
+		cart, _ := lib.Cartridge("VOL0001")
+		d0, d1 := lib.Drive(0), lib.Drive(1)
+		d0.Acquire()
+		d1.Acquire()
+		defer d0.Release()
+		defer d1.Release()
+		if err := lib.Mount(d0, cart); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Mount(d1, cart); err == nil {
+			t.Fatal("double mount succeeded")
+		}
+		if lib.MountedIn(cart) != d0 {
+			t.Error("MountedIn wrong")
+		}
+	})
+	clock.RunFor()
+}
+
+// TestInvariantTimeMonotoneWithDistance checks that longer seeks cost
+// more, up to the full-tape bound.
+func TestInvariantTimeMonotoneWithDistance(t *testing.T) {
+	spec := LTO4()
+	seekCost := func(target int64) time.Duration {
+		clock := simtime.NewClock()
+		lib := NewLibrary(clock, 1, 1, 1, spec)
+		var cost time.Duration
+		clock.Go(func() {
+			d := lib.Drive(0)
+			d.Acquire()
+			defer d.Release()
+			cart, _ := lib.Cartridge("VOL0001")
+			lib.Mount(d, cart)
+			// Two files: a 1-byte marker and a big one ending at target.
+			d.Append(1, 1)
+			d.Append(2, target-1)
+			d.rewind()
+			start := clock.Now()
+			d.ReadSeq(2) // seeks to offset 1
+			_ = start
+			// Measure instead the rewind from target: proportional.
+			t0 := clock.Now()
+			d.rewind()
+			cost = clock.Now() - t0
+		})
+		clock.RunFor()
+		return cost
+	}
+	small := seekCost(10e9)
+	large := seekCost(400e9)
+	if small >= large {
+		t.Errorf("rewind from 10 GB (%v) should cost less than from 400 GB (%v)", small, large)
+	}
+	if large > spec.RewindTime {
+		t.Errorf("rewind %v exceeds full-tape bound %v", large, spec.RewindTime)
+	}
+}
+
+// TestErase returns a cartridge to scratch.
+func TestErase(t *testing.T) {
+	clock := simtime.NewClock()
+	lib := NewLibrary(clock, 1, 1, 1, LTO4())
+	clock.Go(func() {
+		d := lib.Drive(0)
+		d.Acquire()
+		defer d.Release()
+		cart, _ := lib.Cartridge("VOL0001")
+		lib.Mount(d, cart)
+		d.Append(1, 1e9)
+		d.Unmount()
+		cart.Erase()
+		if cart.Used() != 0 || cart.NumFiles() != 0 {
+			t.Errorf("erase left Used=%d NumFiles=%d", cart.Used(), cart.NumFiles())
+		}
+	})
+	clock.RunFor()
+}

@@ -1,0 +1,487 @@
+// Package tape simulates a tape subsystem: cartridges with sequential
+// file marks, drives with calibrated LTO-4 timing (mount, seek, rewind,
+// label verification, streaming transfer with a per-transaction
+// start/stop penalty), and a library whose robot arbitrates mounts.
+//
+// The timing model is the load-bearing part. Two behaviors from the
+// paper fall straight out of it:
+//
+//   - §6.1 small-file migration: each file is one transaction, and the
+//     ~1.9 s start/stop penalty drops an 8 MB-per-file stream from the
+//     drive's rated ~100 MB/s to ~4 MB/s.
+//   - §6.2 recall thrashing: when a mounted tape is handed between
+//     LAN-free client machines the drive rewinds and re-verifies the
+//     label, so recalls scattered across machines crawl even though the
+//     tape never physically dismounts.
+package tape
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Errors returned by drive operations.
+var (
+	ErrNotMounted  = errors.New("tape: no cartridge mounted")
+	ErrFull        = errors.New("tape: cartridge full")
+	ErrNoSuchFile  = errors.New("tape: no such tape file")
+	ErrBusy        = errors.New("tape: drive busy")
+	ErrNoScratch   = errors.New("tape: no scratch cartridge available")
+	ErrNoSuchLabel = errors.New("tape: no such cartridge")
+	// ErrIO is a transient drive error (media or head fault). The
+	// transaction fails after a partial charge; nothing is recorded on
+	// the cartridge. Callers retry, typically on another drive.
+	ErrIO = errors.New("tape: drive I/O error")
+)
+
+// Spec holds a drive/media timing model.
+type Spec struct {
+	StreamRate       float64       // bytes per second while streaming
+	StartStopPenalty time.Duration // per write/read transaction
+	MountTime        time.Duration // drive load + thread (after the robot exchange)
+	UnloadTime       time.Duration
+	RobotTime        time.Duration // robot arm slot<->drive exchange
+	LabelVerifyTime  time.Duration // read label at BOT
+	MinSeekTime      time.Duration // locate, adjacent block
+	FullSeekTime     time.Duration // locate across the whole tape
+	RewindTime       time.Duration // full rewind from EOT
+	Capacity         int64         // native bytes per cartridge
+}
+
+// LTO4 returns the calibrated LTO-4 generation model used throughout
+// the reproduction (rates per the paper; penalties fitted to its
+// reported 8 MB -> 4 MB/s small-file behavior).
+func LTO4() Spec {
+	return Spec{
+		StreamRate:       100e6, // the paper's "rated performance of LTO-4"
+		StartStopPenalty: 1920 * time.Millisecond,
+		MountTime:        45 * time.Second,
+		UnloadTime:       30 * time.Second,
+		RobotTime:        10 * time.Second,
+		LabelVerifyTime:  15 * time.Second,
+		MinSeekTime:      2 * time.Second,
+		FullSeekTime:     90 * time.Second,
+		RewindTime:       80 * time.Second,
+		Capacity:         800e9, // LTO-4 native
+	}
+}
+
+// File records one object written to a cartridge.
+type File struct {
+	Object uint64 // caller-assigned object ID
+	Seq    int    // 1-based position on the tape
+	Off    int64  // byte offset of the file's first block
+	Bytes  int64
+}
+
+// Cartridge is a sequential medium. Files append at end-of-data.
+type Cartridge struct {
+	Label string
+	cap   int64
+	files []File
+	eod   int64
+}
+
+// NewCartridge creates an empty cartridge.
+func NewCartridge(label string, capacity int64) *Cartridge {
+	return &Cartridge{Label: label, cap: capacity}
+}
+
+// Files returns a copy of the cartridge's file table in tape order.
+func (c *Cartridge) Files() []File {
+	out := make([]File, len(c.files))
+	copy(out, c.files)
+	return out
+}
+
+// NumFiles reports how many tape files the cartridge holds.
+func (c *Cartridge) NumFiles() int { return len(c.files) }
+
+// Used reports bytes written.
+func (c *Cartridge) Used() int64 { return c.eod }
+
+// Remaining reports bytes of free capacity.
+func (c *Cartridge) Remaining() int64 { return c.cap - c.eod }
+
+// Erase wipes the cartridge back to scratch (used by reclamation after
+// its live objects have been copied off). The cartridge must not be
+// mounted.
+func (c *Cartridge) Erase() {
+	c.files = nil
+	c.eod = 0
+}
+
+// FileBySeq looks up a tape file by its 1-based sequence number.
+func (c *Cartridge) FileBySeq(seq int) (File, error) {
+	if seq < 1 || seq > len(c.files) {
+		return File{}, fmt.Errorf("%w: %s seq %d", ErrNoSuchFile, c.Label, seq)
+	}
+	return c.files[seq-1], nil
+}
+
+// FileByObject looks up a tape file by object ID (linear scan: the
+// cartridge is the medium, not the index; indexes live in metadb).
+func (c *Cartridge) FileByObject(obj uint64) (File, error) {
+	for _, f := range c.files {
+		if f.Object == obj {
+			return f, nil
+		}
+	}
+	return File{}, fmt.Errorf("%w: %s object %d", ErrNoSuchFile, c.Label, obj)
+}
+
+// Stats aggregates a drive's lifetime counters; experiments read them
+// to quantify mounts, verifies and seek behaviour.
+type Stats struct {
+	Mounts        int
+	Unmounts      int
+	LabelVerifies int
+	Seeks         int
+	Rewinds       int
+	FilesWritten  int
+	FilesRead     int
+	BytesWritten  int64
+	BytesRead     int64
+	BusyTime      time.Duration
+	// TransferTime is the part of BusyTime spent in read/write
+	// transactions (streaming plus start/stop penalties), excluding
+	// mounts, seeks, rewinds, and label verifies. bytes/TransferTime is
+	// the per-drive effective migration rate §6.1 talks about.
+	TransferTime time.Duration
+	// IOErrors counts injected transient transaction failures.
+	IOErrors int
+}
+
+// Drive is one tape drive. All operations charge virtual time on the
+// clock and require holding the drive (Acquire/Release): a drive serves
+// one client at a time, FIFO.
+type Drive struct {
+	Name  string
+	clock *simtime.Clock
+	spec  Spec
+	res   *simtime.Resource
+
+	cart       *Cartridge
+	pos        int64 // current head byte position
+	lastClient string
+	failOps    int // pending injected transaction failures
+	stats      Stats
+}
+
+// NewDrive creates an idle, empty drive.
+func NewDrive(clock *simtime.Clock, name string, spec Spec) *Drive {
+	return &Drive{Name: name, clock: clock, spec: spec, res: simtime.NewResource(clock, 1)}
+}
+
+// Acquire takes exclusive ownership of the drive (FIFO, blocking in
+// virtual time).
+func (d *Drive) Acquire() { d.res.Acquire(1) }
+
+// TryAcquire takes the drive without blocking, reporting success.
+func (d *Drive) TryAcquire() bool { return d.res.TryAcquire(1) }
+
+// Release returns the drive.
+func (d *Drive) Release() { d.res.Release(1) }
+
+// Spec returns the drive's timing model.
+func (d *Drive) Spec() Spec { return d.spec }
+
+// Stats returns a copy of the drive's counters.
+func (d *Drive) Stats() Stats { return d.stats }
+
+// FailNextOps injects n transient I/O failures: the next n read/write
+// transactions on this drive return ErrIO (after a partial time charge
+// — the drive ground on the fault before giving up). Failure-injection
+// hook for reliability tests.
+func (d *Drive) FailNextOps(n int) { d.failOps = n }
+
+// injectedFault consumes one pending failure, charging the fault time.
+func (d *Drive) injectedFault() bool {
+	if d.failOps <= 0 {
+		return false
+	}
+	d.failOps--
+	d.stats.IOErrors++
+	d.busy(d.spec.StartStopPenalty * 3) // grind, retry internally, give up
+	return true
+}
+
+// Mounted returns the mounted cartridge, or nil.
+func (d *Drive) Mounted() *Cartridge { return d.cart }
+
+func (d *Drive) busy(t time.Duration) {
+	d.stats.BusyTime += t
+	d.clock.Sleep(t)
+}
+
+// mount loads a cartridge (the library robot time is charged by the
+// library). The head ends at beginning-of-tape with the label verified.
+func (d *Drive) mount(c *Cartridge) {
+	d.cart = c
+	d.pos = 0
+	d.lastClient = ""
+	d.stats.Mounts++
+	d.stats.LabelVerifies++
+	d.busy(d.spec.MountTime + d.spec.LabelVerifyTime)
+}
+
+// Unmount rewinds and ejects the mounted cartridge.
+func (d *Drive) Unmount() error {
+	if d.cart == nil {
+		return ErrNotMounted
+	}
+	d.rewind()
+	d.busy(d.spec.UnloadTime)
+	d.cart = nil
+	d.lastClient = ""
+	d.stats.Unmounts++
+	return nil
+}
+
+func (d *Drive) rewind() {
+	if d.pos == 0 {
+		return
+	}
+	frac := float64(d.pos) / float64(d.cart.cap)
+	d.stats.Rewinds++
+	d.busy(time.Duration(frac * float64(d.spec.RewindTime)))
+	d.pos = 0
+}
+
+// LastClient reports the machine that last used the drive ("" if none
+// since mount).
+func (d *Drive) LastClient() string { return d.lastClient }
+
+// BeginSession declares which client machine is about to use the drive.
+// In a LAN-free configuration a hand-off between machines forces a
+// rewind and label re-verification even though the tape stays mounted —
+// the §6.2 thrashing cost. Same-client sessions are free.
+func (d *Drive) BeginSession(client string) error {
+	if d.cart == nil {
+		return ErrNotMounted
+	}
+	if d.lastClient != "" && d.lastClient != client {
+		d.rewind()
+		d.stats.LabelVerifies++
+		d.busy(d.spec.LabelVerifyTime)
+	}
+	d.lastClient = client
+	return nil
+}
+
+// seekTo positions the head at byte offset off.
+func (d *Drive) seekTo(off int64) {
+	if off == d.pos {
+		return
+	}
+	dist := off - d.pos
+	if dist < 0 {
+		dist = -dist
+	}
+	frac := float64(dist) / float64(d.cart.cap)
+	t := d.spec.MinSeekTime + time.Duration(frac*float64(d.spec.FullSeekTime-d.spec.MinSeekTime))
+	d.stats.Seeks++
+	d.busy(t)
+	d.pos = off
+}
+
+// Append streams one object to the mounted cartridge at end-of-data and
+// returns its tape file record. Each call is one transaction and pays
+// the start/stop penalty.
+func (d *Drive) Append(object uint64, bytes int64) (File, error) {
+	if d.cart == nil {
+		return File{}, ErrNotMounted
+	}
+	if bytes < 0 {
+		return File{}, fmt.Errorf("tape: negative size %d", bytes)
+	}
+	if d.cart.eod+bytes > d.cart.cap {
+		return File{}, fmt.Errorf("%w: %s needs %d, has %d", ErrFull, d.cart.Label, bytes, d.cart.Remaining())
+	}
+	if d.injectedFault() {
+		return File{}, fmt.Errorf("%w: %s writing object %d", ErrIO, d.Name, object)
+	}
+	d.seekTo(d.cart.eod)
+	xfer := d.spec.StartStopPenalty + time.Duration(float64(bytes)/d.spec.StreamRate*1e9)
+	d.stats.TransferTime += xfer
+	d.busy(xfer)
+	f := File{Object: object, Seq: len(d.cart.files) + 1, Off: d.cart.eod, Bytes: bytes}
+	d.cart.files = append(d.cart.files, f)
+	d.cart.eod += bytes
+	d.pos = d.cart.eod
+	d.stats.FilesWritten++
+	d.stats.BytesWritten += bytes
+	return f, nil
+}
+
+// ReadSeq reads the tape file with the given sequence number, charging
+// locate plus streaming time, and leaves the head at the file's end so
+// that in-order recalls stream without re-seeking.
+func (d *Drive) ReadSeq(seq int) (File, error) {
+	if d.cart == nil {
+		return File{}, ErrNotMounted
+	}
+	f, err := d.cart.FileBySeq(seq)
+	if err != nil {
+		return File{}, err
+	}
+	if d.injectedFault() {
+		return File{}, fmt.Errorf("%w: %s reading seq %d", ErrIO, d.Name, seq)
+	}
+	d.seekTo(f.Off)
+	xfer := d.spec.StartStopPenalty + time.Duration(float64(f.Bytes)/d.spec.StreamRate*1e9)
+	d.stats.TransferTime += xfer
+	d.busy(xfer)
+	d.pos = f.Off + f.Bytes
+	d.stats.FilesRead++
+	d.stats.BytesRead += f.Bytes
+	return f, nil
+}
+
+// Library is a collection of drives and cartridges with a robot that
+// serializes mount/unmount exchanges.
+type Library struct {
+	clock  *simtime.Clock
+	drives []*Drive
+	carts  map[string]*Cartridge
+	order  []string // insertion order for deterministic scratch picks
+	robot  *simtime.Resource
+}
+
+// NewLibrary creates a library with numDrives drives of the given spec
+// and numCartridges scratch cartridges labelled VOL0001.., served by
+// robots robot arms.
+func NewLibrary(clock *simtime.Clock, numDrives, numCartridges, robots int, spec Spec) *Library {
+	if robots <= 0 {
+		robots = 1
+	}
+	lib := &Library{
+		clock: clock,
+		carts: make(map[string]*Cartridge),
+		robot: simtime.NewResource(clock, robots),
+	}
+	for i := 0; i < numDrives; i++ {
+		lib.drives = append(lib.drives, NewDrive(clock, fmt.Sprintf("drive%02d", i), spec))
+	}
+	for i := 0; i < numCartridges; i++ {
+		label := fmt.Sprintf("VOL%04d", i+1)
+		lib.carts[label] = NewCartridge(label, spec.Capacity)
+		lib.order = append(lib.order, label)
+	}
+	return lib
+}
+
+// Drives returns the library's drives.
+func (l *Library) Drives() []*Drive { return l.drives }
+
+// Drive returns drive i.
+func (l *Library) Drive(i int) *Drive { return l.drives[i] }
+
+// Cartridge looks up a cartridge by label.
+func (l *Library) Cartridge(label string) (*Cartridge, error) {
+	c, ok := l.carts[label]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchLabel, label)
+	}
+	return c, nil
+}
+
+// Cartridges returns all cartridges in insertion order.
+func (l *Library) Cartridges() []*Cartridge {
+	out := make([]*Cartridge, 0, len(l.order))
+	for _, label := range l.order {
+		out = append(out, l.carts[label])
+	}
+	return out
+}
+
+// AddCartridge inserts a new cartridge into the library.
+func (l *Library) AddCartridge(c *Cartridge) {
+	l.carts[c.Label] = c
+	l.order = append(l.order, c.Label)
+}
+
+// Scratch returns the first cartridge with at least need bytes free
+// that is not currently mounted in any drive.
+func (l *Library) Scratch(need int64) (*Cartridge, error) {
+	for _, label := range l.order {
+		c := l.carts[label]
+		if c.Remaining() < need {
+			continue
+		}
+		mounted := false
+		for _, d := range l.drives {
+			if d.cart == c {
+				mounted = true
+				break
+			}
+		}
+		if !mounted {
+			return c, nil
+		}
+	}
+	return nil, ErrNoScratch
+}
+
+// Mount loads cartridge c into drive d via the robot. The caller must
+// hold the drive. Any currently mounted cartridge is unloaded first.
+// The robot arm is held only for the physical exchange; drive load and
+// label verification proceed on the drive's own time, so a multi-drive
+// library mounts largely in parallel.
+func (l *Library) Mount(d *Drive, c *Cartridge) error {
+	for _, other := range l.drives {
+		if other != d && other.cart == c {
+			return fmt.Errorf("tape: %s already mounted in %s", c.Label, other.Name)
+		}
+	}
+	if d.cart != nil {
+		if err := d.Unmount(); err != nil {
+			return err
+		}
+		l.exchange(d)
+	}
+	l.exchange(d)
+	d.mount(c)
+	return nil
+}
+
+// MountedIn returns the drive currently holding c, or nil.
+func (l *Library) MountedIn(c *Cartridge) *Drive {
+	for _, d := range l.drives {
+		if d.cart == c {
+			return d
+		}
+	}
+	return nil
+}
+
+// exchange charges one robot arm movement.
+func (l *Library) exchange(d *Drive) {
+	l.robot.Acquire(1)
+	l.clock.Sleep(d.spec.RobotTime)
+	l.robot.Release(1)
+}
+
+// TotalStats sums the stats of every drive.
+func (l *Library) TotalStats() Stats {
+	var total Stats
+	for _, d := range l.drives {
+		s := d.stats
+		total.Mounts += s.Mounts
+		total.Unmounts += s.Unmounts
+		total.LabelVerifies += s.LabelVerifies
+		total.Seeks += s.Seeks
+		total.Rewinds += s.Rewinds
+		total.FilesWritten += s.FilesWritten
+		total.FilesRead += s.FilesRead
+		total.BytesWritten += s.BytesWritten
+		total.BytesRead += s.BytesRead
+		total.BusyTime += s.BusyTime
+		total.TransferTime += s.TransferTime
+		total.IOErrors += s.IOErrors
+	}
+	return total
+}

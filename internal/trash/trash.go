@@ -1,0 +1,270 @@
+// Package trash implements the paper's delete pipeline (§4.2.6–4.2.7,
+// §6.3): a per-user trashcan (the Windows-Recycle-Bin-alike built from
+// renames), the synchronous deleter that joins the GPFS file ID with
+// the TSM object ID through the shadow database and deletes both sides
+// at once — eliminating orphans without reconciliation — and, as the
+// baseline it replaces, the reconcile agent that tree-walks the file
+// system and compares it against the full TSM inventory.
+package trash
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"time"
+
+	"repro/internal/ilm"
+	"repro/internal/metadb"
+	"repro/internal/pfs"
+	"repro/internal/simtime"
+	"repro/internal/tsm"
+)
+
+// Xattr keys recorded on trashed files.
+const (
+	XattrOrig = "trash.orig"
+	XattrUser = "trash.user"
+	XattrTime = "trash.time"
+)
+
+// ErrNotInTrash is returned when undeleting a path outside the can.
+var ErrNotInTrash = errors.New("trash: not a trashcan entry")
+
+// Can is a trashcan rooted at a directory of the archive file system.
+type Can struct {
+	fs   *pfs.FS
+	root string
+}
+
+// NewCan creates (if needed) and returns a trashcan at root.
+func NewCan(fs *pfs.FS, root string) (*Can, error) {
+	if err := fs.MkdirAll(root); err != nil {
+		return nil, err
+	}
+	return &Can{fs: fs, root: root}, nil
+}
+
+// Root returns the trashcan directory.
+func (c *Can) Root() string { return c.root }
+
+// userDir returns (creating) the per-user subdirectory.
+func (c *Can) userDir(user string) (string, error) {
+	d := path.Join(c.root, user)
+	if err := c.fs.MkdirAll(d); err != nil {
+		return "", err
+	}
+	return d, nil
+}
+
+// Delete moves p into the user's trashcan (a rename: no data moves, no
+// tape I/O) and returns the trash path. This is what "rm" does inside
+// the chroot jail.
+func (c *Can) Delete(user, p string) (string, error) {
+	info, err := c.fs.Stat(p)
+	if err != nil {
+		return "", err
+	}
+	dir, err := c.userDir(user)
+	if err != nil {
+		return "", err
+	}
+	dst := path.Join(dir, fmt.Sprintf("%d-%s", info.ID, info.Name))
+	if err := c.fs.Rename(p, dst); err != nil {
+		return "", err
+	}
+	if err := c.fs.SetXattr(dst, XattrOrig, p); err != nil {
+		return "", err
+	}
+	if err := c.fs.SetXattr(dst, XattrUser, user); err != nil {
+		return "", err
+	}
+	if err := c.fs.SetXattr(dst, XattrTime, fmt.Sprint(int64(c.fs.Clock().Now()))); err != nil {
+		return "", err
+	}
+	return dst, nil
+}
+
+// Undelete restores a trashed entry to its original path.
+func (c *Can) Undelete(trashPath string) (string, error) {
+	orig, err := c.fs.GetXattr(trashPath, XattrOrig)
+	if err != nil {
+		return "", err
+	}
+	if orig == "" {
+		return "", fmt.Errorf("%w: %s", ErrNotInTrash, trashPath)
+	}
+	if err := c.fs.Rename(trashPath, orig); err != nil {
+		return "", err
+	}
+	c.fs.SetXattr(orig, XattrOrig, "")
+	c.fs.SetXattr(orig, XattrUser, "")
+	c.fs.SetXattr(orig, XattrTime, "")
+	return orig, nil
+}
+
+// List returns the user's trashed entries.
+func (c *Can) List(user string) ([]pfs.Info, error) {
+	d := path.Join(c.root, user)
+	if !c.fs.Exists(d) {
+		return nil, nil
+	}
+	return c.fs.ReadDir(d)
+}
+
+// DeletedAt reads the deletion timestamp of a trash entry.
+func (c *Can) DeletedAt(trashPath string) (time.Duration, error) {
+	v, err := c.fs.GetXattr(trashPath, XattrTime)
+	if err != nil {
+		return 0, err
+	}
+	var ns int64
+	if _, err := fmt.Sscan(v, &ns); err != nil {
+		return 0, fmt.Errorf("trash: bad timestamp on %s: %v", trashPath, err)
+	}
+	return time.Duration(ns), nil
+}
+
+// PurgeResult reports one synchronous-delete pass.
+type PurgeResult struct {
+	Removed     int // files unlinked from the file system
+	TapeDeletes int // TSM objects deleted in the same breath
+	DiskOnly    int // files that had no tape copy
+	Skipped     int // entries not matching the policy
+}
+
+// Deleter performs synchronous deletes: for each victim it resolves the
+// GPFS file ID to the TSM object ID through the shadow database, then
+// issues the file system unlink and the TSM delete together, so no
+// orphan is ever left on tape (§4.2.6).
+type Deleter struct {
+	clock  *simtime.Clock
+	fs     *pfs.FS
+	srv    *tsm.Server
+	shadow *metadb.DB
+}
+
+// NewDeleter creates a synchronous deleter.
+func NewDeleter(clock *simtime.Clock, fs *pfs.FS, srv *tsm.Server, shadow *metadb.DB) *Deleter {
+	return &Deleter{clock: clock, fs: fs, srv: srv, shadow: shadow}
+}
+
+// Purge deletes the trashcan entries matching the policy predicate (nil
+// matches everything) across all users. This is the administrative pass
+// the GPFS policy engine feeds with trashcan lists.
+func (d *Deleter) Purge(can *Can, where ilm.Predicate) (PurgeResult, error) {
+	res := PurgeResult{}
+	users, err := d.fs.ReadDir(can.Root())
+	if err != nil {
+		return res, err
+	}
+	now := d.clock.Now()
+	for _, u := range users {
+		if !u.IsDir() {
+			continue
+		}
+		entries, err := d.fs.ReadDir(u.Path)
+		if err != nil {
+			return res, err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if where != nil && !where(e, now) {
+				res.Skipped++
+				continue
+			}
+			if err := d.DeleteOne(e, &res); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// DeleteOne synchronously deletes a single file (already stat'ed).
+func (d *Deleter) DeleteOne(e pfs.Info, res *PurgeResult) error {
+	rec, err := d.shadow.ByFileID(uint64(e.ID))
+	switch {
+	case err == nil:
+		// Both sides go together: the synchronous part.
+		if err := d.srv.Delete(rec.ObjectID); err != nil && !errors.Is(err, tsm.ErrNoSuchObject) {
+			return fmt.Errorf("trash: tsm delete for %s: %w", e.Path, err)
+		}
+		if err := d.shadow.Delete(rec.ObjectID); err != nil {
+			return err
+		}
+		res.TapeDeletes++
+	case errors.Is(err, metadb.ErrNotFound):
+		res.DiskOnly++
+	default:
+		return err
+	}
+	if err := d.fs.Remove(e.Path); err != nil {
+		return err
+	}
+	res.Removed++
+	return nil
+}
+
+// ReconcileResult reports one reconciliation pass.
+type ReconcileResult struct {
+	FSFiles        int // inodes visited on the file system side
+	TSMObjects     int // objects scanned on the TSM side
+	OrphansDeleted int // tape objects with no matching file
+}
+
+// Reconciler is the baseline the synchronous deleter replaces: walk the
+// whole file system, export the whole TSM inventory, compare one by
+// one, and delete the orphans. Its cost scales with the total file
+// population — "for an archive with tens to hundreds of millions of
+// files, the overhead is unacceptable".
+type Reconciler struct {
+	clock  *simtime.Clock
+	fs     *pfs.FS
+	srv    *tsm.Server
+	shadow *metadb.DB // kept in step when orphans are purged; may be nil
+}
+
+// NewReconciler creates a reconciler.
+func NewReconciler(clock *simtime.Clock, fs *pfs.FS, srv *tsm.Server, shadow *metadb.DB) *Reconciler {
+	return &Reconciler{clock: clock, fs: fs, srv: srv, shadow: shadow}
+}
+
+// Reconcile compares the file system against the TSM inventory and
+// deletes orphaned tape objects. It charges a full policy scan of the
+// file system plus a full export of the TSM database.
+func (r *Reconciler) Reconcile() (ReconcileResult, error) {
+	res := ReconcileResult{}
+	live := make(map[uint64]bool)
+	err := r.fs.Scan(func(i pfs.Info) error {
+		if !i.IsDir() {
+			res.FSFiles++
+			live[uint64(i.ID)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	objs := r.srv.Export()
+	res.TSMObjects = len(objs)
+	for _, o := range objs {
+		if o.Class != tsm.ClassMigrate || o.FileID == 0 {
+			continue // backup copies and aggregates are not reconciled
+		}
+		if !live[o.FileID] {
+			if err := r.srv.Delete(o.ID); err != nil {
+				return res, err
+			}
+			if r.shadow != nil {
+				// Shadow may or may not still hold the row.
+				if derr := r.shadow.Delete(o.ID); derr != nil && !errors.Is(derr, metadb.ErrNotFound) {
+					return res, derr
+				}
+			}
+			res.OrphansDeleted++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package tsm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tape"
+)
+
+func TestStoreRetriesTransientDriveError(t *testing.T) {
+	e := newEnv(2, DefaultConfig())
+	e.run(t, func() {
+		e.lib.Drive(0).FailNextOps(1)
+		e.lib.Drive(1).FailNextOps(0)
+		obj, err := e.srv.Store(StoreRequest{Client: "c", Path: "/f", Bytes: 1e9})
+		if err != nil {
+			t.Fatalf("store with one transient fault failed: %v", err)
+		}
+		if obj.ID == 0 {
+			t.Error("no object recorded")
+		}
+		if e.srv.Stats().Retries != 1 {
+			t.Errorf("Retries = %d, want 1", e.srv.Stats().Retries)
+		}
+		if e.lib.TotalStats().IOErrors != 1 {
+			t.Errorf("IOErrors = %d, want 1", e.lib.TotalStats().IOErrors)
+		}
+		// Nothing half-written: exactly one tape file exists.
+		total := 0
+		for _, c := range e.lib.Cartridges() {
+			total += c.NumFiles()
+		}
+		if total != 1 {
+			t.Errorf("tape files = %d, want 1 (failed attempt left nothing)", total)
+		}
+	})
+}
+
+func TestStorePersistentFaultSurfaces(t *testing.T) {
+	e := newEnv(1, DefaultConfig())
+	e.run(t, func() {
+		e.lib.Drive(0).FailNextOps(10) // more faults than retries
+		_, err := e.srv.Store(StoreRequest{Client: "c", Path: "/f", Bytes: 1e9})
+		if !errors.Is(err, tape.ErrIO) {
+			t.Errorf("err = %v, want ErrIO", err)
+		}
+		if e.srv.NumObjects() != 0 {
+			t.Error("failed store recorded an object")
+		}
+	})
+}
+
+func TestRecallRetriesTransientDriveError(t *testing.T) {
+	e := newEnv(1, DefaultConfig())
+	e.run(t, func() {
+		obj, err := e.srv.Store(StoreRequest{Client: "c", Path: "/f", Bytes: 1e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.lib.Drive(0).FailNextOps(1)
+		if _, err := e.srv.Recall(RecallRequest{Client: "c", ObjectID: obj.ID}); err != nil {
+			t.Fatalf("recall with one transient fault failed: %v", err)
+		}
+		if e.srv.Stats().Retries != 1 {
+			t.Errorf("Retries = %d", e.srv.Stats().Retries)
+		}
+	})
+}
+
+func TestRetryCostsVirtualTime(t *testing.T) {
+	// A transient fault is not free: the faulting transaction grinds
+	// before giving up, so the store with a fault takes longer.
+	elapsed := func(fail bool) (d simDuration) {
+		e := newEnv(2, DefaultConfig())
+		e.clock.Go(func() {
+			if fail {
+				e.lib.Drive(0).FailNextOps(1)
+			}
+			if _, err := e.srv.Store(StoreRequest{Client: "c", Path: "/f", Bytes: 1e9}); err != nil {
+				t.Error(err)
+			}
+		})
+		end, err := e.clock.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return simDuration(end)
+	}
+	clean := elapsed(false)
+	faulty := elapsed(true)
+	if faulty <= clean {
+		t.Errorf("faulty store (%d) should take longer than clean (%d)", faulty, clean)
+	}
+}
+
+type simDuration int64

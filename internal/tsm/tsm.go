@@ -1,0 +1,564 @@
+// Package tsm simulates the COTS backup/archive product of the paper
+// (IBM Tivoli Storage Manager 5.5): a single metadata server in front
+// of a tape library, with LAN-free storage agents that stream data from
+// client machines straight to tape over the SAN while metadata
+// transactions serialize through the server.
+//
+// The properties the paper depends on are reproduced:
+//
+//   - LAN-free movers on different machines write/read different tapes
+//     independently, which is what makes the archive parallel (Fig. 6).
+//   - Without LAN-free every byte flows through the server's network
+//     link, which becomes the bottleneck (§4.2.2).
+//   - The object database is unindexed by path/volume: QueryByPath
+//     charges a full scan, the pain that motivates the MySQL shadow
+//     database (§4.2.5) implemented in package metadb.
+//   - Each file stored is one tape transaction, so small files collapse
+//     drive throughput (§6.1) unless the caller aggregates.
+//   - Co-location groups steer a group's files onto the same volumes.
+package tsm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/tape"
+)
+
+// Errors returned by the server.
+var (
+	ErrNoSuchObject = errors.New("tsm: no such object")
+	ErrTooLarge     = errors.New("tsm: object exceeds volume capacity")
+)
+
+// ObjectClass distinguishes HSM-migrated data from backup copies.
+type ObjectClass int
+
+// Object classes.
+const (
+	ClassMigrate ObjectClass = iota
+	ClassBackup
+)
+
+// Object is one entry in the server's database.
+type Object struct {
+	ID      uint64
+	Class   ObjectClass
+	Node    string // client machine that stored it
+	Path    string // client namespace path
+	FileID  uint64 // client filesystem file ID
+	Bytes   int64
+	Volume  string // cartridge label
+	Seq     int    // tape sequence number
+	Group   string // co-location group
+	Stored  time.Duration
+	Deleted bool // logically deleted; space awaits reclamation
+}
+
+// Config tunes the server.
+type Config struct {
+	LANFree         bool
+	ServerRate      float64       // server NIC bytes/s (all data when !LANFree; metadata otherwise)
+	TxnCost         time.Duration // per metadata transaction at the server
+	TxnParallel     int           // concurrent transactions the server sustains
+	DBScanPerObject time.Duration // unindexed query cost per database row
+}
+
+// DefaultConfig returns the deployment used in the paper: LAN-free over
+// a 10GigE server link.
+func DefaultConfig() Config {
+	return Config{
+		LANFree:         true,
+		ServerRate:      1.18e9, // one 10GigE, usable
+		TxnCost:         2 * time.Millisecond,
+		TxnParallel:     8,
+		DBScanPerObject: 2 * time.Microsecond,
+	}
+}
+
+// Stats aggregates server activity.
+type Stats struct {
+	Transactions int
+	Stores       int
+	Recalls      int
+	Deletes      int
+	BytesStored  int64
+	BytesRead    int64
+	PathQueries  int
+	// Retries counts transactions re-driven after transient drive I/O
+	// errors.
+	Retries int
+}
+
+// Server is the TSM instance: one per archive (the paper's §6.4 single
+// point of failure).
+type Server struct {
+	clock *simtime.Clock
+	cfg   Config
+	lib   *tape.Library
+
+	db         map[uint64]*Object
+	order      []uint64
+	nextID     uint64
+	txnRes     *simtime.Resource
+	drvPool    *simtime.Resource
+	netPipe    *simtime.Pipe
+	coloc      map[string]string // group -> current volume label
+	mounting   map[string]bool   // volume labels with a mount in flight
+	reclaiming map[string]bool   // volumes being reclaimed: never a write target
+	lastDrive  map[string]*tape.Drive
+	stats      Stats
+}
+
+// NewServer creates a server managing lib.
+func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
+	if cfg.TxnParallel <= 0 {
+		cfg.TxnParallel = 1
+	}
+	return &Server{
+		clock:      clock,
+		cfg:        cfg,
+		lib:        lib,
+		db:         make(map[uint64]*Object),
+		txnRes:     simtime.NewResource(clock, cfg.TxnParallel),
+		drvPool:    simtime.NewResource(clock, len(lib.Drives())),
+		netPipe:    simtime.NewPipe(clock, "tsm-server-nic", cfg.ServerRate),
+		coloc:      make(map[string]string),
+		mounting:   make(map[string]bool),
+		reclaiming: make(map[string]bool),
+		lastDrive:  make(map[string]*tape.Drive),
+	}
+}
+
+// Library returns the managed tape library.
+func (s *Server) Library() *tape.Library { return s.lib }
+
+// NetPipe exposes the server's network link (observability: in
+// non-LAN-free mode every byte crosses it).
+func (s *Server) NetPipe() *simtime.Pipe { return s.netPipe }
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// NumObjects reports live (non-deleted) objects.
+func (s *Server) NumObjects() int {
+	n := 0
+	for _, o := range s.db {
+		if !o.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// txn charges one metadata transaction through the server.
+func (s *Server) txn() {
+	s.stats.Transactions++
+	if s.cfg.TxnCost <= 0 {
+		return
+	}
+	s.txnRes.Acquire(1)
+	s.clock.Sleep(s.cfg.TxnCost)
+	s.txnRes.Release(1)
+}
+
+// StoreRequest describes one object to write to tape.
+type StoreRequest struct {
+	Client string // machine running the storage agent
+	Class  ObjectClass
+	Path   string
+	FileID uint64
+	Bytes  int64
+	Group  string // co-location group ("" = none)
+	// DataPath carries the pipes the data crosses between the client's
+	// disk and its HBA (source pool, NIC...). The tape drive itself and,
+	// when not LAN-free, the server link, are added by the server.
+	DataPath []*simtime.Pipe
+}
+
+// Store writes one object to tape and records it, returning the
+// database entry. The caller observes tape mount/seek/stream time plus
+// the shared-path transfer time, whichever is slower. Transient drive
+// I/O errors are retried on a freshly acquired drive (the storage
+// agent's standard recovery); persistent faults surface to the caller.
+func (s *Server) Store(req StoreRequest) (Object, error) {
+	if req.Bytes < 0 {
+		return Object{}, fmt.Errorf("tsm: negative size")
+	}
+	s.txn()
+	s.nextID++ // allocate the object ID up front: concurrent stores must not collide
+	id := s.nextID
+	var tf tape.File
+	var vol *tape.Cartridge
+	const maxAttempts = 3
+	for attempt := 1; ; attempt++ {
+		drive, v, err := s.acquireDriveForWrite(req.Client, req.Group, req.Bytes)
+		if err != nil {
+			return Object{}, err
+		}
+		if err := drive.BeginSession(req.Client); err != nil {
+			s.ReleaseDrive(drive)
+			return Object{}, err
+		}
+		appendErr := s.moveData(req.Bytes, req.DataPath, func() error {
+			var e error
+			tf, e = drive.Append(id, req.Bytes)
+			return e
+		})
+		s.ReleaseDrive(drive)
+		if appendErr == nil {
+			vol = v
+			break
+		}
+		if !errors.Is(appendErr, tape.ErrIO) || attempt >= maxAttempts {
+			return Object{}, appendErr
+		}
+		// Drop the client's affinity to the faulting drive so the
+		// retry lands elsewhere.
+		if s.lastDrive[req.Client] == drive {
+			delete(s.lastDrive, req.Client)
+		}
+		s.stats.Retries++
+	}
+	s.txn() // commit
+	obj := &Object{
+		ID:     id,
+		Class:  req.Class,
+		Node:   req.Client,
+		Path:   req.Path,
+		FileID: req.FileID,
+		Bytes:  req.Bytes,
+		Volume: vol.Label,
+		Seq:    tf.Seq,
+		Group:  req.Group,
+		Stored: s.clock.Now(),
+	}
+	s.db[obj.ID] = obj
+	s.order = append(s.order, obj.ID)
+	if req.Group != "" {
+		s.coloc[req.Group] = vol.Label
+	}
+	s.stats.Stores++
+	s.stats.BytesStored += req.Bytes
+	return *obj, nil
+}
+
+// moveData runs the tape operation concurrently with the shared-path
+// transfer; the slower of the two gates completion (store-and-forward
+// free, cut-through streaming).
+func (s *Server) moveData(bytes int64, path []*simtime.Pipe, tapeOp func() error) error {
+	pipes := path
+	if !s.cfg.LANFree {
+		pipes = append(append([]*simtime.Pipe{}, path...), s.netPipe)
+	}
+	errCh := make(chan error, 1)
+	wg := simtime.NewWaitGroup(s.clock)
+	wg.Add(1)
+	s.clock.Go(func() {
+		errCh <- tapeOp()
+		wg.Done()
+	})
+	simtime.TransferAll(s.clock, bytes, pipes...)
+	wg.Wait()
+	return <-errCh
+}
+
+// acquireDriveForWrite admits the caller to the drive pool and returns
+// a held drive with a volume mounted that fits the object, honoring
+// co-location and the storage agent's drive affinity (a LAN-free agent
+// keeps writing through its own mount point, so same-client sessions
+// avoid the hand-off penalty). Release with ReleaseDrive.
+func (s *Server) acquireDriveForWrite(client, group string, bytes int64) (*tape.Drive, *tape.Cartridge, error) {
+	s.drvPool.Acquire(1)
+	// 1. Co-location: the group's current volume, wherever it is.
+	if group != "" {
+		if label, ok := s.coloc[group]; ok && !s.reclaiming[label] {
+			if c, err := s.lib.Cartridge(label); err == nil && c.Remaining() >= bytes {
+				d := s.acquireVolumeDrive(c)
+				// Capacity may have been consumed while we waited.
+				if d.Mounted() == c && c.Remaining() >= bytes {
+					s.lastDrive[client] = d
+					return d, c, nil
+				}
+				d.Release()
+			}
+		}
+	}
+	// 2. Client affinity: the agent's own mount point.
+	if d := s.lastDrive[client]; d != nil && d.TryAcquire() {
+		if m := d.Mounted(); m != nil && m.Remaining() >= bytes && !s.reclaiming[m.Label] {
+			return d, m, nil
+		}
+		d.Release()
+	}
+	// 3. A fresh scratch volume on an idle drive.
+	d := s.idleDrive()
+	vol := s.scratchVolume(bytes)
+	if vol == nil {
+		// 4. Last resort: reuse whatever volume the drive holds.
+		if m := d.Mounted(); m != nil && m.Remaining() >= bytes && !s.reclaiming[m.Label] {
+			s.lastDrive[client] = d
+			return d, m, nil
+		}
+		s.ReleaseDrive(d)
+		if bytes > s.lib.Drives()[0].Spec().Capacity {
+			return nil, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, bytes)
+		}
+		return nil, nil, tape.ErrNoScratch
+	}
+	s.mounting[vol.Label] = true
+	err := s.lib.Mount(d, vol)
+	delete(s.mounting, vol.Label)
+	if err != nil {
+		s.ReleaseDrive(d)
+		return nil, nil, err
+	}
+	s.lastDrive[client] = d
+	return d, vol, nil
+}
+
+// ReleaseDrive returns a drive obtained from an acquire helper along
+// with its pool slot.
+func (s *Server) ReleaseDrive(d *tape.Drive) {
+	d.Release()
+	s.drvPool.Release(1)
+}
+
+// acquireVolumeDrive returns a held drive with vol mounted, mounting it
+// if necessary. A cartridge can only ever be in one drive: callers that
+// need a volume someone else is using queue FIFO on that drive — the
+// physical reality behind §6.2's hand-off penalties. The caller must
+// already hold a drive-pool slot.
+func (s *Server) acquireVolumeDrive(vol *tape.Cartridge) *tape.Drive {
+	for {
+		if holder := s.lib.MountedIn(vol); holder != nil {
+			holder.Acquire()
+			if holder.Mounted() == vol {
+				return holder
+			}
+			// The volume moved while we queued; rescan.
+			holder.Release()
+			continue
+		}
+		if s.mounting[vol.Label] {
+			// Another actor is mounting it right now.
+			s.clock.Sleep(time.Second)
+			continue
+		}
+		s.mounting[vol.Label] = true
+		d := s.idleDrive()
+		err := s.lib.Mount(d, vol)
+		delete(s.mounting, vol.Label)
+		if err != nil {
+			// Lost a race; put the drive back and retry.
+			d.Release()
+			s.clock.Sleep(time.Second)
+			continue
+		}
+		return d
+	}
+}
+
+// idleDrive picks and acquires a drive for a fresh mount: an empty idle
+// drive if one exists, else any idle drive (its volume gets swapped
+// out). Pool admission guarantees at least one idle drive.
+func (s *Server) idleDrive() *tape.Drive {
+	drives := s.lib.Drives()
+	for _, d := range drives {
+		if d.Mounted() == nil && d.TryAcquire() {
+			return d
+		}
+	}
+	for _, d := range drives {
+		if d.TryAcquire() {
+			return d
+		}
+	}
+	// Unreachable under pool admission; block defensively.
+	drives[0].Acquire()
+	return drives[0]
+}
+
+// scratchVolume picks an unmounted, not-being-mounted cartridge with
+// room for the object (nil if none).
+func (s *Server) scratchVolume(bytes int64) *tape.Cartridge {
+	for _, c := range s.lib.Cartridges() {
+		if c.Remaining() < bytes || s.mounting[c.Label] || s.reclaiming[c.Label] {
+			continue
+		}
+		if s.lib.MountedIn(c) == nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// RecallRequest describes reading one object back.
+type RecallRequest struct {
+	Client   string
+	ObjectID uint64
+	DataPath []*simtime.Pipe
+}
+
+// Recall reads an object from tape back to the client.
+func (s *Server) Recall(req RecallRequest) (Object, error) {
+	s.txn()
+	obj, ok := s.db[req.ObjectID]
+	if !ok || obj.Deleted {
+		return Object{}, fmt.Errorf("%w: %d", ErrNoSuchObject, req.ObjectID)
+	}
+	vol, err := s.lib.Cartridge(obj.Volume)
+	if err != nil {
+		return Object{}, err
+	}
+	const maxAttempts = 3
+	for attempt := 1; ; attempt++ {
+		s.drvPool.Acquire(1)
+		d := s.acquireVolumeDrive(vol)
+		if err := d.BeginSession(req.Client); err != nil {
+			s.ReleaseDrive(d)
+			return Object{}, err
+		}
+		readErr := s.moveData(obj.Bytes, req.DataPath, func() error {
+			_, e := d.ReadSeq(obj.Seq)
+			return e
+		})
+		s.ReleaseDrive(d)
+		if readErr == nil {
+			break
+		}
+		if !errors.Is(readErr, tape.ErrIO) || attempt >= maxAttempts {
+			return Object{}, readErr
+		}
+		s.stats.Retries++
+	}
+	s.stats.Recalls++
+	s.stats.BytesRead += obj.Bytes
+	return *obj, nil
+}
+
+// RecallBatchRequest reads several objects from ONE volume in a single
+// drive session.
+type RecallBatchRequest struct {
+	Client    string
+	Volume    string
+	ObjectIDs []uint64 // caller orders these (ascending Seq for streaming)
+	DataPath  []*simtime.Pipe
+}
+
+// RecallBatch restores a batch of same-volume objects in one session:
+// the drive is held once for the whole stream, which is how a real
+// restore session behaves and what makes tape-ordered recall pay off —
+// per-object Recall calls release the drive between files and invite
+// another stream to evict the mounted volume.
+func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
+	if len(req.ObjectIDs) == 0 {
+		return nil, nil
+	}
+	s.txn()
+	objs := make([]*Object, 0, len(req.ObjectIDs))
+	for _, id := range req.ObjectIDs {
+		obj, ok := s.db[id]
+		if !ok || obj.Deleted {
+			return nil, fmt.Errorf("%w: %d", ErrNoSuchObject, id)
+		}
+		if obj.Volume != req.Volume {
+			return nil, fmt.Errorf("tsm: object %d is on %s, not %s", id, obj.Volume, req.Volume)
+		}
+		objs = append(objs, obj)
+	}
+	vol, err := s.lib.Cartridge(req.Volume)
+	if err != nil {
+		return nil, err
+	}
+	s.drvPool.Acquire(1)
+	d := s.acquireVolumeDrive(vol)
+	defer s.ReleaseDrive(d)
+	if err := d.BeginSession(req.Client); err != nil {
+		return nil, err
+	}
+	out := make([]Object, 0, len(objs))
+	for _, obj := range objs {
+		seq := obj.Seq
+		bytes := obj.Bytes
+		readErr := s.moveData(bytes, req.DataPath, func() error {
+			_, e := d.ReadSeq(seq)
+			return e
+		})
+		if readErr != nil {
+			return out, readErr
+		}
+		s.stats.Recalls++
+		s.stats.BytesRead += bytes
+		out = append(out, *obj)
+	}
+	return out, nil
+}
+
+// Delete logically deletes an object (tape space is reclaimed only by
+// volume reclamation, exactly as in the real product).
+func (s *Server) Delete(objectID uint64) error {
+	s.txn()
+	obj, ok := s.db[objectID]
+	if !ok || obj.Deleted {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, objectID)
+	}
+	obj.Deleted = true
+	s.stats.Deletes++
+	return nil
+}
+
+// Get returns an object by ID (indexed: cheap).
+func (s *Server) Get(objectID uint64) (Object, error) {
+	obj, ok := s.db[objectID]
+	if !ok {
+		return Object{}, fmt.Errorf("%w: %d", ErrNoSuchObject, objectID)
+	}
+	return *obj, nil
+}
+
+// QueryByPath finds the newest live object for a path. The database has
+// no path index and cannot be given one (§4.2.5), so this charges a
+// full scan — the operation whose cost justifies the shadow database.
+func (s *Server) QueryByPath(path string) (Object, error) {
+	s.txn()
+	s.stats.PathQueries++
+	if s.cfg.DBScanPerObject > 0 && len(s.order) > 0 {
+		s.clock.Sleep(time.Duration(len(s.order)) * s.cfg.DBScanPerObject)
+	}
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if o := s.db[s.order[i]]; !o.Deleted && o.Path == path {
+			return *o, nil
+		}
+	}
+	return Object{}, fmt.Errorf("%w: path %s", ErrNoSuchObject, path)
+}
+
+// Export streams every live object (admin interface used to build the
+// shadow database). The cost is one scan of the DB.
+func (s *Server) Export() []Object {
+	s.txn()
+	if s.cfg.DBScanPerObject > 0 && len(s.order) > 0 {
+		s.clock.Sleep(time.Duration(len(s.order)) * s.cfg.DBScanPerObject)
+	}
+	out := make([]Object, 0, len(s.order))
+	for _, id := range s.order {
+		if o := s.db[id]; !o.Deleted {
+			out = append(out, *o)
+		}
+	}
+	return out
+}
+
+// LiveObjects returns live objects without charge (test/assert helper).
+func (s *Server) LiveObjects() []Object {
+	out := make([]Object, 0, len(s.order))
+	for _, id := range s.order {
+		if o := s.db[id]; !o.Deleted {
+			out = append(out, *o)
+		}
+	}
+	return out
+}

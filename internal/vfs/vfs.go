@@ -1,0 +1,527 @@
+// Package vfs implements an in-memory POSIX-like file tree used as the
+// namespace layer of the simulated parallel file systems. It supplies
+// inodes with stable file IDs (the GPFS-style unique identifier the
+// synchronous deleter depends on), directories, rename/unlink/truncate,
+// extended attributes (used by the HSM layer for stub state), and
+// deterministic sorted directory listings.
+//
+// File data is a synthetic.Content, so files of any size cost O(extents)
+// of memory. vfs carries no timing model: timing belongs to the pfs and
+// device layers above it.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/synthetic"
+)
+
+// Errors returned by FS operations.
+var (
+	ErrNotExist = errors.New("vfs: file does not exist")
+	ErrExist    = errors.New("vfs: file already exists")
+	ErrNotDir   = errors.New("vfs: not a directory")
+	ErrIsDir    = errors.New("vfs: is a directory")
+	ErrNotEmpty = errors.New("vfs: directory not empty")
+	ErrInvalid  = errors.New("vfs: invalid argument")
+)
+
+// FileID is the per-filesystem unique identifier of an inode. It never
+// changes across renames and is never reused, mirroring the GPFS file
+// ID the paper's synchronous deleter looks up.
+type FileID uint64
+
+// FileType distinguishes inode kinds.
+type FileType int
+
+// Inode kinds.
+const (
+	TypeFile FileType = iota
+	TypeDir
+)
+
+func (t FileType) String() string {
+	if t == TypeDir {
+		return "dir"
+	}
+	return "file"
+}
+
+// Info is the stat result for an inode.
+type Info struct {
+	Name    string
+	Path    string
+	ID      FileID
+	Type    FileType
+	Size    int64
+	ModTime time.Duration // virtual time
+	ATime   time.Duration // virtual time of last data read
+	Xattrs  map[string]string
+}
+
+// IsDir reports whether the inode is a directory.
+func (i Info) IsDir() bool { return i.Type == TypeDir }
+
+type node struct {
+	id       FileID
+	typ      FileType
+	size     int64
+	modTime  time.Duration
+	atime    time.Duration
+	content  synthetic.Content
+	children map[string]*node // directories only
+	xattrs   map[string]string
+	nlink    int // reference count from directory entries
+}
+
+// FS is a single in-memory file tree. FS methods are not safe for
+// concurrent use from multiple OS threads; in simulation exactly one
+// actor runs at a time, so no locking is needed or provided.
+type FS struct {
+	name   string
+	root   *node
+	nextID FileID
+	byID   map[FileID]*node
+	now    func() time.Duration
+	nfiles int
+	ndirs  int
+}
+
+// New creates an empty file system. now supplies virtual timestamps and
+// may be nil (timestamps then stay zero).
+func New(name string, now func() time.Duration) *FS {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	fs := &FS{name: name, now: now, byID: make(map[FileID]*node)}
+	fs.root = fs.newNode(TypeDir)
+	fs.ndirs = 1
+	return fs
+}
+
+// Name reports the file system's label.
+func (fs *FS) Name() string { return fs.name }
+
+// NumFiles reports the number of regular files.
+func (fs *FS) NumFiles() int { return fs.nfiles }
+
+// NumDirs reports the number of directories (including the root).
+func (fs *FS) NumDirs() int { return fs.ndirs }
+
+// NumInodes reports the total inode count.
+func (fs *FS) NumInodes() int { return fs.nfiles + fs.ndirs }
+
+func (fs *FS) newNode(t FileType) *node {
+	fs.nextID++
+	n := &node{id: fs.nextID, typ: t, modTime: fs.now(), nlink: 1}
+	if t == TypeDir {
+		n.children = make(map[string]*node)
+	}
+	fs.byID[n.id] = n
+	return n
+}
+
+// clean canonicalizes p to a rooted slash path.
+func clean(p string) string {
+	p = path.Clean("/" + p)
+	return p
+}
+
+// lookup resolves p to its node.
+func (fs *FS) lookup(p string) (*node, error) {
+	p = clean(p)
+	if p == "/" {
+		return fs.root, nil
+	}
+	cur := fs.root
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		if cur.typ != TypeDir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, p)
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupParent resolves the parent directory of p and the leaf name.
+func (fs *FS) lookupParent(p string) (*node, string, error) {
+	p = clean(p)
+	if p == "/" {
+		return nil, "", fmt.Errorf("%w: cannot address root's parent", ErrInvalid)
+	}
+	dir, leaf := path.Split(p)
+	parent, err := fs.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if parent.typ != TypeDir {
+		return nil, "", fmt.Errorf("%w: %s", ErrNotDir, dir)
+	}
+	return parent, leaf, nil
+}
+
+// Mkdir creates a single directory. The parent must exist.
+func (fs *FS) Mkdir(p string) error {
+	parent, leaf, err := fs.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[leaf]; ok {
+		return fmt.Errorf("%w: %s", ErrExist, p)
+	}
+	parent.children[leaf] = fs.newNode(TypeDir)
+	parent.modTime = fs.now()
+	fs.ndirs++
+	return nil
+}
+
+// MkdirAll creates p and any missing ancestors.
+func (fs *FS) MkdirAll(p string) error {
+	p = clean(p)
+	if p == "/" {
+		return nil
+	}
+	cur := fs.root
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		next, ok := cur.children[part]
+		if !ok {
+			next = fs.newNode(TypeDir)
+			cur.children[part] = next
+			cur.modTime = fs.now()
+			fs.ndirs++
+		} else if next.typ != TypeDir {
+			return fmt.Errorf("%w: %s", ErrNotDir, part)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// WriteFile creates or replaces the regular file at p with content.
+func (fs *FS) WriteFile(p string, content synthetic.Content) error {
+	parent, leaf, err := fs.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	existing, ok := parent.children[leaf]
+	if ok {
+		if existing.typ == TypeDir {
+			return fmt.Errorf("%w: %s", ErrIsDir, p)
+		}
+		existing.content = content
+		existing.size = content.Len()
+		existing.modTime = fs.now()
+		return nil
+	}
+	n := fs.newNode(TypeFile)
+	n.content = content
+	n.size = content.Len()
+	parent.children[leaf] = n
+	parent.modTime = fs.now()
+	fs.nfiles++
+	return nil
+}
+
+// ReadFile returns the content of the regular file at p, updating its
+// access time (the signal ILM age/frequency policies consume).
+func (fs *FS) ReadFile(p string) (synthetic.Content, error) {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return synthetic.Content{}, err
+	}
+	if n.typ == TypeDir {
+		return synthetic.Content{}, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	n.atime = fs.now()
+	return n.content, nil
+}
+
+// WriteAt overwrites [off, off+data.Len()) of the file at p, extending
+// the file with the data if it writes at exactly EOF.
+func (fs *FS) WriteAt(p string, off int64, data synthetic.Content) error {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return err
+	}
+	if n.typ == TypeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	switch {
+	case off == n.size:
+		n.content = synthetic.Concat(n.content, data)
+	case off+data.Len() <= n.size:
+		n.content = n.content.Overwrite(off, data)
+	case off < n.size:
+		// Straddles EOF: truncate then append.
+		n.content = synthetic.Concat(n.content.Truncate(off), data)
+	default:
+		return fmt.Errorf("%w: sparse write at %d past size %d", ErrInvalid, off, n.size)
+	}
+	n.size = n.content.Len()
+	n.modTime = fs.now()
+	return nil
+}
+
+// Truncate cuts the file at p to length (which must not exceed the
+// current size).
+func (fs *FS) Truncate(p string, length int64) error {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return err
+	}
+	if n.typ == TypeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	if length < 0 || length > n.size {
+		return fmt.Errorf("%w: truncate to %d of %d", ErrInvalid, length, n.size)
+	}
+	n.content = n.content.Truncate(length)
+	n.size = length
+	n.modTime = fs.now()
+	return nil
+}
+
+// Stat returns the Info for p.
+func (fs *FS) Stat(p string) (Info, error) {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return Info{}, err
+	}
+	return fs.info(clean(p), n), nil
+}
+
+// StatID returns the Info for a file ID, with an empty Path (IDs are
+// path-independent).
+func (fs *FS) StatID(id FileID) (Info, error) {
+	n, ok := fs.byID[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: id %d", ErrNotExist, id)
+	}
+	return fs.info("", n), nil
+}
+
+func (fs *FS) info(p string, n *node) Info {
+	var xa map[string]string
+	if len(n.xattrs) > 0 {
+		xa = make(map[string]string, len(n.xattrs))
+		for k, v := range n.xattrs {
+			xa[k] = v
+		}
+	}
+	return Info{
+		Name:    path.Base(p),
+		Path:    p,
+		ID:      n.id,
+		Type:    n.typ,
+		Size:    n.size,
+		ModTime: n.modTime,
+		ATime:   n.atime,
+		Xattrs:  xa,
+	}
+}
+
+// ReadDir lists the entries of directory p sorted by name.
+func (fs *FS) ReadDir(p string) ([]Info, error) {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.typ != TypeDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, p)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Info, len(names))
+	base := clean(p)
+	for i, name := range names {
+		out[i] = fs.info(path.Join(base, name), n.children[name])
+	}
+	return out, nil
+}
+
+// Remove unlinks the file or empty directory at p.
+func (fs *FS) Remove(p string) error {
+	parent, leaf, err := fs.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[leaf]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if n.typ == TypeDir && len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, p)
+	}
+	delete(parent.children, leaf)
+	parent.modTime = fs.now()
+	fs.drop(n)
+	return nil
+}
+
+// RemoveAll removes p and everything below it. Removing a missing path
+// is not an error.
+func (fs *FS) RemoveAll(p string) error {
+	parent, leaf, err := fs.lookupParent(p)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	n, ok := parent.children[leaf]
+	if !ok {
+		return nil
+	}
+	delete(parent.children, leaf)
+	parent.modTime = fs.now()
+	fs.dropTree(n)
+	return nil
+}
+
+func (fs *FS) drop(n *node) {
+	n.nlink--
+	if n.nlink > 0 {
+		return
+	}
+	delete(fs.byID, n.id)
+	if n.typ == TypeDir {
+		fs.ndirs--
+	} else {
+		fs.nfiles--
+	}
+}
+
+func (fs *FS) dropTree(n *node) {
+	if n.typ == TypeDir {
+		for _, child := range n.children {
+			fs.dropTree(child)
+		}
+	}
+	fs.drop(n)
+}
+
+// Rename moves oldp to newp. An existing file (not directory) at newp
+// is replaced, as in POSIX rename.
+func (fs *FS) Rename(oldp, newp string) error {
+	oparent, oleaf, err := fs.lookupParent(oldp)
+	if err != nil {
+		return err
+	}
+	n, ok := oparent.children[oleaf]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldp)
+	}
+	nparent, nleaf, err := fs.lookupParent(newp)
+	if err != nil {
+		return err
+	}
+	if existing, ok := nparent.children[nleaf]; ok {
+		if existing == n {
+			return nil
+		}
+		if existing.typ == TypeDir {
+			if len(existing.children) > 0 {
+				return fmt.Errorf("%w: %s", ErrNotEmpty, newp)
+			}
+		} else if n.typ == TypeDir {
+			return fmt.Errorf("%w: %s", ErrNotDir, newp)
+		}
+		fs.drop(existing)
+	}
+	delete(oparent.children, oleaf)
+	nparent.children[nleaf] = n
+	oparent.modTime = fs.now()
+	nparent.modTime = fs.now()
+	return nil
+}
+
+// SetXattr sets a named extended attribute on p. An empty value deletes
+// the attribute.
+func (fs *FS) SetXattr(p, key, value string) error {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return err
+	}
+	if value == "" {
+		delete(n.xattrs, key)
+		return nil
+	}
+	if n.xattrs == nil {
+		n.xattrs = make(map[string]string)
+	}
+	n.xattrs[key] = value
+	return nil
+}
+
+// GetXattr reads a named extended attribute of p ("" if absent).
+func (fs *FS) GetXattr(p, key string) (string, error) {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return "", err
+	}
+	return n.xattrs[key], nil
+}
+
+// Exists reports whether p resolves.
+func (fs *FS) Exists(p string) bool {
+	_, err := fs.lookup(p)
+	return err == nil
+}
+
+// WalkFunc visits one inode during Walk. Returning a non-nil error
+// stops the walk and propagates the error.
+type WalkFunc func(info Info) error
+
+// Walk visits p and everything below it in deterministic depth-first
+// order (directories before their sorted children).
+func (fs *FS) Walk(p string, fn WalkFunc) error {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return err
+	}
+	return fs.walk(clean(p), n, fn)
+}
+
+func (fs *FS) walk(p string, n *node, fn WalkFunc) error {
+	if err := fn(fs.info(p, n)); err != nil {
+		return err
+	}
+	if n.typ != TypeDir {
+		return nil
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := fs.walk(path.Join(p, name), n.children[name], fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalBytes sums the sizes of all regular files.
+func (fs *FS) TotalBytes() int64 {
+	var total int64
+	_ = fs.Walk("/", func(info Info) error {
+		if !info.IsDir() {
+			total += info.Size
+		}
+		return nil
+	})
+	return total
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace is a serialized campaign: the exact job sequence of a run, so
+// campaigns replay bit-identically across machines and survive
+// generator changes. The simulator being deterministic, a trace plus a
+// seed pins the entire experiment.
+type Trace struct {
+	// Version guards the format; bump on incompatible changes.
+	Version int       `json:"version"`
+	Seed    int64     `json:"seed"`
+	Jobs    []JobSpec `json:"jobs"`
+}
+
+// traceVersion is the current trace format version.
+const traceVersion = 1
+
+// WriteTrace serializes a campaign's jobs to w.
+func WriteTrace(w io.Writer, seed int64, jobs []JobSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Trace{Version: traceVersion, Seed: seed, Jobs: jobs})
+}
+
+// ReadTrace parses a campaign trace and validates every job.
+func ReadTrace(r io.Reader) (Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return Trace{}, fmt.Errorf("workload: parsing trace: %w", err)
+	}
+	if t.Version != traceVersion {
+		return Trace{}, fmt.Errorf("workload: trace version %d, want %d", t.Version, traceVersion)
+	}
+	for i, j := range t.Jobs {
+		if err := validateJob(j); err != nil {
+			return Trace{}, fmt.Errorf("workload: trace job %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// validateJob rejects specs the simulator cannot run.
+func validateJob(j JobSpec) error {
+	switch {
+	case j.NumFiles < 1:
+		return fmt.Errorf("NumFiles %d < 1", j.NumFiles)
+	case j.TotalBytes < int64(j.NumFiles):
+		return fmt.Errorf("TotalBytes %d < NumFiles %d (files need at least a byte)", j.TotalBytes, j.NumFiles)
+	case j.Background < 0 || j.Background > 1:
+		return fmt.Errorf("Background %f outside [0,1]", j.Background)
+	case j.Project == "":
+		return fmt.Errorf("empty project")
+	}
+	return nil
+}

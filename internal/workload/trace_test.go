@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	jobs := Generate(PaperCampaign(7))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, 7, jobs); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Seed != 7 || len(tr.Jobs) != len(jobs) {
+		t.Fatalf("trace = seed %d, %d jobs", tr.Seed, len(tr.Jobs))
+	}
+	for i := range jobs {
+		if tr.Jobs[i] != jobs[i] {
+			t.Fatalf("job %d differs after round trip", i)
+		}
+	}
+}
+
+func TestTraceRejectsBadVersion(t *testing.T) {
+	r := strings.NewReader(`{"version": 99, "seed": 1, "jobs": []}`)
+	if _, err := ReadTrace(r); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTraceValidatesJobs(t *testing.T) {
+	cases := []string{
+		`{"version":1,"seed":1,"jobs":[{"ID":1,"Project":"p","NumFiles":0,"TotalBytes":10}]}`,
+		`{"version":1,"seed":1,"jobs":[{"ID":1,"Project":"p","NumFiles":100,"TotalBytes":10}]}`,
+		`{"version":1,"seed":1,"jobs":[{"ID":1,"Project":"p","NumFiles":1,"TotalBytes":10,"Background":2}]}`,
+		`{"version":1,"seed":1,"jobs":[{"ID":1,"Project":"","NumFiles":1,"TotalBytes":10}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
