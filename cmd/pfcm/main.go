@@ -2,7 +2,10 @@
 // compare (§4.1.3): after archiving the synthetic tree it byte-compares
 // source and destination in parallel — the integrity check users ran
 // after every pfcp. With -corrupt N, N destination files are damaged
-// first to demonstrate detection.
+// first to demonstrate detection. With -recheck the compare runs a
+// second time sharing the first pass's restart journal: everything
+// that already compared clean is pruned from the rerun, the way an
+// interrupted multi-day pfcm was resumed in production.
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/pfs"
+	"repro/internal/pftool"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
 )
@@ -22,6 +26,7 @@ func main() {
 	log.SetPrefix("pfcm: ")
 	flags := cli.Register()
 	corrupt := flag.Int("corrupt", 0, "corrupt this many destination files before comparing")
+	recheck := flag.Bool("recheck", false, "compare twice with a shared restart journal; the rerun skips files already verified")
 	flag.Parse()
 
 	clock := simtime.NewClock()
@@ -55,11 +60,22 @@ func main() {
 			fmt.Printf("corrupted %d destination file(s)\n", damaged)
 		}
 
+		if *recheck {
+			tun.Journal = pftool.NewJournal()
+		}
 		vres, err := sys.Pfcm("/src", "/archive/src", tun)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("compare:", vres.Summary())
+		if *recheck {
+			rres, err := sys.Pfcm("/src", "/archive/src", tun)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("recheck: %d file(s) pruned by the restart journal, %d recompared\n",
+				rres.JournalSkipped, rres.Matched+rres.Mismatched)
+		}
 		if vres.Mismatched > 0 || vres.Missing > 0 {
 			os.Exit(3)
 		}

@@ -5,6 +5,11 @@
 //
 // With -retrieve the tree is first archived and migrated to tape, then
 // copied back through the tape-ordered TapeProc path.
+//
+// With -interrupt D the run is killed D of virtual time in — the real
+// operational case the restart journal exists for — and then resumed:
+// the second run prunes every journaled file from its work list and
+// copies only the remainder.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/hsm"
+	"repro/internal/pftool"
 	"repro/internal/simtime"
 )
 
@@ -24,6 +30,7 @@ func main() {
 	flags := cli.Register()
 	retrieve := flag.Bool("retrieve", false, "archive + migrate to tape, then copy back from tape")
 	report := flag.Bool("report", false, "print the Manager's full performance report (with WatchDog history)")
+	interrupt := flag.Duration("interrupt", 0, "kill the copy after this much virtual time, then resume it from the restart journal")
 	flag.Parse()
 
 	clock := simtime.NewClock()
@@ -34,9 +41,36 @@ func main() {
 		}
 		tun := flags.Tunables()
 		tun.Verbose = false
+		if *interrupt > 0 {
+			journal := pftool.NewJournal()
+			tun.Journal = journal
+			deadline := clock.Now() + *interrupt
+			failed := false
+			// Per-file jobs for the doomed pass, so the deadline falls
+			// between files instead of after one giant batch dispatch.
+			itun := tun
+			itun.CopyBatchFiles = 1
+			itun.InjectFault = func(dst string, chunk int) bool {
+				if !failed && clock.Now() >= deadline {
+					failed = true
+					return true
+				}
+				return false
+			}
+			if _, err := sys.Pfcp("/src", "/archive/src", itun); err != nil {
+				fmt.Printf("interrupted after %v: journal holds %d completed file(s)\n",
+					*interrupt, journal.Len())
+			} else {
+				fmt.Println("run finished before the interrupt; resuming is a no-op")
+			}
+			tun.Restart = true // repair any half-copied chunked file too
+		}
 		res, err := sys.Pfcp("/src", "/archive/src", tun)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.JournalSkipped > 0 {
+			fmt.Printf("resume: %d file(s) pruned by the restart journal\n", res.JournalSkipped)
 		}
 		if *report {
 			fmt.Print(res.Report())

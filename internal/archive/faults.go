@@ -1,0 +1,86 @@
+package archive
+
+import (
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// InstallFaults subscribes the deployment to a fault registry: every
+// event the registry applies — immediately or from an armed schedule —
+// is dispatched to the owning subsystem by component-name prefix.
+//
+//	drive:<name>   tape drive dies / is replaced
+//	volume:<label> cartridge goes bad (read-only media) / is repaired
+//	node:<name>    mover machine crashes / reboots
+//	tsm            the TSM server goes down / comes back
+//	link:trunk     the inter-system trunk degrades (KindDegrade) or is
+//	               restored; fail/repair map to a 1% crawl and full rate
+//
+// Unknown components are ignored, so one schedule can drive several
+// deployments that each own a subset of the components. Recovery is
+// NOT wired here — each subsystem reacts through its own mechanisms
+// (TSM reaps dead drives at its next transaction, PFTool's WatchDog
+// declares ranks dead, the LoadManager filters down machines); the
+// registry only flips the failure state.
+func (s *System) InstallFaults(reg *faults.Registry) {
+	trunkRate := s.Cluster.Trunk().Rate()
+	reg.OnApply(func(ev faults.Event) {
+		switch {
+		case strings.HasPrefix(ev.Component, "drive:"):
+			name := strings.TrimPrefix(ev.Component, "drive:")
+			for _, d := range s.Library.Drives() {
+				if d.Name == name {
+					d.SetDown(ev.Kind == faults.KindFail)
+				}
+			}
+		case strings.HasPrefix(ev.Component, "volume:"):
+			label := strings.TrimPrefix(ev.Component, "volume:")
+			if c, err := s.Library.Cartridge(label); err == nil {
+				c.SetReadOnly(ev.Kind == faults.KindFail)
+			}
+		case strings.HasPrefix(ev.Component, "node:"):
+			name := strings.TrimPrefix(ev.Component, "node:")
+			for _, n := range s.Cluster.Nodes() {
+				if n.Name == name {
+					n.SetDown(ev.Kind == faults.KindFail)
+				}
+			}
+		case ev.Component == faults.TSMComponent:
+			s.TSM.SetDown(ev.Kind == faults.KindFail)
+		case ev.Component == faults.LinkComponent("trunk"):
+			switch ev.Kind {
+			case faults.KindDegrade:
+				s.Cluster.Trunk().SetRate(trunkRate * ev.Param)
+			case faults.KindFail:
+				// A fully dead trunk would wedge in-flight transfers
+				// forever; model it as a crawl so traffic drains.
+				s.Cluster.Trunk().SetRate(trunkRate * 0.01)
+			case faults.KindRepair:
+				s.Cluster.Trunk().SetRate(trunkRate)
+			}
+		}
+	})
+}
+
+// DriveNames lists the library's drive names, for building fault
+// profiles against this deployment.
+func (s *System) DriveNames() []string {
+	drives := s.Library.Drives()
+	names := make([]string, len(drives))
+	for i, d := range drives {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// NodeNames lists the cluster's machine names, for building fault
+// profiles against this deployment.
+func (s *System) NodeNames() []string {
+	nodes := s.Cluster.Nodes()
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name
+	}
+	return names
+}

@@ -22,7 +22,16 @@ type Node struct {
 	hba  *simtime.Pipe // FC toward the SAN (archive disk, tape)
 	load float64       // CPU load average, updated by users/noise
 	slot *simtime.Resource
+	down bool // crashed: daemons abort, the load manager skips it
 }
+
+// SetDown crashes (or reboots) the node. Daemons running on the node
+// observe Down at their decision points and abort; the load manager
+// drops down nodes from machine lists until repair.
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
 
 // NIC returns the node's Ethernet pipe.
 func (n *Node) NIC() *simtime.Pipe { return n.nic }
@@ -129,7 +138,11 @@ func NewLoadManager(clock *simtime.Clock, cl *Cluster, period time.Duration) *Lo
 
 // MachineList returns the FTA nodes sorted by ascending load as of the
 // last refresh, refreshing if the period has lapsed. Ties break by node
-// name so the list is deterministic.
+// name so the list is deterministic. Crashed nodes are dropped at read
+// time — even between refreshes — so a new PFTool launch never lands MPI
+// processes on a machine already known dead. If every node is down the
+// full cached list is returned so callers keep a well-formed (if
+// doomed) allocation rather than an empty one.
 func (lm *LoadManager) MachineList() []*Node {
 	now := lm.clock.Now()
 	if !lm.fresh || now-lm.stamp >= lm.period {
@@ -144,7 +157,16 @@ func (lm *LoadManager) MachineList() []*Node {
 		lm.stamp = now
 		lm.fresh = true
 	}
-	return append([]*Node(nil), lm.cached...)
+	up := make([]*Node, 0, len(lm.cached))
+	for _, n := range lm.cached {
+		if !n.down {
+			up = append(up, n)
+		}
+	}
+	if len(up) == 0 {
+		return append([]*Node(nil), lm.cached...)
+	}
+	return up
 }
 
 // Pick returns the n least-loaded nodes (cycling if n exceeds the

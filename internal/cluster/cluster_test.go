@@ -132,3 +132,41 @@ func TestNodeSlotsBound(t *testing.T) {
 		t.Errorf("end = %v, want 2s (2 slots x 2 waves)", end)
 	}
 }
+
+func TestMachineListSkipsDownNodes(t *testing.T) {
+	c := simtime.NewClock()
+	cl := New(c, Config{Nodes: 3, NICRate: 1e9, HBARate: 4e8, TrunkRate: 2e9, NodeSlots: 4, NamePrefix: "fta"})
+	lm := NewLoadManager(c, cl, time.Minute)
+	if got := len(lm.MachineList()); got != 3 {
+		t.Fatalf("list = %d nodes, want 3", got)
+	}
+	cl.Node(1).SetDown(true)
+	list := lm.MachineList()
+	if len(list) != 2 {
+		t.Fatalf("list with one node down = %d, want 2", len(list))
+	}
+	for _, n := range list {
+		if n.Down() {
+			t.Errorf("down node %s in machine list", n.Name)
+		}
+	}
+	// Pick still cycles over the survivors only.
+	for _, n := range lm.Pick(4) {
+		if n.Down() {
+			t.Errorf("Pick placed work on down node %s", n.Name)
+		}
+	}
+	// All down: fall back to the full list rather than an empty one.
+	for _, n := range cl.Nodes() {
+		n.SetDown(true)
+	}
+	if got := len(lm.MachineList()); got != 3 {
+		t.Errorf("all-down fallback = %d nodes, want 3", got)
+	}
+	// Repair brings nodes back immediately.
+	cl.Node(1).SetDown(false)
+	list = lm.MachineList()
+	if len(list) != 1 || list[0] != cl.Node(1) {
+		t.Errorf("after repair list = %v, want just fta02", list)
+	}
+}

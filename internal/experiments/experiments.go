@@ -63,6 +63,7 @@ func All(seed int64) []Report {
 		AblationBatching(seed),
 		AblationLANFree(seed),
 		Reclamation(seed),
+		ChaosStudy(seed),
 	}...)
 }
 
@@ -73,7 +74,7 @@ func Names() []string {
 		"parallel-vs-serial", "smallfile", "recall", "largefile",
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
-		"ablation-lanfree", "reclaim",
+		"ablation-lanfree", "reclaim", "chaos",
 		"all",
 	}
 }
@@ -113,6 +114,8 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{AblationLANFree(seed)}, nil
 	case "reclaim":
 		return []Report{Reclamation(seed)}, nil
+	case "chaos":
+		return []Report{ChaosStudy(seed)}, nil
 	case "all":
 		return All(seed), nil
 	default:

@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Backoff is a bounded exponential retry policy that charges virtual
+// time between attempts — the storage agent's standard recovery loop,
+// replacing unbounded immediate retries. The zero value is not useful;
+// start from DefaultBackoff.
+type Backoff struct {
+	Attempts int           // total attempts including the first (min 1)
+	Base     time.Duration // delay before the second attempt
+	Factor   float64       // delay multiplier per further attempt
+	Max      time.Duration // delay ceiling
+}
+
+// DefaultBackoff returns the policy used by the TSM data paths: four
+// attempts backing off 2s, 4s, 8s.
+func DefaultBackoff() Backoff {
+	return Backoff{Attempts: 4, Base: 2 * time.Second, Factor: 2, Max: 30 * time.Second}
+}
+
+// normalized fills zero fields with sane values.
+func (b Backoff) normalized() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 1
+	}
+	if b.Base <= 0 {
+		b.Base = time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Max <= 0 {
+		b.Max = time.Minute
+	}
+	return b
+}
+
+// Do runs op until it succeeds, returns a non-retryable error, or the
+// attempt budget is spent, sleeping the backoff delay on the clock
+// between attempts. op receives the 1-based attempt number. The final
+// error (nil on success) is returned.
+func (b Backoff) Do(clock *simtime.Clock, op func(attempt int) error, retryable func(error) bool) error {
+	b = b.normalized()
+	delay := b.Base
+	for attempt := 1; ; attempt++ {
+		err := op(attempt)
+		if err == nil || attempt >= b.Attempts || retryable == nil || !retryable(err) {
+			return err
+		}
+		clock.Sleep(delay)
+		delay = time.Duration(float64(delay) * b.Factor)
+		if delay > b.Max {
+			delay = b.Max
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestApplyAndStatus(t *testing.T) {
+	clock := simtime.NewClock()
+	r := New(clock, 1)
+	comp := DriveComponent("drive03")
+	if r.Down(comp) {
+		t.Fatal("component down before any event")
+	}
+	r.Apply(Event{Component: comp, Kind: KindFail})
+	if !r.Down(comp) || r.Capacity(comp) != 0 {
+		t.Error("fail event not reflected")
+	}
+	r.Apply(Event{Component: comp, Kind: KindRepair})
+	if r.Down(comp) || r.Capacity(comp) != 1 {
+		t.Error("repair event not reflected")
+	}
+	r.Apply(Event{Component: "link:trunk", Kind: KindDegrade, Param: 0.25})
+	if got := r.Capacity("link:trunk"); got != 0.25 {
+		t.Errorf("Capacity = %v, want 0.25", got)
+	}
+	r.Apply(Event{Component: "link:trunk", Kind: KindDegrade, Param: 1})
+	if got := r.Capacity("link:trunk"); got != 1 {
+		t.Errorf("Capacity after restore = %v, want 1", got)
+	}
+	if len(r.Log()) != 4 {
+		t.Errorf("log has %d events, want 4", len(r.Log()))
+	}
+}
+
+func TestScheduleFiresAtVirtualTime(t *testing.T) {
+	clock := simtime.NewClock()
+	r := New(clock, 1)
+	comp := NodeComponent("fta02")
+	r.Window(comp, 10*time.Minute, 5*time.Minute)
+	var atFail, atRepair simtime.Duration
+	clock.Go(func() {
+		clock.Sleep(10*time.Minute + time.Second)
+		if !r.Down(comp) {
+			t.Error("node should be down inside the crash window")
+		}
+		atFail = clock.Now()
+		clock.Sleep(5 * time.Minute)
+		if r.Down(comp) {
+			t.Error("node should have rebooted")
+		}
+		atRepair = clock.Now()
+	})
+	clock.RunFor()
+	if atFail == 0 || atRepair == 0 {
+		t.Fatal("observer never ran")
+	}
+}
+
+func TestOnApplySubscribers(t *testing.T) {
+	clock := simtime.NewClock()
+	r := New(clock, 1)
+	var seen []Event
+	r.OnApply(func(ev Event) { seen = append(seen, ev) })
+	r.FailAt(DriveComponent("drive00"), time.Minute)
+	r.FailAt(DriveComponent("drive01"), 2*time.Minute)
+	clock.RunFor()
+	if len(seen) != 2 {
+		t.Fatalf("subscriber saw %d events, want 2", len(seen))
+	}
+	if seen[0].Component != "drive:drive00" || seen[1].Component != "drive:drive01" {
+		t.Errorf("events out of order: %v", seen)
+	}
+	if seen[0].At != time.Minute {
+		t.Errorf("event stamped %v, want 1m", seen[0].At)
+	}
+	if r.DownCount() != 2 {
+		t.Errorf("DownCount = %d, want 2", r.DownCount())
+	}
+}
+
+func TestGenerateScheduleDeterministic(t *testing.T) {
+	profile := Profile{
+		Horizon:       time.Hour,
+		DriveFailures: 3,
+		Drives:        []string{"d0", "d1", "d2", "d3"},
+		NodeCrashes:   2,
+		Nodes:         []string{"n0", "n1"},
+		LinkDegrades:  1,
+		Links:         []string{"trunk"},
+	}
+	a := New(simtime.NewClock(), 42).GenerateSchedule(profile)
+	b := New(simtime.NewClock(), 42).GenerateSchedule(profile)
+	c := New(simtime.NewClock(), 43).GenerateSchedule(profile)
+	if len(a) != 3+2*2+1*2 {
+		t.Fatalf("schedule has %d events, want 9", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different schedule lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Different seeds virtually never coincide; treat equality as failure.
+	differs := len(a) != len(c)
+	for i := 0; !differs && i < len(a); i++ {
+		differs = a[i] != c[i]
+	}
+	if !differs {
+		t.Error("different seeds produced identical schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatal("schedule not sorted by time")
+		}
+	}
+}
+
+func TestComponentStatusSingleMechanism(t *testing.T) {
+	clock := simtime.NewClock()
+	r := New(clock, 1)
+	st := r.ComponentStatus(CellComponent("east"))
+	st.SetDown(true)
+	if !st.Down() || !r.Down("cell:east") {
+		t.Error("status handle and registry disagree")
+	}
+	st.SetDown(false)
+	if st.Down() {
+		t.Error("repair via status handle lost")
+	}
+}
+
+func TestBackoffChargesVirtualTime(t *testing.T) {
+	clock := simtime.NewClock()
+	errTransient := errors.New("transient")
+	calls := 0
+	var end simtime.Duration
+	clock.Go(func() {
+		b := Backoff{Attempts: 3, Base: 2 * time.Second, Factor: 2, Max: 30 * time.Second}
+		err := b.Do(clock, func(attempt int) error {
+			calls++
+			if attempt < 3 {
+				return errTransient
+			}
+			return nil
+		}, func(err error) bool { return errors.Is(err, errTransient) })
+		if err != nil {
+			t.Errorf("Do = %v, want nil", err)
+		}
+		end = clock.Now()
+	})
+	clock.RunFor()
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if want := 6 * time.Second; end != want { // 2s + 4s
+		t.Errorf("backoff charged %v of virtual time, want %v", end, want)
+	}
+}
+
+func TestBackoffBudgetAndNonRetryable(t *testing.T) {
+	clock := simtime.NewClock()
+	errTransient := errors.New("transient")
+	errFatal := errors.New("fatal")
+	clock.Go(func() {
+		calls := 0
+		b := Backoff{Attempts: 4, Base: time.Second, Factor: 2, Max: time.Minute}
+		err := b.Do(clock, func(int) error { calls++; return errTransient },
+			func(err error) bool { return errors.Is(err, errTransient) })
+		if !errors.Is(err, errTransient) || calls != 4 {
+			t.Errorf("budget: err=%v calls=%d, want transient/4", err, calls)
+		}
+		calls = 0
+		err = b.Do(clock, func(int) error { calls++; return errFatal },
+			func(err error) bool { return errors.Is(err, errTransient) })
+		if !errors.Is(err, errFatal) || calls != 1 {
+			t.Errorf("non-retryable: err=%v calls=%d, want fatal/1", err, calls)
+		}
+	})
+	clock.RunFor()
+}
+
+func TestBackoffMaxDelayCap(t *testing.T) {
+	clock := simtime.NewClock()
+	errT := errors.New("t")
+	var end simtime.Duration
+	clock.Go(func() {
+		b := Backoff{Attempts: 5, Base: 10 * time.Second, Factor: 10, Max: 20 * time.Second}
+		_ = b.Do(clock, func(int) error { return errT }, func(error) bool { return true })
+		end = clock.Now()
+	})
+	clock.RunFor()
+	if want := 10*time.Second + 3*20*time.Second; end != want {
+		t.Errorf("capped backoff charged %v, want %v", end, want)
+	}
+}

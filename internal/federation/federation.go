@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/hsm"
 	"repro/internal/metadb"
 	"repro/internal/pfs"
@@ -37,15 +38,33 @@ type Cell struct {
 	Server *tsm.Server
 	Shadow *metadb.DB
 	Engine *hsm.Engine
+
+	// status is the cell's health in the fault registry once BindFaults
+	// has run; before binding, the local flag stands in so a federation
+	// is usable without a registry.
+	status *faults.Status
 	down   bool
 }
 
 // Down reports whether the cell is failed.
-func (c *Cell) Down() bool { return c.down }
+func (c *Cell) Down() bool {
+	if c.status != nil {
+		return c.status.Down()
+	}
+	return c.down
+}
 
 // SetDown fails or revives the cell (failure injection for the single
-// point-of-failure study).
-func (c *Cell) SetDown(down bool) { c.down = down }
+// point-of-failure study). When the cell is bound to a fault registry
+// this routes through it, so the event lands in the registry's log and
+// reaches its subscribers like any other injected fault.
+func (c *Cell) SetDown(down bool) {
+	if c.status != nil {
+		c.status.SetDown(down)
+		return
+	}
+	c.down = down
+}
 
 // Federation is the tethered namespace.
 type Federation struct {
@@ -63,6 +82,21 @@ func New(clock *simtime.Clock, cells ...*Cell) (*Federation, error) {
 
 // Cells returns the member cells.
 func (f *Federation) Cells() []*Cell { return f.cells }
+
+// BindFaults rebases every cell's up/down state onto the fault
+// registry under the "cell:<name>" component, making the registry the
+// single mechanism for cell failure: scheduled events (Window, FailAt)
+// take cells down, and Cell.SetDown becomes sugar for an immediate
+// registry event. A cell already marked down carries its state over.
+func (f *Federation) BindFaults(reg *faults.Registry) {
+	for _, c := range f.cells {
+		wasDown := c.Down()
+		c.status = reg.ComponentStatus(faults.CellComponent(c.Name))
+		if wasDown && !c.status.Down() {
+			c.status.SetDown(true)
+		}
+	}
+}
 
 // CellFor routes a path to its owning cell by hashing the first path
 // component (the "project" level): a whole project lives in one cell,
@@ -84,7 +118,7 @@ func topComponent(p string) string {
 // up returns the owning cell or ErrCellDown.
 func (f *Federation) up(path string) (*Cell, error) {
 	c := f.CellFor(path)
-	if c.down {
+	if c.Down() {
 		return nil, fmt.Errorf("%w: %s owns %s", ErrCellDown, c.Name, path)
 	}
 	return c, nil
@@ -107,7 +141,7 @@ func (f *Federation) Migrate(files []pfs.Info, opt hsm.MigrateOptions) (map[stri
 	var downPaths []string
 	for _, file := range files {
 		c := f.CellFor(file.Path)
-		if c.down {
+		if c.Down() {
 			downPaths = append(downPaths, file.Path)
 			continue
 		}
@@ -142,7 +176,7 @@ func (f *Federation) Recall(paths []string, mode hsm.RecallMode) (map[string]hsm
 	var downPaths []string
 	for _, p := range paths {
 		c := f.CellFor(p)
-		if c.down {
+		if c.Down() {
 			downPaths = append(downPaths, p)
 			continue
 		}
@@ -195,7 +229,7 @@ func (f *Federation) LookupShadow(path string) (metadb.Record, error) {
 func (f *Federation) HealthySlice() []string {
 	var out []string
 	for _, c := range f.cells {
-		if !c.down {
+		if !c.Down() {
 			out = append(out, c.Name)
 		}
 	}
@@ -207,7 +241,7 @@ func (f *Federation) HealthySlice() []string {
 func (f *Federation) TotalObjects() int {
 	n := 0
 	for _, c := range f.cells {
-		if !c.down {
+		if !c.Down() {
 			n += c.Server.NumObjects()
 		}
 	}

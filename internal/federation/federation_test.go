@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/hsm"
 	"repro/internal/metadb"
 	"repro/internal/pfs"
@@ -238,4 +239,53 @@ func TestShadowLookupRoutes(t *testing.T) {
 			t.Errorf("LookupShadow = %+v, %v", rec, err)
 		}
 	})
+}
+
+func TestBindFaultsDrivesCellHealth(t *testing.T) {
+	e := newEnv(t, 3)
+	reg := faults.New(e.clock, 1)
+	e.fed.BindFaults(reg)
+	cell := e.fed.Cells()[1]
+	comp := faults.CellComponent(cell.Name)
+	// A scheduled outage window takes the cell down and back up.
+	reg.Window(comp, 10*time.Second, 20*time.Second)
+	e.run(t, func() {
+		if cell.Down() {
+			t.Error("cell down before the scheduled outage")
+		}
+		e.clock.Sleep(15 * time.Second)
+		if !cell.Down() {
+			t.Error("cell up during the scheduled outage")
+		}
+		if len(e.fed.HealthySlice()) != 2 {
+			t.Errorf("healthy = %v, want 2 cells", e.fed.HealthySlice())
+		}
+		e.clock.Sleep(20 * time.Second)
+		if cell.Down() {
+			t.Error("cell still down after the repair event")
+		}
+	})
+}
+
+func TestSetDownRoutesThroughRegistry(t *testing.T) {
+	e := newEnv(t, 2)
+	reg := faults.New(e.clock, 1)
+	// Pre-binding state carries over.
+	e.fed.Cells()[0].SetDown(true)
+	e.fed.BindFaults(reg)
+	if !reg.Down(faults.CellComponent(e.fed.Cells()[0].Name)) {
+		t.Error("pre-binding down state not carried into the registry")
+	}
+	cell := e.fed.Cells()[1]
+	cell.SetDown(true)
+	if !reg.Down(faults.CellComponent(cell.Name)) {
+		t.Error("SetDown did not reach the registry")
+	}
+	if n := len(reg.Log()); n != 2 {
+		t.Errorf("registry log has %d events, want 2", n)
+	}
+	cell.SetDown(false)
+	if cell.Down() {
+		t.Error("repair via SetDown not visible")
+	}
 }

@@ -165,14 +165,37 @@ type MigrateResult struct {
 	Bytes       int64
 	Aggregates  int
 	Skipped     int // non-resident or directory entries ignored
+	Requeued    int // files reassigned after a mover crash
+	Rounds      int // distribution rounds run (1 = no crashes)
 	NodeBytes   []int64
 	NodeFinish  []simtime.Duration // per-node completion times
 	FirstErrors []string
 }
 
+// maxRedistributeRounds bounds crash-recovery reassignment: each round
+// repartitions unfinished work over the surviving nodes, so more than a
+// handful of rounds means nodes are dying faster than work completes.
+const maxRedistributeRounds = 8
+
+// upNodeIndices returns the indices of the engine's nodes currently up.
+func (e *Engine) upNodeIndices() []int {
+	var idx []int
+	for i, n := range e.nodes {
+		if !n.Down() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
 // Migrate moves the candidate files to tape across the engine's nodes
 // in parallel, stubbing them (or premigrating, per config). Candidates
-// that are directories or already migrated are skipped.
+// that are directories or already migrated are skipped. A mover node
+// that crashes mid-run aborts its streams at a file boundary; the
+// unfinished share is redistributed across surviving nodes in a
+// follow-up round, so every file is archived exactly once (nothing a
+// crashed stream had not yet stored was stubbed, and nothing stored is
+// re-sent).
 func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResult, error) {
 	if len(e.nodes) == 0 {
 		return MigrateResult{}, ErrNoNodes
@@ -186,12 +209,6 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 		}
 		work = append(work, f)
 	}
-	var bins [][]pfs.Info
-	if opt.Balanced {
-		bins = PartitionBalanced(work, len(e.nodes))
-	} else {
-		bins = PartitionRoundRobin(work, len(e.nodes))
-	}
 	streams := opt.StreamsPerNode
 	if streams <= 0 {
 		streams = 1
@@ -199,44 +216,71 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 	res.NodeBytes = make([]int64, len(e.nodes))
 	res.NodeFinish = make([]simtime.Duration, len(e.nodes))
 	var firstErr error
-	wg := simtime.NewWaitGroup(e.clock)
-	for i := range e.nodes {
-		i := i
-		// Each node may run several mover streams; its bin splits
-		// round-robin across them (sizes are already balanced).
-		sub := make([][]pfs.Info, streams)
-		for j, f := range bins[i] {
-			sub[j%streams] = append(sub[j%streams], f)
-		}
-		for _, share := range sub {
-			if len(share) == 0 {
-				continue
+	remaining := work
+	for round := 0; len(remaining) > 0; round++ {
+		idx := e.upNodeIndices()
+		if len(idx) == 0 || round >= maxRedistributeRounds {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hsm: %d files unmigrated after %d rounds: %w", len(remaining), round, ErrNoNodes)
+				res.FirstErrors = append(res.FirstErrors, firstErr.Error())
 			}
-			share := share
-			wg.Add(1)
-			e.clock.Go(func() {
-				defer wg.Done()
-				files, bytes, aggs, err := e.migrateOnNode(e.nodes[i], share)
-				res.Files += files
-				res.Bytes += bytes
-				res.Aggregates += aggs
-				res.NodeBytes[i] += bytes
-				res.NodeFinish[i] = e.clock.Now()
-				if err != nil && firstErr == nil {
-					firstErr = err
-					res.FirstErrors = append(res.FirstErrors, err.Error())
-				}
-			})
+			break
 		}
+		if round > 0 {
+			res.Requeued += len(remaining)
+		}
+		res.Rounds = round + 1
+		var bins [][]pfs.Info
+		if opt.Balanced {
+			bins = PartitionBalanced(remaining, len(idx))
+		} else {
+			bins = PartitionRoundRobin(remaining, len(idx))
+		}
+		var leftovers []pfs.Info
+		wg := simtime.NewWaitGroup(e.clock)
+		for bi := range idx {
+			i := idx[bi]
+			// Each node may run several mover streams; its bin splits
+			// round-robin across them (sizes are already balanced).
+			sub := make([][]pfs.Info, streams)
+			for j, f := range bins[bi] {
+				sub[j%streams] = append(sub[j%streams], f)
+			}
+			for _, share := range sub {
+				if len(share) == 0 {
+					continue
+				}
+				share := share
+				wg.Add(1)
+				e.clock.Go(func() {
+					defer wg.Done()
+					files, bytes, aggs, left, err := e.migrateOnNode(e.nodes[i], share)
+					res.Files += files
+					res.Bytes += bytes
+					res.Aggregates += aggs
+					res.NodeBytes[i] += bytes
+					res.NodeFinish[i] = e.clock.Now()
+					leftovers = append(leftovers, left...)
+					if err != nil && firstErr == nil {
+						firstErr = err
+						res.FirstErrors = append(res.FirstErrors, err.Error())
+					}
+				})
+			}
+		}
+		wg.Wait()
+		remaining = leftovers
 	}
-	wg.Wait()
 	e.migratedFiles += res.Files
 	e.migratedBytes += res.Bytes
 	return res, firstErr
 }
 
-// migrateOnNode runs one node's share of a migration.
-func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info) (nfiles int, nbytes int64, naggs int, err error) {
+// migrateOnNode runs one node's share of a migration. If the node
+// crashes the stream aborts at a file boundary and the untouched rest
+// of the share (including any unflushed aggregate bundle, none of which
+// has been stored) comes back as leftover for reassignment.
+func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info) (nfiles int, nbytes int64, naggs int, leftover []pfs.Info, err error) {
 	pool := e.fs.DefaultPool()
 	var bundle []pfs.Info
 	var bundleBytes int64
@@ -253,27 +297,35 @@ func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info) (nfiles int
 		bundle, bundleBytes = nil, 0
 		return nil
 	}
-	for _, f := range files {
+	for fi, f := range files {
+		if node.Down() {
+			leftover = append(append(leftover, bundle...), files[fi:]...)
+			return nfiles, nbytes, naggs, leftover, nil
+		}
 		if e.cfg.AggregateThreshold > 0 && f.Size < e.cfg.AggregateThreshold {
 			bundle = append(bundle, f)
 			bundleBytes += f.Size
 			if bundleBytes >= e.cfg.AggregateTarget {
 				if err := flush(); err != nil {
-					return nfiles, nbytes, naggs, err
+					return nfiles, nbytes, naggs, nil, err
 				}
 			}
 			continue
 		}
 		if err := e.storeSingle(node, pool, f); err != nil {
-			return nfiles, nbytes, naggs, err
+			return nfiles, nbytes, naggs, nil, err
 		}
 		nfiles++
 		nbytes += f.Size
 	}
-	if err := flush(); err != nil {
-		return nfiles, nbytes, naggs, err
+	if node.Down() {
+		leftover = append(leftover, bundle...)
+		return nfiles, nbytes, naggs, leftover, nil
 	}
-	return nfiles, nbytes, naggs, nil
+	if err := flush(); err != nil {
+		return nfiles, nbytes, naggs, nil, err
+	}
+	return nfiles, nbytes, naggs, nil, nil
 }
 
 func (e *Engine) dataPath(node *cluster.Node) []*simtime.Pipe {
@@ -374,6 +426,8 @@ type RecallResult struct {
 	Volumes   int
 	NotFound  []string
 	Aggregate int // files recovered via aggregate recall
+	Requeued  int // recall items reassigned after a daemon's node crashed
+	Rounds    int // distribution rounds run (1 = no crashes)
 }
 
 // Recall brings the named migrated files back to disk using mode's
@@ -429,7 +483,6 @@ func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
 		res.Aggregate += len(aggWanted[id])
 	}
 
-	bins := e.routeRecalls(items, mode)
 	volumes := make(map[string]bool)
 	for _, it := range items {
 		volumes[it.volume] = true
@@ -437,67 +490,133 @@ func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
 	res.Volumes = len(volumes)
 
 	var firstErr error
-	wg := simtime.NewWaitGroup(e.clock)
-	for i := range e.nodes {
-		i := i
-		if len(bins[i]) == 0 {
-			continue
+	remaining := items
+	for round := 0; len(remaining) > 0; round++ {
+		idx := e.upNodeIndices()
+		if len(idx) == 0 || round >= maxRedistributeRounds {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hsm: %d recalls abandoned after %d rounds: %w", len(remaining), round, ErrNoNodes)
+			}
+			break
 		}
-		wg.Add(1)
-		e.clock.Go(func() {
-			defer wg.Done()
-			node := e.nodes[i]
-			if mode == RecallOrdered {
-				// Volume runs are contiguous in an ordered bin: one
-				// drive session per volume (real restore sessions hold
-				// the drive for the whole stream).
-				for j := 0; j < len(bins[i]); {
-					k := j
-					vol := bins[i][j].volume
-					var ids []uint64
-					for k < len(bins[i]) && bins[i][k].volume == vol {
-						ids = append(ids, bins[i][k].object)
-						k++
-					}
-					_, err := e.srv.RecallBatch(tsm.RecallBatchRequest{
-						Client: node.Name, Volume: vol,
-						ObjectIDs: ids, DataPath: e.dataPath(node),
-					})
-					if err != nil {
-						if firstErr == nil {
-							firstErr = fmt.Errorf("hsm: recalling volume %s: %w", vol, err)
-						}
-						j = k
-						continue
-					}
-					for _, it := range bins[i][j:k] {
-						e.restoreItem(it, &res, &firstErr)
-					}
-					j = k
-				}
-				return
+		if round > 0 {
+			res.Requeued += len(remaining)
+		}
+		res.Rounds = round + 1
+		bins := e.routeRecalls(remaining, mode, len(idx))
+		var leftovers []recallItem
+		wg := simtime.NewWaitGroup(e.clock)
+		for bi := range idx {
+			bi := bi
+			i := idx[bi]
+			if len(bins[bi]) == 0 {
+				continue
 			}
-			// Naive: stock per-file recall, drive released between
-			// files — the behaviour §6.2 complains about.
-			for _, it := range bins[i] {
-				if _, err := e.srv.Recall(tsm.RecallRequest{
-					Client:   node.Name,
-					ObjectID: it.object,
-					DataPath: e.dataPath(node),
-				}); err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("hsm: recalling object %d: %w", it.object, err)
-					}
-					continue
-				}
-				e.restoreItem(it, &res, &firstErr)
-			}
-		})
+			wg.Add(1)
+			e.clock.Go(func() {
+				defer wg.Done()
+				left := e.recallOnNode(e.nodes[i], bins[bi], mode, &res, &firstErr)
+				leftovers = append(leftovers, left...)
+			})
+		}
+		wg.Wait()
+		// Another node's aggregate recall may already have restored some
+		// leftover members; only still-migrated work is reassigned.
+		remaining = e.stillMigrated(leftovers)
 	}
-	wg.Wait()
 	e.recalledFiles += res.Files
 	e.recalledBytes += res.Bytes
 	return res, firstErr
+}
+
+// recallOnNode runs one recall daemon's bin on node. If the node
+// crashes, the daemon aborts — before the next drive session in ordered
+// mode, at the next file in naive mode, and an in-flight session's
+// restores are abandoned (tape reads are idempotent, so re-driving them
+// on another node is safe) — and the rest of the bin is returned as
+// leftover for reassignment.
+func (e *Engine) recallOnNode(node *cluster.Node, bin []recallItem, mode RecallMode, res *RecallResult, firstErr *error) (leftover []recallItem) {
+	if mode == RecallOrdered {
+		// Volume runs are contiguous in an ordered bin: one drive
+		// session per volume (real restore sessions hold the drive for
+		// the whole stream).
+		for j := 0; j < len(bin); {
+			if node.Down() {
+				return append(leftover, bin[j:]...)
+			}
+			k := j
+			vol := bin[j].volume
+			var ids []uint64
+			for k < len(bin) && bin[k].volume == vol {
+				ids = append(ids, bin[k].object)
+				k++
+			}
+			_, err := e.srv.RecallBatch(tsm.RecallBatchRequest{
+				Client: node.Name, Volume: vol,
+				ObjectIDs: ids, DataPath: e.dataPath(node),
+			})
+			if node.Down() {
+				// Crashed mid-session: nothing from this run was
+				// restored; the whole run is reassigned.
+				return append(leftover, bin[j:]...)
+			}
+			if err != nil {
+				if *firstErr == nil {
+					*firstErr = fmt.Errorf("hsm: recalling volume %s: %w", vol, err)
+				}
+				j = k
+				continue
+			}
+			for _, it := range bin[j:k] {
+				e.restoreItem(it, res, firstErr)
+			}
+			j = k
+		}
+		return leftover
+	}
+	// Naive: stock per-file recall, drive released between files — the
+	// behaviour §6.2 complains about.
+	for fi, it := range bin {
+		if node.Down() {
+			return append(leftover, bin[fi:]...)
+		}
+		if _, err := e.srv.Recall(tsm.RecallRequest{
+			Client:   node.Name,
+			ObjectID: it.object,
+			DataPath: e.dataPath(node),
+		}); err != nil {
+			if *firstErr == nil {
+				*firstErr = fmt.Errorf("hsm: recalling object %d: %w", it.object, err)
+			}
+			continue
+		}
+		if node.Down() {
+			return append(leftover, bin[fi:]...)
+		}
+		e.restoreItem(it, res, firstErr)
+	}
+	return leftover
+}
+
+// stillMigrated filters requeued recall items down to those whose files
+// are still offline (an aggregate item survives if any member is).
+func (e *Engine) stillMigrated(items []recallItem) []recallItem {
+	var out []recallItem
+	for _, it := range items {
+		if it.path == "" {
+			for _, m := range e.aggMembers[it.object] {
+				if st, _ := e.fs.State(m.path); st == pfs.Migrated {
+					out = append(out, it)
+					break
+				}
+			}
+			continue
+		}
+		if st, _ := e.fs.State(it.path); st == pfs.Migrated {
+			out = append(out, it)
+		}
+	}
+	return out
 }
 
 // restoreItem lands one recalled item (a plain file or a whole
@@ -526,9 +645,9 @@ func (e *Engine) restoreItem(it recallItem, res *RecallResult, firstErr *error) 
 	}
 }
 
-// routeRecalls assigns items to node bins per the routing mode.
-func (e *Engine) routeRecalls(items []recallItem, mode RecallMode) [][]recallItem {
-	bins := make([][]recallItem, len(e.nodes))
+// routeRecalls assigns items to n bins per the routing mode.
+func (e *Engine) routeRecalls(items []recallItem, mode RecallMode, n int) [][]recallItem {
+	bins := make([][]recallItem, n)
 	switch mode {
 	case RecallOrdered:
 		// Group by volume, sort each volume by tape sequence, and pin
@@ -558,7 +677,7 @@ func (e *Engine) routeRecalls(items []recallItem, mode RecallMode) [][]recallIte
 			}
 			return vols[i].vol < vols[j].vol
 		})
-		loads := make([]int64, len(e.nodes))
+		loads := make([]int64, n)
 		for _, v := range vols {
 			best := 0
 			for i := 1; i < len(loads); i++ {
@@ -571,7 +690,7 @@ func (e *Engine) routeRecalls(items []recallItem, mode RecallMode) [][]recallIte
 		}
 	default: // RecallNaive
 		for i, it := range items {
-			bins[i%len(e.nodes)] = append(bins[i%len(e.nodes)], it)
+			bins[i%n] = append(bins[i%n], it)
 		}
 	}
 	return bins

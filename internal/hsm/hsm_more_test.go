@@ -104,7 +104,7 @@ func TestRouteRecallsOrderedBalancesVolumeBytes(t *testing.T) {
 		{object: 3, volume: "B", seq: 1, bytes: 10},
 		{object: 4, volume: "C", seq: 1, bytes: 10},
 	}
-	bins := e.eng.routeRecalls(items, RecallOrdered)
+	bins := e.eng.routeRecalls(items, RecallOrdered, 2)
 	// Volume A (200 bytes) should sit alone in one bin; B and C (20
 	// total) pack into others. No volume may split across bins.
 	volBin := make(map[string]int)

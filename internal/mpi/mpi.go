@@ -73,7 +73,9 @@ func (c *Comm) Wait() { c.wg.Wait() }
 // Send delivers a message to rank `to`. Sends never block (buffered
 // standard-mode send); ordering between one sender/receiver pair is
 // preserved. Sending to a closed mailbox silently drops the message,
-// matching a receiver that has exited during shutdown.
+// matching a receiver that has exited during shutdown or died with its
+// machine: rank death is not an error at the transport layer, it is
+// the peer's job (e.g. PFTool's WatchDog) to notice and react.
 func (c *Comm) Send(from, to, tag int, data interface{}) {
 	c.check(to)
 	c.sent++
@@ -133,7 +135,11 @@ func (c *Comm) TryRecv(rank, from, tag int) (Message, bool) {
 
 // Close closes a rank's mailbox: pending matching receives drain what
 // is queued, then return ok=false. Further sends to the rank are
-// dropped.
+// dropped. Closing a single rank models that rank dying mid-run (a
+// crashed mover node): messages already queued still drain — they were
+// in flight when the rank died — but nothing new arrives, and once
+// drained every Recv on the rank reports ok=false so its body can
+// exit. Close is idempotent.
 func (c *Comm) Close(rank int) {
 	c.check(rank)
 	if c.closed[rank] {
@@ -148,6 +154,13 @@ func (c *Comm) CloseAll() {
 	for i := range c.boxes {
 		c.Close(i)
 	}
+}
+
+// Closed reports whether a rank's mailbox has been closed — whether
+// the rank is dead from the communicator's point of view.
+func (c *Comm) Closed(rank int) bool {
+	c.check(rank)
+	return c.closed[rank]
 }
 
 func (c *Comm) check(rank int) {

@@ -218,3 +218,72 @@ func TestRankRangePanics(t *testing.T) {
 	}()
 	comm.Send(0, 5, 0, nil)
 }
+
+// TestRankDeathSemantics pins the documented behavior around a single
+// rank dying mid-run (its mailbox closed while peers keep going):
+// messages already in flight still drain, further sends to the dead
+// rank drop silently but count as traffic, the dead rank's body sees
+// ok=false once drained, and live ranks are unaffected.
+func TestRankDeathSemantics(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 3)
+	var drained []int
+	var after Message
+	var afterOK bool
+	comm.Start(1, func() {
+		for {
+			m, ok := comm.Recv(1, Any, Any)
+			if !ok {
+				return // the rank is dead and its backlog is drained
+			}
+			drained = append(drained, m.Data.(int))
+		}
+	})
+	comm.Start(0, func() {
+		comm.Send(0, 1, 0, 10)
+		comm.Send(0, 1, 0, 11)
+		comm.Close(1) // rank 1's machine dies
+		if !comm.Closed(1) {
+			t.Error("Closed(1) = false after Close")
+		}
+		before := comm.Sent()
+		comm.Send(0, 1, 0, 12) // dropped, but still counted as traffic
+		if comm.Sent() != before+1 {
+			t.Error("send to dead rank not counted")
+		}
+		comm.Send(0, 2, 0, 99) // live ranks are unaffected
+	})
+	comm.Start(2, func() {
+		after, afterOK = comm.Recv(2, 0, Any)
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+	if len(drained) != 2 || drained[0] != 10 || drained[1] != 11 {
+		t.Errorf("drained = %v, want [10 11] (in-flight messages survive death)", drained)
+	}
+	if !afterOK || after.Data.(int) != 99 {
+		t.Errorf("live rank recv = %+v ok=%v", after, afterOK)
+	}
+	if comm.Closed(0) || comm.Closed(2) {
+		t.Error("live ranks reported closed")
+	}
+}
+
+// TestCloseIsIdempotent: declaring the same rank dead twice (e.g. two
+// watchdog ticks racing a shutdown broadcast) is harmless.
+func TestCloseIsIdempotent(t *testing.T) {
+	c := simtime.NewClock()
+	comm := New(c, 2)
+	comm.Start(0, func() {
+		comm.Close(1)
+		comm.Close(1)
+		comm.CloseAll()
+	})
+	comm.Start(1, func() {
+		if _, ok := comm.Recv(1, Any, Any); ok {
+			t.Error("recv on dead rank succeeded")
+		}
+	})
+	c.Go(comm.Wait)
+	c.RunFor()
+}

@@ -23,6 +23,7 @@ const (
 	tagTapeJob           // manager -> tapeproc
 	tagTapeResult        // tapeproc -> manager
 	tagOutput            // anyone -> outputproc
+	tagRankDead          // watchdog -> manager: a data rank's machine died
 )
 
 // copyKind distinguishes worker job flavors.
@@ -63,7 +64,8 @@ type copyResult struct {
 	matched  int
 	mismatch int
 	missing  int
-	logical  string // set for chunk completions
+	logical  string   // set for chunk completions
+	dsts     []string // whole files completed, for the restart journal
 	err      string
 }
 
@@ -131,7 +133,13 @@ type run struct {
 	tapePending []pendingFile // migrated source files awaiting Locate
 	tapeDsts    map[string]string
 
-	chunkRemaining map[string]int // logical dst -> chunks outstanding
+	chunkRemaining map[string]int    // logical dst -> chunks outstanding
+	logicalDst     map[string]string // fuse chunk dir -> the user-visible dst
+
+	// Fault bookkeeping: the job each busy rank holds (requeued if the
+	// rank dies) and the ranks the WatchDog has declared dead.
+	inflight  map[int]interface{}
+	deadRanks map[int]bool
 
 	progress int64 // watchdog heartbeat
 	done     bool  // set when the manager finishes; stops the watchdog
@@ -150,6 +158,9 @@ func (r *run) nodeFor(rank int) *cluster.Node {
 func (r *run) execute() Result {
 	r.chunkRemaining = make(map[string]int)
 	r.tapeDsts = make(map[string]string)
+	r.logicalDst = make(map[string]string)
+	r.inflight = make(map[int]interface{})
+	r.deadRanks = make(map[int]bool)
 	r.res.Op = r.req.Op
 	r.res.Started = r.clock.Now()
 
@@ -242,13 +253,15 @@ func (r *run) finished() bool {
 		len(r.batch) == 0 && len(r.cmpBatch) == 0 && len(r.tapePending) == 0
 }
 
-// assign hands queued jobs to idle processes.
+// assign hands queued jobs to idle processes, remembering which rank
+// holds which job so a rank death can requeue it.
 func (r *run) assign() {
 	for len(r.dirQ) > 0 && len(r.idleReadDirs) > 0 {
 		job := r.dirQ[0]
 		r.dirQ = r.dirQ[1:]
 		rank := r.idleReadDirs[0]
 		r.idleReadDirs = r.idleReadDirs[1:]
+		r.inflight[rank] = job
 		r.comm.Send(r.layout.manager, rank, tagDirJob, job)
 	}
 	for len(r.copyQ) > 0 && len(r.idleWorkers) > 0 {
@@ -256,6 +269,7 @@ func (r *run) assign() {
 		r.copyQ = r.copyQ[1:]
 		rank := r.idleWorkers[0]
 		r.idleWorkers = r.idleWorkers[1:]
+		r.inflight[rank] = job
 		r.comm.Send(r.layout.manager, rank, tagCopyJob, job)
 	}
 	for len(r.tapeQ) > 0 && len(r.idleTapeProcs) > 0 {
@@ -263,15 +277,26 @@ func (r *run) assign() {
 		r.tapeQ = r.tapeQ[1:]
 		rank := r.idleTapeProcs[0]
 		r.idleTapeProcs = r.idleTapeProcs[1:]
+		r.inflight[rank] = job
 		r.comm.Send(r.layout.manager, rank, tagTapeJob, job)
 	}
 }
 
 // handle processes one inbound message.
 func (r *run) handle(msg mpi.Message) {
+	if r.deadRanks[msg.From] {
+		// A late report from a rank already declared dead (its machine
+		// crashed mid-job but the transfer drained). The job was requeued
+		// when the death was announced; counting this result too would
+		// double-complete it, so it is dropped — recopying a file is
+		// idempotent, double-counting its completion is not.
+		return
+	}
 	switch msg.Tag {
 	case tagIdle:
 		r.markIdle(msg.From)
+	case tagRankDead:
+		r.rankDead(msg.Data.(int))
 	case tagDirResult:
 		r.markIdle(msg.From)
 		res := msg.Data.(dirResult)
@@ -304,12 +329,20 @@ func (r *run) handle(msg mpi.Message) {
 			r.fail(res.err)
 			return
 		}
+		for _, d := range res.dsts {
+			r.journalMark(d)
+		}
 		if res.logical != "" {
 			r.chunkRemaining[res.logical]--
 			if r.chunkRemaining[res.logical] == 0 {
 				delete(r.chunkRemaining, res.logical)
 				r.res.FilesCopied++
 				r.req.DstFS.SetXattr(res.logical, "pfcp.inprogress", "")
+				name := res.logical
+				if d, ok := r.logicalDst[name]; ok {
+					name = d
+				}
+				r.journalMark(name)
 			}
 		}
 	case tagTapeResult:
@@ -339,6 +372,7 @@ func (r *run) handle(msg mpi.Message) {
 }
 
 func (r *run) markIdle(rank int) {
+	delete(r.inflight, rank)
 	l := r.layout
 	switch {
 	case contains(l.readdirs, rank):
@@ -348,6 +382,66 @@ func (r *run) markIdle(rank int) {
 	case contains(l.tapeprocs, rank):
 		r.idleTapeProcs = append(r.idleTapeProcs, rank)
 	}
+}
+
+// rankDead reacts to the WatchDog declaring a data rank dead: the rank
+// leaves the idle pools for good, its in-flight job (if any) goes back
+// on the matching queue for a survivor — the Out counters count
+// "issued or queued", so requeueing keeps them consistent — and the
+// run fails cleanly if an entire pool it still needs has died.
+func (r *run) rankDead(rank int) {
+	if r.deadRanks[rank] {
+		return
+	}
+	r.deadRanks[rank] = true
+	r.res.RanksDied++
+	r.idleReadDirs = removeRank(r.idleReadDirs, rank)
+	r.idleWorkers = removeRank(r.idleWorkers, rank)
+	r.idleTapeProcs = removeRank(r.idleTapeProcs, rank)
+	if job, ok := r.inflight[rank]; ok {
+		delete(r.inflight, rank)
+		switch j := job.(type) {
+		case dirJob:
+			r.dirQ = append(r.dirQ, j)
+		case copyJob:
+			r.copyQ = append(r.copyQ, j)
+		case tapeJob:
+			r.tapeQ = append(r.tapeQ, j)
+		}
+	}
+	switch {
+	case r.allDead(r.layout.readdirs) && (r.dirsOut > 0 || len(r.dirQ) > 0):
+		r.fail("every ReadDir rank died with directories unread")
+	case r.allDead(r.layout.workers) && (r.copyOut > 0 || len(r.copyQ) > 0 || !r.walkDone):
+		r.fail("every Worker rank died with copy work outstanding")
+	case r.allDead(r.layout.tapeprocs) && (r.tapeOut > 0 || len(r.tapeQ) > 0 || len(r.tapePending) > 0):
+		r.fail("every TapeProc rank died with restores outstanding")
+	}
+}
+
+func (r *run) allDead(ranks []int) bool {
+	for _, rk := range ranks {
+		if !r.deadRanks[rk] {
+			return false
+		}
+	}
+	return len(ranks) > 0
+}
+
+// journalMark records a completed destination in the restart journal.
+func (r *run) journalMark(dst string) {
+	if r.req.Tunables.Journal != nil {
+		r.req.Tunables.Journal.MarkDone(dst)
+	}
+}
+
+func removeRank(xs []int, x int) []int {
+	for i, v := range xs {
+		if v == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
 }
 
 func contains(xs []int, x int) bool {
@@ -394,6 +488,12 @@ func (r *run) expand(res dirResult) {
 // migrated sources, chunked paths for large files, batches otherwise.
 func (r *run) classify(info pfs.Info, dst string) {
 	t := r.req.Tunables
+	if t.Journal != nil && r.req.Op != OpList && t.Journal.Done(dst) {
+		// A previous run completed this destination: prune it before any
+		// tape restore or copy work is planned.
+		r.res.JournalSkipped++
+		return
+	}
 	switch r.req.Op {
 	case OpList:
 		return
@@ -475,6 +575,7 @@ func (r *run) enqueueFuse(info pfs.Info, dst string) {
 		return
 	}
 	r.chunkRemaining[dir] = plan.NumChunks
+	r.logicalDst[dir] = dst // journal entries use the user-visible path
 	for i := 0; i < plan.NumChunks; i++ {
 		off, length := plan.ChunkRange(i)
 		r.copyQ = append(r.copyQ, copyJob{

@@ -86,6 +86,14 @@ type Tunables struct {
 	TapeOrdered bool // sort tape recalls by volume/sequence (§4.2.5)
 	Restart     bool // skip chunks already marked good (§4.5)
 
+	// Journal, when non-nil, is the restart journal shared across
+	// invocations: destinations a previous run completed are skipped at
+	// classification time (before any tape restore is planned), and this
+	// run records its own completions into it, so an interrupted pfcp or
+	// pfcm can be relaunched with the same journal and copy only what
+	// remains (§4.5).
+	Journal *Journal
+
 	WatchdogInterval time.Duration // progress check period
 	StallTimeout     time.Duration // kill the run after this much silence
 
@@ -164,6 +172,13 @@ type Result struct {
 	Restored      int
 	ChunksCopied  int
 	ChunksSkipped int
+
+	// JournalSkipped counts files pruned from the walk because the
+	// restart journal already recorded them complete.
+	JournalSkipped int
+	// RanksDied counts MPI ranks the WatchDog declared dead because
+	// their machine went down; their in-flight jobs were requeued.
+	RanksDied int
 
 	Errors  []string
 	Stalled bool

@@ -14,11 +14,18 @@ import (
 // Manager assigns from the DirQ and ships the entries back (§4.1.1(4)).
 func (r *run) readDirProc(rank int) {
 	mgr := r.layout.manager
+	node := r.nodeFor(rank)
+	if node.Down() {
+		return // machine dead at launch: the rank never reports in
+	}
 	r.comm.Send(rank, mgr, tagIdle, nil)
 	for {
 		msg, ok := r.comm.Recv(rank, mgr, tagDirJob)
 		if !ok {
 			return
+		}
+		if node.Down() {
+			return // died holding the job; the WatchDog has it requeued
 		}
 		job := msg.Data.(dirJob)
 		entries, err := r.req.SrcFS.ReadDir(job.src)
@@ -26,20 +33,36 @@ func (r *run) readDirProc(rank int) {
 		if err != nil {
 			res.err = fmt.Sprintf("readdir %s: %v", job.src, err)
 		}
+		if node.Down() {
+			return // died mid-job: no report, the job replays elsewhere
+		}
 		r.comm.Send(rank, mgr, tagDirResult, res)
 	}
 }
 
 // workerProc is one Worker process: it executes copy, chunk, and
 // compare jobs from the CopyQ (§4.1.1(6)).
+// Workers follow the rank-death protocol: a rank whose machine is down
+// exits silently — before reporting in, between receiving a job and
+// starting it, or after finishing but before reporting — and the
+// WatchDog notices the dead machine and has the Manager requeue the
+// job. Failures land at job boundaries (the simulated transfer itself
+// runs to completion), mirroring how the real tool only learns of a
+// dead mover when its rank stops responding.
 func (r *run) workerProc(rank int) {
 	mgr := r.layout.manager
 	node := r.nodeFor(rank)
+	if node.Down() {
+		return // machine dead at launch: the rank never reports in
+	}
 	r.comm.Send(rank, mgr, tagIdle, nil)
 	for {
 		msg, ok := r.comm.Recv(rank, mgr, tagCopyJob)
 		if !ok {
 			return
+		}
+		if node.Down() {
+			return // died holding the job; the WatchDog has it requeued
 		}
 		job := msg.Data.(copyJob)
 		var res copyResult
@@ -50,6 +73,9 @@ func (r *run) workerProc(rank int) {
 			res = r.copyChunk(node, job)
 		case kindCompare:
 			res = r.compareBatch(node, job)
+		}
+		if node.Down() {
+			return // died mid-job: no report, the job replays elsewhere
 		}
 		r.comm.Send(rank, mgr, tagCopyResult, res)
 	}
@@ -118,6 +144,7 @@ func (r *run) dataPipes(node *cluster.Node) []*simtime.Pipe {
 func (r *run) copyBatch(node *cluster.Node, job copyJob) copyResult {
 	res := copyResult{}
 	var toWrite []pfs.FileSpec
+	var written []string
 	var transferBytes int64
 	for _, f := range job.batch {
 		if r.req.Tunables.Restart {
@@ -125,6 +152,7 @@ func (r *run) copyBatch(node *cluster.Node, job copyJob) copyResult {
 				si, serr := r.req.SrcFS.Stat(f.src)
 				if serr == nil && !di.IsDir() && di.Size == si.Size && di.ModTime >= si.ModTime {
 					res.skipped++
+					res.dsts = append(res.dsts, f.dst)
 					continue
 				}
 			}
@@ -143,6 +171,7 @@ func (r *run) copyBatch(node *cluster.Node, job copyJob) copyResult {
 			spec.Pool = r.req.Placement.Choose(f.dst, f.bytes, r.clock.Now())
 		}
 		toWrite = append(toWrite, spec)
+		written = append(written, f.dst)
 		transferBytes += f.bytes
 		res.files++
 		res.bytes += f.bytes
@@ -156,6 +185,8 @@ func (r *run) copyBatch(node *cluster.Node, job copyJob) copyResult {
 		if err := r.req.DstFS.WriteFiles(toWrite); err != nil {
 			return copyResult{err: err.Error()}
 		}
+		// Only now are the copies durable and journalable.
+		res.dsts = append(res.dsts, written...)
 	}
 	return res
 }
@@ -240,6 +271,10 @@ func (r *run) compareBatch(node *cluster.Node, job copyJob) copyResult {
 		transferBytes += f.bytes + dstContent.Len()
 		if srcContent.Equal(dstContent) {
 			res.matched++
+			// Only clean comparisons enter the restart journal: a
+			// resumed pfcm must re-flag mismatched or missing files,
+			// not silently skip past a known discrepancy.
+			res.dsts = append(res.dsts, f.dst)
 		} else {
 			res.mismatch++
 		}
@@ -259,11 +294,17 @@ func (r *run) compareBatch(node *cluster.Node, job copyJob) copyResult {
 func (r *run) tapeProc(rank int) {
 	mgr := r.layout.manager
 	node := r.nodeFor(rank)
+	if node.Down() {
+		return // machine dead at launch: the rank never reports in
+	}
 	r.comm.Send(rank, mgr, tagIdle, nil)
 	for {
 		msg, ok := r.comm.Recv(rank, mgr, tagTapeJob)
 		if !ok {
 			return
+		}
+		if node.Down() {
+			return // died holding the job; the WatchDog has it requeued
 		}
 		job := msg.Data.(tapeJob)
 		res := tapeResult{paths: job.paths, sizes: job.sizes}
@@ -272,6 +313,12 @@ func (r *run) tapeProc(rank int) {
 		}
 		for _, s := range job.sizes {
 			res.bytes += s
+		}
+		if node.Down() {
+			// Died mid-restore. The requeued job replays on a survivor;
+			// recalls are idempotent, so files this rank already restored
+			// are skipped there.
+			return
 		}
 		r.comm.Send(rank, mgr, tagTapeResult, res)
 	}
@@ -293,16 +340,29 @@ func (r *run) outputProc() {
 }
 
 // watchdog is the WatchDog process: it samples run-time progress
-// periodically and force-terminates the whole job if data movement
-// stalls (§4.1.1(3)).
+// periodically, force-terminates the whole job if data movement
+// stalls (§4.1.1(3)), and declares data ranks whose machine has gone
+// down dead so the Manager can requeue their in-flight jobs.
 func (r *run) watchdog() {
 	t := r.req.Tunables
 	var lastProgress int64 = -1
 	var silentFor simtime.Duration
+	dead := make(map[int]bool)
 	for {
 		r.clock.Sleep(t.WatchdogInterval)
 		if r.done {
 			return
+		}
+		// Rank-death detection: each data rank whose machine is down is
+		// reported to the Manager exactly once. Its mailbox closes too,
+		// so even if the machine reboots the rank stays gone — MPI rank
+		// death is permanent for the life of the job.
+		for _, rank := range r.dataRanks() {
+			if !dead[rank] && r.nodeFor(rank).Down() {
+				dead[rank] = true
+				r.comm.Close(rank)
+				r.comm.Send(r.layout.watchdog, r.layout.manager, tagRankDead, rank)
+			}
 		}
 		// Record the periodic statistics the paper's WatchDog keeps:
 		// totals as of this interval (per-interval deltas are the
@@ -326,4 +386,15 @@ func (r *run) watchdog() {
 			return
 		}
 	}
+}
+
+// dataRanks lists the ranks subject to machine failure: the
+// coordination ranks (Manager, OutPutProc, WatchDog) live on the
+// submitting host, the data ranks on the FTA machine list.
+func (r *run) dataRanks() []int {
+	ranks := make([]int, 0, len(r.layout.readdirs)+len(r.layout.workers)+len(r.layout.tapeprocs))
+	ranks = append(ranks, r.layout.readdirs...)
+	ranks = append(ranks, r.layout.workers...)
+	ranks = append(ranks, r.layout.tapeprocs...)
+	return ranks
 }

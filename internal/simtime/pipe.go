@@ -52,6 +52,21 @@ func (p *Pipe) Name() string { return p.name }
 // Rate reports the pipe capacity in bytes per virtual second.
 func (p *Pipe) Rate() float64 { return p.rate }
 
+// SetRate changes the pipe capacity to rate bytes per virtual second.
+// Service already accrued by in-flight transfers is preserved: the
+// remainder of every flow proceeds at the new fair share. This is the
+// failure-injection hook for link degradation (and repair) windows.
+func (p *Pipe) SetRate(rate float64) {
+	if rate <= 0 {
+		panic("simtime: pipe rate must be positive")
+	}
+	p.clock.mu.Lock()
+	defer p.clock.mu.Unlock()
+	p.settleLocked() // integrate service at the old rate up to now
+	p.rate = rate
+	p.rescheduleLocked()
+}
+
 // Active reports the number of in-flight transfers.
 func (p *Pipe) Active() int {
 	p.clock.mu.Lock()

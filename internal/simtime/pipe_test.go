@@ -156,3 +156,50 @@ func TestPipePetabyteScaleIsCheap(t *testing.T) {
 		t.Errorf("end = %vs, want ~%vs", end.Seconds(), wantSecs)
 	}
 }
+
+func TestPipeSetRateMidTransfer(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 100)
+	var end Duration
+	c.Go(func() { p.Transfer(1000); end = c.Now() })
+	c.Go(func() {
+		c.Sleep(5 * time.Second) // 500 B served at 100 B/s
+		p.SetRate(50)            // remaining 500 B at 50 B/s -> 10 more seconds
+	})
+	c.RunFor()
+	if !approxDuration(end, 15*time.Second, 10*time.Millisecond) {
+		t.Errorf("end = %v, want ~15s", end)
+	}
+	if p.Rate() != 50 {
+		t.Errorf("Rate = %v, want 50", p.Rate())
+	}
+}
+
+func TestPipeSetRateRestores(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 100)
+	var end Duration
+	c.Go(func() { p.Transfer(2000); end = c.Now() })
+	c.Go(func() {
+		c.Sleep(5 * time.Second) // 500 B done
+		p.SetRate(25)            // degrade to quarter speed
+		c.Sleep(10 * time.Second) // 250 B more
+		p.SetRate(100) // repair: 1250 B left at 100 B/s -> 12.5s
+	})
+	c.RunFor()
+	if !approxDuration(end, 27500*time.Millisecond, 10*time.Millisecond) {
+		t.Errorf("end = %v, want ~27.5s", end)
+	}
+}
+
+func TestPipeSetRateIdle(t *testing.T) {
+	c := NewClock()
+	p := NewPipe(c, "link", 100)
+	p.SetRate(200)
+	var end Duration
+	c.Go(func() { p.Transfer(1000); end = c.Now() })
+	c.RunFor()
+	if !approxDuration(end, 5*time.Second, time.Millisecond) {
+		t.Errorf("end = %v, want ~5s at the new rate", end)
+	}
+}

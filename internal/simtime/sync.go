@@ -90,6 +90,31 @@ func (r *Resource) Release(n int) {
 	}
 }
 
+// SetCap resizes the resource. Raising capacity admits queued waiters
+// in FIFO order; lowering it never evicts holders — usage above the new
+// capacity simply drains as units are released, with no admissions in
+// the meantime. This models capacity loss from component failure (a
+// drive pool shrinking as drives die) and restoration on repair.
+func (r *Resource) SetCap(n int) {
+	if n <= 0 {
+		panic("simtime: resource capacity must be positive")
+	}
+	r.clock.mu.Lock()
+	defer r.clock.mu.Unlock()
+	r.cap = n
+	for e := r.wait.Front(); e != nil; {
+		w := e.Value.(*resWaiter)
+		if w.n > r.cap || r.inUse+w.n > r.cap {
+			break // strict FIFO: head of queue blocks followers
+		}
+		next := e.Next()
+		r.wait.Remove(e)
+		r.inUse += w.n
+		r.clock.unpark(w.ch)
+		e = next
+	}
+}
+
 // Use acquires n units, runs fn, and releases, panic-safe.
 func (r *Resource) Use(n int, fn func()) {
 	r.Acquire(n)

@@ -238,3 +238,60 @@ func TestWaitGroupZeroWaitImmediate(t *testing.T) {
 		t.Error("Wait on zero counter did not return")
 	}
 }
+
+func TestResourceSetCapRaiseAdmitsWaiters(t *testing.T) {
+	c := NewClock()
+	r := NewResource(c, 1)
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		c.Go(func() {
+			r.Acquire(1)
+			got = append(got, i)
+			c.Sleep(10 * time.Second)
+			r.Release(1)
+		})
+	}
+	c.Go(func() {
+		c.Sleep(time.Second)
+		r.SetCap(3) // admit the two queued waiters at t=1s
+	})
+	end := c.RunFor()
+	if len(got) != 3 {
+		t.Fatalf("admitted %d, want 3", len(got))
+	}
+	// Holder 0 runs 0..10s; 1 and 2 run 1..11s after the raise.
+	if !approxDuration(end, 11*time.Second, time.Millisecond) {
+		t.Errorf("end = %v, want ~11s", end)
+	}
+}
+
+func TestResourceSetCapLowerDrains(t *testing.T) {
+	c := NewClock()
+	r := NewResource(c, 2)
+	var starts []Duration
+	for i := 0; i < 3; i++ {
+		c.Go(func() {
+			r.Acquire(1)
+			starts = append(starts, c.Now())
+			c.Sleep(10 * time.Second)
+			r.Release(1)
+		})
+	}
+	c.Go(func() {
+		c.Sleep(time.Second)
+		r.SetCap(1) // both holders keep their units; waiter blocks until BOTH release
+	})
+	c.RunFor()
+	if len(starts) != 3 {
+		t.Fatalf("started %d, want 3", len(starts))
+	}
+	// Third acquisition must wait for inUse (2) to drain below the new
+	// cap (1): both initial holders release at t=10s.
+	if starts[2] != 10*time.Second {
+		t.Errorf("third start = %v, want 10s", starts[2])
+	}
+	if r.Cap() != 1 {
+		t.Errorf("Cap = %d, want 1", r.Cap())
+	}
+}

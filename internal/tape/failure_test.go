@@ -1,0 +1,134 @@
+package tape
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestDownDriveRefusesOperations(t *testing.T) {
+	run(t, func(c *simtime.Clock, lib *Library) {
+		d := lib.Drive(0)
+		d.Acquire()
+		defer d.Release()
+		cart, _ := lib.Cartridge("VOL0001")
+		if err := lib.Mount(d, cart); err != nil {
+			t.Fatal(err)
+		}
+		d.SetDown(true)
+		if !d.Down() {
+			t.Fatal("Down not reflected")
+		}
+		if _, err := d.Append(1, 1e6); !errors.Is(err, ErrDriveDown) {
+			t.Errorf("Append on down drive: %v, want ErrDriveDown", err)
+		}
+		if _, err := d.ReadSeq(1); !errors.Is(err, ErrDriveDown) {
+			t.Errorf("ReadSeq on down drive: %v, want ErrDriveDown", err)
+		}
+		if err := d.BeginSession("fta01"); !errors.Is(err, ErrDriveDown) {
+			t.Errorf("BeginSession on down drive: %v, want ErrDriveDown", err)
+		}
+		if err := d.Unmount(); !errors.Is(err, ErrDriveDown) {
+			t.Errorf("Unmount on down drive: %v, want ErrDriveDown", err)
+		}
+		if err := lib.Mount(d, cart); !errors.Is(err, ErrDriveDown) {
+			t.Errorf("Mount into down drive: %v, want ErrDriveDown", err)
+		}
+	})
+}
+
+func TestForceEjectFreesStuckCartridge(t *testing.T) {
+	spec := LTO4()
+	c := simtime.NewClock()
+	lib := NewLibrary(c, 2, 4, 1, spec)
+	c.Go(func() {
+		d0 := lib.Drive(0)
+		d0.Acquire()
+		cart, _ := lib.Cartridge("VOL0001")
+		if err := lib.Mount(d0, cart); err != nil {
+			t.Error(err)
+			return
+		}
+		d0.SetDown(true)
+		before := c.Now()
+		got := lib.ForceEject(d0)
+		if got != cart {
+			t.Errorf("ForceEject returned %v, want VOL0001", got)
+		}
+		// Robot exchange only: no rewind, no unload.
+		if elapsed := c.Now() - before; elapsed != simtime.Duration(spec.RobotTime) {
+			t.Errorf("ForceEject charged %v, want robot time %v", elapsed, spec.RobotTime)
+		}
+		if d0.Mounted() != nil {
+			t.Error("drive still holds the cartridge")
+		}
+		if lib.ForceEject(d0) != nil {
+			t.Error("second ForceEject should be a no-op")
+		}
+		// The freed cartridge mounts in a healthy drive.
+		d1 := lib.Drive(1)
+		d1.Acquire()
+		defer d1.Release()
+		if err := lib.Mount(d1, cart); err != nil {
+			t.Errorf("remount after force-eject: %v", err)
+		}
+	})
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyMediaRejectsAppendsButRecalls(t *testing.T) {
+	run(t, func(c *simtime.Clock, lib *Library) {
+		d := lib.Drive(0)
+		d.Acquire()
+		defer d.Release()
+		cart, _ := lib.Cartridge("VOL0001")
+		lib.Mount(d, cart)
+		if _, err := d.Append(7, 1e6); err != nil {
+			t.Fatal(err)
+		}
+		cart.SetReadOnly(true)
+		if !cart.ReadOnly() {
+			t.Fatal("ReadOnly not reflected")
+		}
+		if _, err := d.Append(8, 1e6); !errors.Is(err, ErrMediaReadOnly) {
+			t.Errorf("Append on read-only media: %v, want ErrMediaReadOnly", err)
+		}
+		if _, err := d.ReadSeq(1); err != nil {
+			t.Errorf("ReadSeq on read-only media: %v, want success", err)
+		}
+	})
+}
+
+func TestScratchSkipsReadOnly(t *testing.T) {
+	run(t, func(c *simtime.Clock, lib *Library) {
+		v1, _ := lib.Cartridge("VOL0001")
+		v1.SetReadOnly(true)
+		got, err := lib.Scratch(1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Label != "VOL0002" {
+			t.Errorf("Scratch = %s, want VOL0002 (VOL0001 is read-only)", got.Label)
+		}
+	})
+}
+
+func TestUpDrivesExcludesDown(t *testing.T) {
+	c := simtime.NewClock()
+	lib := NewLibrary(c, 3, 4, 1, LTO4())
+	if got := len(lib.UpDrives()); got != 3 {
+		t.Fatalf("UpDrives = %d, want 3", got)
+	}
+	lib.Drive(1).SetDown(true)
+	up := lib.UpDrives()
+	if len(up) != 2 || up[0] != lib.Drive(0) || up[1] != lib.Drive(2) {
+		t.Errorf("UpDrives after failure = %v", up)
+	}
+	lib.Drive(1).SetDown(false)
+	if got := len(lib.UpDrives()); got != 3 {
+		t.Errorf("UpDrives after repair = %d, want 3", got)
+	}
+}

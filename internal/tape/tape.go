@@ -35,6 +35,13 @@ var (
 	// transaction fails after a partial charge; nothing is recorded on
 	// the cartridge. Callers retry, typically on another drive.
 	ErrIO = errors.New("tape: drive I/O error")
+	// ErrDriveDown means the drive has failed hard (fault-injection):
+	// every operation is refused immediately until repair. A mounted
+	// cartridge stays stuck in the drive until the robot force-ejects it.
+	ErrDriveDown = errors.New("tape: drive down")
+	// ErrMediaReadOnly means the cartridge has gone bad and was frozen
+	// read-only: existing files still recall, appends are refused.
+	ErrMediaReadOnly = errors.New("tape: cartridge is read-only")
 )
 
 // Spec holds a drive/media timing model.
@@ -79,10 +86,11 @@ type File struct {
 
 // Cartridge is a sequential medium. Files append at end-of-data.
 type Cartridge struct {
-	Label string
-	cap   int64
-	files []File
-	eod   int64
+	Label    string
+	cap      int64
+	files    []File
+	eod      int64
+	readOnly bool
 }
 
 // NewCartridge creates an empty cartridge.
@@ -105,6 +113,14 @@ func (c *Cartridge) Used() int64 { return c.eod }
 
 // Remaining reports bytes of free capacity.
 func (c *Cartridge) Remaining() int64 { return c.cap - c.eod }
+
+// SetReadOnly freezes (or unfreezes) the cartridge: the gone-bad-media
+// failure mode, where the library marks a suspect tape read-only so its
+// contents stay recallable but no new data lands on it.
+func (c *Cartridge) SetReadOnly(ro bool) { c.readOnly = ro }
+
+// ReadOnly reports whether the cartridge is frozen read-only.
+func (c *Cartridge) ReadOnly() bool { return c.readOnly }
 
 // Erase wipes the cartridge back to scratch (used by reclamation after
 // its live objects have been copied off). The cartridge must not be
@@ -167,7 +183,8 @@ type Drive struct {
 	cart       *Cartridge
 	pos        int64 // current head byte position
 	lastClient string
-	failOps    int // pending injected transaction failures
+	failOps    int  // pending injected transaction failures
+	down       bool // hard failure: every operation refused until repair
 	stats      Stats
 }
 
@@ -197,6 +214,16 @@ func (d *Drive) Stats() Stats { return d.stats }
 // — the drive ground on the fault before giving up). Failure-injection
 // hook for reliability tests.
 func (d *Drive) FailNextOps(n int) { d.failOps = n }
+
+// SetDown fails (or repairs) the drive hard. A down drive refuses every
+// operation with ErrDriveDown; in-flight transactions are unaffected
+// because failure takes effect at transaction boundaries (the actor
+// holding the drive observes the failure on its next call). A mounted
+// cartridge stays stuck until Library.ForceEject pulls it.
+func (d *Drive) SetDown(down bool) { d.down = down }
+
+// Down reports whether the drive has failed hard.
+func (d *Drive) Down() bool { return d.down }
 
 // injectedFault consumes one pending failure, charging the fault time.
 func (d *Drive) injectedFault() bool {
@@ -230,6 +257,9 @@ func (d *Drive) mount(c *Cartridge) {
 
 // Unmount rewinds and ejects the mounted cartridge.
 func (d *Drive) Unmount() error {
+	if d.down {
+		return fmt.Errorf("%w: %s", ErrDriveDown, d.Name)
+	}
 	if d.cart == nil {
 		return ErrNotMounted
 	}
@@ -260,6 +290,9 @@ func (d *Drive) LastClient() string { return d.lastClient }
 // rewind and label re-verification even though the tape stays mounted —
 // the §6.2 thrashing cost. Same-client sessions are free.
 func (d *Drive) BeginSession(client string) error {
+	if d.down {
+		return fmt.Errorf("%w: %s", ErrDriveDown, d.Name)
+	}
 	if d.cart == nil {
 		return ErrNotMounted
 	}
@@ -292,8 +325,14 @@ func (d *Drive) seekTo(off int64) {
 // returns its tape file record. Each call is one transaction and pays
 // the start/stop penalty.
 func (d *Drive) Append(object uint64, bytes int64) (File, error) {
+	if d.down {
+		return File{}, fmt.Errorf("%w: %s", ErrDriveDown, d.Name)
+	}
 	if d.cart == nil {
 		return File{}, ErrNotMounted
+	}
+	if d.cart.readOnly {
+		return File{}, fmt.Errorf("%w: %s", ErrMediaReadOnly, d.cart.Label)
 	}
 	if bytes < 0 {
 		return File{}, fmt.Errorf("tape: negative size %d", bytes)
@@ -321,6 +360,9 @@ func (d *Drive) Append(object uint64, bytes int64) (File, error) {
 // locate plus streaming time, and leaves the head at the file's end so
 // that in-order recalls stream without re-seeking.
 func (d *Drive) ReadSeq(seq int) (File, error) {
+	if d.down {
+		return File{}, fmt.Errorf("%w: %s", ErrDriveDown, d.Name)
+	}
 	if d.cart == nil {
 		return File{}, ErrNotMounted
 	}
@@ -404,12 +446,13 @@ func (l *Library) AddCartridge(c *Cartridge) {
 	l.order = append(l.order, c.Label)
 }
 
-// Scratch returns the first cartridge with at least need bytes free
-// that is not currently mounted in any drive.
+// Scratch returns the first writable cartridge with at least need bytes
+// free that is not currently mounted in any drive. Read-only (gone-bad)
+// media are skipped: they recall but never receive new data.
 func (l *Library) Scratch(need int64) (*Cartridge, error) {
 	for _, label := range l.order {
 		c := l.carts[label]
-		if c.Remaining() < need {
+		if c.readOnly || c.Remaining() < need {
 			continue
 		}
 		mounted := false
@@ -432,6 +475,9 @@ func (l *Library) Scratch(need int64) (*Cartridge, error) {
 // label verification proceed on the drive's own time, so a multi-drive
 // library mounts largely in parallel.
 func (l *Library) Mount(d *Drive, c *Cartridge) error {
+	if d.down {
+		return fmt.Errorf("%w: %s", ErrDriveDown, d.Name)
+	}
 	for _, other := range l.drives {
 		if other != d && other.cart == c {
 			return fmt.Errorf("tape: %s already mounted in %s", c.Label, other.Name)
@@ -446,6 +492,34 @@ func (l *Library) Mount(d *Drive, c *Cartridge) error {
 	l.exchange(d)
 	d.mount(c)
 	return nil
+}
+
+// ForceEject pulls the cartridge out of a drive with the robot alone —
+// the recovery move for a cartridge stuck in a dead drive. No rewind or
+// unload time is charged (the drive cannot cooperate); only the robot
+// exchange. It is a no-op on an empty drive. The ejected cartridge (if
+// any) is returned and immediately eligible for mounting elsewhere.
+func (l *Library) ForceEject(d *Drive) *Cartridge {
+	c := d.cart
+	if c == nil {
+		return nil
+	}
+	l.exchange(d)
+	d.cart = nil
+	d.lastClient = ""
+	d.pos = 0
+	return c
+}
+
+// UpDrives returns the drives not currently failed, in fixed order.
+func (l *Library) UpDrives() []*Drive {
+	out := make([]*Drive, 0, len(l.drives))
+	for _, d := range l.drives {
+		if !d.down {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // MountedIn returns the drive currently holding c, or nil.

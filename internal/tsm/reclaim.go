@@ -78,7 +78,11 @@ func (s *Server) reclaimVolume(client, label string, objs []*Object) error {
 		// Read the object off the old volume in one session per object
 		// (objects are already sorted, so the tape streams forward).
 		s.drvPool.Acquire(1)
-		d := s.acquireVolumeDrive(src)
+		d, err := s.acquireVolumeDrive(src)
+		if err != nil {
+			s.drvPool.Release(1)
+			return err
+		}
 		if err := d.BeginSession(client); err != nil {
 			s.ReleaseDrive(d)
 			return err
@@ -113,7 +117,11 @@ func (s *Server) reclaimVolume(client, label string, objs []*Object) error {
 	}
 	// Erase the source volume and return it to scratch.
 	s.drvPool.Acquire(1)
-	d := s.acquireVolumeDrive(src)
+	d, err := s.acquireVolumeDrive(src)
+	if err != nil {
+		s.drvPool.Release(1)
+		return err
+	}
 	if err := d.Unmount(); err != nil {
 		s.ReleaseDrive(d)
 		return err

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/simtime"
 	"repro/internal/tape"
 )
@@ -31,6 +32,9 @@ import (
 var (
 	ErrNoSuchObject = errors.New("tsm: no such object")
 	ErrTooLarge     = errors.New("tsm: object exceeds volume capacity")
+	// ErrNoDrives means every drive in the library has failed: no data
+	// operation can proceed until a drive is repaired.
+	ErrNoDrives = errors.New("tsm: no operational tape drives")
 )
 
 // ObjectClass distinguishes HSM-migrated data from backup copies.
@@ -64,6 +68,10 @@ type Config struct {
 	TxnCost         time.Duration // per metadata transaction at the server
 	TxnParallel     int           // concurrent transactions the server sustains
 	DBScanPerObject time.Duration // unindexed query cost per database row
+	// Retry is the bounded exponential-backoff policy for transient data
+	// path errors (drive I/O faults, a drive dying mid-session). The zero
+	// value means faults.DefaultBackoff.
+	Retry faults.Backoff
 }
 
 // DefaultConfig returns the deployment used in the paper: LAN-free over
@@ -75,6 +83,7 @@ func DefaultConfig() Config {
 		TxnCost:         2 * time.Millisecond,
 		TxnParallel:     8,
 		DBScanPerObject: 2 * time.Microsecond,
+		Retry:           faults.DefaultBackoff(),
 	}
 }
 
@@ -109,6 +118,7 @@ type Server struct {
 	mounting   map[string]bool   // volume labels with a mount in flight
 	reclaiming map[string]bool   // volumes being reclaimed: never a write target
 	lastDrive  map[string]*tape.Drive
+	down       bool // server outage: transactions block until repair
 	stats      Stats
 }
 
@@ -116,6 +126,9 @@ type Server struct {
 func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 	if cfg.TxnParallel <= 0 {
 		cfg.TxnParallel = 1
+	}
+	if cfg.Retry == (faults.Backoff{}) {
+		cfg.Retry = faults.DefaultBackoff()
 	}
 	return &Server{
 		clock:      clock,
@@ -153,8 +166,20 @@ func (s *Server) NumObjects() int {
 	return n
 }
 
+// SetDown starts (or ends) a server outage — the paper's §6.4 single
+// point of failure. While down, every transaction blocks; clients poll
+// until the server returns, then proceed where they left off. Data
+// already on tape is unaffected.
+func (s *Server) SetDown(down bool) { s.down = down }
+
+// Down reports whether the server is in an outage.
+func (s *Server) Down() bool { return s.down }
+
 // txn charges one metadata transaction through the server.
 func (s *Server) txn() {
+	for s.down {
+		s.clock.Sleep(5 * time.Second) // outage: block and re-poll
+	}
 	s.stats.Transactions++
 	if s.cfg.TxnCost <= 0 {
 		return
@@ -162,6 +187,42 @@ func (s *Server) txn() {
 	s.txnRes.Acquire(1)
 	s.clock.Sleep(s.cfg.TxnCost)
 	s.txnRes.Release(1)
+}
+
+// reapDownDrives resizes the drive pool to the operational drive count
+// and drops client affinities to dead drives. It runs lazily at the top
+// of every data operation — the way a real server notices a drive fault
+// on its next I/O, not instantaneously — so repairs are picked up the
+// same way. With every drive dead the pool keeps capacity 1 and
+// acquisition paths fail with ErrNoDrives instead.
+func (s *Server) reapDownDrives() {
+	up := 0
+	for _, d := range s.lib.Drives() {
+		if !d.Down() {
+			up++
+			continue
+		}
+		for client, ld := range s.lastDrive {
+			if ld == d {
+				delete(s.lastDrive, client)
+			}
+		}
+	}
+	if up == 0 {
+		up = 1
+	}
+	if s.drvPool.Cap() != up {
+		s.drvPool.SetCap(up)
+	}
+}
+
+// retryable classifies data-path errors worth re-driving on another
+// drive: transient I/O faults, a drive dying mid-session, and media
+// frozen read-only under the write (the retry picks a new volume).
+func retryable(err error) bool {
+	return errors.Is(err, tape.ErrIO) ||
+		errors.Is(err, tape.ErrDriveDown) ||
+		errors.Is(err, tape.ErrMediaReadOnly)
 }
 
 // StoreRequest describes one object to write to tape.
@@ -181,26 +242,32 @@ type StoreRequest struct {
 // Store writes one object to tape and records it, returning the
 // database entry. The caller observes tape mount/seek/stream time plus
 // the shared-path transfer time, whichever is slower. Transient drive
-// I/O errors are retried on a freshly acquired drive (the storage
-// agent's standard recovery); persistent faults surface to the caller.
+// errors fail over to a freshly acquired drive under the configured
+// bounded exponential backoff (the storage agent's standard recovery);
+// persistent faults surface to the caller after the attempt budget.
 func (s *Server) Store(req StoreRequest) (Object, error) {
 	if req.Bytes < 0 {
 		return Object{}, fmt.Errorf("tsm: negative size")
 	}
+	s.reapDownDrives()
 	s.txn()
 	s.nextID++ // allocate the object ID up front: concurrent stores must not collide
 	id := s.nextID
 	var tf tape.File
 	var vol *tape.Cartridge
-	const maxAttempts = 3
-	for attempt := 1; ; attempt++ {
+	storeErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
+		if attempt > 1 {
+			s.reapDownDrives() // the failover must see the shrunken pool
+			s.stats.Retries++
+		}
 		drive, v, err := s.acquireDriveForWrite(req.Client, req.Group, req.Bytes)
 		if err != nil {
-			return Object{}, err
+			return err
 		}
 		if err := drive.BeginSession(req.Client); err != nil {
 			s.ReleaseDrive(drive)
-			return Object{}, err
+			s.dropAffinity(req.Client, drive)
+			return err
 		}
 		appendErr := s.moveData(req.Bytes, req.DataPath, func() error {
 			var e error
@@ -208,19 +275,17 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 			return e
 		})
 		s.ReleaseDrive(drive)
-		if appendErr == nil {
-			vol = v
-			break
+		if appendErr != nil {
+			// Drop the client's affinity to the faulting drive so the
+			// retry lands elsewhere.
+			s.dropAffinity(req.Client, drive)
+			return appendErr
 		}
-		if !errors.Is(appendErr, tape.ErrIO) || attempt >= maxAttempts {
-			return Object{}, appendErr
-		}
-		// Drop the client's affinity to the faulting drive so the
-		// retry lands elsewhere.
-		if s.lastDrive[req.Client] == drive {
-			delete(s.lastDrive, req.Client)
-		}
-		s.stats.Retries++
+		vol = v
+		return nil
+	}, retryable)
+	if storeErr != nil {
+		return Object{}, storeErr
 	}
 	s.txn() // commit
 	obj := &Object{
@@ -275,10 +340,14 @@ func (s *Server) acquireDriveForWrite(client, group string, bytes int64) (*tape.
 	// 1. Co-location: the group's current volume, wherever it is.
 	if group != "" {
 		if label, ok := s.coloc[group]; ok && !s.reclaiming[label] {
-			if c, err := s.lib.Cartridge(label); err == nil && c.Remaining() >= bytes {
-				d := s.acquireVolumeDrive(c)
+			if c, err := s.lib.Cartridge(label); err == nil && !c.ReadOnly() && c.Remaining() >= bytes {
+				d, err := s.acquireVolumeDrive(c)
+				if err != nil {
+					s.drvPool.Release(1)
+					return nil, nil, err
+				}
 				// Capacity may have been consumed while we waited.
-				if d.Mounted() == c && c.Remaining() >= bytes {
+				if d.Mounted() == c && !c.ReadOnly() && c.Remaining() >= bytes {
 					s.lastDrive[client] = d
 					return d, c, nil
 				}
@@ -287,18 +356,22 @@ func (s *Server) acquireDriveForWrite(client, group string, bytes int64) (*tape.
 		}
 	}
 	// 2. Client affinity: the agent's own mount point.
-	if d := s.lastDrive[client]; d != nil && d.TryAcquire() {
-		if m := d.Mounted(); m != nil && m.Remaining() >= bytes && !s.reclaiming[m.Label] {
+	if d := s.lastDrive[client]; d != nil && !d.Down() && d.TryAcquire() {
+		if m := d.Mounted(); m != nil && !m.ReadOnly() && m.Remaining() >= bytes && !s.reclaiming[m.Label] {
 			return d, m, nil
 		}
 		d.Release()
 	}
 	// 3. A fresh scratch volume on an idle drive.
-	d := s.idleDrive()
+	d, err := s.idleDrive()
+	if err != nil {
+		s.drvPool.Release(1)
+		return nil, nil, err
+	}
 	vol := s.scratchVolume(bytes)
 	if vol == nil {
 		// 4. Last resort: reuse whatever volume the drive holds.
-		if m := d.Mounted(); m != nil && m.Remaining() >= bytes && !s.reclaiming[m.Label] {
+		if m := d.Mounted(); m != nil && !m.ReadOnly() && m.Remaining() >= bytes && !s.reclaiming[m.Label] {
 			s.lastDrive[client] = d
 			return d, m, nil
 		}
@@ -309,7 +382,7 @@ func (s *Server) acquireDriveForWrite(client, group string, bytes int64) (*tape.
 		return nil, nil, tape.ErrNoScratch
 	}
 	s.mounting[vol.Label] = true
-	err := s.lib.Mount(d, vol)
+	err = s.lib.Mount(d, vol)
 	delete(s.mounting, vol.Label)
 	if err != nil {
 		s.ReleaseDrive(d)
@@ -317,6 +390,13 @@ func (s *Server) acquireDriveForWrite(client, group string, bytes int64) (*tape.
 	}
 	s.lastDrive[client] = d
 	return d, vol, nil
+}
+
+// dropAffinity forgets client's drive affinity if it points at d.
+func (s *Server) dropAffinity(client string, d *tape.Drive) {
+	if s.lastDrive[client] == d {
+		delete(s.lastDrive, client)
+	}
 }
 
 // ReleaseDrive returns a drive obtained from an acquire helper along
@@ -329,16 +409,23 @@ func (s *Server) ReleaseDrive(d *tape.Drive) {
 // acquireVolumeDrive returns a held drive with vol mounted, mounting it
 // if necessary. A cartridge can only ever be in one drive: callers that
 // need a volume someone else is using queue FIFO on that drive — the
-// physical reality behind §6.2's hand-off penalties. The caller must
-// already hold a drive-pool slot.
-func (s *Server) acquireVolumeDrive(vol *tape.Cartridge) *tape.Drive {
+// physical reality behind §6.2's hand-off penalties. A volume stuck in
+// a dead drive is force-ejected by the robot and remounted on a
+// survivor. The caller must already hold a drive-pool slot. Fails with
+// ErrNoDrives when no operational drive remains.
+func (s *Server) acquireVolumeDrive(vol *tape.Cartridge) (*tape.Drive, error) {
 	for {
 		if holder := s.lib.MountedIn(vol); holder != nil {
 			holder.Acquire()
 			if holder.Mounted() == vol {
-				return holder
+				if !holder.Down() {
+					return holder, nil
+				}
+				// Stuck in a dead drive: pull it with the robot and
+				// rescan — the next pass mounts it on a survivor.
+				s.lib.ForceEject(holder)
 			}
-			// The volume moved while we queued; rescan.
+			// The volume moved (or was freed) while we queued; rescan.
 			holder.Release()
 			continue
 		}
@@ -348,44 +435,53 @@ func (s *Server) acquireVolumeDrive(vol *tape.Cartridge) *tape.Drive {
 			continue
 		}
 		s.mounting[vol.Label] = true
-		d := s.idleDrive()
+		d, idleErr := s.idleDrive()
+		if idleErr != nil {
+			delete(s.mounting, vol.Label)
+			return nil, idleErr
+		}
 		err := s.lib.Mount(d, vol)
 		delete(s.mounting, vol.Label)
 		if err != nil {
-			// Lost a race; put the drive back and retry.
+			// Lost a race (or the drive died under us); put the drive
+			// back and retry.
 			d.Release()
 			s.clock.Sleep(time.Second)
 			continue
 		}
-		return d
+		return d, nil
 	}
 }
 
-// idleDrive picks and acquires a drive for a fresh mount: an empty idle
-// drive if one exists, else any idle drive (its volume gets swapped
-// out). Pool admission guarantees at least one idle drive.
-func (s *Server) idleDrive() *tape.Drive {
-	drives := s.lib.Drives()
+// idleDrive picks and acquires an operational drive for a fresh mount:
+// an empty idle drive if one exists, else any idle drive (its volume
+// gets swapped out). Pool admission guarantees at least one idle drive
+// among the survivors; ErrNoDrives if every drive is down.
+func (s *Server) idleDrive() (*tape.Drive, error) {
+	drives := s.lib.UpDrives()
+	if len(drives) == 0 {
+		return nil, ErrNoDrives
+	}
 	for _, d := range drives {
 		if d.Mounted() == nil && d.TryAcquire() {
-			return d
+			return d, nil
 		}
 	}
 	for _, d := range drives {
 		if d.TryAcquire() {
-			return d
+			return d, nil
 		}
 	}
 	// Unreachable under pool admission; block defensively.
 	drives[0].Acquire()
-	return drives[0]
+	return drives[0], nil
 }
 
-// scratchVolume picks an unmounted, not-being-mounted cartridge with
-// room for the object (nil if none).
+// scratchVolume picks an unmounted, not-being-mounted, writable
+// cartridge with room for the object (nil if none).
 func (s *Server) scratchVolume(bytes int64) *tape.Cartridge {
 	for _, c := range s.lib.Cartridges() {
-		if c.Remaining() < bytes || s.mounting[c.Label] || s.reclaiming[c.Label] {
+		if c.ReadOnly() || c.Remaining() < bytes || s.mounting[c.Label] || s.reclaiming[c.Label] {
 			continue
 		}
 		if s.lib.MountedIn(c) == nil {
@@ -402,8 +498,10 @@ type RecallRequest struct {
 	DataPath []*simtime.Pipe
 }
 
-// Recall reads an object from tape back to the client.
+// Recall reads an object from tape back to the client. Transient drive
+// errors are re-driven under the configured bounded backoff, like Store.
 func (s *Server) Recall(req RecallRequest) (Object, error) {
+	s.reapDownDrives()
 	s.txn()
 	obj, ok := s.db[req.ObjectID]
 	if !ok || obj.Deleted {
@@ -413,26 +511,30 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 	if err != nil {
 		return Object{}, err
 	}
-	const maxAttempts = 3
-	for attempt := 1; ; attempt++ {
+	recallErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
+		if attempt > 1 {
+			s.reapDownDrives()
+			s.stats.Retries++
+		}
 		s.drvPool.Acquire(1)
-		d := s.acquireVolumeDrive(vol)
+		d, err := s.acquireVolumeDrive(vol)
+		if err != nil {
+			s.drvPool.Release(1)
+			return err
+		}
 		if err := d.BeginSession(req.Client); err != nil {
 			s.ReleaseDrive(d)
-			return Object{}, err
+			return err
 		}
 		readErr := s.moveData(obj.Bytes, req.DataPath, func() error {
 			_, e := d.ReadSeq(obj.Seq)
 			return e
 		})
 		s.ReleaseDrive(d)
-		if readErr == nil {
-			break
-		}
-		if !errors.Is(readErr, tape.ErrIO) || attempt >= maxAttempts {
-			return Object{}, readErr
-		}
-		s.stats.Retries++
+		return readErr
+	}, retryable)
+	if recallErr != nil {
+		return Object{}, recallErr
 	}
 	s.stats.Recalls++
 	s.stats.BytesRead += obj.Bytes
@@ -457,6 +559,7 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 	if len(req.ObjectIDs) == 0 {
 		return nil, nil
 	}
+	s.reapDownDrives()
 	s.txn()
 	objs := make([]*Object, 0, len(req.ObjectIDs))
 	for _, id := range req.ObjectIDs {
@@ -474,7 +577,11 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 		return nil, err
 	}
 	s.drvPool.Acquire(1)
-	d := s.acquireVolumeDrive(vol)
+	d, err := s.acquireVolumeDrive(vol)
+	if err != nil {
+		s.drvPool.Release(1)
+		return nil, err
+	}
 	defer s.ReleaseDrive(d)
 	if err := d.BeginSession(req.Client); err != nil {
 		return nil, err
