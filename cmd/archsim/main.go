@@ -11,10 +11,12 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,11 +32,20 @@ func main() {
 	full := flag.Bool("full", false, "lift the per-job file-count cap (needs several GB of memory)")
 	csvDir := flag.String("csv", "", "write per-job campaign data as CSV into this directory")
 	saveTrace := flag.String("save-trace", "", "write the generated campaign job sequence to this JSON file")
+	benchJSON := flag.String("bench-json", "", "run the campaign + fabric experiments and write their virtual-throughput metrics as JSON to this file")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: bench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -70,6 +81,67 @@ func main() {
 	for _, r := range reports {
 		fmt.Println(r)
 	}
+}
+
+// benchReport is one experiment's metric set in the bench JSON file.
+type benchReport struct {
+	Name    string             `json:"name"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchFile is the schema of the file -bench-json writes. Rates are
+// virtual MB/s: bytes moved against the simulation clock, so the
+// numbers are deterministic per seed and comparable across commits
+// regardless of the machine running them.
+type benchFile struct {
+	Schema   string             `json:"schema"`
+	Seed     int64              `json:"seed"`
+	Unit     string             `json:"unit"`
+	Headline map[string]float64 `json:"headline"`
+	Reports  []benchReport      `json:"reports"`
+}
+
+// writeBenchJSON runs the campaign and fabric experiments and writes
+// their throughput metrics to path, seeding the repo's performance
+// trajectory: CI archives the file per commit, and a regression shows
+// up as a drop in the headline virtual MB/s rather than a wall-clock
+// blip.
+func writeBenchJSON(path string, seed int64, jobs int) error {
+	_, camp := experiments.CampaignData(experiments.CampaignParams{Seed: seed, Jobs: jobs})
+	reports := append(camp, experiments.FabricBottleneck(seed))
+
+	out := benchFile{
+		Schema:   "archsim-bench/v1",
+		Seed:     seed,
+		Unit:     "virtual MB/s",
+		Headline: map[string]float64{},
+	}
+	for _, r := range reports {
+		out.Reports = append(out.Reports, benchReport{Name: r.Name, Title: r.Title, Metrics: r.Metrics})
+		switch r.Name {
+		case "fig10": // per-job campaign data rates
+			out.Headline["campaign_mean_mbs"] = r.Metrics["mean"]
+			out.Headline["campaign_max_mbs"] = r.Metrics["max"]
+		case "fabric":
+			out.Headline["fabric_plateau_mbs"] = r.Metrics["plateau_mbs"]
+			out.Headline["fabric_trunk_ceiling_mbs"] = r.Metrics["trunk_ceiling_mbs"]
+		}
+	}
+	sort.Slice(out.Reports, func(i, j int) bool { return out.Reports[i].Name < out.Reports[j].Name })
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+	return nil
 }
 
 // saveCampaignTrace writes the exact job sequence the campaign will

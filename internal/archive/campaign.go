@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/pfs"
 	"repro/internal/pftool"
 	"repro/internal/simtime"
@@ -144,8 +145,14 @@ type SerialBaselineResult struct {
 // transaction, no parallelism anywhere. Must be called from an actor.
 func SerialArchiveBaseline(s *System, src string) (SerialBaselineResult, error) {
 	res := SerialBaselineResult{}
-	// The serial archive's mover: one 1GigE-class link.
-	mover := simtime.NewPipe(s.Clock, "serial-mover", 118e6)
+	// The serial archive's mover: one 1GigE-class link, wired into the
+	// fabric between the scratch tier and a dedicated endpoint so the
+	// stream couples with the scratch pool array.
+	s.Fabric.AddLink("serial-mover", 118e6, fabric.Compute, "serial-archiver")
+	moverPath, err := s.Fabric.Route(s.Scratch.DefaultPool().Endpoint(), "", "serial-archiver")
+	if err != nil {
+		return res, err
+	}
 	drive := s.Library.Drive(0)
 	drive.Acquire()
 	defer drive.Release()
@@ -185,7 +192,7 @@ func SerialArchiveBaseline(s *System, src string) (SerialBaselineResult, error) 
 		size := f.size
 		s.Clock.Go(func() {
 			defer wg.Done()
-			simtime.TransferAll(s.Clock, size, s.Scratch.DefaultPool().Pipe(), mover)
+			s.Fabric.Transfer(moverPath, size)
 		})
 		if _, err := drive.Append(uint64(1_000_000+n), f.size); err != nil {
 			return res, err

@@ -14,17 +14,18 @@ import (
 //	volume:<label> cartridge goes bad (read-only media) / is repaired
 //	node:<name>    mover machine crashes / reboots
 //	tsm            the TSM server goes down / comes back
-//	link:trunk     the inter-system trunk degrades (KindDegrade) or is
-//	               restored; fail/repair map to a 1% crawl and full rate
+//	link:<name>    any fabric link by name (trunk, per-node NICs and
+//	               HBAs, pool arrays) degrades or is restored, handled
+//	               by the fabric's own fault hook
 //
 // Unknown components are ignored, so one schedule can drive several
-// deployments that each own a subset of the components. Recovery is
-// NOT wired here — each subsystem reacts through its own mechanisms
+// deployments that each own a subset of the components. Recovery
+// is NOT wired here — each subsystem reacts through its own mechanisms
 // (TSM reaps dead drives at its next transaction, PFTool's WatchDog
 // declares ranks dead, the LoadManager filters down machines); the
 // registry only flips the failure state.
 func (s *System) InstallFaults(reg *faults.Registry) {
-	trunkRate := s.Cluster.Trunk().Rate()
+	s.Fabric.BindFaults(reg)
 	reg.OnApply(func(ev faults.Event) {
 		switch {
 		case strings.HasPrefix(ev.Component, "drive:"):
@@ -48,17 +49,6 @@ func (s *System) InstallFaults(reg *faults.Registry) {
 			}
 		case ev.Component == faults.TSMComponent:
 			s.TSM.SetDown(ev.Kind == faults.KindFail)
-		case ev.Component == faults.LinkComponent("trunk"):
-			switch ev.Kind {
-			case faults.KindDegrade:
-				s.Cluster.Trunk().SetRate(trunkRate * ev.Param)
-			case faults.KindFail:
-				// A fully dead trunk would wedge in-flight transfers
-				// forever; model it as a crawl so traffic drains.
-				s.Cluster.Trunk().SetRate(trunkRate * 0.01)
-			case faults.KindRepair:
-				s.Cluster.Trunk().SetRate(trunkRate)
-			}
 		}
 	})
 }

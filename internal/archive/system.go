@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/hsm"
 	"repro/internal/ilm"
 	"repro/internal/metadb"
@@ -69,6 +70,7 @@ func DefaultOptions() Options {
 type System struct {
 	Clock   *simtime.Clock
 	Opts    Options
+	Fabric  *fabric.Fabric
 	Scratch *pfs.FS
 	Archive *pfs.FS
 	Cluster *cluster.Cluster
@@ -86,9 +88,16 @@ type System struct {
 // or inside an actor before jobs run; the trashcan directory is created
 // lazily on first use if the call site is not an actor.
 func New(clock *simtime.Clock, opts Options) *System {
+	// The scratch tier sits on the far side of the trunk: attach its
+	// pools at the compute hub so every scratch<->archive route crosses
+	// the trunk and a mover NIC (Fig. 7).
+	if len(opts.Scratch.Attach) == 0 {
+		opts.Scratch.Attach = []string{fabric.Compute}
+	}
 	s := &System{
 		Clock:   clock,
 		Opts:    opts,
+		Fabric:  fabric.Of(clock),
 		Scratch: pfs.New(clock, opts.Scratch),
 		Archive: pfs.New(clock, opts.Archive),
 		Cluster: cluster.New(clock, opts.Cluster),
@@ -157,7 +166,7 @@ func (s *System) Pfcp(src, dst string, tun pftool.Tunables) (pftool.Result, erro
 	return pftool.Run(pftool.Request{
 		Op: pftool.OpCopy, Src: src, Dst: dst,
 		SrcFS: s.Scratch, DstFS: s.Archive,
-		Nodes: s.machineList(), Trunk: s.Cluster.Trunk(),
+		Nodes:     s.machineList(),
 		Restorer:  s.Restorer(),
 		Placement: &placement,
 		Tunables:  tun,
@@ -170,7 +179,7 @@ func (s *System) PfcpRetrieve(src, dst string, tun pftool.Tunables) (pftool.Resu
 	return pftool.Run(pftool.Request{
 		Op: pftool.OpCopy, Src: src, Dst: dst,
 		SrcFS: s.Archive, DstFS: s.Scratch,
-		Nodes: s.machineList(), Trunk: s.Cluster.Trunk(),
+		Nodes:    s.machineList(),
 		Restorer: s.Restorer(),
 		Tunables: tun,
 	})
@@ -202,7 +211,7 @@ func (s *System) Pfcm(src, dst string, tun pftool.Tunables) (pftool.Result, erro
 	return pftool.Run(pftool.Request{
 		Op: pftool.OpCompare, Src: src, Dst: dst,
 		SrcFS: s.Scratch, DstFS: s.Archive,
-		Nodes: s.machineList(), Trunk: s.Cluster.Trunk(),
+		Nodes:    s.machineList(),
 		Tunables: tun,
 	})
 }

@@ -12,15 +12,16 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/simtime"
 )
 
 // Node is one FTA machine.
 type Node struct {
 	Name string
-	nic  *simtime.Pipe // Ethernet toward the scratch file system
-	hba  *simtime.Pipe // FC toward the SAN (archive disk, tape)
-	load float64       // CPU load average, updated by users/noise
+	nic  *fabric.Link // Ethernet toward the scratch file system
+	hba  *fabric.Link // FC toward the SAN (archive disk, tape)
+	load float64      // CPU load average, updated by users/noise
 	slot *simtime.Resource
 	down bool // crashed: daemons abort, the load manager skips it
 }
@@ -33,11 +34,11 @@ func (n *Node) SetDown(down bool) { n.down = down }
 // Down reports whether the node is crashed.
 func (n *Node) Down() bool { return n.down }
 
-// NIC returns the node's Ethernet pipe.
-func (n *Node) NIC() *simtime.Pipe { return n.nic }
+// NIC returns the node's Ethernet link.
+func (n *Node) NIC() *fabric.Link { return n.nic }
 
-// HBA returns the node's SAN pipe.
-func (n *Node) HBA() *simtime.Pipe { return n.hba }
+// HBA returns the node's SAN link.
+func (n *Node) HBA() *fabric.Link { return n.hba }
 
 // Load reports the node's current CPU load.
 func (n *Node) Load() float64 { return n.load }
@@ -78,14 +79,27 @@ func RoadrunnerConfig() Config {
 	}
 }
 
-// Cluster is the FTA cluster plus fabric.
+// Cluster is the FTA cluster plus its slice of the data-path fabric.
 type Cluster struct {
 	clock *simtime.Clock
+	fab   *fabric.Fabric
 	nodes []*Node
-	trunk *simtime.Pipe
+	trunk *fabric.Link
 }
 
-// New builds a cluster from cfg.
+// New builds a cluster from cfg, wiring its links into the clock's
+// shared fabric graph:
+//
+//	compute ──trunk── <prefix>-lan ──<node>-nic── <node> ──<node>-hba── san
+//	                                                 │
+//	                                           (wire) clients
+//
+// The trunk joins the compute side to the cluster's LAN hub; each node
+// hangs off the hub by its NIC and reaches the SAN by its HBA. A free
+// wire joins every node to the well-known clients hub where
+// archive-side file systems attach, so pool<->node hops cost only the
+// pool array — matching the paper's topology where FTA nodes mount the
+// archive FS directly over the SAN fabric.
 func New(clock *simtime.Clock, cfg Config) *Cluster {
 	if cfg.Nodes <= 0 {
 		panic("cluster: need at least one node")
@@ -93,21 +107,28 @@ func New(clock *simtime.Clock, cfg Config) *Cluster {
 	if cfg.NodeSlots <= 0 {
 		cfg.NodeSlots = 1
 	}
+	fab := fabric.Of(clock)
+	lan := cfg.NamePrefix + "-lan"
 	c := &Cluster{
 		clock: clock,
-		trunk: simtime.NewPipe(clock, "trunk", cfg.TrunkRate),
+		fab:   fab,
+		trunk: fab.AddLink("trunk", cfg.TrunkRate, fabric.Compute, lan),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("%s%02d", cfg.NamePrefix, i+1)
 		c.nodes = append(c.nodes, &Node{
 			Name: name,
-			nic:  simtime.NewPipe(clock, name+"-nic", cfg.NICRate),
-			hba:  simtime.NewPipe(clock, name+"-hba", cfg.HBARate),
+			nic:  fab.AddLink(name+"-nic", cfg.NICRate, lan, name),
+			hba:  fab.AddLink(name+"-hba", cfg.HBARate, name, fabric.SAN),
 			slot: simtime.NewResource(clock, cfg.NodeSlots),
 		})
+		fab.Wire(name, fabric.Clients)
 	}
 	return c
 }
+
+// Fabric returns the shared data-path fabric the cluster is wired into.
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
 
 // Nodes returns the cluster's nodes in fixed order.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
@@ -115,8 +136,8 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
-// Trunk returns the shared scratch<->archive trunk pipe.
-func (c *Cluster) Trunk() *simtime.Pipe { return c.trunk }
+// Trunk returns the shared scratch<->archive trunk link.
+func (c *Cluster) Trunk() *fabric.Link { return c.trunk }
 
 // LoadManager produces MPI machine lists sorted by ascending CPU load,
 // refreshing on a period like the paper's cron job. Reading between

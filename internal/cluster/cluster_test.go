@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/simtime"
 )
 
@@ -24,17 +25,26 @@ func TestNewClusterShape(t *testing.T) {
 func TestTrunkSharedAcrossNodes(t *testing.T) {
 	c := simtime.NewClock()
 	cl := New(c, RoadrunnerConfig())
-	// 10 nodes each pushing 2.36 GB through the shared trunk: the trunk
-	// carries 23.6 GB total at 2.36 GB/s -> ~10s, not ~1s.
+	fab := cl.Fabric()
+	// 10 nodes each pulling 1.87 GB across the trunk: the trunk carries
+	// 18.7 GB total at 1.87 GB/s -> ~10s, not ~1s.
 	for i := 0; i < 10; i++ {
-		i := i
+		node := cl.Node(i).Name
 		c.Go(func() {
-			simtime.TransferAll(c, 1870e6, cl.Node(i).NIC(), cl.Trunk())
+			p, err := fab.Route(fabric.Compute, "", node)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fab.Transfer(p, 1870e6)
 		})
 	}
 	end := c.RunFor()
 	if end < 9*time.Second || end > 12*time.Second {
 		t.Errorf("end = %v, want ~10s (trunk-bound)", end)
+	}
+	if got := cl.Trunk().Stats().Bytes; got < 18.6e9 || got > 18.8e9 {
+		t.Errorf("trunk carried %v bytes, want 18.7e9", got)
 	}
 }
 
@@ -43,7 +53,12 @@ func TestNICBoundWhenTrunkIdle(t *testing.T) {
 	cl := New(c, RoadrunnerConfig())
 	// One node alone: its NIC (1.18 GB/s) binds before the trunk.
 	c.Go(func() {
-		simtime.TransferAll(c, 1.18e9, cl.Node(0).NIC(), cl.Trunk())
+		p, err := cl.Fabric().Route(fabric.Compute, "", cl.Node(0).Name)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cl.Fabric().Transfer(p, 1.18e9)
 	})
 	end := c.RunFor()
 	if end < 900*time.Millisecond || end > 1100*time.Millisecond {

@@ -63,6 +63,7 @@ func All(seed int64) []Report {
 		AblationBatching(seed),
 		AblationLANFree(seed),
 		Reclamation(seed),
+		FabricBottleneck(seed),
 		ChaosStudy(seed),
 	}...)
 }
@@ -74,7 +75,7 @@ func Names() []string {
 		"parallel-vs-serial", "smallfile", "recall", "largefile",
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
-		"ablation-lanfree", "reclaim", "chaos",
+		"ablation-lanfree", "reclaim", "fabric", "chaos",
 		"all",
 	}
 }
@@ -114,6 +115,8 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{AblationLANFree(seed)}, nil
 	case "reclaim":
 		return []Report{Reclamation(seed)}, nil
+	case "fabric":
+		return []Report{FabricBottleneck(seed)}, nil
 	case "chaos":
 		return []Report{ChaosStudy(seed)}, nil
 	case "all":

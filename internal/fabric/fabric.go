@@ -1,0 +1,411 @@
+// Package fabric is the data-path fabric of the deployment: one named
+// topology graph of shared links (pool NSD arrays, the inter-system
+// trunks, per-node NICs and HBAs, the TSM server LAN path) plus a
+// coupled multi-hop flow scheduler. It replaces the hand-assembled
+// []*simtime.Pipe data paths that pftool, hsm and tsm each used to
+// build: callers resolve a Path with Route(src, via, dst) and move
+// bytes with Transfer, and the scheduler sets every flow's rate by
+// progressive-filling max-min fairness across every link the flow
+// crosses — a flow bottlenecked at the trunk no longer consumes full
+// fair share on the fast hops (the cut-through behaviour the paper's
+// end-to-end bandwidth ceilings come from).
+//
+// Topology conventions (well-known endpoint names):
+//
+//	compute ──trunk── <cluster>-lan ──nic── ftaNN ──hba── san
+//	                                          │
+//	                                        (wire)
+//	                                          │
+//	clients ──pool link── <fs>:<pool>         │
+//	   └──────────────────────────────────────┘
+//
+// File systems attach their pool links to the "clients" hub by default
+// (archive-side: reachable from every node through a zero-cost wire);
+// a scratch file system on the far side of the trunk attaches to
+// "compute" instead, so pfcp routes cross the trunk and one NIC. The
+// SAN side of each HBA meets at "san", where the tape drive heads live.
+//
+// All fabric state is mutated exclusively from simulation-actor
+// context; the clock's single-actor execution serializes access, the
+// same discipline every simtime primitive relies on.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Well-known endpoint names the layers agree on.
+const (
+	// Clients is the hub where archive-side pool arrays and the FTA
+	// nodes meet (a node reaches a locally mounted file system without
+	// crossing its NIC, matching the paper's FTAs that mount both file
+	// systems directly).
+	Clients = "clients"
+	// Compute is the far side of the inter-system trunk: the
+	// supercomputer/scratch side of the deployment.
+	Compute = "compute"
+	// SAN is the storage-area-network side of every HBA: the tape
+	// drives and archive disk arrays.
+	SAN = "san"
+)
+
+// attachKey is the clock-attachment slot Of uses.
+const attachKey = "fabric"
+
+// edge is one adjacency: a link between two endpoints, or a zero-cost
+// wire (nil link) that BFS traverses for free.
+type edge struct {
+	to   string
+	link *Link
+}
+
+// Fabric is one topology graph plus its flow scheduler.
+type Fabric struct {
+	clock *simtime.Clock
+	adj   map[string][]edge
+	links map[string]*Link
+	order []*Link // insertion order: deterministic iteration
+
+	flows []*Flow // active flows in arrival order
+	seq   uint64
+	gen   uint64 // completion-timer generation
+	last  simtime.Duration
+}
+
+// New creates an empty fabric on the clock. Most callers want Of, which
+// shares one fabric per clock so independently constructed layers
+// (cluster, file systems, TSM) compose onto the same graph.
+func New(clock *simtime.Clock) *Fabric {
+	return &Fabric{
+		clock: clock,
+		adj:   make(map[string][]edge),
+		links: make(map[string]*Link),
+	}
+}
+
+// Of returns the fabric shared by every component on the clock,
+// creating it on first use.
+func Of(clock *simtime.Clock) *Fabric {
+	return clock.Attach(attachKey, func() interface{} { return New(clock) }).(*Fabric)
+}
+
+// Clock returns the simulation clock the fabric runs on.
+func (f *Fabric) Clock() *simtime.Clock { return f.clock }
+
+// AddLink creates a link of the given capacity (bytes/second) between
+// endpoints a and b, registering the endpoints as needed. If the name
+// is already taken a "#2", "#3", ... suffix is appended — parallel
+// deployments on one clock (a second cluster, a federation of TSM
+// servers) coexist without collisions; look the final name up via
+// Link.Name. A link may be attached between further endpoint pairs
+// with AttachLink, modelling a shared medium (one pool array serving
+// every node).
+func (f *Fabric) AddLink(name string, capacity float64, a, b string) *Link {
+	if capacity <= 0 {
+		panic("fabric: link capacity must be positive")
+	}
+	base := name
+	for i := 2; ; i++ {
+		if _, taken := f.links[name]; !taken {
+			break
+		}
+		name = fmt.Sprintf("%s#%d", base, i)
+	}
+	l := &Link{fab: f, name: name, capacity: capacity, nominal: capacity}
+	f.links[name] = l
+	f.order = append(f.order, l)
+	f.connect(a, b, l)
+	return l
+}
+
+// AttachLink attaches an existing link between a further endpoint pair:
+// the same shared medium reachable from several places.
+func (f *Fabric) AttachLink(l *Link, a, b string) {
+	if l.fab != f {
+		panic("fabric: AttachLink with a link from a different fabric")
+	}
+	f.connect(a, b, l)
+}
+
+// Wire joins two endpoints at zero cost: routes traverse it without
+// crossing a link (e.g. an FTA node reaching the archive hub it is
+// directly attached to).
+func (f *Fabric) Wire(a, b string) { f.connect(a, b, nil) }
+
+func (f *Fabric) connect(a, b string, l *Link) {
+	f.adj[a] = append(f.adj[a], edge{to: b, link: l})
+	f.adj[b] = append(f.adj[b], edge{to: a, link: l})
+}
+
+// Link returns the named link, or nil.
+func (f *Fabric) Link(name string) *Link { return f.links[name] }
+
+// Links returns every link in creation order.
+func (f *Fabric) Links() []*Link {
+	return append([]*Link(nil), f.order...)
+}
+
+// HasEndpoint reports whether the endpoint exists in the graph.
+func (f *Fabric) HasEndpoint(name string) bool {
+	_, ok := f.adj[name]
+	return ok
+}
+
+// Route resolves the shortest path src -> via -> dst (fewest links;
+// ties break deterministically by edge insertion order). An empty via
+// routes src -> dst directly. The returned Path lists every link
+// crossed, with repeats when both legs cross the same link.
+func (f *Fabric) Route(src, via, dst string) (Path, error) {
+	p := Path{fab: f, src: src, dst: dst}
+	legs := [][2]string{{src, dst}}
+	if via != "" && via != src && via != dst {
+		legs = [][2]string{{src, via}, {via, dst}}
+	}
+	for _, leg := range legs {
+		links, err := f.bfs(leg[0], leg[1])
+		if err != nil {
+			return Path{}, err
+		}
+		p.links = append(p.links, links...)
+	}
+	return p, nil
+}
+
+// bfs finds the fewest-link path a -> b, returning the links crossed in
+// order (wires contribute nothing).
+func (f *Fabric) bfs(a, b string) ([]*Link, error) {
+	if _, ok := f.adj[a]; !ok {
+		return nil, fmt.Errorf("fabric: unknown endpoint %q", a)
+	}
+	if _, ok := f.adj[b]; !ok {
+		return nil, fmt.Errorf("fabric: unknown endpoint %q", b)
+	}
+	if a == b {
+		return nil, nil
+	}
+	type hop struct {
+		from string
+		via  *Link
+	}
+	prev := map[string]hop{a: {}}
+	frontier := []string{a}
+	found := false
+	for len(frontier) > 0 && !found {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range f.adj[cur] {
+			if _, seen := prev[e.to]; seen {
+				continue
+			}
+			prev[e.to] = hop{from: cur, via: e.link}
+			if e.to == b {
+				found = true
+				break
+			}
+			frontier = append(frontier, e.to)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("fabric: no route from %q to %q", a, b)
+	}
+	var rev []*Link
+	for at := b; at != a; {
+		h := prev[at]
+		if h.via != nil {
+			rev = append(rev, h.via)
+		}
+		at = h.from
+	}
+	out := make([]*Link, len(rev))
+	for i, l := range rev {
+		out[len(rev)-1-i] = l
+	}
+	return out, nil
+}
+
+// Path is a resolved route: the ordered links a flow crosses.
+type Path struct {
+	fab      *Fabric
+	src, dst string
+	links    []*Link
+}
+
+// Empty reports whether the path crosses no links (zero value, or a
+// route between co-located endpoints).
+func (p Path) Empty() bool { return len(p.links) == 0 }
+
+// Fabric returns the owning fabric (nil for the zero Path).
+func (p Path) Fabric() *Fabric { return p.fab }
+
+// Links returns the links crossed, in order.
+func (p Path) Links() []*Link { return append([]*Link(nil), p.links...) }
+
+// Names returns the link names crossed, in order.
+func (p Path) Names() []string {
+	out := make([]string, len(p.links))
+	for i, l := range p.links {
+		out[i] = l.name
+	}
+	return out
+}
+
+// With returns a copy of the path extended by one more link (e.g. the
+// TSM server's LAN hop when the deployment is not LAN-free).
+func (p Path) With(l *Link) Path {
+	if l == nil {
+		return p
+	}
+	if p.fab != nil && p.fab != l.fab {
+		panic("fabric: Path.With link from a different fabric")
+	}
+	np := p
+	np.fab = l.fab
+	np.links = append(append([]*Link(nil), p.links...), l)
+	return np
+}
+
+// Transfer moves n bytes along the path, blocking the calling actor
+// until the coupled flow completes.
+func (p Path) Transfer(n int64) {
+	if p.fab == nil {
+		return
+	}
+	p.fab.Transfer(p, n)
+}
+
+// Link is one shared medium in the graph: a trunk, a NIC, an HBA, a
+// pool's NSD array, a server LAN port. Capacity is bytes per virtual
+// second, shared max-min fairly among the flows crossing it.
+type Link struct {
+	fab      *Fabric
+	name     string
+	capacity float64
+	nominal  float64 // capacity before degradation, restored on repair
+
+	// Accounting (updated at settle points).
+	bytes    float64          // cumulative bytes carried
+	busy     simtime.Duration // time with at least one flow crossing
+	active   int              // distinct flows crossing now
+	peak     int              // max concurrent flows seen
+	timeline []TimePoint
+	width    simtime.Duration // timeline sample spacing (doubles when full)
+}
+
+// maxTimeline bounds the per-link utilization timeline: beyond this the
+// series is thinned to every other point and the spacing doubles, so
+// multi-day campaigns stay bounded without losing the overall shape.
+const maxTimeline = 4096
+
+// TimePoint is one utilization-timeline sample: cumulative bytes
+// carried and busy time as of a virtual instant.
+type TimePoint struct {
+	At    simtime.Duration
+	Bytes float64
+	Busy  simtime.Duration
+}
+
+// Name reports the link's unique label.
+func (l *Link) Name() string { return l.name }
+
+// Capacity reports the current capacity in bytes per virtual second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Rate is an alias for Capacity, satisfying the bandwidth-source shape
+// shared with simtime.Pipe (workload noise sizes itself from it).
+func (l *Link) Rate() float64 { return l.capacity }
+
+// Nominal reports the undegraded capacity.
+func (l *Link) Nominal() float64 { return l.nominal }
+
+// Active reports the number of flows currently crossing the link.
+func (l *Link) Active() int { return l.active }
+
+// SetCapacity changes the link capacity. In-flight flows keep the bytes
+// they have moved; every allocation is recomputed at the new capacity.
+// This is the fault-injection hook for link degradation and repair.
+func (l *Link) SetCapacity(v float64) {
+	if v <= 0 {
+		panic("fabric: link capacity must be positive")
+	}
+	f := l.fab
+	f.settle()
+	l.capacity = v
+	f.recompute()
+	f.rearm()
+}
+
+// Scale sets capacity to factor x the nominal rate (Scale(1) repairs).
+func (l *Link) Scale(factor float64) { l.SetCapacity(l.nominal * factor) }
+
+// Transfer moves n bytes across just this link, blocking the caller —
+// the single-hop convenience for background noise and tests.
+func (l *Link) Transfer(n int64) {
+	l.fab.Transfer(Path{fab: l.fab, links: []*Link{l}}, n)
+}
+
+// Stats returns a settled snapshot of the link's accounting.
+func (l *Link) Stats() LinkStats {
+	l.fab.settle()
+	return LinkStats{
+		Name:      l.name,
+		Capacity:  l.capacity,
+		Nominal:   l.nominal,
+		Bytes:     l.bytes,
+		Busy:      l.busy,
+		PeakFlows: l.peak,
+		Timeline:  append([]TimePoint(nil), l.timeline...),
+	}
+}
+
+// LinkStats is a snapshot of one link's utilization record.
+type LinkStats struct {
+	Name      string
+	Capacity  float64
+	Nominal   float64
+	Bytes     float64          // cumulative bytes carried
+	Busy      simtime.Duration // time with >= 1 flow crossing
+	PeakFlows int
+	Timeline  []TimePoint
+}
+
+// Utilization reports bytes carried as a fraction of what the nominal
+// capacity could have carried over elapsed — the bottleneck-naming
+// metric: the hop pinned at ~1.0 is the ceiling.
+func (s LinkStats) Utilization(elapsed simtime.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.Bytes / (s.Nominal * elapsed.Seconds())
+}
+
+// BusyFraction reports the fraction of elapsed time the link had at
+// least one flow crossing it.
+func (s LinkStats) BusyFraction(elapsed simtime.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(elapsed)
+}
+
+// sample appends a timeline point if the spacing has lapsed, thinning
+// when the series is full.
+func (l *Link) sample(now simtime.Duration) {
+	if l.width == 0 {
+		l.width = time.Minute
+	}
+	if len(l.timeline) > 0 && now-l.timeline[len(l.timeline)-1].At < l.width {
+		return
+	}
+	l.timeline = append(l.timeline, TimePoint{At: now, Bytes: l.bytes, Busy: l.busy})
+	if len(l.timeline) >= maxTimeline {
+		kept := l.timeline[:0]
+		for i := 0; i < len(l.timeline); i += 2 {
+			kept = append(kept, l.timeline[i])
+		}
+		l.timeline = kept
+		l.width *= 2
+	}
+}

@@ -1,0 +1,283 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/simtime"
+)
+
+// build creates the canonical two-hub topology used across the tests:
+//
+//	src ──array(1000)── compute ──trunk(300)── lan ──nicA(200)── a
+//	                                            └───nicB(200)── b
+func build(c *simtime.Clock) *Fabric {
+	f := New(c)
+	f.AddLink("array", 1000, "src", Compute)
+	f.AddLink("trunk", 300, Compute, "lan")
+	f.AddLink("nicA", 200, "lan", "a")
+	f.AddLink("nicB", 200, "lan", "b")
+	return f
+}
+
+func near(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", what, got, want, tol)
+	}
+}
+
+func TestRouteResolvesHops(t *testing.T) {
+	c := simtime.NewClock()
+	f := build(c)
+	p, err := f.Route("src", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"array", "trunk", "nicA", "nicA", "nicB"}
+	got := p.Names()
+	if len(got) != len(want) {
+		t.Fatalf("route = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("route = %v, want %v", got, want)
+		}
+	}
+	if _, err := f.Route("src", "", "nowhere"); err == nil {
+		t.Fatal("expected unknown-endpoint error")
+	}
+}
+
+func TestRouteWirePreferred(t *testing.T) {
+	c := simtime.NewClock()
+	f := build(c)
+	f.Wire("a", Clients)
+	f.AddLink("pool", 500, "fs:fast", Clients)
+	p, err := f.Route("fs:fast", "a", "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fs:fast -> clients (pool) -> a (wire, free) -> lan (nicA).
+	got := p.Names()
+	want := []string{"pool", "nicA"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("route = %v, want %v", got, want)
+	}
+}
+
+func TestSingleFlowBottleneck(t *testing.T) {
+	c := simtime.NewClock()
+	f := build(c)
+	c.Go(func() {
+		p, _ := f.Route("src", "", "a")
+		start := c.Now()
+		f.Transfer(p, 600) // bottleneck nicA at 200 B/s -> 3s
+		near(t, "duration", (c.Now() - start).Seconds(), 3.0, 0.01)
+	})
+	c.RunFor()
+	// The flow ran at 200 B/s end to end: the fast hops carried only
+	// what the bottleneck admitted, and every hop saw the same bytes.
+	for _, name := range []string{"array", "trunk", "nicA"} {
+		near(t, name+" bytes", f.Link(name).Stats().Bytes, 600, 1)
+	}
+	if f.Link("nicB").Stats().Bytes != 0 {
+		t.Fatalf("nicB carried %v bytes, want 0", f.Link("nicB").Stats().Bytes)
+	}
+}
+
+func TestMaxMinCoupledSharing(t *testing.T) {
+	// Two flows share the trunk (300): each gets 150 until the flow to
+	// "a" finishes, after which the survivor speeds up to 200 (its NIC).
+	c := simtime.NewClock()
+	f := build(c)
+	var doneA, doneB simtime.Duration
+	c.Go(func() {
+		pa, _ := f.Route("src", "", "a")
+		fl := f.Start(pa, 300) // 300 bytes at 150 B/s -> 2s
+		fl.Wait()
+		doneA = c.Now()
+	})
+	c.Go(func() {
+		pb, _ := f.Route("src", "", "b")
+		// 600 bytes: 2s at 150 (300 moved), then 300 left at 200 -> 1.5s.
+		f.Transfer(pb, 600)
+		doneB = c.Now()
+	})
+	c.RunFor()
+	near(t, "flow A finish", doneA.Seconds(), 2.0, 0.01)
+	near(t, "flow B finish", doneB.Seconds(), 3.5, 0.01)
+	near(t, "trunk bytes", f.Link("trunk").Stats().Bytes, 900, 1)
+	if got := f.Link("trunk").Stats().PeakFlows; got != 2 {
+		t.Fatalf("trunk peak flows = %d, want 2", got)
+	}
+}
+
+func TestPerFlowCap(t *testing.T) {
+	// A capped flow leaves its unused share to the uncapped one: caps
+	// participate in the max-min allocation instead of sleeping post hoc.
+	c := simtime.NewClock()
+	f := build(c)
+	c.Go(func() {
+		p, _ := f.Route("src", "", "a")
+		start := c.Now()
+		f.Transfer(p, 100, WithCap(50)) // 100 bytes at 50 B/s -> 2s
+		near(t, "capped duration", (c.Now() - start).Seconds(), 2.0, 0.01)
+	})
+	c.Go(func() {
+		p, _ := f.Route("src", "", "b")
+		start := c.Now()
+		// Trunk leaves 300-50=250, NIC B caps at 200: 400 bytes -> 2s.
+		f.Transfer(p, 400)
+		near(t, "uncapped duration", (c.Now() - start).Seconds(), 2.0, 0.01)
+	})
+	c.RunFor()
+}
+
+func TestCrossingMultiplicity(t *testing.T) {
+	// A route crossing the same link twice consumes 2x its rate there:
+	// a bounce through the NIC hub halves the effective bandwidth.
+	c := simtime.NewClock()
+	f := build(c)
+	c.Go(func() {
+		p, err := f.Route("a", "lan", "a") // nicA out and back
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start := c.Now()
+		f.Transfer(p, 200) // rate = 200/2 = 100 B/s -> 2s
+		near(t, "bounce duration", (c.Now() - start).Seconds(), 2.0, 0.01)
+	})
+	c.RunFor()
+	near(t, "nicA bytes", f.Link("nicA").Stats().Bytes, 400, 1)
+}
+
+func TestSetCapacityMidFlight(t *testing.T) {
+	c := simtime.NewClock()
+	f := build(c)
+	c.Go(func() {
+		p, _ := f.Route("src", "", "a")
+		start := c.Now()
+		// 1s at 200, then the NIC halves: 200 left at 100 -> 2s more.
+		f.Transfer(p, 400)
+		near(t, "degraded duration", (c.Now() - start).Seconds(), 3.0, 0.01)
+	})
+	c.After(time.Second, func() { f.Link("nicA").Scale(0.5) })
+	c.RunFor()
+	if got := f.Link("nicA").Capacity(); got != 100 {
+		t.Fatalf("capacity after scale = %v, want 100", got)
+	}
+	f.Link("nicA").Scale(1)
+	if got := f.Link("nicA").Capacity(); got != 200 {
+		t.Fatalf("capacity after repair = %v, want 200", got)
+	}
+}
+
+func TestBindFaultsDrivesLinksByName(t *testing.T) {
+	c := simtime.NewClock()
+	f := build(c)
+	reg := faults.New(c, 1)
+	f.BindFaults(reg)
+	c.Go(func() {
+		reg.Apply(faults.Event{Component: faults.LinkComponent("trunk"), Kind: faults.KindDegrade, Param: 0.5})
+		if got := f.Link("trunk").Capacity(); got != 150 {
+			t.Errorf("degraded trunk = %v, want 150", got)
+		}
+		reg.Apply(faults.Event{Component: faults.LinkComponent("trunk"), Kind: faults.KindFail})
+		if got := f.Link("trunk").Capacity(); got != 3 {
+			t.Errorf("failed trunk = %v, want 3 (1%% crawl)", got)
+		}
+		reg.Apply(faults.Event{Component: faults.LinkComponent("trunk"), Kind: faults.KindRepair})
+		if got := f.Link("trunk").Capacity(); got != 300 {
+			t.Errorf("repaired trunk = %v, want 300", got)
+		}
+		// Unknown links are ignored.
+		reg.Apply(faults.Event{Component: faults.LinkComponent("elsewhere"), Kind: faults.KindFail})
+	})
+	c.RunFor()
+}
+
+func TestEmptyAndInstantFlows(t *testing.T) {
+	c := simtime.NewClock()
+	f := build(c)
+	c.Go(func() {
+		p, err := f.Route("src", "", "src")
+		if err != nil || !p.Empty() {
+			t.Errorf("self route: %v, empty=%v", err, p.Empty())
+		}
+		start := c.Now()
+		f.Transfer(p, 1e12) // empty path: instantaneous
+		pa, _ := f.Route("src", "", "a")
+		f.Transfer(pa, 0) // zero bytes: instantaneous
+		if c.Now() != start {
+			t.Errorf("instant flows advanced time by %v", c.Now()-start)
+		}
+	})
+	c.RunFor()
+}
+
+func TestTransferredProgressSampling(t *testing.T) {
+	// Pull-based progress: a single long flow reports bytes moved even
+	// though it generates no settle events of its own.
+	c := simtime.NewClock()
+	f := build(c)
+	var fl *Flow
+	c.Go(func() {
+		p, _ := f.Route("src", "", "a")
+		fl = f.Start(p, 2000) // 200 B/s -> 10s
+		fl.Wait()
+	})
+	c.After(3*time.Second, func() {
+		got := fl.Transferred()
+		if got < 590 || got > 610 {
+			t.Errorf("Transferred at 3s = %d, want ~600", got)
+		}
+		if fl.Done() {
+			t.Error("flow done at 3s")
+		}
+	})
+	c.RunFor()
+	if !fl.Done() || fl.Transferred() != 2000 {
+		t.Fatalf("final: done=%v transferred=%d", fl.Done(), fl.Transferred())
+	}
+}
+
+func TestDuplicateNamesUniquified(t *testing.T) {
+	c := simtime.NewClock()
+	f := New(c)
+	a := f.AddLink("nic", 100, "x", "y")
+	b := f.AddLink("nic", 100, "x", "z")
+	if a.Name() != "nic" || b.Name() != "nic#2" {
+		t.Fatalf("names = %q, %q; want nic, nic#2", a.Name(), b.Name())
+	}
+	if f.Link("nic") != a || f.Link("nic#2") != b {
+		t.Fatal("lookup mismatch")
+	}
+}
+
+func TestOfSharedPerClock(t *testing.T) {
+	c1, c2 := simtime.NewClock(), simtime.NewClock()
+	if Of(c1) != Of(c1) {
+		t.Fatal("Of not stable per clock")
+	}
+	if Of(c1) == Of(c2) {
+		t.Fatal("Of shared across clocks")
+	}
+}
+
+func TestUtilizationAndBusy(t *testing.T) {
+	c := simtime.NewClock()
+	f := build(c)
+	c.Go(func() {
+		p, _ := f.Route("src", "", "a")
+		f.Transfer(p, 400) // 2s busy at full NIC rate
+		c.Sleep(2 * time.Second)
+	})
+	end := c.RunFor()
+	st := f.Link("nicA").Stats()
+	near(t, "nicA utilization", st.Utilization(end), 0.5, 0.01) // 400 of 200*4
+	near(t, "nicA busy fraction", st.BusyFraction(end), 0.5, 0.01)
+}

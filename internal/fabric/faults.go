@@ -1,0 +1,39 @@
+package fabric
+
+import (
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// BindFaults subscribes the fabric to a fault registry: every
+// "link:<name>" event is applied to the named link by one hook, so
+// schedules drive degradation and repair by link name instead of
+// reaching for raw pipes.
+//
+//	KindDegrade  capacity scales to Param x nominal
+//	KindFail     capacity drops to a 1% crawl — a fully dead link would
+//	             wedge in-flight flows forever; a crawl lets traffic drain
+//	KindRepair   capacity restores to nominal
+//
+// Events naming links this fabric does not own are ignored, so one
+// schedule can drive several deployments.
+func (f *Fabric) BindFaults(reg *faults.Registry) {
+	reg.OnApply(func(ev faults.Event) {
+		if !strings.HasPrefix(ev.Component, "link:") {
+			return
+		}
+		l := f.Link(strings.TrimPrefix(ev.Component, "link:"))
+		if l == nil {
+			return
+		}
+		switch ev.Kind {
+		case faults.KindDegrade:
+			l.Scale(ev.Param)
+		case faults.KindFail:
+			l.Scale(0.01)
+		case faults.KindRepair:
+			l.Scale(1)
+		}
+	})
+}

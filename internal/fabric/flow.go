@@ -1,0 +1,302 @@
+package fabric
+
+import (
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// Flow is one in-flight transfer: B bytes traversing every link of its
+// path simultaneously, at one coupled rate. The rate is recomputed by
+// progressive-filling max-min fairness whenever any flow joins, leaves,
+// or a link capacity changes; between those events the flow needs no
+// bookkeeping, so a petabyte transfer costs O(1) events like a
+// simtime.Pipe transfer.
+type Flow struct {
+	fab   *Fabric
+	seq   uint64
+	path  []*Link     // hops in order, repeats included
+	cross []linkCross // unique links with crossing multiplicity
+
+	bytes     float64
+	remaining float64
+	rate      float64 // current allocation, bytes/s
+	capRate   float64 // per-flow stream cap; 0 = uncapped
+	done      bool
+	q         *simtime.Queue // completion mailbox: Wait pops, the timer pushes
+}
+
+// linkCross is a unique link on a flow's path with its multiplicity: a
+// flow whose route crosses a link k times consumes k x its rate there.
+type linkCross struct {
+	link *Link
+	k    int
+}
+
+// Option tunes one flow.
+type Option func(*Flow)
+
+// WithCap bounds the flow to at most rate bytes/second regardless of
+// link shares — the single-stream ceiling of a striped pool (one file
+// descriptor only reaches the NSDs its stripes land on). It replaces
+// pftool's post-hoc streamFloor sleep: the cap participates in the
+// max-min allocation, so capped flows leave their unused share to
+// others. Non-positive rates mean uncapped.
+func WithCap(rate float64) Option {
+	return func(fl *Flow) {
+		if rate > 0 {
+			fl.capRate = rate
+		}
+	}
+}
+
+// completionEps is the service slack at which a flow counts as done: a
+// byte of accumulated float rounding, invisible at simulation scale.
+const completionEps = 1.0
+
+// minRate floors every allocation so a flow on a crawling link still
+// makes forward progress instead of wedging virtual time.
+const minRate = 1.0
+
+// Start launches a flow of n bytes along the path and returns without
+// blocking; Wait blocks until it completes. Zero-byte flows and empty
+// paths (co-located endpoints) complete immediately. Must be called
+// from actor context.
+func (f *Fabric) Start(p Path, n int64, opts ...Option) *Flow {
+	fl := &Flow{fab: f, bytes: float64(n), remaining: float64(n), q: simtime.NewQueue(f.clock)}
+	for _, o := range opts {
+		o(fl)
+	}
+	if n <= 0 || len(p.links) == 0 {
+		fl.remaining = 0
+		fl.done = true
+		fl.q.Push(nil)
+		return fl
+	}
+	if p.fab != f {
+		panic("fabric: Start with a path from a different fabric")
+	}
+	fl.path = append([]*Link(nil), p.links...)
+	idx := make(map[*Link]int, len(fl.path))
+	for _, l := range fl.path {
+		if i, ok := idx[l]; ok {
+			fl.cross[i].k++
+			continue
+		}
+		idx[l] = len(fl.cross)
+		fl.cross = append(fl.cross, linkCross{link: l, k: 1})
+	}
+	f.settle()
+	f.seq++
+	fl.seq = f.seq
+	f.flows = append(f.flows, fl)
+	for _, c := range fl.cross {
+		c.link.active++
+		if c.link.active > c.link.peak {
+			c.link.peak = c.link.active
+		}
+	}
+	f.recompute()
+	f.rearm()
+	return fl
+}
+
+// Transfer moves n bytes along the path, blocking the calling actor
+// until the flow completes.
+func (f *Fabric) Transfer(p Path, n int64, opts ...Option) {
+	f.Start(p, n, opts...).Wait()
+}
+
+// Wait blocks the calling actor until the flow completes.
+func (fl *Flow) Wait() { fl.q.Pop() }
+
+// Done reports whether the flow has completed.
+func (fl *Flow) Done() bool { return fl.done }
+
+// Bytes reports the flow's total size.
+func (fl *Flow) Bytes() int64 { return int64(fl.bytes) }
+
+// Rate reports the flow's current max-min allocation in bytes/second.
+func (fl *Flow) Rate() float64 { return fl.rate }
+
+// Transferred reports bytes moved so far, settled to the present — the
+// pull-style progress source pftool's WatchDog samples (a single flow
+// spanning a whole file generates no events of its own to push).
+func (fl *Flow) Transferred() int64 {
+	if !fl.done {
+		fl.fab.settle()
+	}
+	return int64(fl.bytes - fl.remaining)
+}
+
+// settle advances every active flow to the present at its current rate,
+// crediting per-link byte and busy accounting.
+func (f *Fabric) settle() {
+	now := f.clock.Now()
+	dt := now - f.last
+	if dt <= 0 {
+		return
+	}
+	f.last = now
+	if len(f.flows) == 0 {
+		return
+	}
+	sec := dt.Seconds()
+	for _, fl := range f.flows {
+		delta := fl.rate * sec
+		if delta > fl.remaining {
+			delta = fl.remaining
+		}
+		fl.remaining -= delta
+		for _, c := range fl.cross {
+			c.link.bytes += delta * float64(c.k)
+		}
+	}
+	for _, l := range f.order {
+		if l.active > 0 {
+			l.busy += dt
+		}
+		l.sample(now)
+	}
+}
+
+// recompute reruns progressive-filling max-min fairness over the active
+// flows: repeatedly find the tightest constraint — the link with the
+// smallest capacity-left / crossings share, or a flow cap below it —
+// freeze the flows it binds at that rate, subtract them, and continue.
+// Link iteration follows creation order and flows stay in arrival
+// order, so allocations are deterministic.
+func (f *Fabric) recompute() {
+	if len(f.flows) == 0 {
+		return
+	}
+	load := make(map[*Link]float64)
+	capLeft := make(map[*Link]float64)
+	for _, fl := range f.flows {
+		for _, c := range fl.cross {
+			load[c.link] += float64(c.k)
+		}
+	}
+	for l := range load {
+		capLeft[l] = l.capacity
+	}
+	freeze := func(fl *Flow, r float64) {
+		for _, c := range fl.cross {
+			capLeft[c.link] -= r * float64(c.k)
+			if capLeft[c.link] < 0 {
+				capLeft[c.link] = 0
+			}
+			load[c.link] -= float64(c.k)
+		}
+		if r < minRate {
+			r = minRate
+		}
+		fl.rate = r
+	}
+	unfrozen := append([]*Flow(nil), f.flows...)
+	for len(unfrozen) > 0 {
+		share := math.Inf(1)
+		for _, l := range f.order {
+			if w := load[l]; w > 0 {
+				if s := capLeft[l] / w; s < share {
+					share = s
+				}
+			}
+		}
+		// Flow caps tighter than the link share bind first: freeze those
+		// flows at their cap and refill the slack they leave behind.
+		var next []*Flow
+		for _, fl := range unfrozen {
+			if fl.capRate > 0 && fl.capRate <= share {
+				freeze(fl, fl.capRate)
+			} else {
+				next = append(next, fl)
+			}
+		}
+		if len(next) < len(unfrozen) {
+			unfrozen = next
+			continue
+		}
+		// No cap binds: the bottleneck link(s) do. Freeze every flow
+		// crossing a link at the bottleneck share. Freezing one such flow
+		// leaves the bottleneck's ratio at exactly the share, so a single
+		// pass with a drift tolerance freezes the whole binding set.
+		const tol = 1 + 1e-9
+		var keep []*Flow
+		for _, fl := range unfrozen {
+			binding := false
+			for _, c := range fl.cross {
+				if w := load[c.link]; w > 0 && capLeft[c.link]/w <= share*tol {
+					binding = true
+					break
+				}
+			}
+			if binding {
+				freeze(fl, share)
+			} else {
+				keep = append(keep, fl)
+			}
+		}
+		if len(keep) == len(unfrozen) {
+			// Defensive: float drift hid the binding set; freeze the rest
+			// at the computed share rather than looping forever.
+			for _, fl := range keep {
+				freeze(fl, share)
+			}
+			keep = nil
+		}
+		unfrozen = keep
+	}
+}
+
+// rearm schedules the fabric's single completion timer for the
+// earliest-finishing flow. Generation counters invalidate timers made
+// stale by membership or rate changes.
+func (f *Fabric) rearm() {
+	f.gen++
+	if len(f.flows) == 0 {
+		return
+	}
+	earliest := math.Inf(1)
+	for _, fl := range f.flows {
+		if t := fl.remaining / fl.rate; t < earliest {
+			earliest = t
+		}
+	}
+	gen := f.gen
+	// +1ns guarantees forward progress when float rounding makes the
+	// computed horizon vanish (mirrors simtime.Pipe).
+	f.clock.At(f.clock.Now()+simtime.Duration(earliest*1e9)+1, func() {
+		f.onTimer(gen)
+	})
+}
+
+// onTimer fires at a completion instant: settle, release every finished
+// flow (crediting its residual sub-epsilon bytes so per-link accounting
+// conserves bytes exactly), recompute, re-arm.
+func (f *Fabric) onTimer(gen uint64) {
+	if gen != f.gen {
+		return // stale: membership or rates changed since it was armed
+	}
+	f.settle()
+	live := f.flows[:0]
+	for _, fl := range f.flows {
+		if fl.remaining <= completionEps {
+			for _, c := range fl.cross {
+				c.link.bytes += fl.remaining * float64(c.k)
+				c.link.active--
+			}
+			fl.remaining = 0
+			fl.done = true
+			fl.q.Push(nil)
+		} else {
+			live = append(live, fl)
+		}
+	}
+	for i := len(live); i < len(f.flows); i++ {
+		f.flows[i] = nil
+	}
+	f.flows = live
+	f.recompute()
+	f.rearm()
+}

@@ -1,0 +1,40 @@
+package fabric
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoHandAssembledPipePaths enforces the fabric migration: the data
+// movers (pftool, hsm, tsm) must resolve routes through fabric.Route
+// instead of hand-assembling []*simtime.Pipe hop slices. Three layers
+// once duplicated that assembly; a regression reintroducing a fourth
+// copy fails here.
+func TestNoHandAssembledPipePaths(t *testing.T) {
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range []string{"pftool", "hsm", "tsm"} {
+		dir := filepath.Join(root, pkg)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(src), "[]*simtime.Pipe{") {
+				t.Errorf("%s/%s hand-assembles a pipe path; use fabric.Route instead", pkg, name)
+			}
+		}
+	}
+}

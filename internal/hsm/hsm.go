@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/metadb"
 	"repro/internal/pfs"
 	"repro/internal/simtime"
@@ -80,6 +81,7 @@ type Engine struct {
 
 	aggOf      map[string]uint64      // member path -> aggregate object ID
 	aggMembers map[uint64][]aggMember // aggregate object ID -> members
+	routes     map[string]fabric.Path // node name -> pool..SAN fabric route
 
 	migratedFiles int
 	recalledFiles int
@@ -102,6 +104,7 @@ func New(clock *simtime.Clock, fs *pfs.FS, srv *tsm.Server, shadow *metadb.DB, n
 		cfg:        cfg,
 		aggOf:      make(map[string]uint64),
 		aggMembers: make(map[uint64][]aggMember),
+		routes:     make(map[string]fabric.Path),
 	}
 }
 
@@ -328,20 +331,32 @@ func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info) (nfiles int
 	return nfiles, nbytes, naggs, nil, nil
 }
 
-func (e *Engine) dataPath(node *cluster.Node) []*simtime.Pipe {
-	return []*simtime.Pipe{e.fs.DefaultPool().Pipe(), node.HBA()}
+// route resolves (and caches) the fabric path an HSM mover on node
+// drives data over: archive pool array to the node, then its HBA to the
+// SAN — the LAN-free path of Fig. 6.
+func (e *Engine) route(node *cluster.Node) fabric.Path {
+	if p, ok := e.routes[node.Name]; ok {
+		return p
+	}
+	pool := e.fs.DefaultPool()
+	p, err := e.fs.Fabric().Route(pool.Endpoint(), node.Name, fabric.SAN)
+	if err != nil {
+		panic(fmt.Sprintf("hsm: no data path from %s via %s: %v", pool.Endpoint(), node.Name, err))
+	}
+	e.routes[node.Name] = p
+	return p
 }
 
 // storeSingle stores one file as one tape object and stubs it.
 func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info) error {
 	obj, err := e.srv.Store(tsm.StoreRequest{
-		Client:   node.Name,
-		Class:    tsm.ClassMigrate,
-		Path:     f.Path,
-		FileID:   uint64(f.ID),
-		Bytes:    f.Size,
-		Group:    e.cfg.Group,
-		DataPath: e.dataPath(node),
+		Client: node.Name,
+		Class:  tsm.ClassMigrate,
+		Path:   f.Path,
+		FileID: uint64(f.ID),
+		Bytes:  f.Size,
+		Group:  e.cfg.Group,
+		Route:  e.route(node),
 	})
 	if err != nil {
 		return fmt.Errorf("hsm: migrating %s: %w", f.Path, err)
@@ -356,12 +371,12 @@ func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info) err
 // is stubbed; the aggregate index remembers where members live.
 func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pfs.Info, total int64) error {
 	obj, err := e.srv.Store(tsm.StoreRequest{
-		Client:   node.Name,
-		Class:    tsm.ClassMigrate,
-		Path:     fmt.Sprintf("<aggregate:%s:%s+%d>", node.Name, members[0].Path, len(members)),
-		Bytes:    total,
-		Group:    e.cfg.Group,
-		DataPath: e.dataPath(node),
+		Client: node.Name,
+		Class:  tsm.ClassMigrate,
+		Path:   fmt.Sprintf("<aggregate:%s:%s+%d>", node.Name, members[0].Path, len(members)),
+		Bytes:  total,
+		Group:  e.cfg.Group,
+		Route:  e.route(node),
 	})
 	if err != nil {
 		return fmt.Errorf("hsm: migrating aggregate of %d files: %w", len(members), err)
@@ -553,7 +568,7 @@ func (e *Engine) recallOnNode(node *cluster.Node, bin []recallItem, mode RecallM
 			}
 			_, err := e.srv.RecallBatch(tsm.RecallBatchRequest{
 				Client: node.Name, Volume: vol,
-				ObjectIDs: ids, DataPath: e.dataPath(node),
+				ObjectIDs: ids, Route: e.route(node),
 			})
 			if node.Down() {
 				// Crashed mid-session: nothing from this run was
@@ -583,7 +598,7 @@ func (e *Engine) recallOnNode(node *cluster.Node, bin []recallItem, mode RecallM
 		if _, err := e.srv.Recall(tsm.RecallRequest{
 			Client:   node.Name,
 			ObjectID: it.object,
-			DataPath: e.dataPath(node),
+			Route:    e.route(node),
 		}); err != nil {
 			if *firstErr == nil {
 				*firstErr = fmt.Errorf("hsm: recalling object %d: %w", it.object, err)
@@ -824,7 +839,7 @@ func (e *Engine) RecallPinned(nodeName string, paths []string) error {
 		}
 		if _, err := e.srv.RecallBatch(tsm.RecallBatchRequest{
 			Client: nodeName, Volume: vol,
-			ObjectIDs: ids, DataPath: e.dataPath(node),
+			ObjectIDs: ids, Route: e.route(node),
 		}); err != nil {
 			return err
 		}

@@ -8,9 +8,11 @@
 //
 // pfs deliberately does NOT charge data-transfer time inside its
 // namespace operations: data movement belongs to the movers (PFTool
-// workers, HSM migrators), which run transfers across the full path —
-// source pool, NIC, destination pool — via simtime.TransferAll. pfs
-// exposes each pool's bandwidth as a simtime.Pipe for exactly that use.
+// workers, HSM migrators), which resolve routes across the full path —
+// source pool, trunk, NIC, destination pool — through the shared
+// data-path fabric. pfs wires each pool's aggregate bandwidth into that
+// fabric as a named link ("<fs>/<pool>") between the pool endpoint
+// ("<fs>:<pool>") and the hubs named in Config.Attach.
 package pfs
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
 	"repro/internal/vfs"
@@ -74,6 +77,11 @@ type Config struct {
 	MetaParallel int           // concurrent metadata operations served
 	ScanPerInode time.Duration // policy-scan cost per inode
 	ScanParallel int           // scan pipeline width
+	// Attach names the fabric hubs every pool link connects to. Empty
+	// means {fabric.Clients}: the file system is mounted by the FTA
+	// nodes directly (the archive tier). A scratch tier on the far side
+	// of the trunk attaches at fabric.Compute instead.
+	Attach []string
 }
 
 // GPFSConfig returns the archive-tier file system used in the paper's
@@ -114,9 +122,10 @@ func PanasasConfig(name string) Config {
 
 // Pool is a live storage pool.
 type Pool struct {
-	Spec PoolSpec
-	pipe *simtime.Pipe
-	used int64
+	Spec     PoolSpec
+	link     *fabric.Link
+	endpoint string
+	used     int64
 }
 
 // Used reports bytes resident in the pool.
@@ -125,8 +134,13 @@ func (p *Pool) Used() int64 { return p.used }
 // Free reports remaining capacity.
 func (p *Pool) Free() int64 { return p.Spec.Capacity - p.used }
 
-// Pipe returns the pool's bandwidth pipe for mover data paths.
-func (p *Pool) Pipe() *simtime.Pipe { return p.pipe }
+// Link returns the pool's fabric link (the disk-array hop of any route
+// that starts or ends at this pool).
+func (p *Pool) Link() *fabric.Link { return p.link }
+
+// Endpoint returns the pool's fabric endpoint name ("<fs>:<pool>"),
+// usable as a source or destination in fabric.Route.
+func (p *Pool) Endpoint() string { return p.endpoint }
 
 // StreamRate reports the single-stream ceiling (0 = uncapped).
 func (p *Pool) StreamRate() float64 { return p.Spec.StreamRate }
@@ -146,6 +160,7 @@ type fileMeta struct {
 // FS is one simulated parallel file system.
 type FS struct {
 	clock   *simtime.Clock
+	fab     *fabric.Fabric
 	cfg     Config
 	ns      *vfs.FS
 	pools   map[string]*Pool
@@ -164,16 +179,27 @@ func New(clock *simtime.Clock, cfg Config) *FS {
 	}
 	fs := &FS{
 		clock:   clock,
+		fab:     fabric.Of(clock),
 		cfg:     cfg,
 		ns:      vfs.New(cfg.Name, func() time.Duration { return clock.Now() }),
 		pools:   make(map[string]*Pool),
 		meta:    make(map[vfs.FileID]*fileMeta),
 		metaRes: simtime.NewResource(clock, cfg.MetaParallel),
 	}
+	attach := cfg.Attach
+	if len(attach) == 0 {
+		attach = []string{fabric.Clients}
+	}
 	for _, ps := range cfg.Pools {
+		ep := cfg.Name + ":" + ps.Name
+		link := fs.fab.AddLink(cfg.Name+"/"+ps.Name, ps.Rate, ep, attach[0])
+		for _, hub := range attach[1:] {
+			fs.fab.AttachLink(link, ep, hub)
+		}
 		fs.pools[ps.Name] = &Pool{
-			Spec: ps,
-			pipe: simtime.NewPipe(clock, cfg.Name+"/"+ps.Name, ps.Rate),
+			Spec:     ps,
+			link:     link,
+			endpoint: ep,
 		}
 		fs.order = append(fs.order, ps.Name)
 	}
@@ -188,6 +214,9 @@ func (fs *FS) Name() string { return fs.cfg.Name }
 
 // Clock returns the simulation clock the FS runs on.
 func (fs *FS) Clock() *simtime.Clock { return fs.clock }
+
+// Fabric returns the shared data-path fabric the pools are wired into.
+func (fs *FS) Fabric() *fabric.Fabric { return fs.fab }
 
 // Pool returns the named pool.
 func (fs *FS) Pool(name string) (*Pool, error) {

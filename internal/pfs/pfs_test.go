@@ -345,11 +345,11 @@ func TestStatIDForSyncDeleter(t *testing.T) {
 	})
 }
 
-func TestPoolPipeRates(t *testing.T) {
+func TestPoolLinkRates(t *testing.T) {
 	sim(t, func(c *simtime.Clock, fs *FS) {
 		fast, _ := fs.Pool("fast")
 		start := c.Now()
-		fast.Pipe().Transfer(3e9) // 1s at 3 GB/s
+		fast.Link().Transfer(3e9) // 1s at 3 GB/s
 		if got := c.Now() - start; got < 900*time.Millisecond || got > 1100*time.Millisecond {
 			t.Errorf("3 GB over fast pool took %v, want ~1s", got)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/chunkfs"
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/pfs"
 	"repro/internal/simtime"
@@ -141,6 +142,14 @@ type run struct {
 	inflight  map[int]interface{}
 	deadRanks map[int]bool
 
+	// Fabric data-path state: the shared graph, per-node resolved
+	// routes, in-flight flows (the WatchDog samples their byte
+	// progress), and bytes of completed flows.
+	fab        *fabric.Fabric
+	routes     map[string]fabric.Path
+	flows      map[*fabric.Flow]struct{}
+	movedBytes int64
+
 	progress int64 // watchdog heartbeat
 	done     bool  // set when the manager finishes; stops the watchdog
 	aborted  bool
@@ -161,6 +170,9 @@ func (r *run) execute() Result {
 	r.logicalDst = make(map[string]string)
 	r.inflight = make(map[int]interface{})
 	r.deadRanks = make(map[int]bool)
+	r.fab = r.req.SrcFS.Fabric()
+	r.routes = make(map[string]fabric.Path)
+	r.flows = make(map[*fabric.Flow]struct{})
 	r.res.Op = r.req.Op
 	r.res.Started = r.clock.Now()
 

@@ -25,7 +25,6 @@ import (
 	"repro/internal/ilm"
 	"repro/internal/mpi"
 	"repro/internal/pfs"
-	"repro/internal/simtime"
 )
 
 // Op selects the PFTool command.
@@ -135,9 +134,6 @@ type Request struct {
 	// Nodes is the MPI machine list from the LoadManager; worker ranks
 	// are placed on these round-robin.
 	Nodes []*cluster.Node
-	// Trunk, when non-nil, is the shared network between the two file
-	// systems; all data crosses it.
-	Trunk *simtime.Pipe
 	// Restorer recalls migrated source files before copying; nil means
 	// migrated files are reported as errors.
 	Restorer Restorer

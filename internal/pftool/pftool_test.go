@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chunkfs"
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/hsm"
 	"repro/internal/ilm"
 	"repro/internal/metadb"
@@ -32,7 +33,9 @@ type env struct {
 
 func newEnv() *env {
 	clock := simtime.NewClock()
-	scratch := pfs.New(clock, pfs.PanasasConfig("panfs"))
+	scratchCfg := pfs.PanasasConfig("panfs")
+	scratchCfg.Attach = []string{fabric.Compute} // far side of the trunk
+	scratch := pfs.New(clock, scratchCfg)
 	archive := pfs.New(clock, pfs.GPFSConfig("gpfs"))
 	cl := cluster.New(clock, cluster.RoadrunnerConfig())
 	lib := tape.NewLibrary(clock, 8, 64, 2, tape.LTO4())
@@ -107,7 +110,6 @@ func baseRequest(e *env, op Op) Request {
 		SrcFS:    e.scratch,
 		DstFS:    e.archive,
 		Nodes:    e.cl.Nodes(),
-		Trunk:    e.cl.Trunk(),
 		Tunables: tunablesForTest(),
 	}
 }
@@ -434,7 +436,7 @@ func TestTapeRestorePathCopiesMigratedFiles(t *testing.T) {
 		req := Request{
 			Op: OpCopy, Src: "/arc/proj", Dst: "/scratch/proj",
 			SrcFS: e.archive, DstFS: e.scratch,
-			Nodes: e.cl.Nodes(), Trunk: e.cl.Trunk(),
+			Nodes:    e.cl.Nodes(),
 			Restorer: restorerAdapter{e.eng},
 			Tunables: tunablesForTest(),
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/pfs"
 	"repro/internal/simtime"
@@ -81,34 +82,20 @@ func (r *run) workerProc(rank int) {
 	}
 }
 
-// transfer moves bytes across the data path in bounded quanta, ticking
-// the WatchDog's progress counter between quanta — the paper's WatchDog
-// watches "number of bytes copied in the past T minutes", so a healthy
-// hours-long single-chunk transfer must not look like a stall.
-//
-// Each call is one client stream: besides the shared pipes, it is
-// bounded by the pools' single-stream ceilings (a stream only reaches
-// the NSDs its stripes land on), which is exactly why PFTool runs many
-// workers in the first place.
+// transfer moves bytes across the fabric as ONE coupled flow spanning
+// the whole data path — source pool, trunk, the worker node's NIC,
+// destination pool — at a single max-min fair rate. The pools'
+// single-stream ceilings enter the allocation as a per-flow cap (a
+// stream only reaches the NSDs its stripes land on), which is exactly
+// why PFTool runs many workers in the first place. The flow is
+// registered so the WatchDog can sample its byte progress directly: a
+// healthy hours-long single-chunk transfer must not look like a stall.
 func (r *run) transfer(node *cluster.Node, bytes int64) {
-	floor := r.streamFloor()
-	const quantum = 8e9
-	for bytes > 0 {
-		n := bytes
-		if n > quantum {
-			n = quantum
-		}
-		start := r.clock.Now()
-		simtime.TransferAll(r.clock, n, r.dataPipes(node)...)
-		if floor > 0 {
-			minDur := simtime.Duration(float64(n) / floor * 1e9)
-			if spent := r.clock.Now() - start; spent < minDur {
-				r.clock.Sleep(minDur - spent)
-			}
-		}
-		r.progress++
-		bytes -= n
-	}
+	fl := r.fab.Start(r.route(node), bytes, fabric.WithCap(r.streamFloor()))
+	r.flows[fl] = struct{}{}
+	fl.Wait()
+	delete(r.flows, fl)
+	r.movedBytes += bytes
 }
 
 // streamFloor returns the tightest single-stream rate cap on the data
@@ -123,19 +110,26 @@ func (r *run) streamFloor() float64 {
 	return floor
 }
 
-// dataPipes assembles the shared resources a transfer of the given
-// direction crosses: source pool, the inter-system trunk (if any), the
-// worker node's NIC, and the destination pool.
-func (r *run) dataPipes(node *cluster.Node) []*simtime.Pipe {
-	pipes := []*simtime.Pipe{r.req.SrcFS.DefaultPool().Pipe()}
-	if r.req.Trunk != nil {
-		pipes = append(pipes, r.req.Trunk)
+// route resolves (and caches) the fabric path a worker on node drives
+// data over: source pool to the node, then on to the destination pool
+// (pfls has no destination; the route ends at the node).
+func (r *run) route(node *cluster.Node) fabric.Path {
+	if p, ok := r.routes[node.Name]; ok {
+		return p
 	}
-	pipes = append(pipes, node.NIC())
+	src := r.req.SrcFS.DefaultPool().Endpoint()
+	var p fabric.Path
+	var err error
 	if r.req.DstFS != nil {
-		pipes = append(pipes, r.req.DstFS.DefaultPool().Pipe())
+		p, err = r.fab.Route(src, node.Name, r.req.DstFS.DefaultPool().Endpoint())
+	} else {
+		p, err = r.fab.Route(src, "", node.Name)
 	}
-	return pipes
+	if err != nil {
+		panic(fmt.Sprintf("pftool: no data path from %s via %s: %v", src, node.Name, err))
+	}
+	r.routes[node.Name] = p
+	return p
 }
 
 // copyBatch copies a batch of whole files. With Restart enabled, files
@@ -346,6 +340,7 @@ func (r *run) outputProc() {
 func (r *run) watchdog() {
 	t := r.req.Tunables
 	var lastProgress int64 = -1
+	var lastMoved int64 = -1
 	var silentFor simtime.Duration
 	dead := make(map[int]bool)
 	for {
@@ -372,8 +367,17 @@ func (r *run) watchdog() {
 			Files: r.res.FilesCopied,
 			Bytes: r.res.BytesCopied,
 		})
-		if r.progress != lastProgress {
+		// Progress has two sources: the Manager's completion counter and
+		// the bytes the in-flight fabric flows have moved ("number of
+		// bytes copied in the past T minutes") — sampled on demand, so
+		// one flow spanning a whole large file still registers.
+		moved := r.movedBytes
+		for fl := range r.flows {
+			moved += fl.Transferred()
+		}
+		if r.progress != lastProgress || moved != lastMoved {
 			lastProgress = r.progress
+			lastMoved = moved
 			silentFor = 0
 			continue
 		}

@@ -34,6 +34,8 @@ type Clock struct {
 	parked  int // actors parked on a non-time wait (queue/cond/resource)
 	started bool
 	actors  int // actors that have been registered and not yet finished
+
+	attachments map[string]interface{}
 }
 
 type event struct {
@@ -177,6 +179,25 @@ func (c *Clock) atLocked(t Duration, fn func()) (cancel func()) {
 		*canceled = true
 		c.mu.Unlock()
 	}
+}
+
+// Attach returns the value registered on the clock under key, creating
+// it with mk on first use. It lets higher layers share one instance of
+// a per-simulation singleton (e.g. the data-path fabric) across
+// independently constructed components without global state: the
+// attachment's lifetime is the clock's.
+func (c *Clock) Attach(key string, mk func() interface{}) interface{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.attachments == nil {
+		c.attachments = make(map[string]interface{})
+	}
+	if v, ok := c.attachments[key]; ok {
+		return v
+	}
+	v := mk()
+	c.attachments[key] = v
+	return v
 }
 
 // Run drives the simulation until no actor remains runnable and no

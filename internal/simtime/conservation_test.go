@@ -9,6 +9,9 @@ import (
 // TestPipeConservationRandomFlows is the conservation property of the
 // fluid model: however flows arrive, (a) no flow finishes faster than
 // bytes/rate, and (b) aggregate throughput never exceeds the pipe rate.
+// The multi-hop analogue — random topologies, coupled flows, per-link
+// byte accounting — lives in internal/fabric/conservation_test.go
+// (fabric imports simtime, so it cannot be tested from here).
 func TestPipeConservationRandomFlows(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		r := rand.New(rand.NewSource(int64(trial)))

@@ -172,9 +172,15 @@ func durationFromSeconds(s float64) Duration {
 }
 
 // TransferAll moves n bytes through every pipe concurrently and returns
-// when the slowest finishes: the standard model for a data path that
-// crosses several shared resources (source array, NIC, destination
-// array), where end-to-end throughput is set by the bottleneck hop.
+// when the slowest finishes.
+//
+// Deprecated: TransferAll charges every hop independently — a flow
+// bottlenecked at one hop still consumes full fair share on the fast
+// hops, which is not how cut-through streams behave. New code should
+// route through the coupled multi-hop scheduler in internal/fabric
+// (fabric.Route + Fabric.Transfer), which allocates one max-min fair
+// rate across every link a flow crosses. This shim remains for legacy
+// call sites that still hand-assemble pipe slices.
 func TransferAll(c *Clock, n int64, pipes ...*Pipe) {
 	if n <= 0 || len(pipes) == 0 {
 		return

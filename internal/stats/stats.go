@@ -13,14 +13,16 @@ import (
 
 // Summary accumulates values and reports order statistics.
 type Summary struct {
-	vals []float64
-	sum  float64
+	vals   []float64
+	sum    float64
+	sorted []float64 // cached sort of vals; nil after Add invalidates it
 }
 
 // Add appends one observation.
 func (s *Summary) Add(v float64) {
 	s.vals = append(s.vals, v)
 	s.sum += v
+	s.sorted = nil
 }
 
 // N reports the observation count.
@@ -66,13 +68,19 @@ func (s *Summary) Max() float64 {
 }
 
 // Percentile reports the p-th percentile (0 <= p <= 100) by nearest
-// rank on the sorted observations.
+// rank on the sorted observations. The sorted order is computed once
+// and cached until the next Add, so percentile-heavy reporting (every
+// summaryRows call asks for four quantiles) sorts each sample set once
+// instead of per query.
 func (s *Summary) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.vals...)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.vals...)
+		sort.Float64s(s.sorted)
+	}
+	sorted := s.sorted
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -134,3 +134,38 @@ func TestUnitHelpers(t *testing.T) {
 		t.Error("unit conversions wrong")
 	}
 }
+
+func TestPercentileCacheInterleavedWithAdd(t *testing.T) {
+	var s Summary
+	// Interleave queries and additions: each Percentile call must see
+	// every observation added so far, not a stale cached sort.
+	s.Add(10)
+	if got := s.Percentile(50); got != 10 {
+		t.Fatalf("median of {10} = %v", got)
+	}
+	s.Add(2)
+	s.Add(30)
+	if got := s.Percentile(50); got != 10 {
+		t.Fatalf("median of {2,10,30} = %v", got)
+	}
+	if got := s.Percentile(0); got != 2 {
+		t.Fatalf("p0 of {2,10,30} = %v", got)
+	}
+	s.Add(1)
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 after adding 1 = %v (stale cache?)", got)
+	}
+	if got := s.Percentile(100); got != 30 {
+		t.Fatalf("p100 = %v", got)
+	}
+	// Repeated queries without Add hit the cache and stay consistent.
+	for i := 0; i < 3; i++ {
+		if got := s.Percentile(50); got != s.Median() {
+			t.Fatalf("repeated median query drifted: %v", got)
+		}
+	}
+	s.Add(100)
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 after adding 100 = %v (stale cache?)", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/simtime"
 	"repro/internal/tape"
@@ -113,7 +114,7 @@ type Server struct {
 	nextID     uint64
 	txnRes     *simtime.Resource
 	drvPool    *simtime.Resource
-	netPipe    *simtime.Pipe
+	netLink    *fabric.Link
 	coloc      map[string]string // group -> current volume label
 	mounting   map[string]bool   // volume labels with a mount in flight
 	reclaiming map[string]bool   // volumes being reclaimed: never a write target
@@ -137,7 +138,7 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 		db:         make(map[uint64]*Object),
 		txnRes:     simtime.NewResource(clock, cfg.TxnParallel),
 		drvPool:    simtime.NewResource(clock, len(lib.Drives())),
-		netPipe:    simtime.NewPipe(clock, "tsm-server-nic", cfg.ServerRate),
+		netLink:    fabric.Of(clock).AddLink("tsm-server-nic", cfg.ServerRate, fabric.Clients, "tsm-server"),
 		coloc:      make(map[string]string),
 		mounting:   make(map[string]bool),
 		reclaiming: make(map[string]bool),
@@ -148,9 +149,9 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 // Library returns the managed tape library.
 func (s *Server) Library() *tape.Library { return s.lib }
 
-// NetPipe exposes the server's network link (observability: in
+// NetLink exposes the server's network link (observability: in
 // non-LAN-free mode every byte crosses it).
-func (s *Server) NetPipe() *simtime.Pipe { return s.netPipe }
+func (s *Server) NetLink() *fabric.Link { return s.netLink }
 
 // Stats returns a copy of the server counters.
 func (s *Server) Stats() Stats { return s.stats }
@@ -233,9 +234,15 @@ type StoreRequest struct {
 	FileID uint64
 	Bytes  int64
 	Group  string // co-location group ("" = none)
-	// DataPath carries the pipes the data crosses between the client's
-	// disk and its HBA (source pool, NIC...). The tape drive itself and,
-	// when not LAN-free, the server link, are added by the server.
+	// Route is the fabric path the data crosses between the client's
+	// disk and its HBA (source pool ... SAN), from fabric.Route. The
+	// tape drive itself and, when not LAN-free, the server link, are
+	// added by the server.
+	Route fabric.Path
+	// DataPath carries raw pipes instead of a fabric route.
+	//
+	// Deprecated: resolve a route with fabric.Route and set Route. This
+	// field remains for legacy callers and is ignored when Route is set.
 	DataPath []*simtime.Pipe
 }
 
@@ -269,7 +276,7 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 			s.dropAffinity(req.Client, drive)
 			return err
 		}
-		appendErr := s.moveData(req.Bytes, req.DataPath, func() error {
+		appendErr := s.moveData(req.Bytes, req.Route, req.DataPath, func() error {
 			var e error
 			tf, e = drive.Append(id, req.Bytes)
 			return e
@@ -312,12 +319,10 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 
 // moveData runs the tape operation concurrently with the shared-path
 // transfer; the slower of the two gates completion (store-and-forward
-// free, cut-through streaming).
-func (s *Server) moveData(bytes int64, path []*simtime.Pipe, tapeOp func() error) error {
-	pipes := path
-	if !s.cfg.LANFree {
-		pipes = append(append([]*simtime.Pipe{}, path...), s.netPipe)
-	}
+// free, cut-through streaming). Fabric routes get one coupled flow over
+// every hop — with the server link spliced in when not LAN-free; the
+// deprecated pipe-slice path keeps legacy semantics.
+func (s *Server) moveData(bytes int64, p fabric.Path, legacy []*simtime.Pipe, tapeOp func() error) error {
 	errCh := make(chan error, 1)
 	wg := simtime.NewWaitGroup(s.clock)
 	wg.Add(1)
@@ -325,7 +330,26 @@ func (s *Server) moveData(bytes int64, path []*simtime.Pipe, tapeOp func() error
 		errCh <- tapeOp()
 		wg.Done()
 	})
-	simtime.TransferAll(s.clock, bytes, pipes...)
+	switch {
+	case !p.Empty():
+		if !s.cfg.LANFree {
+			p = p.With(s.netLink)
+		}
+		p.Transfer(bytes)
+	case len(legacy) > 0:
+		if !s.cfg.LANFree {
+			wg.Add(1)
+			s.clock.Go(func() {
+				s.netLink.Transfer(bytes)
+				wg.Done()
+			})
+		}
+		simtime.TransferAll(s.clock, bytes, legacy...)
+	default:
+		if !s.cfg.LANFree {
+			s.netLink.Transfer(bytes)
+		}
+	}
 	wg.Wait()
 	return <-errCh
 }
@@ -495,6 +519,10 @@ func (s *Server) scratchVolume(bytes int64) *tape.Cartridge {
 type RecallRequest struct {
 	Client   string
 	ObjectID uint64
+	// Route is the fabric path from the SAN back to the client's disk
+	// (see StoreRequest.Route).
+	Route fabric.Path
+	// Deprecated: set Route instead.
 	DataPath []*simtime.Pipe
 }
 
@@ -526,7 +554,7 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 			s.ReleaseDrive(d)
 			return err
 		}
-		readErr := s.moveData(obj.Bytes, req.DataPath, func() error {
+		readErr := s.moveData(obj.Bytes, req.Route, req.DataPath, func() error {
 			_, e := d.ReadSeq(obj.Seq)
 			return e
 		})
@@ -547,7 +575,11 @@ type RecallBatchRequest struct {
 	Client    string
 	Volume    string
 	ObjectIDs []uint64 // caller orders these (ascending Seq for streaming)
-	DataPath  []*simtime.Pipe
+	// Route is the fabric path from the SAN back to the client's disk
+	// (see StoreRequest.Route).
+	Route fabric.Path
+	// Deprecated: set Route instead.
+	DataPath []*simtime.Pipe
 }
 
 // RecallBatch restores a batch of same-volume objects in one session:
@@ -590,7 +622,7 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 	for _, obj := range objs {
 		seq := obj.Seq
 		bytes := obj.Bytes
-		readErr := s.moveData(bytes, req.DataPath, func() error {
+		readErr := s.moveData(bytes, req.Route, req.DataPath, func() error {
 			_, e := d.ReadSeq(seq)
 			return e
 		})

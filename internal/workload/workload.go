@@ -219,13 +219,20 @@ func BuildTree(fs *pfs.FS, root string, spec JobSpec, seed int64, dirFanout int)
 	return total, nil
 }
 
-// Noise occupies a pipe with backlogged background streams until *stop
-// becomes true, modelling the other Roadrunner users sharing the two
-// 10GigE trunks during the Open Science runs. The pipe is fair-share,
-// so the background's slice is streams/(streams+foreground); the stream
-// count is sized so the background receives roughly the requested
-// fraction against a typical PFTool worker pool (~20 flows).
-func Noise(clock *simtime.Clock, pipe *simtime.Pipe, fraction float64, stop *bool) {
+// NoiseTarget is a shared channel background streams can occupy:
+// satisfied by both *simtime.Pipe and *fabric.Link.
+type NoiseTarget interface {
+	Rate() float64
+	Transfer(n int64)
+}
+
+// Noise occupies a channel with backlogged background streams until
+// *stop becomes true, modelling the other Roadrunner users sharing the
+// two 10GigE trunks during the Open Science runs. The channel is
+// fair-share, so the background's slice is streams/(streams+foreground);
+// the stream count is sized so the background receives roughly the
+// requested fraction against a typical PFTool worker pool (~20 flows).
+func Noise(clock *simtime.Clock, pipe NoiseTarget, fraction float64, stop *bool) {
 	if fraction <= 0 {
 		return
 	}
