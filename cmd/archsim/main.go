@@ -7,11 +7,15 @@
 //	archsim -exp all              # every experiment
 //	archsim -exp fig10 -seed 7    # one figure
 //	archsim -list                 # show experiment names
+//
+//	archsim -exp chaos -flight-record flight.json   # dump recent spans/events
+//	archsim -exp fabric -metrics-text               # Prometheus-style metrics
 package main
 
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -33,12 +38,25 @@ func main() {
 	csvDir := flag.String("csv", "", "write per-job campaign data as CSV into this directory")
 	saveTrace := flag.String("save-trace", "", "write the generated campaign job sequence to this JSON file")
 	benchJSON := flag.String("bench-json", "", "run the campaign + fabric experiments and write their virtual-throughput metrics as JSON to this file")
+	flightPath := flag.String("flight-record", "", "write the run's flight-recorder dump (recent spans and events) as JSON to this file, including on invariant-violation crashes")
+	metricsText := flag.Bool("metrics-text", false, "print each experiment's telemetry registry in Prometheus text exposition format")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
+	}
+
+	if *flightPath != "" {
+		// Experiment invariants panic from simulation actors, which
+		// kills the process before any deferred cleanup in main runs —
+		// so the crash dump must be written synchronously in the sink.
+		experiments.SetCrashFlightSink(func(d *telemetry.FlightDump) {
+			if err := writeFlightDump(*flightPath, d); err != nil {
+				fmt.Fprintln(os.Stderr, "archsim: flight:", err)
+			}
+		})
 	}
 
 	if *benchJSON != "" {
@@ -75,12 +93,63 @@ func main() {
 		reports, err = experiments.Run(*exp, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, experiments.ErrUnknownExperiment) {
+				fmt.Fprintln(os.Stderr, "available experiments:")
+				for _, n := range experiments.Names() {
+					fmt.Fprintln(os.Stderr, "  "+n)
+				}
+			}
 			os.Exit(2)
 		}
 	}
 	for _, r := range reports {
 		fmt.Println(r)
 	}
+	if *metricsText {
+		for _, r := range reports {
+			if r.Telemetry != nil {
+				fmt.Printf("# == %s ==\n%s", r.Name, r.Telemetry.Text())
+			}
+		}
+	}
+	if *flightPath != "" {
+		if err := writeFlightFromReports(*flightPath, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: flight:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFlightFromReports persists the flight dump of the completed run:
+// the last report that carries one wins (for -exp all that is the
+// observability self-check's chaos pass, the most interesting history).
+func writeFlightFromReports(path string, reports []experiments.Report) error {
+	var dump *telemetry.FlightDump
+	for _, r := range reports {
+		if r.Flight != nil {
+			dump = r.Flight
+		}
+	}
+	if dump == nil {
+		fmt.Fprintln(os.Stderr, "archsim: flight: no experiment in this run carries a flight dump")
+		return nil
+	}
+	return writeFlightDump(path, dump)
+}
+
+func writeFlightDump(path string, dump *telemetry.FlightDump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+	return nil
 }
 
 // benchReport is one experiment's metric set in the bench JSON file.

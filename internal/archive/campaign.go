@@ -10,16 +10,21 @@ import (
 	"repro/internal/pftool"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 // JobResult records one campaign job, the row unit of Figures 8–11.
+// Files/Bytes/RateMBs are derived from the telemetry registry deltas
+// around the job; LegacyBytes keeps the pftool result's own byte count
+// so the observability self-check can assert the two paths agree.
 type JobResult struct {
-	Spec    workload.JobSpec
-	Files   int
-	Bytes   int64
-	Elapsed time.Duration
-	RateMBs float64 // the paper's MB/s (1e6)
+	Spec        workload.JobSpec
+	Files       int
+	Bytes       int64
+	LegacyBytes int64
+	Elapsed     time.Duration
+	RateMBs     float64 // the paper's MB/s (1e6)
 }
 
 // CampaignResult aggregates a full §5.2 replay.
@@ -63,6 +68,13 @@ func RunJob(s *System, spec workload.JobSpec, seed int64, tun pftool.Tunables) (
 	}
 	stop := false
 	workload.Noise(s.Clock, s.Cluster.Trunk(), spec.Background, &stop)
+	// Headline numbers come from the telemetry registry: delta the
+	// pfcp counters around the run instead of trusting the pftool
+	// result struct (which is kept as LegacyBytes for the E17 check).
+	tel := telemetry.Of(s.Clock)
+	ctrBytes := tel.Counter("pftool_bytes_copied_total", "op", "pfcp")
+	ctrFiles := tel.Counter("pftool_files_copied_total", "op", "pfcp")
+	bytes0, files0 := ctrBytes.Value(), ctrFiles.Value()
 	start := s.Clock.Now()
 	pres, err := s.Pfcp(srcRoot, dstRoot, tun)
 	elapsed := s.Clock.Now() - start
@@ -70,6 +82,8 @@ func RunJob(s *System, spec workload.JobSpec, seed int64, tun pftool.Tunables) (
 	if err != nil {
 		return JobResult{}, err
 	}
+	regBytes := int64(ctrBytes.Value() - bytes0)
+	regFiles := int(ctrFiles.Value() - files0)
 	// Retention of archived data is not part of the measured path;
 	// tearing both trees down keeps memory bounded across 62 jobs.
 	if err := s.Scratch.RemoveAll(srcRoot); err != nil {
@@ -80,14 +94,15 @@ func RunJob(s *System, spec workload.JobSpec, seed int64, tun pftool.Tunables) (
 	}
 	rate := 0.0
 	if secs := elapsed.Seconds(); secs > 0 {
-		rate = float64(pres.BytesCopied) / secs / 1e6
+		rate = float64(regBytes) / secs / 1e6
 	}
 	return JobResult{
-		Spec:    spec,
-		Files:   pres.FilesCopied,
-		Bytes:   pres.BytesCopied,
-		Elapsed: elapsed,
-		RateMBs: rate,
+		Spec:        spec,
+		Files:       regFiles,
+		Bytes:       regBytes,
+		LegacyBytes: pres.BytesCopied,
+		Elapsed:     elapsed,
+		RateMBs:     rate,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // InstallFaults subscribes the deployment to a fault registry: every
@@ -26,6 +27,17 @@ import (
 // registry only flips the failure state.
 func (s *System) InstallFaults(reg *faults.Registry) {
 	s.Fabric.BindFaults(reg)
+	// Record every event in telemetry FIRST, before the dispatch
+	// subscriber flips subsystem state: any span aborted in reaction to
+	// the fault then finds the event already on the books to cite as
+	// its cause.
+	tel := telemetry.Of(s.Clock)
+	reg.OnApply(func(ev faults.Event) {
+		tel.Event("fault",
+			"component", ev.Component,
+			"kind", ev.Kind.String())
+		tel.Counter("faults_events_total", "kind", ev.Kind.String()).Inc()
+	})
 	reg.OnApply(func(ev faults.Event) {
 		switch {
 		case strings.HasPrefix(ev.Component, "drive:"):

@@ -7,6 +7,7 @@ import (
 	"repro/internal/pftool"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -45,6 +46,7 @@ func campaignRun(p CampaignParams) (archive.CampaignResult, []Report) {
 	}
 	clock := simtime.NewClock()
 	sys := archive.NewDefault(clock)
+	tel := telemetry.Of(clock)
 	var res archive.CampaignResult
 	var err error
 	clock.Go(func() {
@@ -54,7 +56,7 @@ func campaignRun(p CampaignParams) (archive.CampaignResult, []Report) {
 	if err != nil {
 		panic(fmt.Sprintf("campaign failed: %v", err))
 	}
-	return res, []Report{
+	reports := []Report{
 		figureReport("fig8", "Number of files archived per job (paper: 1 .. 2,920,088; avg 167,491)",
 			res.Figure8(), "files", perJob(res, func(j archive.JobResult) float64 { return float64(j.Files) })),
 		figureReport("fig9", "Data archived per job (paper: 4 .. 32,593 GB; avg 2,442 GB)",
@@ -69,6 +71,11 @@ func campaignRun(p CampaignParams) (archive.CampaignResult, []Report) {
 				return stats.MB(float64(j.Bytes) / float64(j.Files))
 			})),
 	}
+	// fig10 is the campaign's rate figure; carry the registry snapshot
+	// and flight dump on it so -metrics-text/-flight-record see the run.
+	reports[2].Telemetry = tel.Snapshot()
+	reports[2].Flight = tel.FlightDump()
+	return res, reports
 }
 
 func perJob(res archive.CampaignResult, f func(archive.JobResult) float64) *stats.LogHistogram {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/pftool"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -24,6 +25,13 @@ type chaosOutcome struct {
 	events     int
 	copyTime   simtime.Duration
 	migTime    simtime.Duration
+
+	// Registry-derived byte counts for the two phases, plus the run's
+	// telemetry snapshot and flight dump for the report consumers.
+	regCopyBytes float64
+	regMigBytes  float64
+	snap         *telemetry.Snapshot
+	flight       *telemetry.FlightDump
 }
 
 // chaosRun archives one synthetic project end to end on a fresh
@@ -44,6 +52,17 @@ func chaosRun(seed int64, chaos bool) chaosOutcome {
 
 	var out chaosOutcome
 	clock.Go(func() {
+		tel := telemetry.Of(clock)
+		// Actor panics kill the process before main gets a chance to
+		// persist anything, so dump the flight ring synchronously here
+		// before re-panicking: the crash evidence is the whole point of
+		// the recorder.
+		defer func() {
+			if p := recover(); p != nil {
+				stashCrashFlight(tel.FlightDump())
+				panic(p)
+			}
+		}()
 		spec := workload.JobSpec{
 			ID: 1, Project: "chaos",
 			NumFiles: 120, TotalBytes: 60e9, AvgFileSize: 500e6,
@@ -63,6 +82,8 @@ func chaosRun(seed int64, chaos bool) chaosOutcome {
 		}
 		tun := pftool.DefaultTunables()
 		tun.WatchdogInterval = 5 * time.Second
+		ctrCopyBytes := tel.Counter("pftool_bytes_copied_total", "op", "pfcp")
+		copyBytes0 := ctrCopyBytes.Value()
 		start := clock.Now()
 		copyRes, err := sys.Pfcp("/proj", "/arc/proj", tun)
 		if err != nil {
@@ -70,6 +91,7 @@ func chaosRun(seed int64, chaos bool) chaosOutcome {
 		}
 		out.copyRes = copyRes
 		out.copyTime = clock.Now() - start
+		out.regCopyBytes = ctrCopyBytes.Value() - copyBytes0
 
 		if chaos {
 			// Migrate-phase faults: two drives die for good early in the
@@ -82,6 +104,8 @@ func chaosRun(seed int64, chaos bool) chaosOutcome {
 			reg.FailAt(faults.VolumeComponent(sys.Library.Cartridges()[0].Label), now+10*time.Second)
 			reg.Window(faults.TSMComponent, now+20*time.Second, 30*time.Second)
 		}
+		ctrMigBytes := tel.Counter("hsm_migrated_bytes_total")
+		migBytes0 := ctrMigBytes.Value()
 		start = clock.Now()
 		migRes, err := sys.MigrateTree("/arc/proj", hsm.MigrateOptions{Balanced: true})
 		if err != nil {
@@ -89,6 +113,7 @@ func chaosRun(seed int64, chaos bool) chaosOutcome {
 		}
 		out.migRes = migRes
 		out.migTime = clock.Now() - start
+		out.regMigBytes = ctrMigBytes.Value() - migBytes0
 
 		audit, err := sys.Audit()
 		if err != nil {
@@ -98,6 +123,8 @@ func chaosRun(seed int64, chaos bool) chaosOutcome {
 		out.objects = sys.TSM.NumObjects()
 		out.tsmRetries = sys.TSM.Stats().Retries
 		out.events = len(reg.Log())
+		out.snap = tel.Snapshot()
+		out.flight = tel.FlightDump()
 	})
 	clock.RunFor()
 	return out
@@ -114,28 +141,35 @@ func ChaosStudy(seed int64) Report {
 
 	// Invariants. The experiment panics rather than reporting garbage:
 	// a chaos run that loses or duplicates a file is a bug, not a data
-	// point.
+	// point. Stash the chaos run's flight dump before panicking so the
+	// evidence survives the crash.
+	failf := func(format string, args ...interface{}) {
+		stashCrashFlight(dirty.flight)
+		panic(fmt.Sprintf(format, args...))
+	}
 	if dirty.copyRes.FilesCopied != clean.copyRes.FilesCopied {
-		panic(fmt.Sprintf("chaos run copied %d files, clean run %d",
-			dirty.copyRes.FilesCopied, clean.copyRes.FilesCopied))
+		failf("chaos run copied %d files, clean run %d",
+			dirty.copyRes.FilesCopied, clean.copyRes.FilesCopied)
 	}
 	if dirty.migRes.Files != dirty.copyRes.FilesCopied {
-		panic(fmt.Sprintf("chaos run migrated %d of %d files",
-			dirty.migRes.Files, dirty.copyRes.FilesCopied))
+		failf("chaos run migrated %d of %d files",
+			dirty.migRes.Files, dirty.copyRes.FilesCopied)
 	}
 	if dirty.objects != dirty.migRes.Files {
-		panic(fmt.Sprintf("TSM holds %d objects for %d migrated files (exactly-once violated)",
-			dirty.objects, dirty.migRes.Files))
+		failf("TSM holds %d objects for %d migrated files (exactly-once violated)",
+			dirty.objects, dirty.migRes.Files)
 	}
 	if !dirty.audit.Clean() {
-		panic(fmt.Sprintf("chaos audit not clean: %+v", dirty.audit))
+		failf("chaos audit not clean: %+v", dirty.audit)
 	}
 
+	// Headline rates come from the telemetry registry counters, not the
+	// subsystem result structs (lint_test.go enforces the split).
 	copyRate := func(o chaosOutcome) float64 {
-		return stats.MB(float64(o.copyRes.BytesCopied)) / o.copyTime.Seconds()
+		return stats.MB(o.regCopyBytes) / o.copyTime.Seconds()
 	}
 	migRate := func(o chaosOutcome) float64 {
-		return stats.MB(float64(o.migRes.Bytes)) / o.migTime.Seconds()
+		return stats.MB(o.regMigBytes) / o.migTime.Seconds()
 	}
 
 	t := stats.NewTable("metric", "clean", "chaos")
@@ -169,6 +203,9 @@ func ChaosStudy(seed int64) Report {
 	r.metric("fault_events", float64(dirty.events))
 	r.metric("copy_rate_ratio", copyRate(dirty)/copyRate(clean))
 	r.metric("migrate_rate_ratio", migRate(dirty)/migRate(clean))
+	r.metric("aborted_spans", float64(len(dirty.flight.Aborted())))
+	r.Telemetry = dirty.snap
+	r.Flight = dirty.flight
 	return r
 }
 

@@ -7,10 +7,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Report is one regenerated table or figure.
@@ -20,6 +22,42 @@ type Report struct {
 	Body    string // rendered rows/series
 	Metrics map[string]float64
 	Notes   []string
+
+	// Telemetry and Flight carry the run's registry snapshot and
+	// flight-recorder dump for experiments that attach them. They are
+	// not rendered by String(); cmd/archsim exposes them behind the
+	// -metrics-text and -flight-record flags.
+	Telemetry *telemetry.Snapshot
+	Flight    *telemetry.FlightDump
+}
+
+// ErrUnknownExperiment reports an experiment name Run does not know.
+// cmd/archsim matches it with errors.Is to print the available names.
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
+// crashFlight holds the flight-recorder dump stashed by an experiment
+// actor just before it panics on a violated invariant, so the process
+// can still persist the evidence. Single simulation actor at a time —
+// no locking, matching the rest of the harness.
+var (
+	crashFlight     *telemetry.FlightDump
+	crashFlightSink func(*telemetry.FlightDump)
+)
+
+// SetCrashFlightSink installs a callback invoked synchronously with
+// the flight dump when an experiment aborts on an invariant violation.
+// Actor panics kill the process before main's defers run, so the sink
+// must do its own persistence (cmd/archsim writes the file in it).
+func SetCrashFlightSink(fn func(*telemetry.FlightDump)) { crashFlightSink = fn }
+
+// CrashFlight returns the last stashed crash dump, if any.
+func CrashFlight() *telemetry.FlightDump { return crashFlight }
+
+func stashCrashFlight(d *telemetry.FlightDump) {
+	crashFlight = d
+	if crashFlightSink != nil {
+		crashFlightSink(d)
+	}
 }
 
 // String renders the report for terminal output.
@@ -65,6 +103,7 @@ func All(seed int64) []Report {
 		Reclamation(seed),
 		FabricBottleneck(seed),
 		ChaosStudy(seed),
+		ObservabilitySelfCheck(seed),
 	}...)
 }
 
@@ -75,7 +114,7 @@ func Names() []string {
 		"parallel-vs-serial", "smallfile", "recall", "largefile",
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
-		"ablation-lanfree", "reclaim", "fabric", "chaos",
+		"ablation-lanfree", "reclaim", "fabric", "chaos", "obs",
 		"all",
 	}
 }
@@ -119,10 +158,12 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{FabricBottleneck(seed)}, nil
 	case "chaos":
 		return []Report{ChaosStudy(seed)}, nil
+	case "obs":
+		return []Report{ObservabilitySelfCheck(seed)}, nil
 	case "all":
 		return All(seed), nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("%w %q (have %s)", ErrUnknownExperiment, name, strings.Join(Names(), ", "))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/synthetic"
+	"repro/internal/telemetry"
 )
 
 // FabricBottleneck is E16: the data-path fabric bottleneck study. A
@@ -35,10 +36,12 @@ func FabricBottleneckWith(seed int64, files int, fileSize int64, workers []int) 
 		bottleU float64
 		trunkU  float64
 		trunkGB float64
+		snap    *telemetry.Snapshot
 	}
 	runWith := func(nw int) point {
 		clock := simtime.NewClock()
 		sys := archive.NewDefault(clock)
+		tel := telemetry.Of(clock)
 		var res pftool.Result
 		clock.Go(func() {
 			sys.Scratch.MkdirAll("/src")
@@ -57,27 +60,51 @@ func FabricBottleneckWith(seed int64, files int, fileSize int64, workers []int) 
 		if res.FilesCopied != files {
 			panic(fmt.Sprintf("fabric study: copied %d of %d files", res.FilesCopied, files))
 		}
+		// Every headline number below is read from the telemetry
+		// registry snapshot, not the subsystem structs (lint_test.go
+		// enforces the split): the pfcp byte counter gives the rate, and
+		// the fabric_link_* families give conservation and bottleneck.
+		snap := tel.Snapshot()
+		copied := snap.Value("pftool_bytes_copied_total", "op", "pfcp")
 		// Invariant: per-link accounting conserves bytes. Every copied
 		// byte crosses the trunk exactly once and exactly one node NIC,
 		// so the trunk's byte counter and the NICs' sum must both equal
-		// BytesCopied to the float tolerance of the scheduler.
-		trunk := sys.Cluster.Trunk().Stats()
-		var nicBytes float64
+		// the copied bytes to the float tolerance of the scheduler.
+		trunkBytes := snap.Value("fabric_link_bytes_total", "link", "trunk")
+		nicNames := make(map[string]bool)
 		for _, n := range sys.Cluster.Nodes() {
-			nicBytes += n.NIC().Stats().Bytes
+			nicNames[n.NIC().Stats().Name] = true
 		}
-		total := float64(res.BytesCopied)
-		if math.Abs(trunk.Bytes-total) > 1 || math.Abs(nicBytes-total) > 1 {
+		var nicBytes float64
+		for _, p := range snap.Family("fabric_link_bytes_total") {
+			if nicNames[p.Label("link")] {
+				nicBytes += p.Value
+			}
+		}
+		if math.Abs(trunkBytes-copied) > 1 || math.Abs(nicBytes-copied) > 1 {
 			panic(fmt.Sprintf("fabric study: conservation violated: copied %.0f, trunk %.0f, nics %.0f",
-				total, trunk.Bytes, nicBytes))
+				copied, trunkBytes, nicBytes))
 		}
 		// Name the bottleneck: the link with the highest utilization
 		// (bytes carried against nominal capacity over the run).
-		pt := point{rate: res.Rate(), trunkU: trunk.Utilization(end), trunkGB: trunk.Bytes / 1e9}
-		for _, l := range sys.Fabric.Links() {
-			st := l.Stats()
-			if u := st.Utilization(end); u > pt.bottleU {
-				pt.bottleU, pt.bottle = u, st.Name
+		utilization := func(link string) float64 {
+			nominal := snap.Value("fabric_link_nominal_bytes_per_second", "link", link)
+			if nominal <= 0 || end <= 0 {
+				return 0
+			}
+			return snap.Value("fabric_link_bytes_total", "link", link) / (nominal * end.Seconds())
+		}
+		// Rate: registry bytes over the run's manager-recorded duration
+		// (Started..Finished excludes the watchdog's final sleep tick,
+		// which is idle tail, not transfer time).
+		pt := point{trunkU: utilization("trunk"), trunkGB: trunkBytes / 1e9, snap: snap}
+		if secs := res.Elapsed().Seconds(); secs > 0 {
+			pt.rate = copied / secs
+		}
+		for _, p := range snap.Family("fabric_link_bytes_total") {
+			link := p.Label("link")
+			if u := utilization(link); u > pt.bottleU {
+				pt.bottleU, pt.bottle = u, link
 			}
 		}
 		return pt
@@ -89,8 +116,10 @@ func FabricBottleneckWith(seed int64, files int, fileSize int64, workers []int) 
 		Title: fmt.Sprintf("Data-path fabric bottleneck study: %d x %d GB files vs worker count", files, fileSize/1e9),
 	}
 	var plateau float64
+	var lastSnap *telemetry.Snapshot
 	for _, nw := range workers {
 		pt := runWith(nw)
+		lastSnap = pt.snap
 		t.Row(nw, pt.rate/1e6, pt.bottle, fmt.Sprintf("%.2f", pt.bottleU),
 			fmt.Sprintf("%.2f", pt.trunkU), fmt.Sprintf("%.1f", pt.trunkGB))
 		r.metric(fmt.Sprintf("mbs_w%d", nw), pt.rate/1e6)
@@ -113,6 +142,7 @@ func FabricBottleneckWith(seed int64, files int, fileSize int64, workers []int) 
 	}
 	r.metric("trunk_ceiling_mbs", trunkRate/1e6)
 	r.metric("plateau_mbs", plateau/1e6)
+	r.Telemetry = lastSnap
 	r.Body = t.String()
 	r.Notes = append(r.Notes,
 		"few workers: the 800 MB/s per-stream ceiling and the worker's NIC bind",

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// rateAllowlist names the experiment files still permitted to compute
+// throughput from subsystem result structs (pftool.Result.Rate and
+// friends). Everything else must read headline numbers from the
+// telemetry registry so the figures and the metrics can never drift
+// apart. Shrink this list; never grow it — new experiment code reads
+// the registry.
+var rateAllowlist = map[string]bool{
+	"campaign.go":    true, // ParallelVsSerial's legacy comparison row
+	"filestudies.go": true,
+	"tapestudies.go": true,
+	"metastudies.go": true,
+	"ablations.go":   true,
+}
+
+// TestHeadlineNumbersComeFromRegistry enforces the telemetry
+// migration: experiment code outside the allowlist must not call the
+// subsystem .Rate() helpers. A new experiment that computes throughput
+// from result structs instead of the registry fails here.
+func TestHeadlineNumbersComeFromRegistry(t *testing.T) {
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || rateAllowlist[name] {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(src), ".Rate()") {
+			t.Errorf("%s computes throughput with .Rate(); read the telemetry registry instead", name)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Well-known endpoint names the layers agree on.
@@ -73,6 +74,12 @@ type Fabric struct {
 	seq   uint64
 	gen   uint64 // completion-timer generation
 	last  simtime.Duration
+
+	// Flow counters, resolved lazily on first Start: New may run inside
+	// clock.Attach (Of), where telemetry.Of would deadlock on the clock
+	// mutex; Start always runs from plain actor context.
+	ctrFlowsStarted   *telemetry.Counter
+	ctrFlowsCompleted *telemetry.Counter
 }
 
 // New creates an empty fabric on the clock. Most callers want Of, which
@@ -118,6 +125,31 @@ func (f *Fabric) AddLink(name string, capacity float64, a, b string) *Link {
 	f.links[name] = l
 	f.order = append(f.order, l)
 	f.connect(a, b, l)
+	// Emit the link's accounting through the telemetry registry as
+	// snapshot-time collected series (the fabric already keeps these
+	// numbers; settle() is idempotent, so collecting is free). AddLink
+	// always runs outside clock.Attach constructors, unlike New.
+	tel := telemetry.Of(f.clock)
+	tel.CounterFunc("fabric_link_bytes_total", func() float64 {
+		f.settle()
+		return l.bytes
+	}, "link", l.name)
+	tel.CounterFunc("fabric_link_busy_seconds_total", func() float64 {
+		f.settle()
+		return l.busy.Seconds()
+	}, "link", l.name)
+	tel.GaugeFunc("fabric_link_capacity_bytes_per_second", func() float64 {
+		return l.capacity
+	}, "link", l.name)
+	tel.GaugeFunc("fabric_link_nominal_bytes_per_second", func() float64 {
+		return l.nominal
+	}, "link", l.name)
+	tel.GaugeFunc("fabric_link_active_flows", func() float64 {
+		return float64(l.active)
+	}, "link", l.name)
+	tel.GaugeFunc("fabric_link_peak_flows", func() float64 {
+		return float64(l.peak)
+	}, "link", l.name)
 	return l
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Flow is one in-flight transfer: B bytes traversing every link of its
@@ -63,6 +64,12 @@ const minRate = 1.0
 // paths (co-located endpoints) complete immediately. Must be called
 // from actor context.
 func (f *Fabric) Start(p Path, n int64, opts ...Option) *Flow {
+	if f.ctrFlowsStarted == nil {
+		tel := telemetry.Of(f.clock)
+		f.ctrFlowsStarted = tel.Counter("fabric_flows_started_total")
+		f.ctrFlowsCompleted = tel.Counter("fabric_flows_completed_total")
+	}
+	f.ctrFlowsStarted.Inc()
 	fl := &Flow{fab: f, bytes: float64(n), remaining: float64(n), q: simtime.NewQueue(f.clock)}
 	for _, o := range opts {
 		o(fl)
@@ -70,6 +77,7 @@ func (f *Fabric) Start(p Path, n int64, opts ...Option) *Flow {
 	if n <= 0 || len(p.links) == 0 {
 		fl.remaining = 0
 		fl.done = true
+		f.ctrFlowsCompleted.Inc()
 		fl.q.Push(nil)
 		return fl
 	}
@@ -288,6 +296,7 @@ func (f *Fabric) onTimer(gen uint64) {
 			}
 			fl.remaining = 0
 			fl.done = true
+			f.ctrFlowsCompleted.Inc()
 			fl.q.Push(nil)
 		} else {
 			live = append(live, fl)

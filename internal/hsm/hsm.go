@@ -22,13 +22,16 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/metadb"
 	"repro/internal/pfs"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
+	"repro/internal/telemetry"
 	"repro/internal/tsm"
 )
 
@@ -87,6 +90,15 @@ type Engine struct {
 	recalledFiles int
 	migratedBytes int64
 	recalledBytes int64
+
+	tel         *telemetry.Registry
+	ctrMigFiles *telemetry.Counter
+	ctrMigBytes *telemetry.Counter
+	ctrRecFiles *telemetry.Counter
+	ctrRecBytes *telemetry.Counter
+	ctrRounds   *telemetry.Counter
+	ctrRequeued *telemetry.Counter
+	gBacklog    *telemetry.Gauge
 }
 
 // New creates an engine. nodes are the machines running HSM movers and
@@ -95,7 +107,7 @@ func New(clock *simtime.Clock, fs *pfs.FS, srv *tsm.Server, shadow *metadb.DB, n
 	if cfg.AggregateTarget <= 0 {
 		cfg.AggregateTarget = 4e9
 	}
-	return &Engine{
+	e := &Engine{
 		clock:      clock,
 		fs:         fs,
 		srv:        srv,
@@ -106,6 +118,15 @@ func New(clock *simtime.Clock, fs *pfs.FS, srv *tsm.Server, shadow *metadb.DB, n
 		aggMembers: make(map[uint64][]aggMember),
 		routes:     make(map[string]fabric.Path),
 	}
+	e.tel = telemetry.Of(clock)
+	e.ctrMigFiles = e.tel.Counter("hsm_migrated_files_total")
+	e.ctrMigBytes = e.tel.Counter("hsm_migrated_bytes_total")
+	e.ctrRecFiles = e.tel.Counter("hsm_recalled_files_total")
+	e.ctrRecBytes = e.tel.Counter("hsm_recalled_bytes_total")
+	e.ctrRounds = e.tel.Counter("hsm_migration_rounds_total")
+	e.ctrRequeued = e.tel.Counter("hsm_requeued_files_total")
+	e.gBacklog = e.tel.Gauge("hsm_candidate_backlog")
+	return e
 }
 
 // MigratedFiles reports lifetime migrated file count.
@@ -218,9 +239,11 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 	}
 	res.NodeBytes = make([]int64, len(e.nodes))
 	res.NodeFinish = make([]simtime.Duration, len(e.nodes))
+	runSpan := e.tel.StartSpan("hsm.migrate", "files", strconv.Itoa(len(work)))
 	var firstErr error
 	remaining := work
 	for round := 0; len(remaining) > 0; round++ {
+		e.gBacklog.Set(float64(len(remaining)))
 		idx := e.upNodeIndices()
 		if len(idx) == 0 || round >= maxRedistributeRounds {
 			if firstErr == nil {
@@ -231,8 +254,10 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 		}
 		if round > 0 {
 			res.Requeued += len(remaining)
+			e.ctrRequeued.Add(float64(len(remaining)))
 		}
 		res.Rounds = round + 1
+		e.ctrRounds.Inc()
 		var bins [][]pfs.Info
 		if opt.Balanced {
 			bins = PartitionBalanced(remaining, len(idx))
@@ -249,6 +274,7 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 			for j, f := range bins[bi] {
 				sub[j%streams] = append(sub[j%streams], f)
 			}
+			round := round
 			for _, share := range sub {
 				if len(share) == 0 {
 					continue
@@ -257,7 +283,10 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 				wg.Add(1)
 				e.clock.Go(func() {
 					defer wg.Done()
-					files, bytes, aggs, left, err := e.migrateOnNode(e.nodes[i], share)
+					node := e.nodes[i]
+					sp := runSpan.StartChild("hsm.migrate.node",
+						"node", node.Name, "round", strconv.Itoa(round))
+					files, bytes, aggs, left, err := e.migrateOnNode(node, share, sp)
 					res.Files += files
 					res.Bytes += bytes
 					res.Aggregates += aggs
@@ -268,14 +297,33 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 						firstErr = err
 						res.FirstErrors = append(res.FirstErrors, err.Error())
 					}
+					switch {
+					case err != nil:
+						sp.Abort(err.Error(), 0)
+					case len(left) > 0:
+						// The mover died mid-share: cite the fault event
+						// that took the node down, when telemetry saw one.
+						cause, _ := e.tel.LastEventFor(faults.NodeComponent(node.Name))
+						sp.Abort(fmt.Sprintf("mover %s down, %d files requeued", node.Name, len(left)), cause)
+					default:
+						sp.End()
+					}
 				})
 			}
 		}
 		wg.Wait()
 		remaining = leftovers
 	}
+	e.gBacklog.Set(0)
 	e.migratedFiles += res.Files
 	e.migratedBytes += res.Bytes
+	e.ctrMigFiles.Add(float64(res.Files))
+	e.ctrMigBytes.Add(float64(res.Bytes))
+	if firstErr != nil {
+		runSpan.Abort(firstErr.Error(), 0)
+	} else {
+		runSpan.End()
+	}
 	return res, firstErr
 }
 
@@ -283,7 +331,7 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 // crashes the stream aborts at a file boundary and the untouched rest
 // of the share (including any unflushed aggregate bundle, none of which
 // has been stored) comes back as leftover for reassignment.
-func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info) (nfiles int, nbytes int64, naggs int, leftover []pfs.Info, err error) {
+func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info, parent *telemetry.Span) (nfiles int, nbytes int64, naggs int, leftover []pfs.Info, err error) {
 	pool := e.fs.DefaultPool()
 	var bundle []pfs.Info
 	var bundleBytes int64
@@ -291,7 +339,7 @@ func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info) (nfiles int
 		if len(bundle) == 0 {
 			return nil
 		}
-		if err := e.storeAggregate(node, pool, bundle, bundleBytes); err != nil {
+		if err := e.storeAggregate(node, pool, bundle, bundleBytes, parent); err != nil {
 			return err
 		}
 		nfiles += len(bundle)
@@ -315,7 +363,7 @@ func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info) (nfiles int
 			}
 			continue
 		}
-		if err := e.storeSingle(node, pool, f); err != nil {
+		if err := e.storeSingle(node, pool, f, parent); err != nil {
 			return nfiles, nbytes, naggs, nil, err
 		}
 		nfiles++
@@ -348,7 +396,7 @@ func (e *Engine) route(node *cluster.Node) fabric.Path {
 }
 
 // storeSingle stores one file as one tape object and stubs it.
-func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info) error {
+func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info, parent *telemetry.Span) error {
 	obj, err := e.srv.Store(tsm.StoreRequest{
 		Client: node.Name,
 		Class:  tsm.ClassMigrate,
@@ -357,6 +405,7 @@ func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info) err
 		Bytes:  f.Size,
 		Group:  e.cfg.Group,
 		Route:  e.route(node),
+		Parent: parent,
 	})
 	if err != nil {
 		return fmt.Errorf("hsm: migrating %s: %w", f.Path, err)
@@ -369,7 +418,7 @@ func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info) err
 
 // storeAggregate bundles small files into one tape object. Each member
 // is stubbed; the aggregate index remembers where members live.
-func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pfs.Info, total int64) error {
+func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pfs.Info, total int64, parent *telemetry.Span) error {
 	obj, err := e.srv.Store(tsm.StoreRequest{
 		Client: node.Name,
 		Class:  tsm.ClassMigrate,
@@ -377,6 +426,7 @@ func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pf
 		Bytes:  total,
 		Group:  e.cfg.Group,
 		Route:  e.route(node),
+		Parent: parent,
 	})
 	if err != nil {
 		return fmt.Errorf("hsm: migrating aggregate of %d files: %w", len(members), err)
@@ -504,6 +554,8 @@ func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
 	}
 	res.Volumes = len(volumes)
 
+	runSpan := e.tel.StartSpan("hsm.recall",
+		"mode", recallModeName(mode), "files", strconv.Itoa(len(items)))
 	var firstErr error
 	remaining := items
 	for round := 0; len(remaining) > 0; round++ {
@@ -527,11 +579,21 @@ func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
 			if len(bins[bi]) == 0 {
 				continue
 			}
+			round := round
 			wg.Add(1)
 			e.clock.Go(func() {
 				defer wg.Done()
-				left := e.recallOnNode(e.nodes[i], bins[bi], mode, &res, &firstErr)
+				node := e.nodes[i]
+				sp := runSpan.StartChild("hsm.recall.node",
+					"node", node.Name, "round", strconv.Itoa(round))
+				left := e.recallOnNode(node, bins[bi], mode, &res, &firstErr, sp)
 				leftovers = append(leftovers, left...)
+				if len(left) > 0 {
+					cause, _ := e.tel.LastEventFor(faults.NodeComponent(node.Name))
+					sp.Abort(fmt.Sprintf("daemon node %s down, %d recalls requeued", node.Name, len(left)), cause)
+				} else {
+					sp.End()
+				}
 			})
 		}
 		wg.Wait()
@@ -541,7 +603,22 @@ func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
 	}
 	e.recalledFiles += res.Files
 	e.recalledBytes += res.Bytes
+	e.ctrRecFiles.Add(float64(res.Files))
+	e.ctrRecBytes.Add(float64(res.Bytes))
+	if firstErr != nil {
+		runSpan.Abort(firstErr.Error(), 0)
+	} else {
+		runSpan.End()
+	}
 	return res, firstErr
+}
+
+// recallModeName names a RecallMode for span attributes.
+func recallModeName(mode RecallMode) string {
+	if mode == RecallOrdered {
+		return "ordered"
+	}
+	return "naive"
 }
 
 // recallOnNode runs one recall daemon's bin on node. If the node
@@ -550,7 +627,7 @@ func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
 // restores are abandoned (tape reads are idempotent, so re-driving them
 // on another node is safe) — and the rest of the bin is returned as
 // leftover for reassignment.
-func (e *Engine) recallOnNode(node *cluster.Node, bin []recallItem, mode RecallMode, res *RecallResult, firstErr *error) (leftover []recallItem) {
+func (e *Engine) recallOnNode(node *cluster.Node, bin []recallItem, mode RecallMode, res *RecallResult, firstErr *error, parent *telemetry.Span) (leftover []recallItem) {
 	if mode == RecallOrdered {
 		// Volume runs are contiguous in an ordered bin: one drive
 		// session per volume (real restore sessions hold the drive for
@@ -569,6 +646,7 @@ func (e *Engine) recallOnNode(node *cluster.Node, bin []recallItem, mode RecallM
 			_, err := e.srv.RecallBatch(tsm.RecallBatchRequest{
 				Client: node.Name, Volume: vol,
 				ObjectIDs: ids, Route: e.route(node),
+				Parent: parent,
 			})
 			if node.Down() {
 				// Crashed mid-session: nothing from this run was
@@ -599,6 +677,7 @@ func (e *Engine) recallOnNode(node *cluster.Node, bin []recallItem, mode RecallM
 			Client:   node.Name,
 			ObjectID: it.object,
 			Route:    e.route(node),
+			Parent:   parent,
 		}); err != nil {
 			if *firstErr == nil {
 				*firstErr = fmt.Errorf("hsm: recalling object %d: %w", it.object, err)
@@ -829,6 +908,8 @@ func (e *Engine) RecallPinned(nodeName string, paths []string) error {
 	}
 	// One drive session per volume run, in the caller's order (the
 	// caller has already tape-ordered the paths).
+	runSpan := e.tel.StartSpan("hsm.recall-pinned",
+		"node", nodeName, "files", strconv.Itoa(len(items)))
 	for j := 0; j < len(items); {
 		k := j
 		vol := items[j].volume
@@ -840,29 +921,38 @@ func (e *Engine) RecallPinned(nodeName string, paths []string) error {
 		if _, err := e.srv.RecallBatch(tsm.RecallBatchRequest{
 			Client: nodeName, Volume: vol,
 			ObjectIDs: ids, Route: e.route(node),
+			Parent: runSpan,
 		}); err != nil {
+			runSpan.Abort(err.Error(), 0)
 			return err
 		}
 		for _, it := range items[j:k] {
 			if it.path != "" {
 				if err := e.fs.Restore(it.path, true); err != nil {
+					runSpan.Abort(err.Error(), 0)
 					return err
 				}
 				e.recalledFiles++
 				e.recalledBytes += it.bytes
+				e.ctrRecFiles.Inc()
+				e.ctrRecBytes.Add(float64(it.bytes))
 				continue
 			}
 			for _, m := range e.aggMembers[it.object] {
 				if mst, _ := e.fs.State(m.path); mst == pfs.Migrated {
 					if err := e.fs.Restore(m.path, true); err != nil {
+						runSpan.Abort(err.Error(), 0)
 						return err
 					}
 					e.recalledFiles++
 					e.recalledBytes += m.bytes
+					e.ctrRecFiles.Inc()
+					e.ctrRecBytes.Add(float64(m.bytes))
 				}
 			}
 		}
 		j = k
 	}
+	runSpan.End()
 	return nil
 }

@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"path"
 	"sort"
+	"strconv"
 
 	"repro/internal/chunkfs"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/pfs"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
+	"repro/internal/telemetry"
 )
 
 // Message tags (Figure 3's queues and request/response flows).
@@ -155,6 +158,26 @@ type run struct {
 	aborted  bool
 
 	walkDone bool
+
+	// Telemetry: the run's root span, one open span per dispatched job
+	// (keyed by the rank holding it), counters mirroring the Result
+	// fields, queue-depth gauges, and the file-size histogram.
+	tel           *telemetry.Registry
+	runSpan       *telemetry.Span
+	jobSpans      map[int]*telemetry.Span
+	ctrBytes      *telemetry.Counter
+	ctrFiles      *telemetry.Counter
+	ctrChunks     *telemetry.Counter
+	ctrSkipped    *telemetry.Counter
+	ctrRestored   *telemetry.Counter
+	ctrJournal    *telemetry.Counter
+	ctrRanksDied  *telemetry.Counter
+	ctrHeartbeats *telemetry.Counter
+	gDirQ         *telemetry.Gauge
+	gCopyQ        *telemetry.Gauge
+	gTapeQ        *telemetry.Gauge
+	gBusy         *telemetry.Gauge
+	histFile      *telemetry.Histogram
 }
 
 // nodeFor maps a rank to its FTA node (round-robin over the machine
@@ -176,6 +199,24 @@ func (r *run) execute() Result {
 	r.res.Op = r.req.Op
 	r.res.Started = r.clock.Now()
 
+	op := r.req.Op.String()
+	r.tel = telemetry.Of(r.clock)
+	r.jobSpans = make(map[int]*telemetry.Span)
+	r.ctrBytes = r.tel.Counter("pftool_bytes_copied_total", "op", op)
+	r.ctrFiles = r.tel.Counter("pftool_files_copied_total", "op", op)
+	r.ctrChunks = r.tel.Counter("pftool_chunks_copied_total", "op", op)
+	r.ctrSkipped = r.tel.Counter("pftool_files_skipped_total", "op", op)
+	r.ctrRestored = r.tel.Counter("pftool_files_restored_total", "op", op)
+	r.ctrJournal = r.tel.Counter("pftool_journal_skips_total", "op", op)
+	r.ctrRanksDied = r.tel.Counter("pftool_ranks_died_total")
+	r.ctrHeartbeats = r.tel.Counter("pftool_watchdog_heartbeats_total")
+	r.gDirQ = r.tel.Gauge("pftool_queue_depth", "queue", "dir")
+	r.gCopyQ = r.tel.Gauge("pftool_queue_depth", "queue", "copy")
+	r.gTapeQ = r.tel.Gauge("pftool_queue_depth", "queue", "tape")
+	r.gBusy = r.tel.Gauge("pftool_ranks_busy")
+	r.histFile = r.tel.Histogram("pftool_file_bytes", "op", op)
+	r.runSpan = r.tel.StartSpan("pftool.run", "op", op, "src", r.req.Src)
+
 	l := r.layout
 	r.comm.Start(l.manager, r.manager)
 	r.comm.Start(l.output, r.outputProc)
@@ -193,7 +234,34 @@ func (r *run) execute() Result {
 		r.comm.Start(rank, func() { r.tapeProc(rank) })
 	}
 	r.comm.Wait()
+	r.closeSpans()
 	return r.res
+}
+
+// closeSpans settles the run's telemetry after every rank has exited:
+// job spans still open belong to ranks whose machines died mid-job (a
+// result that never arrived), so they abort rather than leak, and the
+// run span closes with the run's outcome.
+func (r *run) closeSpans() {
+	ranks := make([]int, 0, len(r.jobSpans))
+	for rank := range r.jobSpans {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		sp := r.jobSpans[rank]
+		cause, _ := r.tel.LastEventFor(faults.NodeComponent(r.nodeFor(rank).Name))
+		sp.Abort(fmt.Sprintf("rank %d never reported back", rank), cause)
+	}
+	r.jobSpans = nil
+	switch {
+	case r.res.Stalled:
+		r.runSpan.Abort("watchdog declared the run stalled", 0)
+	case len(r.res.Errors) > 0:
+		r.runSpan.Abort(r.res.Errors[0], 0)
+	default:
+		r.runSpan.End()
+	}
 }
 
 // manager is rank 0: the conductor of Figure 3.
@@ -274,6 +342,7 @@ func (r *run) assign() {
 		rank := r.idleReadDirs[0]
 		r.idleReadDirs = r.idleReadDirs[1:]
 		r.inflight[rank] = job
+		r.jobSpans[rank] = r.startJobSpan(rank, "readdir")
 		r.comm.Send(r.layout.manager, rank, tagDirJob, job)
 	}
 	for len(r.copyQ) > 0 && len(r.idleWorkers) > 0 {
@@ -282,6 +351,7 @@ func (r *run) assign() {
 		rank := r.idleWorkers[0]
 		r.idleWorkers = r.idleWorkers[1:]
 		r.inflight[rank] = job
+		r.jobSpans[rank] = r.startJobSpan(rank, copyKindName(job.kind))
 		r.comm.Send(r.layout.manager, rank, tagCopyJob, job)
 	}
 	for len(r.tapeQ) > 0 && len(r.idleTapeProcs) > 0 {
@@ -290,7 +360,46 @@ func (r *run) assign() {
 		rank := r.idleTapeProcs[0]
 		r.idleTapeProcs = r.idleTapeProcs[1:]
 		r.inflight[rank] = job
+		r.jobSpans[rank] = r.startJobSpan(rank, "tape-restore")
 		r.comm.Send(r.layout.manager, rank, tagTapeJob, job)
+	}
+	r.gDirQ.Set(float64(len(r.dirQ)))
+	r.gCopyQ.Set(float64(len(r.copyQ)))
+	r.gTapeQ.Set(float64(len(r.tapeQ)))
+	r.gBusy.Set(float64(len(r.inflight)))
+}
+
+// startJobSpan opens the span tracking one dispatched job on a rank.
+func (r *run) startJobSpan(rank int, kind string) *telemetry.Span {
+	return r.runSpan.StartChild("pftool.job",
+		"kind", kind, "rank", strconv.Itoa(rank), "node", r.nodeFor(rank).Name)
+}
+
+// endJobSpan closes the span of the job the rank just reported on.
+func (r *run) endJobSpan(rank int, errMsg string) {
+	sp, ok := r.jobSpans[rank]
+	if !ok {
+		return
+	}
+	delete(r.jobSpans, rank)
+	if errMsg != "" {
+		sp.Abort(errMsg, 0)
+	} else {
+		sp.End()
+	}
+}
+
+// copyKindName names a copyKind for span attributes.
+func copyKindName(k copyKind) string {
+	switch k {
+	case kindChunk:
+		return "copy-chunk"
+	case kindFuse:
+		return "copy-fuse"
+	case kindCompare:
+		return "compare"
+	default:
+		return "copy-batch"
 	}
 }
 
@@ -312,6 +421,7 @@ func (r *run) handle(msg mpi.Message) {
 	case tagDirResult:
 		r.markIdle(msg.From)
 		res := msg.Data.(dirResult)
+		r.endJobSpan(msg.From, res.err)
 		r.dirsOut--
 		if res.err != "" {
 			r.fail(res.err)
@@ -324,6 +434,7 @@ func (r *run) handle(msg mpi.Message) {
 	case tagCopyResult:
 		r.markIdle(msg.From)
 		res := msg.Data.(copyResult)
+		r.endJobSpan(msg.From, res.err)
 		r.copyOut--
 		r.progress++
 		r.res.FilesCopied += res.files
@@ -334,6 +445,13 @@ func (r *run) handle(msg mpi.Message) {
 		r.res.Matched += res.matched
 		r.res.Mismatched += res.mismatch
 		r.res.Missing += res.missing
+		// Integer byte/file deltas sum exactly in float64 counters, so
+		// the registry totals equal the Result fields bit-for-bit —
+		// what lets experiments read headline numbers from telemetry.
+		r.ctrFiles.Add(float64(res.files))
+		r.ctrSkipped.Add(float64(res.skipped))
+		r.ctrBytes.Add(float64(res.bytes))
+		r.ctrChunks.Add(float64(res.chunks))
 		if res.err != "" {
 			// A failed chunk must NOT count toward its file's
 			// completion: the in-progress mark stays so a restart
@@ -349,6 +467,7 @@ func (r *run) handle(msg mpi.Message) {
 			if r.chunkRemaining[res.logical] == 0 {
 				delete(r.chunkRemaining, res.logical)
 				r.res.FilesCopied++
+				r.ctrFiles.Inc()
 				r.req.DstFS.SetXattr(res.logical, "pfcp.inprogress", "")
 				name := res.logical
 				if d, ok := r.logicalDst[name]; ok {
@@ -360,6 +479,7 @@ func (r *run) handle(msg mpi.Message) {
 	case tagTapeResult:
 		r.markIdle(msg.From)
 		res := msg.Data.(tapeResult)
+		r.endJobSpan(msg.From, res.err)
 		r.tapeOut--
 		r.progress++
 		if res.err != "" {
@@ -367,6 +487,7 @@ func (r *run) handle(msg mpi.Message) {
 			return
 		}
 		r.res.Restored += len(res.paths)
+		r.ctrRestored.Add(float64(len(res.paths)))
 		// Restored files now copy like any resident file.
 		for i, p := range res.paths {
 			info, err := r.req.SrcFS.Stat(p)
@@ -407,6 +528,15 @@ func (r *run) rankDead(rank int) {
 	}
 	r.deadRanks[rank] = true
 	r.res.RanksDied++
+	r.ctrRanksDied.Inc()
+	// The job's span aborts here — the WatchDog-declared death is its
+	// end — citing the fault event that took the machine down.
+	if sp, ok := r.jobSpans[rank]; ok {
+		delete(r.jobSpans, rank)
+		node := r.nodeFor(rank)
+		cause, _ := r.tel.LastEventFor(faults.NodeComponent(node.Name))
+		sp.Abort(fmt.Sprintf("rank %d died: machine %s down", rank, node.Name), cause)
+	}
 	r.idleReadDirs = removeRank(r.idleReadDirs, rank)
 	r.idleWorkers = removeRank(r.idleWorkers, rank)
 	r.idleTapeProcs = removeRank(r.idleTapeProcs, rank)
@@ -504,8 +634,10 @@ func (r *run) classify(info pfs.Info, dst string) {
 		// A previous run completed this destination: prune it before any
 		// tape restore or copy work is planned.
 		r.res.JournalSkipped++
+		r.ctrJournal.Inc()
 		return
 	}
+	r.histFile.Observe(float64(info.Size))
 	switch r.req.Op {
 	case OpList:
 		return

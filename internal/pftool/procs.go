@@ -348,6 +348,7 @@ func (r *run) watchdog() {
 		if r.done {
 			return
 		}
+		r.ctrHeartbeats.Inc()
 		// Rank-death detection: each data rank whose machine is down is
 		// reported to the Manager exactly once. Its mailbox closes too,
 		// so even if the machine reboots the rank stays gone — MPI rank

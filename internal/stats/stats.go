@@ -25,6 +25,14 @@ func (s *Summary) Add(v float64) {
 	s.sorted = nil
 }
 
+// Reset discards every observation, returning the summary to its
+// zero state so the same value can accumulate a fresh sample set.
+func (s *Summary) Reset() {
+	s.vals = s.vals[:0]
+	s.sum = 0
+	s.sorted = nil
+}
+
 // N reports the observation count.
 func (s *Summary) N() int { return len(s.vals) }
 

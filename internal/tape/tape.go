@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by drive operations.
@@ -186,11 +187,43 @@ type Drive struct {
 	failOps    int  // pending injected transaction failures
 	down       bool // hard failure: every operation refused until repair
 	stats      Stats
+
+	tel    *telemetry.Registry
+	parent *telemetry.Span // current trace parent for phase spans
 }
 
 // NewDrive creates an idle, empty drive.
 func NewDrive(clock *simtime.Clock, name string, spec Spec) *Drive {
-	return &Drive{Name: name, clock: clock, spec: spec, res: simtime.NewResource(clock, 1)}
+	d := &Drive{Name: name, clock: clock, spec: spec, res: simtime.NewResource(clock, 1)}
+	d.tel = telemetry.Of(clock)
+	// The drive already keeps lifetime counters in Stats; mirror them
+	// into the registry as snapshot-time collected series.
+	for _, c := range []struct {
+		name string
+		fn   func() float64
+	}{
+		{"tape_drive_mounts_total", func() float64 { return float64(d.stats.Mounts) }},
+		{"tape_drive_seeks_total", func() float64 { return float64(d.stats.Seeks) }},
+		{"tape_drive_busy_seconds_total", func() float64 { return d.stats.BusyTime.Seconds() }},
+		{"tape_drive_transfer_seconds_total", func() float64 { return d.stats.TransferTime.Seconds() }},
+		{"tape_drive_bytes_written_total", func() float64 { return float64(d.stats.BytesWritten) }},
+		{"tape_drive_bytes_read_total", func() float64 { return float64(d.stats.BytesRead) }},
+		{"tape_drive_io_errors_total", func() float64 { return float64(d.stats.IOErrors) }},
+	} {
+		d.tel.CounterFunc(c.name, c.fn, "drive", name)
+	}
+	return d
+}
+
+// SetTraceParent sets the span under which the drive's phase spans
+// (mount, seek, write, read) nest — typically the TSM session that
+// holds the drive. A nil parent makes phase spans roots.
+func (d *Drive) SetTraceParent(sp *telemetry.Span) { d.parent = sp }
+
+// span opens one drive phase span under the current trace parent.
+func (d *Drive) span(name string, kv ...string) *telemetry.Span {
+	kv = append(kv, "drive", d.Name)
+	return telemetry.ChildOf(d.tel, d.parent, name, kv...)
 }
 
 // Acquire takes exclusive ownership of the drive (FIFO, blocking in
@@ -247,12 +280,14 @@ func (d *Drive) busy(t time.Duration) {
 // mount loads a cartridge (the library robot time is charged by the
 // library). The head ends at beginning-of-tape with the label verified.
 func (d *Drive) mount(c *Cartridge) {
+	sp := d.span("tape.mount", "volume", c.Label)
 	d.cart = c
 	d.pos = 0
 	d.lastClient = ""
 	d.stats.Mounts++
 	d.stats.LabelVerifies++
 	d.busy(d.spec.MountTime + d.spec.LabelVerifyTime)
+	sp.End()
 }
 
 // Unmount rewinds and ejects the mounted cartridge.
@@ -297,9 +332,11 @@ func (d *Drive) BeginSession(client string) error {
 		return ErrNotMounted
 	}
 	if d.lastClient != "" && d.lastClient != client {
+		sp := d.span("tape.handoff", "from", d.lastClient, "to", client)
 		d.rewind()
 		d.stats.LabelVerifies++
 		d.busy(d.spec.LabelVerifyTime)
+		sp.End()
 	}
 	d.lastClient = client
 	return nil
@@ -316,9 +353,11 @@ func (d *Drive) seekTo(off int64) {
 	}
 	frac := float64(dist) / float64(d.cart.cap)
 	t := d.spec.MinSeekTime + time.Duration(frac*float64(d.spec.FullSeekTime-d.spec.MinSeekTime))
+	sp := d.span("tape.seek")
 	d.stats.Seeks++
 	d.busy(t)
 	d.pos = off
+	sp.End()
 }
 
 // Append streams one object to the mounted cartridge at end-of-data and
@@ -340,10 +379,17 @@ func (d *Drive) Append(object uint64, bytes int64) (File, error) {
 	if d.cart.eod+bytes > d.cart.cap {
 		return File{}, fmt.Errorf("%w: %s needs %d, has %d", ErrFull, d.cart.Label, bytes, d.cart.Remaining())
 	}
+	sp := d.span("tape.write", "volume", d.cart.Label)
 	if d.injectedFault() {
-		return File{}, fmt.Errorf("%w: %s writing object %d", ErrIO, d.Name, object)
+		err := fmt.Errorf("%w: %s writing object %d", ErrIO, d.Name, object)
+		sp.Abort(err.Error(), 0)
+		return File{}, err
 	}
+	// Nest the locate under the write span.
+	outer := d.parent
+	d.parent = sp
 	d.seekTo(d.cart.eod)
+	d.parent = outer
 	xfer := d.spec.StartStopPenalty + time.Duration(float64(bytes)/d.spec.StreamRate*1e9)
 	d.stats.TransferTime += xfer
 	d.busy(xfer)
@@ -353,6 +399,7 @@ func (d *Drive) Append(object uint64, bytes int64) (File, error) {
 	d.pos = d.cart.eod
 	d.stats.FilesWritten++
 	d.stats.BytesWritten += bytes
+	sp.End()
 	return f, nil
 }
 
@@ -370,16 +417,23 @@ func (d *Drive) ReadSeq(seq int) (File, error) {
 	if err != nil {
 		return File{}, err
 	}
+	sp := d.span("tape.read", "volume", d.cart.Label)
 	if d.injectedFault() {
-		return File{}, fmt.Errorf("%w: %s reading seq %d", ErrIO, d.Name, seq)
+		err := fmt.Errorf("%w: %s reading seq %d", ErrIO, d.Name, seq)
+		sp.Abort(err.Error(), 0)
+		return File{}, err
 	}
+	outer := d.parent
+	d.parent = sp
 	d.seekTo(f.Off)
+	d.parent = outer
 	xfer := d.spec.StartStopPenalty + time.Duration(float64(f.Bytes)/d.spec.StreamRate*1e9)
 	d.stats.TransferTime += xfer
 	d.busy(xfer)
 	d.pos = f.Off + f.Bytes
 	d.stats.FilesRead++
 	d.stats.BytesRead += f.Bytes
+	sp.End()
 	return f, nil
 }
 
@@ -391,6 +445,8 @@ type Library struct {
 	carts  map[string]*Cartridge
 	order  []string // insertion order for deterministic scratch picks
 	robot  *simtime.Resource
+
+	ctrExchanges *telemetry.Counter
 }
 
 // NewLibrary creates a library with numDrives drives of the given spec
@@ -401,9 +457,10 @@ func NewLibrary(clock *simtime.Clock, numDrives, numCartridges, robots int, spec
 		robots = 1
 	}
 	lib := &Library{
-		clock: clock,
-		carts: make(map[string]*Cartridge),
-		robot: simtime.NewResource(clock, robots),
+		clock:        clock,
+		carts:        make(map[string]*Cartridge),
+		robot:        simtime.NewResource(clock, robots),
+		ctrExchanges: telemetry.Of(clock).Counter("tape_robot_exchanges_total"),
 	}
 	for i := 0; i < numDrives; i++ {
 		lib.drives = append(lib.drives, NewDrive(clock, fmt.Sprintf("drive%02d", i), spec))
@@ -534,6 +591,7 @@ func (l *Library) MountedIn(c *Cartridge) *Drive {
 
 // exchange charges one robot arm movement.
 func (l *Library) exchange(d *Drive) {
+	l.ctrExchanges.Inc()
 	l.robot.Acquire(1)
 	l.clock.Sleep(d.spec.RobotTime)
 	l.robot.Release(1)

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// The flight recorder keeps the last few thousand closed spans and
+// events in a bounded ring, so that when a chaos run dies the dump on
+// disk holds the history that explains it — which jobs aborted, which
+// fault fired first — without unbounded memory on long campaigns.
+
+// flightItem is one ring slot: exactly one of span or event is set.
+type flightItem struct {
+	span  *Span
+	event *eventRec
+}
+
+// SetFlightCapacity resizes the ring (minimum 1), dropping recorded
+// history. Call it before a run, not during one.
+func (r *Registry) SetFlightCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.ringCap = n
+	r.ring = nil
+	r.ringNext = 0
+	r.dropped = 0
+}
+
+// record appends to the ring, overwriting the oldest slot when full.
+func (r *Registry) record(it flightItem) {
+	if len(r.ring) < r.ringCap {
+		r.ring = append(r.ring, it)
+		return
+	}
+	r.ring[r.ringNext] = it
+	r.ringNext = (r.ringNext + 1) % r.ringCap
+	r.dropped++
+}
+
+// FlightSchema identifies flight-recorder dump files.
+const FlightSchema = "archsim-flight/v1"
+
+// FlightSpan is one span in a dump.
+type FlightSpan struct {
+	ID         uint64           `json:"id"`
+	Parent     uint64           `json:"parent,omitempty"`
+	Name       string           `json:"name"`
+	Attrs      []Label          `json:"attrs,omitempty"`
+	StartNs    simtime.Duration `json:"start_ns"`
+	EndNs      simtime.Duration `json:"end_ns,omitempty"`
+	Status     string           `json:"status"`
+	Cause      string           `json:"cause,omitempty"`
+	CauseEvent uint64           `json:"cause_event,omitempty"`
+}
+
+// Attr returns the value of the named span attribute ("" if absent).
+func (s FlightSpan) Attr(key string) string { return labelValue(s.Attrs, key) }
+
+// FlightEvent is one event in a dump.
+type FlightEvent struct {
+	ID    uint64           `json:"id"`
+	Name  string           `json:"name"`
+	Attrs []Label          `json:"attrs,omitempty"`
+	AtNs  simtime.Duration `json:"at_ns"`
+}
+
+// Attr returns the value of the named event attribute ("" if absent).
+func (e FlightEvent) Attr(key string) string { return labelValue(e.Attrs, key) }
+
+// FlightDump is the serializable flight-recorder contents: the ring's
+// spans and events plus every still-open span (status "open"), all in
+// ID order.
+type FlightDump struct {
+	Schema  string           `json:"schema"`
+	AtNs    simtime.Duration `json:"at_ns"`
+	Dropped int              `json:"dropped,omitempty"`
+	Spans   []FlightSpan     `json:"spans"`
+	Events  []FlightEvent    `json:"events"`
+}
+
+// FlightDump snapshots the recorder. Open spans are included so a
+// crash dump shows what was in flight when the run died.
+func (r *Registry) FlightDump() *FlightDump {
+	d := &FlightDump{Schema: FlightSchema, AtNs: r.clock.Now(), Dropped: r.dropped}
+	var spans []*Span
+	for _, it := range r.ring {
+		switch {
+		case it.span != nil:
+			spans = append(spans, it.span)
+		case it.event != nil:
+			d.Events = append(d.Events, FlightEvent{
+				ID: it.event.ID, Name: it.event.Name, Attrs: it.event.Attrs, AtNs: it.event.At,
+			})
+		}
+	}
+	spans = append(spans, r.OpenSpans()...)
+	sortSpans(spans)
+	for _, sp := range spans {
+		d.Spans = append(d.Spans, FlightSpan{
+			ID: sp.ID, Parent: sp.Parent, Name: sp.Name, Attrs: sp.Attrs,
+			StartNs: sp.StartAt, EndNs: sp.EndAt,
+			Status: sp.Status, Cause: sp.Cause, CauseEvent: sp.CauseEvent,
+		})
+	}
+	sort.Slice(d.Events, func(i, j int) bool { return d.Events[i].ID < d.Events[j].ID })
+	return d
+}
+
+// Aborted returns the dump's aborted spans.
+func (d *FlightDump) Aborted() []FlightSpan {
+	var out []FlightSpan
+	for _, sp := range d.Spans {
+		if sp.Status == StatusAborted {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// EventByID finds an event in the dump.
+func (d *FlightDump) EventByID(id uint64) (FlightEvent, bool) {
+	for _, ev := range d.Events {
+		if ev.ID == id {
+			return ev, true
+		}
+	}
+	return FlightEvent{}, false
+}
+
+func sortSpans(spans []*Span) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import "repro/internal/simtime"
+
+// Span is one timed phase of a file's life — a pftool job, an HSM
+// store, a TSM session, a tape mount — linked to its parent phase, so
+// a single file can be followed from `pfcp` dispatch down to the
+// drive that wrote it. IDs are allocated from the same sequence as
+// events, so a span's cause can point at a fault event unambiguously.
+type Span struct {
+	r *Registry
+
+	ID     uint64
+	Parent uint64 // 0 = root
+	Name   string
+	Attrs  []Label
+
+	StartAt simtime.Duration
+	EndAt   simtime.Duration
+	Status  string // "open", "ok", "aborted"
+
+	// Cause and CauseEvent explain an abort: a human line plus the ID
+	// of the telemetry event (usually a fault injection) that provoked
+	// it, if one is known.
+	Cause      string
+	CauseEvent uint64
+}
+
+// Span status values.
+const (
+	StatusOpen    = "open"
+	StatusOK      = "ok"
+	StatusAborted = "aborted"
+)
+
+// StartSpan opens a root span. Attrs are "key", "value" pairs.
+func (r *Registry) StartSpan(name string, kv ...string) *Span {
+	return r.newSpan(0, name, kv)
+}
+
+// StartChild opens a span parented under sp.
+func (sp *Span) StartChild(name string, kv ...string) *Span {
+	return sp.r.newSpan(sp.ID, name, kv)
+}
+
+// ChildOf opens a span under parent, or a root span when parent is
+// nil — for layers (tsm, tape) whose callers may or may not thread a
+// trace through.
+func ChildOf(r *Registry, parent *Span, name string, kv ...string) *Span {
+	if parent == nil {
+		return r.StartSpan(name, kv...)
+	}
+	return parent.StartChild(name, kv...)
+}
+
+func (r *Registry) newSpan(parent uint64, name string, kv []string) *Span {
+	r.nextID++
+	sp := &Span{
+		r:       r,
+		ID:      r.nextID,
+		Parent:  parent,
+		Name:    name,
+		Attrs:   labelsOf(kv),
+		StartAt: r.clock.Now(),
+		Status:  StatusOpen,
+	}
+	r.open[sp.ID] = sp
+	return sp
+}
+
+// SetAttr adds or replaces one attribute.
+func (sp *Span) SetAttr(key, value string) {
+	for i := range sp.Attrs {
+		if sp.Attrs[i].Key == key {
+			sp.Attrs[i].Value = value
+			return
+		}
+	}
+	sp.Attrs = append(sp.Attrs, Label{Key: key, Value: value})
+}
+
+// Attr reports one attribute's value ("" if absent).
+func (sp *Span) Attr(key string) string {
+	for _, l := range sp.Attrs {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// End closes the span successfully. Closing an already-closed span is
+// a no-op: result handlers and cleanup paths may race benignly over
+// who closes a job's span.
+func (sp *Span) End() { sp.close(StatusOK, "", 0) }
+
+// Abort closes the span as aborted — the phase did not complete
+// (rank died, drive failed, invariant tripped) — recording why and,
+// when known, which telemetry event (causeEvent, 0 for none) is to
+// blame. Aborting an already-closed span is a no-op.
+func (sp *Span) Abort(cause string, causeEvent uint64) {
+	sp.close(StatusAborted, cause, causeEvent)
+}
+
+func (sp *Span) close(status, cause string, causeEvent uint64) {
+	if sp == nil || sp.Status != StatusOpen {
+		return
+	}
+	sp.Status = status
+	sp.Cause = cause
+	sp.CauseEvent = causeEvent
+	sp.EndAt = sp.r.clock.Now()
+	delete(sp.r.open, sp.ID)
+	sp.r.record(flightItem{span: sp})
+}
+
+// Closed reports whether the span has ended (ok or aborted).
+func (sp *Span) Closed() bool { return sp.Status != StatusOpen }
+
+// OpenSpans returns the spans not yet closed, in start (= ID) order.
+func (r *Registry) OpenSpans() []*Span {
+	out := make([]*Span, 0, len(r.open))
+	for _, sp := range r.open {
+		out = append(out, sp)
+	}
+	sortSpans(out)
+	return out
+}
+
+// Event records a point-in-time occurrence (fault injected, repair
+// applied) in the flight ring and returns its ID. If the attrs carry
+// a "component" key, the event becomes that component's latest — the
+// lookup abort paths use to name their cause.
+func (r *Registry) Event(name string, kv ...string) uint64 {
+	r.nextID++
+	ev := &eventRec{
+		ID:    r.nextID,
+		Name:  name,
+		Attrs: labelsOf(kv),
+		At:    r.clock.Now(),
+	}
+	for _, l := range ev.Attrs {
+		if l.Key == "component" {
+			r.lastEvent[l.Value] = ev.ID
+		}
+	}
+	r.record(flightItem{event: ev})
+	return ev.ID
+}
+
+// LastEventFor reports the most recent event recorded against the
+// component (by its "component" attribute), if any.
+func (r *Registry) LastEventFor(component string) (uint64, bool) {
+	id, ok := r.lastEvent[component]
+	return id, ok
+}
+
+// eventRec is one recorded event.
+type eventRec struct {
+	ID    uint64
+	Name  string
+	Attrs []Label
+	At    simtime.Duration
+}

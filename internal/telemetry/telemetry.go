@@ -1,0 +1,411 @@
+// Package telemetry is the unified observability substrate of the
+// reproduction: one per-clock registry (mirroring fabric.Of's pattern)
+// of counters, gauges and log10-bucketed histograms stamped with
+// virtual time, plus span-based tracing that follows a file through
+// the whole archive path (pftool job -> hsm store -> tsm session ->
+// tape mount/seek/write) and a bounded flight recorder of recent
+// spans and events that survives to a crash dump.
+//
+// Every layer reports through this one interface instead of bespoke
+// result structs, so an experiment's headline number and the
+// instrumented path are the same path: the registry's counter deltas
+// ARE the bytes the movers moved.
+//
+// All registry state is mutated exclusively from simulation-actor
+// context (or before/after the clock runs); the clock's single-actor
+// execution serializes access, the same discipline every simtime
+// primitive relies on, so no locking is needed.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// attachKey is the clock-attachment slot Of uses.
+const attachKey = "telemetry"
+
+// Of returns the registry shared by every component on the clock,
+// creating it on first use. It must NOT be called from inside another
+// component's Attach constructor (Attach holds the clock mutex while
+// the constructor runs); resolve the handle lazily instead, the way
+// fabric does.
+func Of(clock *simtime.Clock) *Registry {
+	return clock.Attach(attachKey, func() interface{} { return New(clock) }).(*Registry)
+}
+
+// Registry is one deployment's metric families, open spans, event log
+// heads, and flight-recorder ring.
+type Registry struct {
+	clock *simtime.Clock
+
+	metrics map[string]*metric // by identity (name + sorted labels)
+	kinds   map[string]metricKind
+	order   []*metric // registration order: deterministic snapshots
+
+	nextID    uint64           // shared span/event ID space; 0 = none
+	open      map[uint64]*Span // spans started and not yet closed
+	lastEvent map[string]uint64
+
+	ring     []flightItem // bounded ring of closed spans + events
+	ringCap  int
+	ringNext int // next overwrite position once the ring is full
+	dropped  int
+}
+
+// DefaultFlightCapacity bounds the flight recorder: enough recent
+// history to explain a failure without letting a petabyte campaign
+// accumulate millions of span records.
+const DefaultFlightCapacity = 4096
+
+// New creates an empty registry on the clock. Most callers want Of.
+func New(clock *simtime.Clock) *Registry {
+	return &Registry{
+		clock:     clock,
+		metrics:   make(map[string]*metric),
+		kinds:     make(map[string]metricKind),
+		open:      make(map[uint64]*Span),
+		lastEvent: make(map[string]uint64),
+		ringCap:   DefaultFlightCapacity,
+	}
+}
+
+// Clock returns the simulation clock the registry stamps with.
+func (r *Registry) Clock() *simtime.Clock { return r.clock }
+
+// Label is one metric or span attribute.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// labelsOf pairs up a kv list ("key", "value", ...) and sorts by key.
+func labelsOf(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label list")
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// metric is one time series: a (family, label set) pair.
+type metric struct {
+	name    string
+	labels  []Label
+	kind    metricKind
+	val     float64
+	fn      func() float64  // snapshot-time collection (nil = direct val)
+	buckets map[int]float64 // histogram: decade -> count
+	hsum    float64
+	hcount  float64
+	updated simtime.Duration
+}
+
+// lookup finds or creates the series, enforcing one kind per family.
+func (r *Registry) lookup(kind metricKind, name string, kv []string) *metric {
+	labels := labelsOf(kv)
+	id := name + labelString(labels)
+	if m, ok := r.metrics[id]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %v (is %v)", id, kind, m.kind))
+		}
+		return m
+	}
+	if have, ok := r.kinds[name]; ok && have != kind {
+		panic(fmt.Sprintf("telemetry: family %s re-registered as %v (is %v)", name, kind, have))
+	}
+	r.kinds[name] = kind
+	m := &metric{name: name, labels: labels, kind: kind}
+	if kind == kindHistogram {
+		m.buckets = make(map[int]float64)
+	}
+	r.metrics[id] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	r *Registry
+	m *metric
+}
+
+// Counter finds or creates a counter series. Labels are "key", "value"
+// pairs; the same (name, labels) identity always returns a handle to
+// the same underlying series.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	return &Counter{r: r, m: r.lookup(kindCounter, name, kv)}
+}
+
+// Add increments the counter by v (negative deltas panic: counters
+// only go up, use a Gauge otherwise).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("telemetry: counter %s decremented", c.m.name))
+	}
+	c.m.val += v
+	c.m.updated = c.r.clock.Now()
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current total.
+func (c *Counter) Value() float64 { return c.m.val }
+
+// CounterFunc registers a counter collected at snapshot time from fn —
+// for series a subsystem already accounts (fabric link bytes, tape
+// drive stats) where a hot-path write per byte moved would be waste.
+func (r *Registry) CounterFunc(name string, fn func() float64, kv ...string) {
+	m := r.lookup(kindCounter, name, kv)
+	m.fn = fn
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct {
+	r *Registry
+	m *metric
+}
+
+// Gauge finds or creates a gauge series.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	return &Gauge{r: r, m: r.lookup(kindGauge, name, kv)}
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	g.m.val = v
+	g.m.updated = g.r.clock.Now()
+}
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta float64) { g.Set(g.m.val + delta) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.m.val }
+
+// GaugeFunc registers a gauge collected at snapshot time from fn.
+func (r *Registry) GaugeFunc(name string, fn func() float64, kv ...string) {
+	m := r.lookup(kindGauge, name, kv)
+	m.fn = fn
+}
+
+// Histogram buckets observations by order of magnitude (log10), the
+// paper's figure scale: file sizes and job rates span seven decades.
+type Histogram struct {
+	r *Registry
+	m *metric
+}
+
+// Histogram finds or creates a histogram series.
+func (r *Registry) Histogram(name string, kv ...string) *Histogram {
+	return &Histogram{r: r, m: r.lookup(kindHistogram, name, kv)}
+}
+
+// negDecade is the sentinel bucket for non-positive observations,
+// below every real decade.
+const negDecade = math.MinInt32
+
+// Observe buckets one value by floor(log10(v)); non-positive values
+// land in a sentinel bucket below every real one.
+func (h *Histogram) Observe(v float64) {
+	d := negDecade
+	if v > 0 {
+		d = int(math.Floor(math.Log10(v)))
+	}
+	h.m.buckets[d]++
+	h.m.hsum += v
+	h.m.hcount++
+	h.m.updated = h.r.clock.Now()
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() float64 { return h.m.hcount }
+
+// Sum reports the observation total.
+func (h *Histogram) Sum() float64 { return h.m.hsum }
+
+// Point is one series in a snapshot.
+type Point struct {
+	Name    string
+	Kind    string
+	Labels  []Label
+	Value   float64         // counters and gauges
+	Buckets map[int]float64 // histograms: decade -> count
+	Sum     float64
+	Count   float64
+	Updated simtime.Duration // virtual time of the last direct update
+}
+
+// Label reports the value of one label key ("" if absent).
+func (p Point) Label(key string) string { return labelValue(p.Labels, key) }
+
+func labelValue(labels []Label, key string) string {
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Snapshot is the registry's state at one virtual instant, with every
+// func-collected series resolved.
+type Snapshot struct {
+	At     simtime.Duration
+	Points []Point
+}
+
+// Snapshot resolves every series (calling the collection funcs of
+// CounterFunc/GaugeFunc series) and returns a copy sorted by family
+// name then label identity.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{At: r.clock.Now()}
+	for _, m := range r.order {
+		p := Point{
+			Name:    m.name,
+			Kind:    m.kind.String(),
+			Labels:  append([]Label(nil), m.labels...),
+			Value:   m.val,
+			Sum:     m.hsum,
+			Count:   m.hcount,
+			Updated: m.updated,
+		}
+		if m.fn != nil {
+			p.Value = m.fn()
+		}
+		if m.kind == kindHistogram {
+			p.Buckets = make(map[int]float64, len(m.buckets))
+			for d, c := range m.buckets {
+				p.Buckets[d] = c
+			}
+		}
+		s.Points = append(s.Points, p)
+	}
+	sort.SliceStable(s.Points, func(i, j int) bool {
+		if s.Points[i].Name != s.Points[j].Name {
+			return s.Points[i].Name < s.Points[j].Name
+		}
+		return labelString(s.Points[i].Labels) < labelString(s.Points[j].Labels)
+	})
+	return s
+}
+
+// Value reports the value of the series with exactly the given name
+// and labels (0 if absent).
+func (s *Snapshot) Value(name string, kv ...string) float64 {
+	want := name + labelString(labelsOf(kv))
+	for _, p := range s.Points {
+		if p.Name+labelString(p.Labels) == want {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// Family returns every series of one family, in label order.
+func (s *Snapshot) Family(name string) []Point {
+	var out []Point
+	for _, p := range s.Points {
+		if p.Name == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Total sums a family's values across all label sets.
+func (s *Snapshot) Total(name string) float64 {
+	var sum float64
+	for _, p := range s.Family(name) {
+		sum += p.Value
+	}
+	return sum
+}
+
+// Text renders the snapshot as a Prometheus-style text exposition:
+// one "# TYPE" line per family, one sample line per series, histogram
+// decades as cumulative le buckets plus _sum and _count.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# archsim registry snapshot at %s virtual\n", s.At)
+	lastFamily := ""
+	for _, p := range s.Points {
+		if p.Name != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Kind)
+			lastFamily = p.Name
+		}
+		if p.Kind != "histogram" {
+			fmt.Fprintf(&b, "%s%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Value))
+			continue
+		}
+		var decades []int
+		for d := range p.Buckets {
+			decades = append(decades, d)
+		}
+		sort.Ints(decades)
+		cum := 0.0
+		for _, d := range decades {
+			cum += p.Buckets[d]
+			le := "1"
+			if d != negDecade {
+				le = fmt.Sprintf("1e%+03d", d+1)
+			}
+			labels := append(append([]Label(nil), p.Labels...), Label{Key: "le", Value: le})
+			fmt.Fprintf(&b, "%s_bucket%s %s\n", p.Name, labelString(labels), formatSample(cum))
+		}
+		inf := append(append([]Label(nil), p.Labels...), Label{Key: "le", Value: "+Inf"})
+		fmt.Fprintf(&b, "%s_bucket%s %s\n", p.Name, labelString(inf), formatSample(p.Count))
+		fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Sum))
+		fmt.Fprintf(&b, "%s_count%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Count))
+	}
+	return b.String()
+}
+
+// formatSample prints a sample value: integers exactly, the rest in
+// compact scientific form.
+func formatSample(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

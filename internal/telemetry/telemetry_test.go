@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New(simtime.NewClock())
+	c := r.Counter("bytes_total", "op", "pfcp")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("Value = %v, want 42", c.Value())
+	}
+	// Same (name, labels) identity returns the same series, regardless
+	// of kv order.
+	if got := r.Counter("bytes_total", "op", "pfcp").Value(); got != 42 {
+		t.Errorf("re-lookup Value = %v, want 42", got)
+	}
+	if got := r.Snapshot().Value("bytes_total", "op", "pfcp"); got != 42 {
+		t.Errorf("snapshot Value = %v, want 42", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	r := New(simtime.NewClock())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter delta did not panic")
+		}
+	}()
+	r.Counter("c").Add(-1)
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := New(simtime.NewClock())
+	r.Counter("depth")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("depth")
+}
+
+func TestOddLabelListPanics(t *testing.T) {
+	r := New(simtime.NewClock())
+	defer func() {
+		if recover() == nil {
+			t.Error("odd kv list did not panic")
+		}
+	}()
+	r.Counter("c", "key-without-value")
+}
+
+func TestGauge(t *testing.T) {
+	r := New(simtime.NewClock())
+	g := r.Gauge("queue_depth", "queue", "copy")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("Value = %v, want 4", g.Value())
+	}
+}
+
+func TestFuncMetricsResolveAtSnapshotTime(t *testing.T) {
+	r := New(simtime.NewClock())
+	v := 10.0
+	r.CounterFunc("link_bytes_total", func() float64 { return v }, "link", "trunk")
+	r.GaugeFunc("active_flows", func() float64 { return v / 2 })
+	if got := r.Snapshot().Value("link_bytes_total", "link", "trunk"); got != 10 {
+		t.Errorf("CounterFunc = %v, want 10", got)
+	}
+	v = 30
+	snap := r.Snapshot()
+	if got := snap.Value("link_bytes_total", "link", "trunk"); got != 30 {
+		t.Errorf("CounterFunc after change = %v, want 30", got)
+	}
+	if got := snap.Value("active_flows"); got != 15 {
+		t.Errorf("GaugeFunc = %v, want 15", got)
+	}
+}
+
+func TestHistogramDecades(t *testing.T) {
+	r := New(simtime.NewClock())
+	h := r.Histogram("file_bytes", "op", "pfcp")
+	for _, v := range []float64{5, 50, 55, 500, 0} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 610 {
+		t.Errorf("Count=%v Sum=%v, want 5/610", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	pts := snap.Family("file_bytes")
+	if len(pts) != 1 {
+		t.Fatalf("Family returned %d points, want 1", len(pts))
+	}
+	b := pts[0].Buckets
+	if b[0] != 1 || b[1] != 2 || b[2] != 1 || b[negDecade] != 1 {
+		t.Errorf("buckets = %v", b)
+	}
+}
+
+func TestSnapshotFamilyAndTotal(t *testing.T) {
+	r := New(simtime.NewClock())
+	r.Counter("drive_mounts_total", "drive", "d0").Add(2)
+	r.Counter("drive_mounts_total", "drive", "d1").Add(3)
+	snap := r.Snapshot()
+	if got := len(snap.Family("drive_mounts_total")); got != 2 {
+		t.Errorf("Family size = %d, want 2", got)
+	}
+	if got := snap.Total("drive_mounts_total"); got != 5 {
+		t.Errorf("Total = %v, want 5", got)
+	}
+	if got := snap.Value("drive_mounts_total", "drive", "nope"); got != 0 {
+		t.Errorf("absent series Value = %v, want 0", got)
+	}
+}
+
+func TestTextExposition(t *testing.T) {
+	clock := simtime.NewClock()
+	r := New(clock)
+	clock.Go(func() {
+		r.Counter("bytes_total", "op", "pfcp").Add(1e9)
+		g := r.Gauge("ranks_busy")
+		g.Set(3)
+		h := r.Histogram("file_bytes")
+		h.Observe(5)   // decade 0 -> le 1e+01
+		h.Observe(500) // decade 2 -> le 1e+03
+		clock.Sleep(time.Second)
+	})
+	clock.RunFor()
+	text := r.Snapshot().Text()
+	for _, want := range []string{
+		"# TYPE bytes_total counter",
+		`bytes_total{op="pfcp"} 1000000000`,
+		"# TYPE ranks_busy gauge",
+		"ranks_busy 3",
+		"# TYPE file_bytes histogram",
+		`file_bytes_bucket{le="1e+01"} 1`,
+		`file_bytes_bucket{le="1e+03"} 2`, // cumulative
+		`file_bytes_bucket{le="+Inf"} 2`,
+		"file_bytes_sum 505",
+		"file_bytes_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOfSharesOneRegistryPerClock(t *testing.T) {
+	clock := simtime.NewClock()
+	if Of(clock) != Of(clock) {
+		t.Error("Of returned two registries for one clock")
+	}
+	if Of(clock) == Of(simtime.NewClock()) {
+		t.Error("Of shared a registry across clocks")
+	}
+}

@@ -21,12 +21,14 @@ package tsm
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/simtime"
 	"repro/internal/tape"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the server.
@@ -121,6 +123,17 @@ type Server struct {
 	lastDrive  map[string]*tape.Drive
 	down       bool // server outage: transactions block until repair
 	stats      Stats
+
+	tel            *telemetry.Registry
+	ctrTxn         *telemetry.Counter
+	ctrStores      *telemetry.Counter
+	ctrRecalls     *telemetry.Counter
+	ctrDeletes     *telemetry.Counter
+	ctrRetries     *telemetry.Counter
+	ctrPathQueries *telemetry.Counter
+	ctrBytesStored *telemetry.Counter
+	ctrBytesRead   *telemetry.Counter
+	gDown          *telemetry.Gauge
 }
 
 // NewServer creates a server managing lib.
@@ -131,7 +144,7 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 	if cfg.Retry == (faults.Backoff{}) {
 		cfg.Retry = faults.DefaultBackoff()
 	}
-	return &Server{
+	s := &Server{
 		clock:      clock,
 		cfg:        cfg,
 		lib:        lib,
@@ -144,6 +157,18 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 		reclaiming: make(map[string]bool),
 		lastDrive:  make(map[string]*tape.Drive),
 	}
+	s.tel = telemetry.Of(clock)
+	s.ctrTxn = s.tel.Counter("tsm_transactions_total")
+	s.ctrStores = s.tel.Counter("tsm_stores_total")
+	s.ctrRecalls = s.tel.Counter("tsm_recalls_total")
+	s.ctrDeletes = s.tel.Counter("tsm_deletes_total")
+	s.ctrRetries = s.tel.Counter("tsm_retries_total")
+	s.ctrPathQueries = s.tel.Counter("tsm_path_queries_total")
+	s.ctrBytesStored = s.tel.Counter("tsm_bytes_stored_total")
+	s.ctrBytesRead = s.tel.Counter("tsm_bytes_read_total")
+	s.gDown = s.tel.Gauge("tsm_down")
+	s.tel.GaugeFunc("tsm_objects_live", func() float64 { return float64(s.NumObjects()) })
+	return s
 }
 
 // Library returns the managed tape library.
@@ -171,7 +196,14 @@ func (s *Server) NumObjects() int {
 // point of failure. While down, every transaction blocks; clients poll
 // until the server returns, then proceed where they left off. Data
 // already on tape is unaffected.
-func (s *Server) SetDown(down bool) { s.down = down }
+func (s *Server) SetDown(down bool) {
+	s.down = down
+	if down {
+		s.gDown.Set(1)
+	} else {
+		s.gDown.Set(0)
+	}
+}
 
 // Down reports whether the server is in an outage.
 func (s *Server) Down() bool { return s.down }
@@ -182,6 +214,7 @@ func (s *Server) txn() {
 		s.clock.Sleep(5 * time.Second) // outage: block and re-poll
 	}
 	s.stats.Transactions++
+	s.ctrTxn.Inc()
 	if s.cfg.TxnCost <= 0 {
 		return
 	}
@@ -244,6 +277,9 @@ type StoreRequest struct {
 	// Deprecated: resolve a route with fabric.Route and set Route. This
 	// field remains for legacy callers and is ignored when Route is set.
 	DataPath []*simtime.Pipe
+	// Parent, when set, is the telemetry span (e.g. the HSM store phase)
+	// the session's span nests under.
+	Parent *telemetry.Span
 }
 
 // Store writes one object to tape and records it, returning the
@@ -258,19 +294,24 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 	}
 	s.reapDownDrives()
 	s.txn()
+	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.store", "client", req.Client, "path", req.Path)
 	s.nextID++ // allocate the object ID up front: concurrent stores must not collide
 	id := s.nextID
 	var tf tape.File
 	var vol *tape.Cartridge
+	attempts := 0
 	storeErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
+		attempts = attempt
 		if attempt > 1 {
 			s.reapDownDrives() // the failover must see the shrunken pool
 			s.stats.Retries++
+			s.ctrRetries.Inc()
 		}
 		drive, v, err := s.acquireDriveForWrite(req.Client, req.Group, req.Bytes)
 		if err != nil {
 			return err
 		}
+		drive.SetTraceParent(sp)
 		if err := drive.BeginSession(req.Client); err != nil {
 			s.ReleaseDrive(drive)
 			s.dropAffinity(req.Client, drive)
@@ -292,8 +333,14 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 		return nil
 	}, retryable)
 	if storeErr != nil {
+		sp.Abort(storeErr.Error(), 0)
 		return Object{}, storeErr
 	}
+	sp.SetAttr("volume", vol.Label)
+	if attempts > 1 {
+		sp.SetAttr("attempts", strconv.Itoa(attempts))
+	}
+	sp.End()
 	s.txn() // commit
 	obj := &Object{
 		ID:     id,
@@ -314,6 +361,8 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 	}
 	s.stats.Stores++
 	s.stats.BytesStored += req.Bytes
+	s.ctrStores.Inc()
+	s.ctrBytesStored.Add(float64(req.Bytes))
 	return *obj, nil
 }
 
@@ -424,8 +473,9 @@ func (s *Server) dropAffinity(client string, d *tape.Drive) {
 }
 
 // ReleaseDrive returns a drive obtained from an acquire helper along
-// with its pool slot.
+// with its pool slot, detaching any trace parent the session set.
 func (s *Server) ReleaseDrive(d *tape.Drive) {
+	d.SetTraceParent(nil)
 	d.Release()
 	s.drvPool.Release(1)
 }
@@ -524,6 +574,8 @@ type RecallRequest struct {
 	Route fabric.Path
 	// Deprecated: set Route instead.
 	DataPath []*simtime.Pipe
+	// Parent, when set, is the telemetry span the session nests under.
+	Parent *telemetry.Span
 }
 
 // Recall reads an object from tape back to the client. Transient drive
@@ -539,10 +591,12 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 	if err != nil {
 		return Object{}, err
 	}
+	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.recall", "client", req.Client, "volume", obj.Volume)
 	recallErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
 		if attempt > 1 {
 			s.reapDownDrives()
 			s.stats.Retries++
+			s.ctrRetries.Inc()
 		}
 		s.drvPool.Acquire(1)
 		d, err := s.acquireVolumeDrive(vol)
@@ -550,6 +604,7 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 			s.drvPool.Release(1)
 			return err
 		}
+		d.SetTraceParent(sp)
 		if err := d.BeginSession(req.Client); err != nil {
 			s.ReleaseDrive(d)
 			return err
@@ -562,10 +617,14 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 		return readErr
 	}, retryable)
 	if recallErr != nil {
+		sp.Abort(recallErr.Error(), 0)
 		return Object{}, recallErr
 	}
+	sp.End()
 	s.stats.Recalls++
 	s.stats.BytesRead += obj.Bytes
+	s.ctrRecalls.Inc()
+	s.ctrBytesRead.Add(float64(obj.Bytes))
 	return *obj, nil
 }
 
@@ -580,6 +639,8 @@ type RecallBatchRequest struct {
 	Route fabric.Path
 	// Deprecated: set Route instead.
 	DataPath []*simtime.Pipe
+	// Parent, when set, is the telemetry span the session nests under.
+	Parent *telemetry.Span
 }
 
 // RecallBatch restores a batch of same-volume objects in one session:
@@ -608,14 +669,19 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.recall-batch",
+		"client", req.Client, "volume", req.Volume, "objects", strconv.Itoa(len(objs)))
 	s.drvPool.Acquire(1)
 	d, err := s.acquireVolumeDrive(vol)
 	if err != nil {
 		s.drvPool.Release(1)
+		sp.Abort(err.Error(), 0)
 		return nil, err
 	}
 	defer s.ReleaseDrive(d)
+	d.SetTraceParent(sp)
 	if err := d.BeginSession(req.Client); err != nil {
+		sp.Abort(err.Error(), 0)
 		return nil, err
 	}
 	out := make([]Object, 0, len(objs))
@@ -627,12 +693,16 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 			return e
 		})
 		if readErr != nil {
+			sp.Abort(readErr.Error(), 0)
 			return out, readErr
 		}
 		s.stats.Recalls++
 		s.stats.BytesRead += bytes
+		s.ctrRecalls.Inc()
+		s.ctrBytesRead.Add(float64(bytes))
 		out = append(out, *obj)
 	}
+	sp.End()
 	return out, nil
 }
 
@@ -646,6 +716,7 @@ func (s *Server) Delete(objectID uint64) error {
 	}
 	obj.Deleted = true
 	s.stats.Deletes++
+	s.ctrDeletes.Inc()
 	return nil
 }
 
@@ -664,6 +735,7 @@ func (s *Server) Get(objectID uint64) (Object, error) {
 func (s *Server) QueryByPath(path string) (Object, error) {
 	s.txn()
 	s.stats.PathQueries++
+	s.ctrPathQueries.Inc()
 	if s.cfg.DBScanPerObject > 0 && len(s.order) > 0 {
 		s.clock.Sleep(time.Duration(len(s.order)) * s.cfg.DBScanPerObject)
 	}
