@@ -27,6 +27,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/tsm"
 	"repro/internal/workload"
 )
 
@@ -39,6 +40,7 @@ func main() {
 	saveTrace := flag.String("save-trace", "", "write the generated campaign job sequence to this JSON file")
 	benchJSON := flag.String("bench-json", "", "run the campaign + fabric experiments and write their virtual-throughput metrics as JSON to this file")
 	flightPath := flag.String("flight-record", "", "write the run's flight-recorder dump (recent spans and events) as JSON to this file, including on invariant-violation crashes")
+	scrubPath := flag.String("scrub-report", "", "write the run's tape-scrubber pass reports as JSON to this file (the integrity experiment produces them)")
 	metricsText := flag.Bool("metrics-text", false, "print each experiment's telemetry registry in Prometheus text exposition format")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
@@ -118,6 +120,45 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *scrubPath != "" {
+		if err := writeScrubReport(*scrubPath, *seed, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: scrub:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// scrubFile is the schema of the file -scrub-report writes: every
+// scrubber pass the run's experiments performed, in report order.
+type scrubFile struct {
+	Schema string            `json:"schema"`
+	Seed   int64             `json:"seed"`
+	Passes []tsm.ScrubReport `json:"passes"`
+}
+
+// writeScrubReport persists the scrubber pass reports of the completed
+// run (CI archives the file as a build artifact).
+func writeScrubReport(path string, seed int64, reports []experiments.Report) error {
+	out := scrubFile{Schema: "archsim-scrub/v1", Seed: seed}
+	for _, r := range reports {
+		out.Passes = append(out.Passes, r.Scrub...)
+	}
+	if len(out.Passes) == 0 {
+		fmt.Fprintln(os.Stderr, "archsim: scrub: no experiment in this run performed a scrub pass")
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+	return nil
 }
 
 // writeFlightFromReports persists the flight dump of the completed run:

@@ -26,11 +26,11 @@ import (
 // declares ranks dead, the LoadManager filters down machines); the
 // registry only flips the failure state.
 func (s *System) InstallFaults(reg *faults.Registry) {
-	s.Fabric.BindFaults(reg)
-	// Record every event in telemetry FIRST, before the dispatch
-	// subscriber flips subsystem state: any span aborted in reaction to
-	// the fault then finds the event already on the books to cite as
-	// its cause.
+	// Record every event in telemetry FIRST, before any dispatch
+	// subscriber (including the fabric's) flips subsystem state: any
+	// span aborted in reaction to the fault — and any armed silent
+	// corruption — then finds the event already on the books to cite
+	// as its cause.
 	tel := telemetry.Of(s.Clock)
 	reg.OnApply(func(ev faults.Event) {
 		tel.Event("fault",
@@ -38,21 +38,48 @@ func (s *System) InstallFaults(reg *faults.Registry) {
 			"kind", ev.Kind.String())
 		tel.Counter("faults_events_total", "kind", ev.Kind.String()).Inc()
 	})
+	s.Fabric.BindFaults(reg)
 	reg.OnApply(func(ev faults.Event) {
+		cause := func() uint64 {
+			id, _ := tel.LastEventFor(ev.Component)
+			return id
+		}
 		switch {
 		case strings.HasPrefix(ev.Component, "drive:"):
 			name := strings.TrimPrefix(ev.Component, "drive:")
 			for _, d := range s.Library.Drives() {
-				if d.Name == name {
-					d.SetDown(ev.Kind == faults.KindFail)
+				if d.Name != name {
+					continue
 				}
+				if ev.Kind == faults.KindCorrupt {
+					// A flaky head: the next Param (>= 1) read/write ops
+					// silently flip bits. The drive stays in service.
+					n := int(ev.Param)
+					if n < 1 {
+						n = 1
+					}
+					d.CorruptNextOps(n, cause())
+					continue
+				}
+				d.SetDown(ev.Kind == faults.KindFail)
 			}
 		case strings.HasPrefix(ev.Component, "volume:"):
 			label := strings.TrimPrefix(ev.Component, "volume:")
 			if c, err := s.Library.Cartridge(label); err == nil {
+				if ev.Kind == faults.KindCorrupt {
+					// Bit rot at rest: Param in [0,1) picks the damage
+					// offset as a fraction of the written region. The
+					// cartridge mounts and reads normally — only a
+					// checksum can tell.
+					c.CorruptAtOffset(int64(ev.Param*float64(c.Used())), cause())
+					return
+				}
 				c.SetReadOnly(ev.Kind == faults.KindFail)
 			}
 		case strings.HasPrefix(ev.Component, "node:"):
+			if ev.Kind == faults.KindCorrupt {
+				return
+			}
 			name := strings.TrimPrefix(ev.Component, "node:")
 			for _, n := range s.Cluster.Nodes() {
 				if n.Name == name {
@@ -60,6 +87,9 @@ func (s *System) InstallFaults(reg *faults.Registry) {
 				}
 			}
 		case ev.Component == faults.TSMComponent:
+			if ev.Kind == faults.KindCorrupt {
+				return
+			}
 			s.TSM.SetDown(ev.Kind == faults.KindFail)
 		}
 	})

@@ -44,6 +44,10 @@ type Options struct {
 	// SmallFileLimit drives the archive placement policy: files below
 	// it land in the slow pool.
 	SmallFileLimit int64
+	// CopyPoolCartridges, when positive, gives TSM a copy storage pool
+	// of that many extra cartridges: BackupPool duplicates primary data
+	// onto them and the scrubber repairs damaged primaries from them.
+	CopyPoolCartridges int
 }
 
 // DefaultOptions returns the §4.3.1 deployment: 15 x64 machines (10
@@ -104,7 +108,13 @@ func New(clock *simtime.Clock, opts Options) *System {
 	}
 	s.Library = tape.NewLibrary(clock, opts.TapeDrives, opts.Cartridges, opts.Robots, opts.TapeSpec)
 	s.TSM = tsm.NewServer(clock, opts.TSM, s.Library)
+	if opts.CopyPoolCartridges > 0 {
+		s.TSM.AddCopyPool("copy", opts.CopyPoolCartridges, opts.TapeSpec.Capacity)
+	}
 	s.Shadow = metadb.New(clock, opts.ShadowQueryCost)
+	// A repair moves an object to a fresh volume; keep the shadow
+	// database's volume column honest.
+	s.TSM.OnRepair(func(o tsm.Object) { s.Shadow.UpsertObject(o) })
 	s.HSM = hsm.New(clock, s.Archive, s.TSM, s.Shadow, s.Cluster.Nodes(), opts.HSM)
 	s.LoadMgr = cluster.NewLoadManager(clock, s.Cluster, opts.LoadPeriod)
 	s.Deleter = trash.NewDeleter(clock, s.Archive, s.TSM, s.Shadow)
@@ -227,6 +237,20 @@ func (s *System) MigrateTree(root string, opt hsm.MigrateOptions) (hsm.MigrateRe
 		return hsm.MigrateResult{}, err
 	}
 	return s.HSM.Migrate(list, opt)
+}
+
+// Scrubber builds a tape scrubber for this deployment. Its
+// repair-from-source fallback re-stages objects whose file is still
+// premigrated (data resident on the archive FS) when the copy pool
+// cannot help; callers may override any field via cfg first.
+func (s *System) Scrubber(cfg tsm.ScrubConfig) *tsm.Scrubber {
+	if cfg.RepairFromSource == nil {
+		cfg.RepairFromSource = func(o tsm.Object) bool {
+			st, err := s.Archive.State(o.Path)
+			return err == nil && st == pfs.Premigrated
+		}
+	}
+	return tsm.NewScrubber(s.TSM, cfg)
 }
 
 // Placement returns the archive's ILM placement policy.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/tsm"
 )
 
 // Report is one regenerated table or figure.
@@ -29,6 +30,11 @@ type Report struct {
 	// -metrics-text and -flight-record flags.
 	Telemetry *telemetry.Snapshot
 	Flight    *telemetry.FlightDump
+
+	// Scrub carries the tape scrubber's per-pass reports for
+	// experiments that run one; cmd/archsim writes them as JSON behind
+	// the -scrub-report flag (CI archives the file).
+	Scrub []tsm.ScrubReport
 }
 
 // ErrUnknownExperiment reports an experiment name Run does not know.
@@ -104,6 +110,7 @@ func All(seed int64) []Report {
 		FabricBottleneck(seed),
 		ChaosStudy(seed),
 		ObservabilitySelfCheck(seed),
+		IntegrityStudy(seed),
 	}...)
 }
 
@@ -115,7 +122,7 @@ func Names() []string {
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
 		"ablation-lanfree", "reclaim", "fabric", "chaos", "obs",
-		"all",
+		"integrity", "all",
 	}
 }
 
@@ -160,6 +167,8 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{ChaosStudy(seed)}, nil
 	case "obs":
 		return []Report{ObservabilitySelfCheck(seed)}, nil
+	case "integrity":
+		return []Report{IntegrityStudy(seed)}, nil
 	case "all":
 		return All(seed), nil
 	default:

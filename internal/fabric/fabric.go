@@ -80,6 +80,7 @@ type Fabric struct {
 	// mutex; Start always runs from plain actor context.
 	ctrFlowsStarted   *telemetry.Counter
 	ctrFlowsCompleted *telemetry.Counter
+	ctrFlowsCorrupted *telemetry.Counter
 }
 
 // New creates an empty fabric on the clock. Most callers want Of, which
@@ -324,6 +325,12 @@ type Link struct {
 	peak     int              // max concurrent flows seen
 	timeline []TimePoint
 	width    simtime.Duration // timeline sample spacing (doubles when full)
+
+	// corruptQ holds armed silent corruptions, one per queued cause
+	// event ID: the next flow to start across the link consumes one and
+	// carries the taint. The link itself stays at full capacity — the
+	// damage is invisible until a checksum is verified.
+	corruptQ []uint64
 }
 
 // maxTimeline bounds the per-link utilization timeline: beyond this the
@@ -371,6 +378,19 @@ func (l *Link) SetCapacity(v float64) {
 
 // Scale sets capacity to factor x the nominal rate (Scale(1) repairs).
 func (l *Link) Scale(factor float64) { l.SetCapacity(l.nominal * factor) }
+
+// ArmCorrupt arms one silent in-flight corruption on the link, tagged
+// with the fault event ID that provoked it: the next flow to start
+// across the link is tainted (Flow.Tainted) and delivers mangled data
+// without any transport-level error. Arm repeatedly to taint several
+// upcoming flows.
+func (l *Link) ArmCorrupt(causeEvent uint64) {
+	l.corruptQ = append(l.corruptQ, causeEvent)
+}
+
+// ArmedCorruptions reports how many armed corruptions have not yet
+// been consumed by a flow.
+func (l *Link) ArmedCorruptions() int { return len(l.corruptQ) }
 
 // Transfer moves n bytes across just this link, blocking the caller —
 // the single-hop convenience for background noise and tests.

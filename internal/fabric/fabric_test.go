@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // build creates the canonical two-hub topology used across the tests:
@@ -280,4 +281,44 @@ func TestUtilizationAndBusy(t *testing.T) {
 	st := f.Link("nicA").Stats()
 	near(t, "nicA utilization", st.Utilization(end), 0.5, 0.01) // 400 of 200*4
 	near(t, "nicA busy fraction", st.BusyFraction(end), 0.5, 0.01)
+}
+
+func TestArmCorruptTaintsNextFlow(t *testing.T) {
+	c := simtime.NewClock()
+	f := build(c)
+	reg := faults.New(c, 1)
+	f.BindFaults(reg)
+	tel := telemetry.Of(c)
+	c.Go(func() {
+		// Record the fault event first (as archive.InstallFaults does),
+		// then apply: BindFaults picks the cause ID up from telemetry.
+		evID := tel.Event("fault", "component", "link:trunk", "kind", "corrupt")
+		reg.Apply(faults.Event{Component: "link:trunk", Kind: faults.KindCorrupt, Param: 2})
+		if got := f.Link("trunk").ArmedCorruptions(); got != 2 {
+			t.Errorf("armed = %d, want 2", got)
+		}
+		p, err := f.Route("src", "", "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First two flows tainted, third clean; capacity unaffected.
+		for i := 0; i < 3; i++ {
+			fl := f.Start(p, 1000)
+			fl.Wait()
+			cause, bad := fl.Tainted()
+			if wantBad := i < 2; bad != wantBad {
+				t.Errorf("flow %d tainted = %v, want %v", i, bad, wantBad)
+			}
+			if bad && cause != evID {
+				t.Errorf("flow %d taint cause = %d, want %d", i, cause, evID)
+			}
+		}
+		if got := f.Link("trunk").Capacity(); got != 300 {
+			t.Errorf("corruption changed capacity to %g", got)
+		}
+		if got := f.Link("trunk").ArmedCorruptions(); got != 0 {
+			t.Errorf("%d corruptions left armed", got)
+		}
+	})
+	c.Run()
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // BindFaults subscribes the fabric to a fault registry: every
@@ -15,9 +16,14 @@ import (
 //	KindFail     capacity drops to a 1% crawl — a fully dead link would
 //	             wedge in-flight flows forever; a crawl lets traffic drain
 //	KindRepair   capacity restores to nominal
+//	KindCorrupt  arms Param (>= 1) silent in-flight corruptions: the next
+//	             flows to start across the link are tainted at full speed
 //
-// Events naming links this fabric does not own are ignored, so one
-// schedule can drive several deployments.
+// Corruptions are tagged with the provoking fault's telemetry event ID
+// (the registry records the fault event before dispatchers run), so a
+// later checksum-mismatch span can cite its cause. Events naming links
+// this fabric does not own are ignored, so one schedule can drive
+// several deployments.
 func (f *Fabric) BindFaults(reg *faults.Registry) {
 	reg.OnApply(func(ev faults.Event) {
 		if !strings.HasPrefix(ev.Component, "link:") {
@@ -34,6 +40,15 @@ func (f *Fabric) BindFaults(reg *faults.Registry) {
 			l.Scale(0.01)
 		case faults.KindRepair:
 			l.Scale(1)
+		case faults.KindCorrupt:
+			cause, _ := telemetry.Of(f.clock).LastEventFor(ev.Component)
+			n := int(ev.Param)
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				l.ArmCorrupt(cause)
+			}
 		}
 	})
 }

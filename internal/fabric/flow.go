@@ -25,6 +25,9 @@ type Flow struct {
 	capRate   float64 // per-flow stream cap; 0 = uncapped
 	done      bool
 	q         *simtime.Queue // completion mailbox: Wait pops, the timer pushes
+
+	tainted    bool   // a crossed link silently corrupted the stream
+	taintCause uint64 // fault event ID that armed the corruption
 }
 
 // linkCross is a unique link on a flow's path with its multiplicity: a
@@ -68,6 +71,7 @@ func (f *Fabric) Start(p Path, n int64, opts ...Option) *Flow {
 		tel := telemetry.Of(f.clock)
 		f.ctrFlowsStarted = tel.Counter("fabric_flows_started_total")
 		f.ctrFlowsCompleted = tel.Counter("fabric_flows_completed_total")
+		f.ctrFlowsCorrupted = tel.Counter("fabric_flows_corrupted_total")
 	}
 	f.ctrFlowsStarted.Inc()
 	fl := &Flow{fab: f, bytes: float64(n), remaining: float64(n), q: simtime.NewQueue(f.clock)}
@@ -93,6 +97,12 @@ func (f *Fabric) Start(p Path, n int64, opts ...Option) *Flow {
 		}
 		idx[l] = len(fl.cross)
 		fl.cross = append(fl.cross, linkCross{link: l, k: 1})
+		if !fl.tainted && len(l.corruptQ) > 0 {
+			fl.taintCause = l.corruptQ[0]
+			l.corruptQ = l.corruptQ[1:]
+			fl.tainted = true
+			f.ctrFlowsCorrupted.Inc()
+		}
 	}
 	f.settle()
 	f.seq++
@@ -126,6 +136,14 @@ func (fl *Flow) Bytes() int64 { return int64(fl.bytes) }
 
 // Rate reports the flow's current max-min allocation in bytes/second.
 func (fl *Flow) Rate() float64 { return fl.rate }
+
+// Tainted reports whether a link silently corrupted this flow's
+// stream, and if so which fault event armed it. The flow still
+// completes normally — a reader only learns of the damage by checking
+// a checksum.
+func (fl *Flow) Tainted() (causeEvent uint64, ok bool) {
+	return fl.taintCause, fl.tainted
+}
 
 // Transferred reports bytes moved so far, settled to the present — the
 // pull-style progress source pftool's WatchDog samples (a single flow

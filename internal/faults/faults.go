@@ -38,18 +38,42 @@ const (
 	// Param is the fraction of nominal capacity retained (0 < Param < 1
 	// degrades, Param == 1 restores).
 	KindDegrade
+	// KindCorrupt silently damages data without taking the component
+	// out of service: bit rot on a cartridge at rest, a flaky drive
+	// head, a link flipping bits in flight. The component keeps
+	// answering as if healthy — only checksum verification can tell.
+	// Param meaning depends on the component: for volume: events it is
+	// the position of the rotted byte as a fraction of the written
+	// region; for drive: and link: events it is the number of upcoming
+	// operations/transfers to taint (0 means one).
+	KindCorrupt
 )
 
+// kindNames maps every Kind to its canonical string, the single source
+// for String and KindFromString so the two can never disagree.
+var kindNames = map[Kind]string{
+	KindFail:    "fail",
+	KindRepair:  "repair",
+	KindDegrade: "degrade",
+	KindCorrupt: "corrupt",
+}
+
 func (k Kind) String() string {
-	switch k {
-	case KindFail:
-		return "fail"
-	case KindRepair:
-		return "repair"
-	case KindDegrade:
-		return "degrade"
+	if s, ok := kindNames[k]; ok {
+		return s
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindFromString parses a canonical kind name back to its Kind,
+// reporting false for names no kind renders to.
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // Event is one fault (or repair) applied to one component.
@@ -61,8 +85,11 @@ type Event struct {
 }
 
 func (e Event) String() string {
-	if e.Kind == KindDegrade {
+	switch e.Kind {
+	case KindDegrade:
 		return fmt.Sprintf("%v %s %s x%.2f", e.At, e.Kind, e.Component, e.Param)
+	case KindCorrupt:
+		return fmt.Sprintf("%v %s %s @%.3f", e.At, e.Kind, e.Component, e.Param)
 	}
 	return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Component)
 }
@@ -157,6 +184,9 @@ func (r *Registry) Apply(ev Event) {
 		} else {
 			r.degraded[ev.Component] = ev.Param
 		}
+	case KindCorrupt:
+		// Silent by design: the component stays in service at full
+		// capacity. Subscribers (tape, fabric) arm the actual damage.
 	}
 	r.log = append(r.log, ev)
 	for _, fn := range r.appliers {
@@ -197,6 +227,12 @@ func (r *Registry) DegradeWindow(component string, factor float64, at, dur simti
 	r.Schedule(Event{At: at + dur, Component: component, Kind: KindDegrade, Param: 1})
 }
 
+// CorruptAt schedules a silent-corruption event on component at time
+// at. See KindCorrupt for the per-component meaning of param.
+func (r *Registry) CorruptAt(component string, at simtime.Duration, param float64) {
+	r.Schedule(Event{At: at, Component: component, Kind: KindCorrupt, Param: param})
+}
+
 // Profile is a statistical fault load for GenerateSchedule: counts of
 // each fault class to spread uniformly at random over a horizon.
 type Profile struct {
@@ -214,6 +250,8 @@ type Profile struct {
 	Links           []string         // link names to draw victims from
 	LinkFactor      float64          // retained capacity during degradation (default 0.5)
 	LinkDegradeLen  simtime.Duration // degradation window length (default 30 min)
+	MediaRots       int              // silent bit-rot events on cartridges (Volumes)
+	LinkCorrupts    int              // silent in-flight corruptions on Links
 }
 
 // GenerateSchedule expands a statistical profile into a concrete event
@@ -268,6 +306,14 @@ func (r *Registry) GenerateSchedule(p Profile) []Event {
 		evs = append(evs,
 			Event{At: t, Component: comp, Kind: KindDegrade, Param: p.LinkFactor},
 			Event{At: t + p.LinkDegradeLen, Component: comp, Kind: KindDegrade, Param: 1})
+	}
+	for i := 0; i < p.MediaRots && len(p.Volumes) > 0; i++ {
+		evs = append(evs, Event{At: at(), Component: VolumeComponent(pick(p.Volumes)),
+			Kind: KindCorrupt, Param: r.rng.Float64()})
+	}
+	for i := 0; i < p.LinkCorrupts && len(p.Links) > 0; i++ {
+		evs = append(evs, Event{At: at(), Component: LinkComponent(pick(p.Links)),
+			Kind: KindCorrupt, Param: 1})
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	return evs

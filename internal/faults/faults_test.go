@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -197,5 +198,110 @@ func TestBackoffMaxDelayCap(t *testing.T) {
 	clock.RunFor()
 	if want := 10*time.Second + 3*20*time.Second; end != want {
 		t.Errorf("capped backoff charged %v, want %v", end, want)
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	// Every defined kind must render a canonical name and parse back to
+	// itself; probing kinds well past the last defined one catches a
+	// new constant added without a name (which would render as the
+	// Kind(N) fallback and fail the round trip).
+	defined := 0
+	for n := 0; n < 16; n++ {
+		k := Kind(n)
+		s := k.String()
+		back, ok := KindFromString(s)
+		if strings.HasPrefix(s, "Kind(") {
+			if ok {
+				t.Errorf("undefined %v parses back as %v", k, back)
+			}
+			continue
+		}
+		defined++
+		if !ok || back != k {
+			t.Errorf("Kind(%d) %q does not round-trip (got %v, ok=%v)", n, s, back, ok)
+		}
+	}
+	if defined != 4 {
+		t.Errorf("found %d named kinds, want 4 (fail/repair/degrade/corrupt)", defined)
+	}
+	if _, ok := KindFromString("no-such-kind"); ok {
+		t.Error("KindFromString accepted garbage")
+	}
+}
+
+func TestEventStringRendersParams(t *testing.T) {
+	ev := Event{At: time.Minute, Component: LinkComponent("trunk"), Kind: KindDegrade, Param: 0.5}
+	if s := ev.String(); !strings.Contains(s, "x0.50") {
+		t.Errorf("degrade event drops its param: %q", s)
+	}
+	ev = Event{At: time.Minute, Component: VolumeComponent("VOL0001"), Kind: KindCorrupt, Param: 0.375}
+	if s := ev.String(); !strings.Contains(s, "corrupt") || !strings.Contains(s, "@0.375") {
+		t.Errorf("corrupt event misprints: %q", s)
+	}
+	ev = Event{Component: TSMComponent, Kind: KindFail}
+	if s := ev.String(); strings.Contains(s, "%!") {
+		t.Errorf("fail event misprints: %q", s)
+	}
+}
+
+func TestCorruptIsSilent(t *testing.T) {
+	clock := simtime.NewClock()
+	r := New(clock, 1)
+	comp := VolumeComponent("VOL0007")
+	var seen []Event
+	r.OnApply(func(ev Event) { seen = append(seen, ev) })
+	r.Apply(Event{Component: comp, Kind: KindCorrupt, Param: 0.5})
+	if r.Down(comp) || r.Capacity(comp) != 1 {
+		t.Error("corruption must not take the component out of service")
+	}
+	if len(seen) != 1 || seen[0].Kind != KindCorrupt {
+		t.Fatalf("subscribers not notified of corruption: %v", seen)
+	}
+	if n := len(r.Log()); n != 1 {
+		t.Errorf("corruption missing from log: %d entries", n)
+	}
+}
+
+func TestGenerateScheduleCorruptions(t *testing.T) {
+	clock := simtime.NewClock()
+	r := New(clock, 42)
+	p := Profile{
+		Horizon:      time.Hour,
+		Volumes:      []string{"VOL0001", "VOL0002"},
+		Links:        []string{"trunk", "san0"},
+		MediaRots:    3,
+		LinkCorrupts: 2,
+	}
+	evs := r.GenerateSchedule(p)
+	rots, taints := 0, 0
+	for _, ev := range evs {
+		if ev.Kind != KindCorrupt {
+			t.Errorf("unexpected kind in corruption-only profile: %v", ev)
+			continue
+		}
+		switch {
+		case strings.HasPrefix(ev.Component, "volume:"):
+			rots++
+			if ev.Param < 0 || ev.Param >= 1 {
+				t.Errorf("media rot param out of [0,1): %v", ev)
+			}
+		case strings.HasPrefix(ev.Component, "link:"):
+			taints++
+		default:
+			t.Errorf("corruption on unexpected component: %v", ev)
+		}
+	}
+	if rots != 3 || taints != 2 {
+		t.Errorf("got %d rots and %d link corruptions, want 3 and 2", rots, taints)
+	}
+	again := New(simtime.NewClock(), 42).GenerateSchedule(p)
+	if len(again) != len(evs) {
+		t.Fatal("schedule not deterministic")
+	}
+	for i := range evs {
+		if evs[i] != again[i] {
+			t.Errorf("event %d differs across same-seed runs: %v vs %v", i, evs[i], again[i])
+		}
 	}
 }

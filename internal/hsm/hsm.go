@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
@@ -395,8 +396,68 @@ func (e *Engine) route(node *cluster.Node) fabric.Path {
 	return p
 }
 
+// SumXattr is the stub attribute holding a migrated file's content
+// digest (hex). It is written at migration and checked when the file
+// lands back on disk — the HSM end of the checksum pipeline.
+const SumXattr = "hsm.sum"
+
+// SliceXattr is the stub attribute holding per-slice digests (hex,
+// comma-joined, sliceBlock-sized blocks): enough to localize which
+// region of a large file a mismatch lives in.
+const SliceXattr = "hsm.slices"
+
+// sliceBlock is the block size slice digests cover.
+const sliceBlock int64 = 256 << 20
+
+// contentSum digests a resident file's content for the catalog; 0
+// (digest untracked) when the content is unreadable.
+func (e *Engine) contentSum(path string) uint64 {
+	c, err := e.fs.ReadContent(path)
+	if err != nil {
+		return 0
+	}
+	return c.Digest()
+}
+
+// recordSums writes the stub's digest metadata before the data leaves
+// disk: the whole-file sum the catalog also keeps, plus per-slice sums
+// for mismatch localization.
+func (e *Engine) recordSums(path string, sum uint64) {
+	if sum == 0 {
+		return
+	}
+	_ = e.fs.SetXattr(path, SumXattr, strconv.FormatUint(sum, 16))
+	if c, err := e.fs.ReadContent(path); err == nil {
+		slices := c.SliceDigests(sliceBlock)
+		parts := make([]string, len(slices))
+		for i, s := range slices {
+			parts[i] = strconv.FormatUint(s, 16)
+		}
+		_ = e.fs.SetXattr(path, SliceXattr, strings.Join(parts, ","))
+	}
+}
+
+// verifyRestored cross-checks a just-restored file against its stub
+// digest — the last hop of the pipeline, after TSM's own recall
+// verification has already vouched for what tape delivered.
+func (e *Engine) verifyRestored(path string) error {
+	want, err := e.fs.GetXattr(path, SumXattr)
+	if err != nil || want == "" {
+		return nil // pre-pipeline stub: nothing recorded
+	}
+	c, err := e.fs.ReadContent(path)
+	if err != nil {
+		return err
+	}
+	if got := strconv.FormatUint(c.Digest(), 16); got != want {
+		return fmt.Errorf("hsm: %s restored with digest %s, want %s", path, got, want)
+	}
+	return nil
+}
+
 // storeSingle stores one file as one tape object and stubs it.
 func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info, parent *telemetry.Span) error {
+	sum := e.contentSum(f.Path)
 	obj, err := e.srv.Store(tsm.StoreRequest{
 		Client: node.Name,
 		Class:  tsm.ClassMigrate,
@@ -404,12 +465,14 @@ func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info, par
 		FileID: uint64(f.ID),
 		Bytes:  f.Size,
 		Group:  e.cfg.Group,
+		Sum:    sum,
 		Route:  e.route(node),
 		Parent: parent,
 	})
 	if err != nil {
 		return fmt.Errorf("hsm: migrating %s: %w", f.Path, err)
 	}
+	e.recordSums(f.Path, sum)
 	if e.shadow != nil {
 		e.shadow.UpsertObject(obj)
 	}
@@ -417,14 +480,24 @@ func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info, par
 }
 
 // storeAggregate bundles small files into one tape object. Each member
-// is stubbed; the aggregate index remembers where members live.
+// is stubbed; the aggregate index remembers where members live. The
+// bundle's catalog digest folds the member digests in bundle order, so
+// damage to any slice of the aggregate changes the whole-object sum.
 func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pfs.Info, total int64, parent *telemetry.Span) error {
+	memberSums := make([]uint64, len(members))
+	var sum uint64
+	for i, m := range members {
+		memberSums[i] = e.contentSum(m.Path)
+		// FNV-style fold: order-sensitive, like bytes on tape.
+		sum = sum*1099511628211 + memberSums[i]
+	}
 	obj, err := e.srv.Store(tsm.StoreRequest{
 		Client: node.Name,
 		Class:  tsm.ClassMigrate,
 		Path:   fmt.Sprintf("<aggregate:%s:%s+%d>", node.Name, members[0].Path, len(members)),
 		Bytes:  total,
 		Group:  e.cfg.Group,
+		Sum:    sum,
 		Route:  e.route(node),
 		Parent: parent,
 	})
@@ -434,9 +507,10 @@ func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pf
 	if e.shadow != nil {
 		e.shadow.UpsertObject(obj)
 	}
-	for _, m := range members {
+	for i, m := range members {
 		e.aggOf[m.Path] = obj.ID
 		e.aggMembers[obj.ID] = append(e.aggMembers[obj.ID], aggMember{path: m.Path, bytes: m.Size})
+		e.recordSums(m.Path, memberSums[i])
 		if err := e.stub(m.Path); err != nil {
 			return err
 		}
@@ -723,12 +797,24 @@ func (e *Engine) restoreItem(it recallItem, res *RecallResult, firstErr *error) 
 			}
 			return
 		}
+		if err := e.verifyRestored(it.path); err != nil {
+			if *firstErr == nil {
+				*firstErr = err
+			}
+			return
+		}
 		res.Files++
 		res.Bytes += it.bytes
 		return
 	}
 	for _, m := range e.aggMembers[it.object] {
 		if err := e.fs.Restore(m.path, true); err != nil {
+			if *firstErr == nil {
+				*firstErr = err
+			}
+			continue
+		}
+		if err := e.verifyRestored(m.path); err != nil {
 			if *firstErr == nil {
 				*firstErr = err
 			}
@@ -932,6 +1018,10 @@ func (e *Engine) RecallPinned(nodeName string, paths []string) error {
 					runSpan.Abort(err.Error(), 0)
 					return err
 				}
+				if err := e.verifyRestored(it.path); err != nil {
+					runSpan.Abort(err.Error(), 0)
+					return err
+				}
 				e.recalledFiles++
 				e.recalledBytes += it.bytes
 				e.ctrRecFiles.Inc()
@@ -941,6 +1031,10 @@ func (e *Engine) RecallPinned(nodeName string, paths []string) error {
 			for _, m := range e.aggMembers[it.object] {
 				if mst, _ := e.fs.State(m.path); mst == pfs.Migrated {
 					if err := e.fs.Restore(m.path, true); err != nil {
+						runSpan.Abort(err.Error(), 0)
+						return err
+					}
+					if err := e.verifyRestored(m.path); err != nil {
 						runSpan.Abort(err.Error(), 0)
 						return err
 					}

@@ -68,9 +68,13 @@ type copyResult struct {
 	matched  int
 	mismatch int
 	missing  int
-	logical  string   // set for chunk completions
-	dsts     []string // whole files completed, for the restart journal
-	err      string
+	// mismatches details each compare failure (path + first differing
+	// byte), so pfcm can tell the operator where the damage is instead
+	// of just how much.
+	mismatches []Mismatch
+	logical    string   // set for chunk completions
+	dsts       []string // whole files completed, for the restart journal
+	err        string
 }
 
 // dirJob is the Manager -> ReadDir work unit (one DirQ entry).
@@ -445,6 +449,7 @@ func (r *run) handle(msg mpi.Message) {
 		r.res.Matched += res.matched
 		r.res.Mismatched += res.mismatch
 		r.res.Missing += res.missing
+		r.res.Mismatches = append(r.res.Mismatches, res.mismatches...)
 		// Integer byte/file deltas sum exactly in float64 counters, so
 		// the registry totals equal the Result fields bit-for-bit —
 		// what lets experiments read headline numbers from telemetry.

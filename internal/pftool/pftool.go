@@ -165,6 +165,11 @@ type Result struct {
 	Mismatched int
 	Missing    int
 
+	// Mismatches details each compare failure: which destination path
+	// diverged from its source and at which byte — what an operator
+	// needs to find the damage, not just count it.
+	Mismatches []Mismatch
+
 	Restored      int
 	ChunksCopied  int
 	ChunksSkipped int
@@ -199,6 +204,19 @@ type HistoryPoint struct {
 	At    time.Duration // virtual time of the sample
 	Files int
 	Bytes int64
+}
+
+// Mismatch is one pfcm compare failure: source and destination differ
+// starting at byte Offset (the first divergent byte; -1 when the two
+// sides could not be compared byte-for-byte).
+type Mismatch struct {
+	Src    string
+	Dst    string
+	Offset int64
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s differs from %s at byte %d", m.Dst, m.Src, m.Offset)
 }
 
 // Elapsed is the virtual wall-clock duration of the run.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/pfs"
 	"repro/internal/simtime"
+	"repro/internal/synthetic"
 )
 
 // readDirProc is one ReadDir process: it exposes directories the
@@ -271,6 +272,11 @@ func (r *run) compareBatch(node *cluster.Node, job copyJob) copyResult {
 			res.dsts = append(res.dsts, f.dst)
 		} else {
 			res.mismatch++
+			res.mismatches = append(res.mismatches, Mismatch{
+				Src:    f.src,
+				Dst:    f.dst,
+				Offset: synthetic.FirstDiff(srcContent, dstContent),
+			})
 		}
 	}
 	if transferBytes > 0 {

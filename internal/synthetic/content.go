@@ -163,6 +163,110 @@ func putU64(b []byte, v uint64) {
 	}
 }
 
+// SliceDigests returns the digest of each blockSize-sized slice of the
+// content (the last block may be short). Equal contents yield equal
+// digest vectors, and a localized corruption perturbs only the digests
+// of the blocks it touches, so slice checksums bound the damage to a
+// block rather than a whole object.
+func (c Content) SliceDigests(blockSize int64) []uint64 {
+	if blockSize <= 0 {
+		panic("synthetic: non-positive block size")
+	}
+	total := c.Len()
+	if total == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, (total+blockSize-1)/blockSize)
+	for off := int64(0); off < total; off += blockSize {
+		n := blockSize
+		if off+n > total {
+			n = total - off
+		}
+		out = append(out, c.Slice(off, n).Digest())
+	}
+	return out
+}
+
+// FirstDiff returns the offset of the first byte at which a and b
+// differ, or -1 if they are byte-identical. As with Equal, bytes drawn
+// from different points of the seed-stream space are treated as always
+// differing, so the answer is the first offset where the stream mapping
+// of the two contents diverges (or the shorter length if one is a
+// prefix of the other).
+func FirstDiff(a, b Content) int64 {
+	ae, be := a.extents, b.extents
+	var pos int64
+	i, j := 0, 0
+	for i < len(ae) && j < len(be) {
+		ea, eb := ae[i], be[j]
+		if ea.Seed != eb.Seed || ea.SeedOff+(pos-ea.Off) != eb.SeedOff+(pos-eb.Off) {
+			return pos
+		}
+		endA, endB := ea.Off+ea.Len, eb.Off+eb.Len
+		if endA <= endB {
+			i++
+		}
+		if endB <= endA {
+			j++
+		}
+		if endA < endB {
+			pos = endA
+		} else {
+			pos = endB
+		}
+	}
+	if a.Len() != b.Len() {
+		if a.Len() < b.Len() {
+			return a.Len()
+		}
+		return b.Len()
+	}
+	return -1
+}
+
+// corruptSalt perturbs seeds and digests so that corrupted data is
+// deterministically distinct from its source.
+const corruptSalt = 0xBADB10CC0220F7ED
+
+// Corrupt returns c with n bytes starting at off replaced by a rot
+// stream derived deterministically from the stream that fed off — the
+// simulator's model of silent media bit rot. The damaged range is
+// clamped to the content length; corrupting empty content returns it
+// unchanged.
+func (c Content) Corrupt(off, n int64) Content {
+	total := c.Len()
+	if off < 0 || off >= total || n <= 0 {
+		return c
+	}
+	if off+n > total {
+		n = total - off
+	}
+	var src Extent
+	for _, e := range c.extents {
+		if off >= e.Off && off < e.Off+e.Len {
+			src = e
+			break
+		}
+	}
+	rotSeed := splitmix64(src.Seed ^ corruptSalt ^ uint64(src.SeedOff+(off-src.Off)))
+	return c.Overwrite(off, NewUniform(rotSeed, n))
+}
+
+// CorruptDigest returns the digest a reader observes when the data
+// behind sum was silently corrupted: a deterministic mangling that is
+// never equal to the input (the corrupt stream is a different seed
+// stream, so its digest differs from the original's with hash
+// probability). Subsystems that track data only as a checksum — tape
+// blocks, fabric flows — use this to model corruption without
+// materializing content.
+func CorruptDigest(sum uint64) uint64 {
+	m := splitmix64(sum ^ corruptSalt)
+	if m == sum {
+		m++
+	}
+	return m
+}
+
 // ReadAt generates the actual bytes of the content at off into p,
 // returning the number of bytes produced (short at EOF).
 func (c Content) ReadAt(p []byte, off int64) int {

@@ -250,3 +250,95 @@ func BenchmarkReadAt64K(b *testing.B) {
 		c.ReadAt(p, int64(i)%(1<<20))
 	}
 }
+
+func TestFirstDiff(t *testing.T) {
+	a := NewUniform(1, 1000)
+	if got := FirstDiff(a, a); got != -1 {
+		t.Errorf("identical contents: FirstDiff = %d, want -1", got)
+	}
+	b := a.Overwrite(400, NewUniform(2, 100))
+	if got := FirstDiff(a, b); got != 400 {
+		t.Errorf("overwrite at 400: FirstDiff = %d, want 400", got)
+	}
+	if got := FirstDiff(b, a); got != 400 {
+		t.Errorf("FirstDiff is not symmetric: got %d, want 400", got)
+	}
+	// A prefix diverges at the shorter length.
+	if got := FirstDiff(a, a.Slice(0, 600)); got != 600 {
+		t.Errorf("prefix: FirstDiff = %d, want 600", got)
+	}
+	// Same seed, shifted stream offset: differs from byte zero.
+	sh := Concat(NewUniform(1, 1008).Slice(8, 1000))
+	if got := FirstDiff(a, sh); got != 0 {
+		t.Errorf("shifted stream: FirstDiff = %d, want 0", got)
+	}
+	// Concatenation boundaries must not produce false diffs.
+	c := Concat(a.Slice(0, 300), a.Slice(300, 700))
+	if got := FirstDiff(a, c); got != -1 {
+		t.Errorf("re-concatenated content: FirstDiff = %d, want -1", got)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := NewUniform(7, 1<<20)
+	bad := c.Corrupt(1234, 64)
+	if bad.Equal(c) {
+		t.Fatal("Corrupt returned equal content")
+	}
+	if bad.Len() != c.Len() {
+		t.Fatalf("Corrupt changed length: %d != %d", bad.Len(), c.Len())
+	}
+	if got := FirstDiff(c, bad); got != 1234 {
+		t.Errorf("FirstDiff after Corrupt = %d, want 1234", got)
+	}
+	if bad.Digest() == c.Digest() {
+		t.Error("corrupted content has the same digest")
+	}
+	// Deterministic: same rot twice is the same rot.
+	if !bad.Equal(c.Corrupt(1234, 64)) {
+		t.Error("Corrupt is not deterministic")
+	}
+	// Clamped at EOF, no-op out of bounds.
+	if got := c.Corrupt(c.Len()-10, 100).Len(); got != c.Len() {
+		t.Errorf("clamped Corrupt changed length to %d", got)
+	}
+	if !c.Corrupt(c.Len(), 5).Equal(c) || !c.Corrupt(-1, 5).Equal(c) {
+		t.Error("out-of-bounds Corrupt must be a no-op")
+	}
+}
+
+func TestSliceDigestsLocalizeCorruption(t *testing.T) {
+	c := NewUniform(9, 10_000)
+	sums := c.SliceDigests(1000)
+	if len(sums) != 10 {
+		t.Fatalf("got %d block sums, want 10", len(sums))
+	}
+	bad := c.Corrupt(4500, 10)
+	badSums := bad.SliceDigests(1000)
+	for i := range sums {
+		if (sums[i] != badSums[i]) != (i == 4) {
+			t.Errorf("block %d: sum change mismatch (want only block 4 perturbed)", i)
+		}
+	}
+	// Short tail block.
+	if n := len(NewUniform(1, 2500).SliceDigests(1000)); n != 3 {
+		t.Errorf("2500/1000 bytes: got %d blocks, want 3", n)
+	}
+}
+
+func TestCorruptDigest(t *testing.T) {
+	seen := map[uint64]bool{}
+	for _, s := range []uint64{0, 1, 42, ^uint64(0), NewUniform(3, 100).Digest()} {
+		m := CorruptDigest(s)
+		if m == s {
+			t.Errorf("CorruptDigest(%#x) returned its input", s)
+		}
+		if m != CorruptDigest(s) {
+			t.Errorf("CorruptDigest(%#x) is not deterministic", s)
+		}
+		seen[m] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("CorruptDigest collided across %d distinct inputs", 5-len(seen)+len(seen))
+	}
+}

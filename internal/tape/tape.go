@@ -21,8 +21,13 @@ import (
 	"time"
 
 	"repro/internal/simtime"
+	"repro/internal/synthetic"
 	"repro/internal/telemetry"
 )
+
+// corruptSum mangles an on-media or delivered digest the way silent
+// corruption does, via the shared deterministic mangler.
+func corruptSum(sum uint64) uint64 { return synthetic.CorruptDigest(sum) }
 
 // Errors returned by drive operations.
 var (
@@ -83,6 +88,19 @@ type File struct {
 	Seq    int    // 1-based position on the tape
 	Off    int64  // byte offset of the file's first block
 	Bytes  int64
+	// Sum is the digest of the bytes actually on the medium (0 when the
+	// writer recorded none). It normally equals the catalog's digest of
+	// the object; silent corruption — a flaky head, a tainted flow, bit
+	// rot at rest — makes the two diverge, which is exactly what a
+	// verifying reader detects.
+	Sum uint64
+}
+
+// Corruption records one silent-damage site on a cartridge: the byte
+// offset hit and the fault event that caused it (0 if untagged).
+type Corruption struct {
+	Off   int64
+	Cause uint64
 }
 
 // Cartridge is a sequential medium. Files append at end-of-data.
@@ -92,6 +110,7 @@ type Cartridge struct {
 	files    []File
 	eod      int64
 	readOnly bool
+	corrupt  map[int]Corruption // seq -> damage record
 }
 
 // NewCartridge creates an empty cartridge.
@@ -129,7 +148,69 @@ func (c *Cartridge) ReadOnly() bool { return c.readOnly }
 func (c *Cartridge) Erase() {
 	c.files = nil
 	c.eod = 0
+	c.corrupt = nil
 }
+
+// CorruptAtOffset models bit rot at rest: the tape file covering byte
+// offset off has its on-media digest silently mangled and the damage
+// site recorded. It reports the file hit; ok is false when the offset
+// lands outside the written region (rot in unwritten tape is harmless).
+func (c *Cartridge) CorruptAtOffset(off int64, cause uint64) (File, bool) {
+	if off < 0 || off >= c.eod {
+		return File{}, false
+	}
+	for i := range c.files {
+		f := c.files[i]
+		if off >= f.Off && off < f.Off+f.Bytes {
+			c.files[i].Sum = corruptSum(f.Sum)
+			c.markCorrupt(f.Seq, Corruption{Off: off, Cause: cause})
+			return c.files[i], true
+		}
+	}
+	return File{}, false
+}
+
+// CorruptFile mangles the on-media digest of the tape file at seq and
+// records the damage: silent corruption discovered to have landed after
+// the fact (e.g. a store whose stream was flipped in flight).
+func (c *Cartridge) CorruptFile(seq int, cause uint64) {
+	if seq < 1 || seq > len(c.files) {
+		return
+	}
+	if c.files[seq-1].Sum != 0 {
+		c.files[seq-1].Sum = corruptSum(c.files[seq-1].Sum)
+	}
+	c.markCorrupt(seq, Corruption{Off: c.files[seq-1].Off, Cause: cause})
+}
+
+// MarkCorrupt records a damage site for a tape file whose on-media
+// digest is already wrong (data that arrived corrupted and was written
+// faithfully): the record carries the causing fault event so a later
+// detection can cite it.
+func (c *Cartridge) MarkCorrupt(seq int, cause uint64) {
+	if seq < 1 || seq > len(c.files) {
+		return
+	}
+	c.markCorrupt(seq, Corruption{Off: c.files[seq-1].Off, Cause: cause})
+}
+
+func (c *Cartridge) markCorrupt(seq int, rec Corruption) {
+	if c.corrupt == nil {
+		c.corrupt = make(map[int]Corruption)
+	}
+	if _, dup := c.corrupt[seq]; !dup {
+		c.corrupt[seq] = rec // first damage wins: that event broke the file
+	}
+}
+
+// CorruptionFor returns the damage record of a tape file, if any.
+func (c *Cartridge) CorruptionFor(seq int) (Corruption, bool) {
+	rec, ok := c.corrupt[seq]
+	return rec, ok
+}
+
+// CorruptCount reports how many tape files carry damage records.
+func (c *Cartridge) CorruptCount() int { return len(c.corrupt) }
 
 // FileBySeq looks up a tape file by its 1-based sequence number.
 func (c *Cartridge) FileBySeq(seq int) (File, error) {
@@ -170,6 +251,9 @@ type Stats struct {
 	TransferTime time.Duration
 	// IOErrors counts injected transient transaction failures.
 	IOErrors int
+	// CorruptOps counts transactions the drive head silently corrupted
+	// (fault-injection): the operation "succeeds" with mangled data.
+	CorruptOps int
 }
 
 // Drive is one tape drive. All operations charge virtual time on the
@@ -184,8 +268,10 @@ type Drive struct {
 	cart       *Cartridge
 	pos        int64 // current head byte position
 	lastClient string
-	failOps    int  // pending injected transaction failures
-	down       bool // hard failure: every operation refused until repair
+	failOps    int    // pending injected transaction failures
+	corruptOps int    // pending silently-corrupted transactions
+	corruptCau uint64 // fault event behind the pending corruptions
+	down       bool   // hard failure: every operation refused until repair
 	stats      Stats
 
 	tel    *telemetry.Registry
@@ -209,6 +295,7 @@ func NewDrive(clock *simtime.Clock, name string, spec Spec) *Drive {
 		{"tape_drive_bytes_written_total", func() float64 { return float64(d.stats.BytesWritten) }},
 		{"tape_drive_bytes_read_total", func() float64 { return float64(d.stats.BytesRead) }},
 		{"tape_drive_io_errors_total", func() float64 { return float64(d.stats.IOErrors) }},
+		{"tape_drive_corrupt_ops_total", func() float64 { return float64(d.stats.CorruptOps) }},
 	} {
 		d.tel.CounterFunc(c.name, c.fn, "drive", name)
 	}
@@ -247,6 +334,33 @@ func (d *Drive) Stats() Stats { return d.stats }
 // — the drive ground on the fault before giving up). Failure-injection
 // hook for reliability tests.
 func (d *Drive) FailNextOps(n int) { d.failOps = n }
+
+// CorruptNextOps arms n silently-corrupted transactions (a flaky head):
+// the next n read/write transactions complete normally but mangle the
+// data — a corrupted write lands a wrong on-media digest, a corrupted
+// read delivers a wrong digest off intact media. The cause tags the
+// damage with the provoking fault event for later span linkage.
+func (d *Drive) CorruptNextOps(n int, cause uint64) {
+	d.corruptOps = n
+	d.corruptCau = cause
+}
+
+// injectedCorruption consumes one pending silent corruption. Unlike
+// injectedFault it charges no extra time: the whole point is that the
+// transaction looks perfectly healthy.
+func (d *Drive) injectedCorruption() (uint64, bool) {
+	if d.corruptOps <= 0 {
+		return 0, false
+	}
+	d.corruptOps--
+	d.stats.CorruptOps++
+	return d.corruptCau, true
+}
+
+// CorruptCause reports the fault event behind the most recently armed
+// head corruption (0 if none was ever armed) — the cause a verifying
+// reader cites when a mismatch traces to the head rather than media.
+func (d *Drive) CorruptCause() uint64 { return d.corruptCau }
 
 // SetDown fails (or repairs) the drive hard. A down drive refuses every
 // operation with ErrDriveDown; in-flight transactions are unaffected
@@ -362,8 +476,17 @@ func (d *Drive) seekTo(off int64) {
 
 // Append streams one object to the mounted cartridge at end-of-data and
 // returns its tape file record. Each call is one transaction and pays
-// the start/stop penalty.
+// the start/stop penalty. Callers that track checksums use AppendSum;
+// Append records no digest.
 func (d *Drive) Append(object uint64, bytes int64) (File, error) {
+	return d.AppendSum(object, bytes, 0)
+}
+
+// AppendSum is Append recording the digest of the data being written.
+// If the drive head is armed to corrupt (CorruptNextOps), the on-media
+// digest is silently mangled and the damage recorded on the cartridge —
+// the call still succeeds.
+func (d *Drive) AppendSum(object uint64, bytes int64, sum uint64) (File, error) {
 	if d.down {
 		return File{}, fmt.Errorf("%w: %s", ErrDriveDown, d.Name)
 	}
@@ -393,8 +516,14 @@ func (d *Drive) Append(object uint64, bytes int64) (File, error) {
 	xfer := d.spec.StartStopPenalty + time.Duration(float64(bytes)/d.spec.StreamRate*1e9)
 	d.stats.TransferTime += xfer
 	d.busy(xfer)
-	f := File{Object: object, Seq: len(d.cart.files) + 1, Off: d.cart.eod, Bytes: bytes}
-	d.cart.files = append(d.cart.files, f)
+	f := File{Object: object, Seq: len(d.cart.files) + 1, Off: d.cart.eod, Bytes: bytes, Sum: sum}
+	if cause, bad := d.injectedCorruption(); bad && sum != 0 {
+		f.Sum = corruptSum(sum)
+		d.cart.files = append(d.cart.files, f)
+		d.cart.MarkCorrupt(f.Seq, cause)
+	} else {
+		d.cart.files = append(d.cart.files, f)
+	}
 	d.cart.eod += bytes
 	d.pos = d.cart.eod
 	d.stats.FilesWritten++
@@ -407,21 +536,31 @@ func (d *Drive) Append(object uint64, bytes int64) (File, error) {
 // locate plus streaming time, and leaves the head at the file's end so
 // that in-order recalls stream without re-seeking.
 func (d *Drive) ReadSeq(seq int) (File, error) {
+	f, _, err := d.ReadSeqSum(seq)
+	return f, err
+}
+
+// ReadSeqSum is ReadSeq also reporting the digest of the bytes the
+// drive delivered. The delivered digest is the on-media digest (which
+// bit rot or a corrupted write may already have mangled) unless the
+// head is armed to corrupt the read, in which case intact media is
+// delivered wrong. A verifying reader compares it against the catalog.
+func (d *Drive) ReadSeqSum(seq int) (File, uint64, error) {
 	if d.down {
-		return File{}, fmt.Errorf("%w: %s", ErrDriveDown, d.Name)
+		return File{}, 0, fmt.Errorf("%w: %s", ErrDriveDown, d.Name)
 	}
 	if d.cart == nil {
-		return File{}, ErrNotMounted
+		return File{}, 0, ErrNotMounted
 	}
 	f, err := d.cart.FileBySeq(seq)
 	if err != nil {
-		return File{}, err
+		return File{}, 0, err
 	}
 	sp := d.span("tape.read", "volume", d.cart.Label)
 	if d.injectedFault() {
 		err := fmt.Errorf("%w: %s reading seq %d", ErrIO, d.Name, seq)
 		sp.Abort(err.Error(), 0)
-		return File{}, err
+		return File{}, 0, err
 	}
 	outer := d.parent
 	d.parent = sp
@@ -433,8 +572,12 @@ func (d *Drive) ReadSeq(seq int) (File, error) {
 	d.pos = f.Off + f.Bytes
 	d.stats.FilesRead++
 	d.stats.BytesRead += f.Bytes
+	delivered := f.Sum
+	if _, bad := d.injectedCorruption(); bad && delivered != 0 {
+		delivered = corruptSum(delivered)
+	}
 	sp.End()
-	return f, nil
+	return f, delivered, nil
 }
 
 // Library is a collection of drives and cartridges with a robot that
@@ -614,6 +757,7 @@ func (l *Library) TotalStats() Stats {
 		total.BusyTime += s.BusyTime
 		total.TransferTime += s.TransferTime
 		total.IOErrors += s.IOErrors
+		total.CorruptOps += s.CorruptOps
 	}
 	return total
 }

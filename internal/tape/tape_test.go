@@ -354,3 +354,83 @@ func TestTotalStatsAggregates(t *testing.T) {
 		t.Errorf("TotalStats = %+v", total)
 	}
 }
+
+func TestCorruptAtOffsetManglesOnMediaSum(t *testing.T) {
+	run(t, func(c *simtime.Clock, lib *Library) {
+		d := lib.Drive(0)
+		d.Acquire()
+		defer d.Release()
+		cart, _ := lib.Cartridge("VOL0001")
+		lib.Mount(d, cart)
+		f1, _ := d.AppendSum(1, 1e6, 0x1111)
+		f2, _ := d.AppendSum(2, 1e6, 0x2222)
+		// Rot lands inside the second file.
+		hit, ok := cart.CorruptAtOffset(f2.Off+10, 77)
+		if !ok || hit.Object != 2 {
+			t.Fatalf("rot hit %+v ok=%v, want object 2", hit, ok)
+		}
+		if rec, ok := cart.CorruptionFor(f2.Seq); !ok || rec.Cause != 77 || rec.Off != f2.Off+10 {
+			t.Errorf("corruption record = %+v ok=%v", rec, ok)
+		}
+		// First file intact, second delivers a wrong digest.
+		if _, sum, _ := d.ReadSeqSum(f1.Seq); sum != 0x1111 {
+			t.Errorf("intact file delivers %#x, want 0x1111", sum)
+		}
+		if _, sum, _ := d.ReadSeqSum(f2.Seq); sum == 0x2222 {
+			t.Error("rotted file still delivers the recorded digest")
+		}
+		// Rot past end-of-data is harmless.
+		if _, ok := cart.CorruptAtOffset(cart.Used()+5, 1); ok {
+			t.Error("rot in unwritten tape damaged something")
+		}
+		// Erase clears damage records.
+		lib.ForceEject(d)
+		cart.Erase()
+		if cart.CorruptCount() != 0 {
+			t.Error("Erase kept corruption records")
+		}
+	})
+}
+
+func TestCorruptNextOpsWriteAndRead(t *testing.T) {
+	run(t, func(c *simtime.Clock, lib *Library) {
+		d := lib.Drive(0)
+		d.Acquire()
+		defer d.Release()
+		cart, _ := lib.Cartridge("VOL0001")
+		lib.Mount(d, cart)
+		// Corrupted write: succeeds, lands a mangled on-media digest and
+		// a damage record citing the cause.
+		d.CorruptNextOps(1, 99)
+		f, err := d.AppendSum(1, 1e6, 0xABCD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Sum == 0xABCD {
+			t.Error("corrupted write recorded the true digest")
+		}
+		if rec, ok := cart.CorruptionFor(f.Seq); !ok || rec.Cause != 99 {
+			t.Errorf("write corruption not recorded: %+v ok=%v", rec, ok)
+		}
+		// Clean write, then corrupted read off intact media: media keeps
+		// the true digest, delivery is wrong once, then clean again.
+		g, _ := d.AppendSum(2, 1e6, 0x5555)
+		d.CorruptNextOps(1, 100)
+		got, sum, err := d.ReadSeqSum(g.Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Sum != 0x5555 || sum == 0x5555 {
+			t.Errorf("corrupted read: media %#x delivered %#x", got.Sum, sum)
+		}
+		if _, sum, _ = d.ReadSeqSum(g.Seq); sum != 0x5555 {
+			t.Errorf("second read still corrupted: %#x", sum)
+		}
+		if d.Stats().CorruptOps != 2 {
+			t.Errorf("CorruptOps = %d, want 2", d.Stats().CorruptOps)
+		}
+		if d.CorruptCause() != 100 {
+			t.Errorf("CorruptCause = %d, want 100", d.CorruptCause())
+		}
+	})
+}

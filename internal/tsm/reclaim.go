@@ -20,7 +20,13 @@ type ReclaimResult struct {
 	ObjectsMoved     int
 	BytesMoved       int64
 	BytesFreed       int64
-	Elapsed          time.Duration
+	// CorruptSkipped counts survivors whose re-read failed checksum
+	// verification: they are left on the (now quarantined, never
+	// erased) source volume for the scrubber's repair machinery rather
+	// than consolidated — moving them would launder corrupt bytes onto
+	// a healthy volume and destroy the only remaining evidence.
+	CorruptSkipped int
+	Elapsed        time.Duration
 }
 
 // ReclaimThreshold runs reclamation over every volume whose live-data
@@ -36,7 +42,7 @@ func (s *Server) ReclaimThreshold(client string, threshold float64) (ReclaimResu
 	candidates := s.lib.Cartridges()
 	for _, vol := range candidates {
 		used := vol.Used()
-		if used == 0 {
+		if used == 0 || s.copyPool[vol.Label] {
 			continue
 		}
 		res.VolumesExamined++
@@ -52,24 +58,32 @@ func (s *Server) ReclaimThreshold(client string, threshold float64) (ReclaimResu
 		if float64(live) > threshold*float64(used) {
 			continue
 		}
-		if err := s.reclaimVolume(client, vol.Label, objs); err != nil {
+		moved, movedBytes, skipped, err := s.reclaimVolume(client, vol.Label, objs)
+		res.ObjectsMoved += moved
+		res.BytesMoved += movedBytes
+		res.CorruptSkipped += skipped
+		if err != nil {
 			return res, err
 		}
-		res.VolumesReclaimed++
-		res.ObjectsMoved += len(objs)
-		res.BytesMoved += live
-		res.BytesFreed += used - live
+		if skipped == 0 {
+			res.VolumesReclaimed++
+			res.BytesFreed += used - live
+		}
 	}
 	res.Elapsed = s.clock.Now() - start
 	return res, nil
 }
 
-// reclaimVolume copies a volume's live objects (in tape order) to other
-// volumes and erases the source.
-func (s *Server) reclaimVolume(client, label string, objs []*Object) error {
+// reclaimVolume copies a volume's live objects (in tape order) to
+// other volumes and erases the source. Every digest-tracked survivor
+// is re-verified as it comes off the tape: a mismatch means the
+// consolidation would propagate corrupt bytes, so that object stays
+// put, the source is quarantined instead of erased, and the skip is
+// reported for the scrubber to repair properly.
+func (s *Server) reclaimVolume(client, label string, objs []*Object) (moved int, movedBytes int64, skipped int, err error) {
 	src, err := s.lib.Cartridge(label)
 	if err != nil {
-		return err
+		return 0, 0, 0, err
 	}
 	s.reclaiming[label] = true
 	defer delete(s.reclaiming, label)
@@ -81,32 +95,39 @@ func (s *Server) reclaimVolume(client, label string, objs []*Object) error {
 		d, err := s.acquireVolumeDrive(src)
 		if err != nil {
 			s.drvPool.Release(1)
-			return err
+			return moved, movedBytes, skipped, err
 		}
 		if err := d.BeginSession(client); err != nil {
 			s.ReleaseDrive(d)
-			return err
+			return moved, movedBytes, skipped, err
 		}
-		if _, err := d.ReadSeq(o.Seq); err != nil {
-			s.ReleaseDrive(d)
-			return err
-		}
+		_, delivered, err := d.ReadSeqSum(o.Seq)
+		headCause := d.CorruptCause()
 		s.ReleaseDrive(d)
+		if err != nil {
+			return moved, movedBytes, skipped, err
+		}
+		if o.Sum != 0 && delivered != o.Sum {
+			s.noteDetection(o, "reclaim", s.corruptionCause(src, o.Seq, 0, false, headCause))
+			skipped++
+			continue
+		}
 		// Rewrite it to a fresh volume through the normal store path
 		// (no client data path: the move is tape-to-tape via the
-		// mover's buffers).
+		// mover's buffers). The catalog digest rides along: the new
+		// copy is born verifiable.
 		dstDrive, dstVol, err := s.acquireDriveForWrite(client, o.Group, o.Bytes)
 		if err != nil {
-			return err
+			return moved, movedBytes, skipped, err
 		}
 		if err := dstDrive.BeginSession(client); err != nil {
 			s.ReleaseDrive(dstDrive)
-			return err
+			return moved, movedBytes, skipped, err
 		}
-		tf, err := dstDrive.Append(o.ID, o.Bytes)
+		tf, err := dstDrive.AppendSum(o.ID, o.Bytes, o.Sum)
 		s.ReleaseDrive(dstDrive)
 		if err != nil {
-			return err
+			return moved, movedBytes, skipped, err
 		}
 		s.txn()
 		o.Volume = dstVol.Label
@@ -114,22 +135,31 @@ func (s *Server) reclaimVolume(client, label string, objs []*Object) error {
 		if o.Group != "" {
 			s.coloc[o.Group] = dstVol.Label
 		}
+		moved++
+		movedBytes += o.Bytes
+	}
+	if skipped > 0 {
+		// Corrupt survivors remain: erasing would destroy the only
+		// on-site copy. Quarantine the volume and leave it for repair.
+		s.Quarantine(label)
+		s.txn()
+		return moved, movedBytes, skipped, nil
 	}
 	// Erase the source volume and return it to scratch.
 	s.drvPool.Acquire(1)
 	d, err := s.acquireVolumeDrive(src)
 	if err != nil {
 		s.drvPool.Release(1)
-		return err
+		return moved, movedBytes, skipped, err
 	}
 	if err := d.Unmount(); err != nil {
 		s.ReleaseDrive(d)
-		return err
+		return moved, movedBytes, skipped, err
 	}
 	src.Erase()
 	s.ReleaseDrive(d)
 	s.txn()
-	return nil
+	return moved, movedBytes, skipped, nil
 }
 
 // LiveFraction reports a volume's live-bytes / used-bytes (1 for an

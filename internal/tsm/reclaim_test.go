@@ -145,3 +145,65 @@ func mustGet(t *testing.T, s *Server, id uint64) Object {
 	}
 	return o
 }
+
+func TestReclaimSkipsCorruptSurvivorsAndKeepsSource(t *testing.T) {
+	// Satellite of the integrity work: reclamation re-verifies every
+	// survivor it moves. A corrupt survivor must never be consolidated
+	// onto a healthy volume, and the source — now the only copy of
+	// those bytes — must not be erased; it is quarantined instead.
+	e := newEnv(2, DefaultConfig())
+	e.run(t, func() {
+		var ids []uint64
+		for i := 0; i < 4; i++ {
+			obj, err := e.srv.Store(StoreRequest{
+				Client: "c", Path: "/f", Bytes: 1e9, Group: "g", Sum: uint64(i + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, obj.ID)
+		}
+		srcVol := mustGet(t, e.srv, ids[0]).Volume
+		// Kill 2 of 4 (50% live, at the threshold) and rot one of the
+		// two survivors on the media.
+		e.srv.Delete(ids[0])
+		e.srv.Delete(ids[1])
+		bad := mustGet(t, e.srv, ids[2])
+		src, _ := e.lib.Cartridge(srcVol)
+		src.CorruptFile(bad.Seq, 77)
+
+		res, err := e.srv.ReclaimThreshold("mover", 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CorruptSkipped != 1 || res.ObjectsMoved != 1 {
+			t.Fatalf("res = %+v", res)
+		}
+		if res.VolumesReclaimed != 0 || res.BytesFreed != 0 {
+			t.Errorf("source counted as reclaimed: %+v", res)
+		}
+		if src.Used() == 0 {
+			t.Fatal("source volume was erased with a corrupt survivor aboard")
+		}
+		if !e.srv.Quarantined(srcVol) {
+			t.Error("source volume not quarantined")
+		}
+		// The good survivor moved; the corrupt one stayed put.
+		if got := mustGet(t, e.srv, ids[3]); got.Volume == srcVol {
+			t.Error("clean survivor not consolidated")
+		}
+		if got := mustGet(t, e.srv, ids[2]); got.Volume != srcVol {
+			t.Error("corrupt survivor was moved off the damaged volume")
+		}
+		// A second pass must not erase it either.
+		res, err = e.srv.ReclaimThreshold("mover", 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VolumesReclaimed != 0 || src.Used() == 0 {
+			t.Errorf("second pass erased the quarantined source: %+v", res)
+		}
+		if st := e.srv.Stats(); st.IntegrityDetected < 1 {
+			t.Errorf("no detection recorded: %+v", st)
+		}
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/simtime"
+	"repro/internal/synthetic"
 	"repro/internal/tape"
 	"repro/internal/telemetry"
 )
@@ -62,6 +63,10 @@ type Object struct {
 	Group   string // co-location group
 	Stored  time.Duration
 	Deleted bool // logically deleted; space awaits reclamation
+	// Sum is the content digest the client recorded at store time (0 =
+	// none). It is the catalog's ground truth: recalls and scrub passes
+	// compare what tape delivers against it.
+	Sum uint64
 }
 
 // Config tunes the server.
@@ -75,6 +80,12 @@ type Config struct {
 	// path errors (drive I/O faults, a drive dying mid-session). The zero
 	// value means faults.DefaultBackoff.
 	Retry faults.Backoff
+	// VerifyOnRecall makes every recall compare the delivered digest
+	// against the catalog's, re-reading (a transient in-flight flip) or
+	// repairing from the copy pool (damaged media) on mismatch, and
+	// surfacing a typed *IntegrityError rather than wrong bytes when
+	// neither helps. Objects stored without a digest are exempt.
+	VerifyOnRecall bool
 }
 
 // DefaultConfig returns the deployment used in the paper: LAN-free over
@@ -87,6 +98,7 @@ func DefaultConfig() Config {
 		TxnParallel:     8,
 		DBScanPerObject: 2 * time.Microsecond,
 		Retry:           faults.DefaultBackoff(),
+		VerifyOnRecall:  true,
 	}
 }
 
@@ -102,6 +114,15 @@ type Stats struct {
 	// Retries counts transactions re-driven after transient drive I/O
 	// errors.
 	Retries int
+	// IntegrityDetected counts checksum mismatches caught before
+	// delivery (recall verification and scrub passes).
+	IntegrityDetected int
+	// IntegrityRepaired counts objects re-staged to a fresh primary
+	// location from the copy pool or a source copy.
+	IntegrityRepaired int
+	// IntegrityUnrepairable counts detections with no surviving good
+	// copy: the object is reported, never silently delivered.
+	IntegrityUnrepairable int
 }
 
 // Server is the TSM instance: one per archive (the paper's §6.4 single
@@ -120,6 +141,11 @@ type Server struct {
 	coloc      map[string]string // group -> current volume label
 	mounting   map[string]bool   // volume labels with a mount in flight
 	reclaiming map[string]bool   // volumes being reclaimed: never a write target
+	quarantine map[string]bool   // volumes with detected corruption: never a write target
+	copyPool   map[string]bool   // copy-storage-pool volumes: never a primary write target
+	copyOrder  []string          // copy-pool labels in insertion order
+	copies     map[uint64]copyLoc
+	onRepair   []func(Object) // notified after an object moves during repair
 	lastDrive  map[string]*tape.Drive
 	down       bool // server outage: transactions block until repair
 	stats      Stats
@@ -133,6 +159,10 @@ type Server struct {
 	ctrPathQueries *telemetry.Counter
 	ctrBytesStored *telemetry.Counter
 	ctrBytesRead   *telemetry.Counter
+	ctrDetected    *telemetry.Counter
+	ctrRepaired    *telemetry.Counter
+	ctrUnrepair    *telemetry.Counter
+	ctrStoreTaints *telemetry.Counter
 	gDown          *telemetry.Gauge
 }
 
@@ -155,6 +185,9 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 		coloc:      make(map[string]string),
 		mounting:   make(map[string]bool),
 		reclaiming: make(map[string]bool),
+		quarantine: make(map[string]bool),
+		copyPool:   make(map[string]bool),
+		copies:     make(map[uint64]copyLoc),
 		lastDrive:  make(map[string]*tape.Drive),
 	}
 	s.tel = telemetry.Of(clock)
@@ -166,6 +199,10 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 	s.ctrPathQueries = s.tel.Counter("tsm_path_queries_total")
 	s.ctrBytesStored = s.tel.Counter("tsm_bytes_stored_total")
 	s.ctrBytesRead = s.tel.Counter("tsm_bytes_read_total")
+	s.ctrDetected = s.tel.Counter("tsm_integrity_detected_total")
+	s.ctrRepaired = s.tel.Counter("tsm_integrity_repaired_total")
+	s.ctrUnrepair = s.tel.Counter("tsm_integrity_unrepairable_total")
+	s.ctrStoreTaints = s.tel.Counter("tsm_stores_corrupted_total")
 	s.gDown = s.tel.Gauge("tsm_down")
 	s.tel.GaugeFunc("tsm_objects_live", func() float64 { return float64(s.NumObjects()) })
 	return s
@@ -267,6 +304,9 @@ type StoreRequest struct {
 	FileID uint64
 	Bytes  int64
 	Group  string // co-location group ("" = none)
+	// Sum is the client-computed content digest recorded in the catalog
+	// (0 = untracked); recalls and scrub passes verify against it.
+	Sum uint64
 	// Route is the fabric path the data crosses between the client's
 	// disk and its HBA (source pool ... SAN), from fabric.Route. The
 	// tape drive itself and, when not LAN-free, the server link, are
@@ -299,6 +339,8 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 	id := s.nextID
 	var tf tape.File
 	var vol *tape.Cartridge
+	var taintCause uint64
+	var tainted bool
 	attempts := 0
 	storeErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
 		attempts = attempt
@@ -317,17 +359,17 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 			s.dropAffinity(req.Client, drive)
 			return err
 		}
-		appendErr := s.moveData(req.Bytes, req.Route, req.DataPath, func() error {
+		taintCause, tainted, err = s.moveData(req.Bytes, req.Route, req.DataPath, func() error {
 			var e error
-			tf, e = drive.Append(id, req.Bytes)
+			tf, e = drive.AppendSum(id, req.Bytes, req.Sum)
 			return e
 		})
 		s.ReleaseDrive(drive)
-		if appendErr != nil {
+		if err != nil {
 			// Drop the client's affinity to the faulting drive so the
 			// retry lands elsewhere.
 			s.dropAffinity(req.Client, drive)
-			return appendErr
+			return err
 		}
 		vol = v
 		return nil
@@ -335,6 +377,16 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 	if storeErr != nil {
 		sp.Abort(storeErr.Error(), 0)
 		return Object{}, storeErr
+	}
+	if tainted && req.Sum != 0 {
+		// The stream was silently flipped in flight: what landed on tape
+		// is not what the client sent. Nothing notices today — the store
+		// "succeeds" — but the on-media digest is mangled and the damage
+		// site tagged with its cause, so a verifying reader or the
+		// scrubber catches it later. This is the silent half of the
+		// threat model; no error, no span abort.
+		vol.CorruptFile(tf.Seq, taintCause)
+		s.ctrStoreTaints.Inc()
 	}
 	sp.SetAttr("volume", vol.Label)
 	if attempts > 1 {
@@ -353,6 +405,7 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 		Seq:    tf.Seq,
 		Group:  req.Group,
 		Stored: s.clock.Now(),
+		Sum:    req.Sum,
 	}
 	s.db[obj.ID] = obj
 	s.order = append(s.order, obj.ID)
@@ -370,8 +423,10 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 // transfer; the slower of the two gates completion (store-and-forward
 // free, cut-through streaming). Fabric routes get one coupled flow over
 // every hop — with the server link spliced in when not LAN-free; the
-// deprecated pipe-slice path keeps legacy semantics.
-func (s *Server) moveData(bytes int64, p fabric.Path, legacy []*simtime.Pipe, tapeOp func() error) error {
+// deprecated pipe-slice path keeps legacy semantics. It reports whether
+// a crossed link silently corrupted the stream in flight, and which
+// fault event armed the taint (legacy pipes carry no taint).
+func (s *Server) moveData(bytes int64, p fabric.Path, legacy []*simtime.Pipe, tapeOp func() error) (taintCause uint64, tainted bool, err error) {
 	errCh := make(chan error, 1)
 	wg := simtime.NewWaitGroup(s.clock)
 	wg.Add(1)
@@ -384,7 +439,9 @@ func (s *Server) moveData(bytes int64, p fabric.Path, legacy []*simtime.Pipe, ta
 		if !s.cfg.LANFree {
 			p = p.With(s.netLink)
 		}
-		p.Transfer(bytes)
+		fl := p.Fabric().Start(p, bytes)
+		fl.Wait()
+		taintCause, tainted = fl.Tainted()
 	case len(legacy) > 0:
 		if !s.cfg.LANFree {
 			wg.Add(1)
@@ -400,7 +457,7 @@ func (s *Server) moveData(bytes int64, p fabric.Path, legacy []*simtime.Pipe, ta
 		}
 	}
 	wg.Wait()
-	return <-errCh
+	return taintCause, tainted, <-errCh
 }
 
 // acquireDriveForWrite admits the caller to the drive pool and returns
@@ -412,7 +469,7 @@ func (s *Server) acquireDriveForWrite(client, group string, bytes int64) (*tape.
 	s.drvPool.Acquire(1)
 	// 1. Co-location: the group's current volume, wherever it is.
 	if group != "" {
-		if label, ok := s.coloc[group]; ok && !s.reclaiming[label] {
+		if label, ok := s.coloc[group]; ok && s.writeOK(label) {
 			if c, err := s.lib.Cartridge(label); err == nil && !c.ReadOnly() && c.Remaining() >= bytes {
 				d, err := s.acquireVolumeDrive(c)
 				if err != nil {
@@ -430,7 +487,7 @@ func (s *Server) acquireDriveForWrite(client, group string, bytes int64) (*tape.
 	}
 	// 2. Client affinity: the agent's own mount point.
 	if d := s.lastDrive[client]; d != nil && !d.Down() && d.TryAcquire() {
-		if m := d.Mounted(); m != nil && !m.ReadOnly() && m.Remaining() >= bytes && !s.reclaiming[m.Label] {
+		if m := d.Mounted(); m != nil && !m.ReadOnly() && m.Remaining() >= bytes && s.writeOK(m.Label) {
 			return d, m, nil
 		}
 		d.Release()
@@ -444,7 +501,7 @@ func (s *Server) acquireDriveForWrite(client, group string, bytes int64) (*tape.
 	vol := s.scratchVolume(bytes)
 	if vol == nil {
 		// 4. Last resort: reuse whatever volume the drive holds.
-		if m := d.Mounted(); m != nil && !m.ReadOnly() && m.Remaining() >= bytes && !s.reclaiming[m.Label] {
+		if m := d.Mounted(); m != nil && !m.ReadOnly() && m.Remaining() >= bytes && s.writeOK(m.Label) {
 			s.lastDrive[client] = d
 			return d, m, nil
 		}
@@ -555,7 +612,7 @@ func (s *Server) idleDrive() (*tape.Drive, error) {
 // cartridge with room for the object (nil if none).
 func (s *Server) scratchVolume(bytes int64) *tape.Cartridge {
 	for _, c := range s.lib.Cartridges() {
-		if c.ReadOnly() || c.Remaining() < bytes || s.mounting[c.Label] || s.reclaiming[c.Label] {
+		if c.ReadOnly() || c.Remaining() < bytes || s.mounting[c.Label] || !s.writeOK(c.Label) {
 			continue
 		}
 		if s.lib.MountedIn(c) == nil {
@@ -579,7 +636,12 @@ type RecallRequest struct {
 }
 
 // Recall reads an object from tape back to the client. Transient drive
-// errors are re-driven under the configured bounded backoff, like Store.
+// errors are re-driven under the configured bounded backoff, like
+// Store. With Config.VerifyOnRecall, the delivered digest is checked
+// against the catalog before the recall is allowed to succeed: a
+// mismatch walks the detect -> re-read -> copy-pool-repair ladder, and
+// an object with no surviving good copy fails with a typed
+// *IntegrityError rather than silently delivering wrong bytes.
 func (s *Server) Recall(req RecallRequest) (Object, error) {
 	s.reapDownDrives()
 	s.txn()
@@ -587,38 +649,65 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 	if !ok || obj.Deleted {
 		return Object{}, fmt.Errorf("%w: %d", ErrNoSuchObject, req.ObjectID)
 	}
-	vol, err := s.lib.Cartridge(obj.Volume)
-	if err != nil {
-		return Object{}, err
-	}
 	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.recall", "client", req.Client, "volume", obj.Volume)
-	recallErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
-		if attempt > 1 {
-			s.reapDownDrives()
-			s.stats.Retries++
-			s.ctrRetries.Inc()
-		}
-		s.drvPool.Acquire(1)
-		d, err := s.acquireVolumeDrive(vol)
+	// Each pass re-resolves the volume: a repair moves the object to a
+	// fresh primary location. Pass 2 after a clean repair (or a consumed
+	// in-flight taint) normally verifies; maxPasses bounds pathological
+	// schedules that corrupt every retransmission.
+	const maxPasses = 4
+	for pass := 1; ; pass++ {
+		vol, err := s.lib.Cartridge(obj.Volume)
 		if err != nil {
-			s.drvPool.Release(1)
-			return err
+			sp.Abort(err.Error(), 0)
+			return Object{}, err
 		}
-		d.SetTraceParent(sp)
-		if err := d.BeginSession(req.Client); err != nil {
+		var delivered, tCause, headCause uint64
+		var tainted bool
+		recallErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
+			if attempt > 1 {
+				s.reapDownDrives()
+				s.stats.Retries++
+				s.ctrRetries.Inc()
+			}
+			s.drvPool.Acquire(1)
+			d, err := s.acquireVolumeDrive(vol)
+			if err != nil {
+				s.drvPool.Release(1)
+				return err
+			}
+			d.SetTraceParent(sp)
+			if err := d.BeginSession(req.Client); err != nil {
+				s.ReleaseDrive(d)
+				return err
+			}
+			var readErr error
+			tCause, tainted, readErr = s.moveData(obj.Bytes, req.Route, req.DataPath, func() error {
+				_, sum, e := d.ReadSeqSum(obj.Seq)
+				delivered = sum
+				return e
+			})
+			headCause = d.CorruptCause()
 			s.ReleaseDrive(d)
-			return err
+			return readErr
+		}, retryable)
+		if recallErr != nil {
+			sp.Abort(recallErr.Error(), 0)
+			return Object{}, recallErr
 		}
-		readErr := s.moveData(obj.Bytes, req.Route, req.DataPath, func() error {
-			_, e := d.ReadSeq(obj.Seq)
-			return e
-		})
-		s.ReleaseDrive(d)
-		return readErr
-	}, retryable)
-	if recallErr != nil {
-		sp.Abort(recallErr.Error(), 0)
-		return Object{}, recallErr
+		if tainted && delivered != 0 {
+			delivered = synthetic.CorruptDigest(delivered)
+		}
+		retry, verr := s.verifyDelivered(req.Client, obj, vol, delivered,
+			tCause, tainted, headCause, pass >= maxPasses, "recall")
+		if verr != nil {
+			var ie *IntegrityError
+			errors.As(verr, &ie)
+			sp.Abort(verr.Error(), ie.CauseEvent)
+			return Object{}, verr
+		}
+		if !retry {
+			break
+		}
 	}
 	sp.End()
 	s.stats.Recalls++
@@ -678,29 +767,56 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 		sp.Abort(err.Error(), 0)
 		return nil, err
 	}
-	defer s.ReleaseDrive(d)
 	d.SetTraceParent(sp)
 	if err := d.BeginSession(req.Client); err != nil {
+		s.ReleaseDrive(d)
 		sp.Abort(err.Error(), 0)
 		return nil, err
 	}
 	out := make([]Object, 0, len(objs))
+	// Objects whose delivered digest fails verification are NOT returned
+	// from the stream; they re-run through the single-object recall
+	// ladder (re-read/repair/typed error) once the session is released.
+	var bad []uint64
 	for _, obj := range objs {
 		seq := obj.Seq
 		bytes := obj.Bytes
-		readErr := s.moveData(bytes, req.Route, req.DataPath, func() error {
-			_, e := d.ReadSeq(seq)
+		var delivered, tCause uint64
+		var tainted bool
+		tCause, tainted, readErr := s.moveData(bytes, req.Route, req.DataPath, func() error {
+			_, sum, e := d.ReadSeqSum(seq)
+			delivered = sum
 			return e
 		})
 		if readErr != nil {
+			s.ReleaseDrive(d)
 			sp.Abort(readErr.Error(), 0)
 			return out, readErr
+		}
+		if tainted && delivered != 0 {
+			delivered = synthetic.CorruptDigest(delivered)
+		}
+		if s.cfg.VerifyOnRecall && obj.Sum != 0 && delivered != obj.Sum {
+			s.noteDetection(obj, "recall-batch",
+				s.corruptionCause(vol, obj.Seq, tCause, tainted, d.CorruptCause()))
+			bad = append(bad, obj.ID)
+			continue
 		}
 		s.stats.Recalls++
 		s.stats.BytesRead += bytes
 		s.ctrRecalls.Inc()
 		s.ctrBytesRead.Add(float64(bytes))
 		out = append(out, *obj)
+	}
+	s.ReleaseDrive(d)
+	for _, id := range bad {
+		o, err := s.Recall(RecallRequest{Client: req.Client, ObjectID: id,
+			Route: req.Route, DataPath: req.DataPath, Parent: sp})
+		if err != nil {
+			sp.Abort(err.Error(), 0)
+			return out, err
+		}
+		out = append(out, o)
 	}
 	sp.End()
 	return out, nil
