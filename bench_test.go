@@ -10,8 +10,11 @@ package repro_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/simtime"
 )
 
 // reportAll surfaces an experiment's metrics through the benchmark
@@ -228,5 +231,66 @@ func BenchmarkReclamation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.Reclamation(2010)
 		reportAll(b, r, "live_before", "live_after", "bytes_freed_gb")
+	}
+}
+
+// BenchmarkFlowChurn measures the fabric scheduler's join/leave cost:
+// 10k flows churning across a shared trunk from 32 concurrent streams,
+// every arrival and departure re-running the max-min allocation. The
+// headline metric is flows/sec of wall-clock — the rate the paper-scale
+// campaign replay burns background-noise bursts at.
+func BenchmarkFlowChurn(b *testing.B) {
+	const (
+		streams  = 32
+		flows    = 10_000
+		perFlow  = int64(64e6)
+		capacity = 1e9
+	)
+	for i := 0; i < b.N; i++ {
+		clock := simtime.NewClock()
+		fab := fabric.New(clock)
+		trunk := fab.AddLink("trunk", capacity, "a", "b")
+		// Spread each stream over a private NIC so the allocation has
+		// multi-link structure, with the trunk as the shared bottleneck.
+		for s := 0; s < streams; s++ {
+			nic := fab.AddLink(fmt.Sprintf("nic%d", s), capacity/4, "b", fmt.Sprintf("n%d", s))
+			p, err := fab.Route("a", "", fmt.Sprintf("n%d", s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			clock.Go(func() {
+				for j := 0; j < flows/streams; j++ {
+					fab.Transfer(p, perFlow)
+				}
+			})
+			_ = nic
+		}
+		start := time.Now()
+		clock.RunFor()
+		wall := time.Since(start).Seconds()
+		b.ReportMetric(float64(flows)/wall, "flows/sec")
+		_ = trunk
+	}
+}
+
+// BenchmarkCampaignWallClock replays a 100k-file campaign (4 jobs x
+// 25k files) and reports how fast the simulator chews through it:
+// sim-seconds-per-real-second (the virtual-to-real ratio) and
+// flows/sec of wall-clock. This is the wall-clock trajectory metric the
+// E19 scale study defends at 1M-file scale.
+func BenchmarkCampaignWallClock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		reps := experiments.Campaign(experiments.CampaignParams{
+			Seed: 2010, Jobs: 4, MaxSimFiles: 25_000,
+		})
+		wall := time.Since(start).Seconds()
+		snap := reps[2].Telemetry // fig10 carries the registry snapshot
+		if snap == nil {
+			b.Fatal("campaign report carries no telemetry snapshot")
+		}
+		b.ReportMetric(wall, "wall-sec/campaign")
+		b.ReportMetric(snap.At.Seconds()/wall, "sim-sec/real-sec")
+		b.ReportMetric(snap.Value("fabric_flows_started_total")/wall, "flows/sec")
 	}
 }

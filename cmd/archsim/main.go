@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,8 +44,25 @@ func main() {
 	flightPath := flag.String("flight-record", "", "write the run's flight-recorder dump (recent spans and events) as JSON to this file, including on invariant-violation crashes")
 	scrubPath := flag.String("scrub-report", "", "write the run's tape-scrubber pass reports as JSON to this file (the integrity experiment produces them)")
 	metricsText := flag.Bool("metrics-text", false, "print each experiment's telemetry registry in Prometheus text exposition format")
+	scaleJSON := flag.String("scale-json", "", "with -exp scale, write the wall-clock benchmark metrics as JSON to this file")
+	wallCeiling := flag.Float64("wall-ceiling", 0, "with -exp scale, exit nonzero if the paper-scale run's wall clock exceeds this many seconds (CI regression tripwire)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
@@ -126,6 +145,92 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *scaleJSON != "" {
+		if err := writeScaleJSON(*scaleJSON, *seed, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: scale:", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		if err := writeMemProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: memprofile:", err)
+			os.Exit(1)
+		}
+	}
+	if *wallCeiling > 0 {
+		// Exit paths skip deferred cleanup, so close the CPU profile
+		// before tripping (StopCPUProfile is a no-op when idle).
+		pprof.StopCPUProfile()
+		if err := checkWallCeiling(*wallCeiling, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMemProfile snapshots the heap after a forced GC so the profile
+// reflects live objects, not garbage awaiting collection.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+	return nil
+}
+
+// scaleFile is the schema of the file -scale-json writes: the E19
+// wall-clock benchmark trajectory (CI archives it per commit as
+// BENCH_scale.json).
+type scaleFile struct {
+	Schema  string             `json:"schema"`
+	Seed    int64              `json:"seed"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeScaleJSON persists the scale experiment's metrics — wall-clock
+// seconds, virtual-to-real ratio, peak RSS, flows per second — so the
+// repo accumulates a machine-readable wall-clock trajectory alongside
+// the virtual-throughput one from -bench-json.
+func writeScaleJSON(path string, seed int64, reports []experiments.Report) error {
+	for _, r := range reports {
+		if r.Name != "scale" {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(scaleFile{Schema: "archsim-scale/v1", Seed: seed, Metrics: r.Metrics}); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+		return nil
+	}
+	return fmt.Errorf("no scale report in this run (use -exp scale)")
+}
+
+// checkWallCeiling fails the run if the scale experiment's wall clock
+// blew past the ceiling — the CI tripwire for wall-clock regressions.
+func checkWallCeiling(ceiling float64, reports []experiments.Report) error {
+	for _, r := range reports {
+		if r.Name != "scale" {
+			continue
+		}
+		if w := r.Metrics["wall_seconds"]; w > ceiling {
+			return fmt.Errorf("scale: wall clock %.1fs exceeds ceiling %.1fs", w, ceiling)
+		}
+		return nil
+	}
+	return fmt.Errorf("wall-ceiling: no scale report in this run (use -exp scale)")
 }
 
 // scrubFile is the schema of the file -scrub-report writes: every

@@ -122,7 +122,7 @@ func Names() []string {
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
 		"ablation-lanfree", "reclaim", "fabric", "chaos", "obs",
-		"integrity", "all",
+		"integrity", "scale", "all",
 	}
 }
 
@@ -169,6 +169,8 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{ObservabilitySelfCheck(seed)}, nil
 	case "integrity":
 		return []Report{IntegrityStudy(seed)}, nil
+	case "scale":
+		return []Report{ScaleStudy(seed)}, nil
 	case "all":
 		return All(seed), nil
 	default:

@@ -32,6 +32,7 @@ package fabric
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/simtime"
@@ -75,6 +76,26 @@ type Fabric struct {
 	gen   uint64 // completion-timer generation
 	last  simtime.Duration
 
+	cancelTimer *bool            // handle canceling the armed completion timer, if any
+	timerAt     simtime.Duration // deadline of the armed timer (fastRearm's min)
+	timerFn     func(uint64)     // standing onTimer method value (no per-rearm closure)
+
+	// Incremental-recompute state: epoch stamps the component walk,
+	// fullRecompute forces every component to re-solve on every event
+	// (the FABRIC_FULL_RECOMPUTE debug mode), and the slices below are
+	// reusable scratch so the hot path allocates nothing.
+	epoch           uint64
+	solveID         uint64 // distinguishes components gathered within one epoch
+	fullRecompute   bool
+	compFlows       []*Flow
+	compLinks       []*Link
+	scratchA        []*Flow
+	scratchB        []*Flow
+	seedLinks       []*Link
+	drainQ          []*Flow // streams drained this instant, awaiting finalize
+	finalizePending bool
+	finalizeFn      func() // cached finalizeStreams method value
+
 	// Flow counters, resolved lazily on first Start: New may run inside
 	// clock.Attach (Of), where telemetry.Of would deadlock on the clock
 	// mutex; Start always runs from plain actor context.
@@ -91,6 +112,9 @@ func New(clock *simtime.Clock) *Fabric {
 		clock: clock,
 		adj:   make(map[string][]edge),
 		links: make(map[string]*Link),
+		// The env switch turns every recompute into a full one, for
+		// byte-identical cross-checks against the incremental scheduler.
+		fullRecompute: os.Getenv("FABRIC_FULL_RECOMPUTE") != "",
 	}
 }
 
@@ -122,7 +146,7 @@ func (f *Fabric) AddLink(name string, capacity float64, a, b string) *Link {
 		}
 		name = fmt.Sprintf("%s#%d", base, i)
 	}
-	l := &Link{fab: f, name: name, capacity: capacity, nominal: capacity}
+	l := &Link{fab: f, name: name, id: len(f.order), capacity: capacity, nominal: capacity}
 	f.links[name] = l
 	f.order = append(f.order, l)
 	f.connect(a, b, l)
@@ -315,8 +339,22 @@ func (p Path) Transfer(n int64) {
 type Link struct {
 	fab      *Fabric
 	name     string
+	id       int // creation index: deterministic solver iteration order
 	capacity float64
 	nominal  float64 // capacity before degradation, restored on repair
+
+	// crossing lists the flows currently crossing the link (one entry
+	// per flow, multiplicity lives on the flow's cross record) with
+	// crossIdx pointing back at each flow's cross slot — the adjacency
+	// the incremental scheduler walks to find a change's connected
+	// component. load and capLeft are that solver's per-link scratch;
+	// mark stamps the component walk.
+	crossing []*Flow
+	crossIdx []int
+	load     float64
+	capLeft  float64
+	mark     uint64
+	comp     uint64 // component-gather stamp (see Fabric.solveID)
 
 	// Accounting (updated at settle points).
 	bytes    float64          // cumulative bytes carried
@@ -372,7 +410,7 @@ func (l *Link) SetCapacity(v float64) {
 	f := l.fab
 	f.settle()
 	l.capacity = v
-	f.recompute()
+	f.recomputeLinks([]*Link{l})
 	f.rearm()
 }
 
@@ -396,6 +434,13 @@ func (l *Link) ArmedCorruptions() int { return len(l.corruptQ) }
 // the single-hop convenience for background noise and tests.
 func (l *Link) Transfer(n int64) {
 	l.fab.Transfer(Path{fab: l.fab, links: []*Link{l}}, n)
+}
+
+// Stream opens a persistent single-hop stream across the link — the
+// coalesced form of repeated Transfer calls (background noise loops use
+// it so each burst costs O(1) instead of a join/leave recompute pair).
+func (l *Link) Stream(opts ...Option) *Flow {
+	return l.fab.Stream(Path{fab: l.fab, links: []*Link{l}}, opts...)
 }
 
 // Stats returns a settled snapshot of the link's accounting.

@@ -13,18 +13,33 @@ import (
 // or a link capacity changes; between those events the flow needs no
 // bookkeeping, so a petabyte transfer costs O(1) events like a
 // simtime.Pipe transfer.
+//
+// A Flow is either one-shot (Start ... Wait) or a persistent stream
+// (Stream ... Send ... Send ... Close): a stream stays allocated across
+// back-to-back segments, so a worker pumping thousands of small batches
+// over one route pays for one fair-share recompute instead of two per
+// batch. Each Send is accounted exactly like a one-shot flow would be —
+// same counters, same taint consumption, same per-link byte and busy
+// accounting — so the virtual-time results are identical.
 type Flow struct {
 	fab   *Fabric
 	seq   uint64
 	path  []*Link     // hops in order, repeats included
 	cross []linkCross // unique links with crossing multiplicity
+	pos   []int       // index of this flow in cross[i].link.crossing
 
 	bytes     float64
 	remaining float64
 	rate      float64 // current allocation, bytes/s
 	capRate   float64 // per-flow stream cap; 0 = uncapped
 	done      bool
-	q         *simtime.Queue // completion mailbox: Wait pops, the timer pushes
+	mark      uint64        // component-walk epoch (solver scratch)
+	comp      uint64        // component-gather stamp (solver scratch)
+	waitGate  simtime.Latch // completion gate (reset per stream segment)
+
+	persistent bool // long-lived stream: Send extends, drain pauses lazily
+	inFlows    bool // member of fab.flows and the link crossing lists
+	draining   bool // segment drained; instant-end finalize will pause it
 
 	tainted    bool   // a crossed link silently corrupted the stream
 	taintCause uint64 // fault event ID that armed the corruption
@@ -62,19 +77,64 @@ const completionEps = 1.0
 // makes forward progress instead of wedging virtual time.
 const minRate = 1.0
 
-// Start launches a flow of n bytes along the path and returns without
-// blocking; Wait blocks until it completes. Zero-byte flows and empty
-// paths (co-located endpoints) complete immediately. Must be called
-// from actor context.
-func (f *Fabric) Start(p Path, n int64, opts ...Option) *Flow {
+// counters resolves the flow counters lazily: New may run inside
+// clock.Attach (Of), where telemetry.Of would deadlock on the clock
+// mutex; Start and Send always run from plain actor context.
+func (f *Fabric) counters() {
 	if f.ctrFlowsStarted == nil {
 		tel := telemetry.Of(f.clock)
 		f.ctrFlowsStarted = tel.Counter("fabric_flows_started_total")
 		f.ctrFlowsCompleted = tel.Counter("fabric_flows_completed_total")
 		f.ctrFlowsCorrupted = tel.Counter("fabric_flows_corrupted_total")
 	}
+}
+
+// buildCross fills path/cross/pos from a resolved route. Paths are a
+// handful of hops, so the duplicate scan is linear, not a map.
+func (fl *Flow) buildCross(links []*Link) {
+	fl.path = append([]*Link(nil), links...)
+	for _, l := range fl.path {
+		found := -1
+		for i := range fl.cross {
+			if fl.cross[i].link == l {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			fl.cross[found].k++
+			continue
+		}
+		fl.cross = append(fl.cross, linkCross{link: l, k: 1})
+	}
+	fl.pos = make([]int, len(fl.cross))
+}
+
+// consumeTaint consumes at most one armed silent corruption from the
+// links the flow crosses, in path order — the per-flow (or, for
+// streams, per-segment) half of Link.ArmCorrupt.
+func (fl *Flow) consumeTaint() {
+	fl.tainted, fl.taintCause = false, 0
+	for i := range fl.cross {
+		l := fl.cross[i].link
+		if len(l.corruptQ) > 0 {
+			fl.taintCause = l.corruptQ[0]
+			l.corruptQ = l.corruptQ[1:]
+			fl.tainted = true
+			fl.fab.ctrFlowsCorrupted.Inc()
+			return
+		}
+	}
+}
+
+// Start launches a flow of n bytes along the path and returns without
+// blocking; Wait blocks until it completes. Zero-byte flows and empty
+// paths (co-located endpoints) complete immediately. Must be called
+// from actor context.
+func (f *Fabric) Start(p Path, n int64, opts ...Option) *Flow {
+	f.counters()
 	f.ctrFlowsStarted.Inc()
-	fl := &Flow{fab: f, bytes: float64(n), remaining: float64(n), q: simtime.NewQueue(f.clock)}
+	fl := &Flow{fab: f, bytes: float64(n), remaining: float64(n), waitGate: simtime.MakeLatch(f.clock)}
 	for _, o := range opts {
 		o(fl)
 	}
@@ -82,41 +142,146 @@ func (f *Fabric) Start(p Path, n int64, opts ...Option) *Flow {
 		fl.remaining = 0
 		fl.done = true
 		f.ctrFlowsCompleted.Inc()
-		fl.q.Push(nil)
+		fl.waitGate.Signal()
 		return fl
 	}
 	if p.fab != f {
 		panic("fabric: Start with a path from a different fabric")
 	}
-	fl.path = append([]*Link(nil), p.links...)
-	idx := make(map[*Link]int, len(fl.path))
-	for _, l := range fl.path {
-		if i, ok := idx[l]; ok {
-			fl.cross[i].k++
-			continue
-		}
-		idx[l] = len(fl.cross)
-		fl.cross = append(fl.cross, linkCross{link: l, k: 1})
-		if !fl.tainted && len(l.corruptQ) > 0 {
-			fl.taintCause = l.corruptQ[0]
-			l.corruptQ = l.corruptQ[1:]
-			fl.tainted = true
-			f.ctrFlowsCorrupted.Inc()
-		}
-	}
+	fl.buildCross(p.links)
+	fl.consumeTaint()
 	f.settle()
+	f.join(fl)
+	f.recomputeFlow(fl)
+	f.rearm()
+	return fl
+}
+
+// Stream opens a persistent flow along the path: it holds no allocation
+// until Send pushes a segment through it, and between segments that end
+// at different instants it leaves the allocation entirely (lazy pause —
+// an idle stream steals no share). One segment may be in flight at a
+// time; Send blocks until its segment drains.
+func (f *Fabric) Stream(p Path, opts ...Option) *Flow {
+	fl := &Flow{fab: f, persistent: true, waitGate: simtime.MakeLatch(f.clock)}
+	for _, o := range opts {
+		o(fl)
+	}
+	if len(p.links) > 0 {
+		if p.fab != f {
+			panic("fabric: Stream with a path from a different fabric")
+		}
+		fl.buildCross(p.links)
+	}
+	return fl
+}
+
+// Send pushes n more bytes through the stream and blocks the calling
+// actor until they drain, reporting whether a crossed link silently
+// corrupted this segment (and which fault event armed it). Each Send is
+// one flow's worth of accounting: the started/completed counters, the
+// corruption queue, and the per-link active/peak numbers all see it
+// exactly as they would a one-shot Start/Wait.
+func (fl *Flow) Send(n int64) (causeEvent uint64, tainted bool) {
+	f := fl.fab
+	if !fl.persistent {
+		panic("fabric: Send on a one-shot flow")
+	}
+	if fl.done {
+		panic("fabric: Send on a closed stream")
+	}
+	f.counters()
+	f.ctrFlowsStarted.Inc()
+	if n <= 0 || len(fl.cross) == 0 {
+		fl.tainted, fl.taintCause = false, 0
+		f.ctrFlowsCompleted.Inc()
+		return 0, false
+	}
+	fl.consumeTaint()
+	f.settle()
+	fl.bytes += float64(n)
+	fl.remaining += float64(n)
+	fl.waitGate = simtime.MakeLatch(f.clock)
+	switch {
+	case fl.draining:
+		// Re-extended within the drain instant: the stream never left
+		// the allocation, so its rate (and everyone else's) is already
+		// right — no recompute, just restore the active accounting and
+		// re-arm for the new horizon. This is the fast path that makes
+		// back-to-back small segments O(1).
+		fl.draining = false
+		for i := range fl.cross {
+			l := fl.cross[i].link
+			l.active++
+			if l.active > l.peak {
+				l.peak = l.active
+			}
+		}
+		f.fastRearm(fl)
+	case !fl.inFlows:
+		// Paused (or first Send): join the allocation like a fresh flow.
+		f.join(fl)
+		f.recomputeFlow(fl)
+		f.rearm()
+	default:
+		panic("fabric: concurrent Send on one stream")
+	}
+	fl.waitGate.Wait()
+	return fl.taintCause, fl.tainted
+}
+
+// Close marks the stream finished. It must not be called with a segment
+// in flight (Send blocks until drain, so serial callers are safe).
+func (fl *Flow) Close() {
+	if !fl.persistent || fl.done {
+		return
+	}
+	if fl.remaining > 0 {
+		panic("fabric: Close with a segment in flight")
+	}
+	fl.done = true
+}
+
+// join adds the flow to the active set and the per-link crossing lists.
+// Streams get a fresh seq per activation, so the solver sees them in
+// the same arrival order a one-shot flow would have.
+func (f *Fabric) join(fl *Flow) {
 	f.seq++
 	fl.seq = f.seq
 	f.flows = append(f.flows, fl)
-	for _, c := range fl.cross {
-		c.link.active++
-		if c.link.active > c.link.peak {
-			c.link.peak = c.link.active
+	fl.inFlows = true
+	for i := range fl.cross {
+		l := fl.cross[i].link
+		fl.pos[i] = len(l.crossing)
+		l.crossing = append(l.crossing, fl)
+		l.crossIdx = append(l.crossIdx, i)
+		l.active++
+		if l.active > l.peak {
+			l.peak = l.active
 		}
 	}
-	f.recompute()
-	f.rearm()
-	return fl
+}
+
+// unlink removes the flow from the per-link crossing lists
+// (swap-remove; the moved flow's back-pointer is patched). The caller
+// handles f.flows membership and the active counters.
+func (f *Fabric) unlink(fl *Flow) {
+	for i := range fl.cross {
+		l := fl.cross[i].link
+		j := fl.pos[i]
+		last := len(l.crossing) - 1
+		if j != last {
+			moved := l.crossing[last]
+			mi := l.crossIdx[last]
+			l.crossing[j] = moved
+			l.crossIdx[j] = mi
+			moved.pos[mi] = j
+		}
+		l.crossing[last] = nil
+		l.crossing = l.crossing[:last]
+		l.crossIdx = l.crossIdx[:last]
+	}
+	fl.inFlows = false
 }
 
 // Transfer moves n bytes along the path, blocking the calling actor
@@ -125,13 +290,14 @@ func (f *Fabric) Transfer(p Path, n int64, opts ...Option) {
 	f.Start(p, n, opts...).Wait()
 }
 
-// Wait blocks the calling actor until the flow completes.
-func (fl *Flow) Wait() { fl.q.Pop() }
+// Wait blocks the calling actor until the flow (or, for a stream, the
+// current segment) completes.
+func (fl *Flow) Wait() { fl.waitGate.Wait() }
 
-// Done reports whether the flow has completed.
+// Done reports whether the flow has completed (streams: closed).
 func (fl *Flow) Done() bool { return fl.done }
 
-// Bytes reports the flow's total size.
+// Bytes reports the flow's total size (streams: cumulative bytes sent).
 func (fl *Flow) Bytes() int64 { return int64(fl.bytes) }
 
 // Rate reports the flow's current max-min allocation in bytes/second.
@@ -147,9 +313,10 @@ func (fl *Flow) Tainted() (causeEvent uint64, ok bool) {
 
 // Transferred reports bytes moved so far, settled to the present — the
 // pull-style progress source pftool's WatchDog samples (a single flow
-// spanning a whole file generates no events of its own to push).
+// spanning a whole file generates no events of its own to push). For a
+// stream it is cumulative across segments.
 func (fl *Flow) Transferred() int64 {
-	if !fl.done {
+	if !fl.done && fl.inFlows {
 		fl.fab.settle()
 	}
 	return int64(fl.bytes - fl.remaining)
@@ -174,8 +341,8 @@ func (f *Fabric) settle() {
 			delta = fl.remaining
 		}
 		fl.remaining -= delta
-		for _, c := range fl.cross {
-			c.link.bytes += delta * float64(c.k)
+		for i := range fl.cross {
+			fl.cross[i].link.bytes += delta * float64(fl.cross[i].k)
 		}
 	}
 	for _, l := range f.order {
@@ -186,52 +353,152 @@ func (f *Fabric) settle() {
 	}
 }
 
-// recompute reruns progressive-filling max-min fairness over the active
-// flows: repeatedly find the tightest constraint — the link with the
-// smallest capacity-left / crossings share, or a flow cap below it —
-// freeze the flows it binds at that rate, subtract them, and continue.
-// Link iteration follows creation order and flows stay in arrival
-// order, so allocations are deterministic.
-func (f *Fabric) recompute() {
-	if len(f.flows) == 0 {
+// SetFullRecompute switches the scheduler between incremental
+// (component-scoped) and full recomputes. Full mode solves every
+// connected component on every membership or capacity event — the
+// FABRIC_FULL_RECOMPUTE debug mode the equivalence tests compare
+// against. Both modes run the identical canonical per-component solver,
+// so their allocations are bit-for-bit the same.
+func (f *Fabric) SetFullRecompute(on bool) { f.fullRecompute = on }
+
+// recomputeFlow recomputes the connected component the flow belongs to
+// (or everything, in full mode).
+func (f *Fabric) recomputeFlow(fl *Flow) {
+	if f.fullRecompute {
+		f.recomputeAll()
 		return
 	}
-	load := make(map[*Link]float64)
-	capLeft := make(map[*Link]float64)
+	if len(fl.cross) == 0 {
+		return
+	}
+	f.epoch++
+	f.solveComponentFrom(fl.cross[0].link)
+}
+
+// recomputeLinks recomputes every component touching the seed links.
+func (f *Fabric) recomputeLinks(seeds []*Link) {
+	if f.fullRecompute {
+		f.recomputeAll()
+		return
+	}
+	f.epoch++
+	for _, l := range seeds {
+		f.solveComponentFrom(l)
+	}
+}
+
+// recomputeAll solves every connected component, in arrival order of
+// each component's first flow. Incremental recomputes run the same
+// per-component solver, so skipping untouched components changes no
+// allocation: a deterministic solver over unchanged inputs returns the
+// rates those flows already have.
+func (f *Fabric) recomputeAll() {
+	f.epoch++
 	for _, fl := range f.flows {
-		for _, c := range fl.cross {
-			load[c.link] += float64(c.k)
+		if fl.mark != f.epoch && len(fl.cross) > 0 {
+			f.solveComponentFrom(fl.cross[0].link)
 		}
 	}
-	for l := range load {
-		capLeft[l] = l.capacity
+}
+
+// solveComponentFrom gathers the connected component of the flow/link
+// sharing graph reachable from seed (skipping it if this epoch already
+// solved it) and runs the canonical max-min solver on it: flows in
+// arrival (seq) order, links in creation (id) order — the same
+// deterministic iteration the global recompute used, restricted to the
+// component. The BFS only stamps epoch marks; the canonical order is
+// recovered by filtering f.flows (kept seq-ascending by join/filter)
+// and f.order (id-ascending by construction), so no sort is needed.
+func (f *Fabric) solveComponentFrom(seed *Link) {
+	if seed.mark == f.epoch {
+		return
+	}
+	f.solveID++
+	seed.mark, seed.comp = f.epoch, f.solveID
+	f.compLinks = append(f.compLinks[:0], seed)
+	nflows := 0
+	for i := 0; i < len(f.compLinks); i++ {
+		for _, fl := range f.compLinks[i].crossing {
+			if fl.comp == f.solveID {
+				continue
+			}
+			fl.mark, fl.comp = f.epoch, f.solveID
+			nflows++
+			for j := range fl.cross {
+				l := fl.cross[j].link
+				if l.comp != f.solveID {
+					l.mark, l.comp = f.epoch, f.solveID
+					f.compLinks = append(f.compLinks, l)
+				}
+			}
+		}
+	}
+	if nflows == 0 {
+		return
+	}
+	f.compFlows = f.compFlows[:0]
+	for _, fl := range f.flows {
+		if fl.comp == f.solveID {
+			f.compFlows = append(f.compFlows, fl)
+		}
+	}
+	nlinks := len(f.compLinks)
+	f.compLinks = f.compLinks[:0]
+	for _, l := range f.order {
+		if l.comp == f.solveID {
+			f.compLinks = append(f.compLinks, l)
+			if len(f.compLinks) == nlinks {
+				break
+			}
+		}
+	}
+	f.solve(f.compFlows, f.compLinks)
+}
+
+// solve reruns progressive-filling max-min fairness over one component:
+// repeatedly find the tightest constraint — the link with the smallest
+// capacity-left / crossings share, or a flow cap below it — freeze the
+// flows it binds at that rate, subtract them, and continue. The link
+// scratch lives on the Link itself (no maps), which is most of the
+// solver's former cost at campaign scale.
+func (f *Fabric) solve(flows []*Flow, links []*Link) {
+	for _, l := range links {
+		l.load = 0
+		l.capLeft = l.capacity
+	}
+	for _, fl := range flows {
+		for i := range fl.cross {
+			fl.cross[i].link.load += float64(fl.cross[i].k)
+		}
 	}
 	freeze := func(fl *Flow, r float64) {
-		for _, c := range fl.cross {
-			capLeft[c.link] -= r * float64(c.k)
-			if capLeft[c.link] < 0 {
-				capLeft[c.link] = 0
+		for i := range fl.cross {
+			l := fl.cross[i].link
+			l.capLeft -= r * float64(fl.cross[i].k)
+			if l.capLeft < 0 {
+				l.capLeft = 0
 			}
-			load[c.link] -= float64(c.k)
+			l.load -= float64(fl.cross[i].k)
 		}
 		if r < minRate {
 			r = minRate
 		}
 		fl.rate = r
 	}
-	unfrozen := append([]*Flow(nil), f.flows...)
+	unfrozen := append(f.scratchA[:0], flows...)
+	spare := f.scratchB[:0]
 	for len(unfrozen) > 0 {
 		share := math.Inf(1)
-		for _, l := range f.order {
-			if w := load[l]; w > 0 {
-				if s := capLeft[l] / w; s < share {
+		for _, l := range links {
+			if l.load > 0 {
+				if s := l.capLeft / l.load; s < share {
 					share = s
 				}
 			}
 		}
 		// Flow caps tighter than the link share bind first: freeze those
 		// flows at their cap and refill the slack they leave behind.
-		var next []*Flow
+		next := spare[:0]
 		for _, fl := range unfrozen {
 			if fl.capRate > 0 && fl.capRate <= share {
 				freeze(fl, fl.capRate)
@@ -240,7 +507,7 @@ func (f *Fabric) recompute() {
 			}
 		}
 		if len(next) < len(unfrozen) {
-			unfrozen = next
+			unfrozen, spare = next, unfrozen[:0]
 			continue
 		}
 		// No cap binds: the bottleneck link(s) do. Freeze every flow
@@ -248,11 +515,12 @@ func (f *Fabric) recompute() {
 		// leaves the bottleneck's ratio at exactly the share, so a single
 		// pass with a drift tolerance freezes the whole binding set.
 		const tol = 1 + 1e-9
-		var keep []*Flow
+		keep := spare[:0]
 		for _, fl := range unfrozen {
 			binding := false
-			for _, c := range fl.cross {
-				if w := load[c.link]; w > 0 && capLeft[c.link]/w <= share*tol {
+			for i := range fl.cross {
+				l := fl.cross[i].link
+				if l.load > 0 && l.capLeft/l.load <= share*tol {
 					binding = true
 					break
 				}
@@ -269,54 +537,158 @@ func (f *Fabric) recompute() {
 			for _, fl := range keep {
 				freeze(fl, share)
 			}
-			keep = nil
+			keep = keep[:0]
 		}
-		unfrozen = keep
+		unfrozen, spare = keep, unfrozen[:0]
 	}
+	f.scratchA, f.scratchB = unfrozen[:0], spare[:0]
 }
 
 // rearm schedules the fabric's single completion timer for the
-// earliest-finishing flow. Generation counters invalidate timers made
-// stale by membership or rate changes.
+// earliest-finishing flow. The previous timer is canceled (feeding the
+// clock's heap compaction); generation counters still invalidate timers
+// a best-effort cancel missed.
 func (f *Fabric) rearm() {
 	f.gen++
-	if len(f.flows) == 0 {
-		return
+	if f.cancelTimer != nil {
+		f.clock.CancelCallback(f.cancelTimer)
+		f.cancelTimer = nil
 	}
 	earliest := math.Inf(1)
 	for _, fl := range f.flows {
+		if fl.remaining <= 0 {
+			continue // drained stream awaiting the instant-end pause
+		}
 		if t := fl.remaining / fl.rate; t < earliest {
 			earliest = t
 		}
 	}
-	gen := f.gen
+	if math.IsInf(earliest, 1) {
+		return
+	}
 	// +1ns guarantees forward progress when float rounding makes the
 	// computed horizon vanish (mirrors simtime.Pipe).
-	f.clock.At(f.clock.Now()+simtime.Duration(earliest*1e9)+1, func() {
-		f.onTimer(gen)
-	})
+	if f.timerFn == nil {
+		f.timerFn = f.onTimer
+	}
+	f.timerAt = f.clock.Now() + simtime.Duration(earliest*1e9) + 1
+	f.cancelTimer = f.clock.CallbackArg(f.timerAt, f.timerFn, f.gen)
+}
+
+// fastRearm re-arms the completion timer after a same-instant stream
+// re-extension. No rate changed, so every other flow's horizon is
+// exactly what the armed timer already covers; the new earliest is the
+// minimum of the armed deadline and this flow's own — an O(1) update
+// instead of rearm's scan over every active flow. (Duration conversion
+// is monotonic, so taking the minimum after converting each horizon
+// matches rearm's convert-after-min bit for bit.)
+func (f *Fabric) fastRearm(fl *Flow) {
+	if fl.rate <= 0 {
+		return // no horizon of its own; the armed timer still stands
+	}
+	at := f.clock.Now() + simtime.Duration(fl.remaining/fl.rate*1e9) + 1
+	if f.cancelTimer != nil && f.timerAt <= at {
+		return
+	}
+	f.gen++
+	if f.cancelTimer != nil {
+		f.clock.CancelCallback(f.cancelTimer)
+	}
+	if f.timerFn == nil {
+		f.timerFn = f.onTimer
+	}
+	f.timerAt = at
+	f.cancelTimer = f.clock.CallbackArg(at, f.timerFn, f.gen)
 }
 
 // onTimer fires at a completion instant: settle, release every finished
 // flow (crediting its residual sub-epsilon bytes so per-link accounting
-// conserves bytes exactly), recompute, re-arm.
+// conserves bytes exactly), recompute what changed, re-arm. Drained
+// streams are signaled but stay in the allocation until the instant
+// ends: if the owner extends them again at this instant (the
+// back-to-back small-file case) nothing recomputes at all; otherwise
+// the instant-end finalize pauses them before any time passes.
 func (f *Fabric) onTimer(gen uint64) {
 	if gen != f.gen {
 		return // stale: membership or rates changed since it was armed
 	}
+	f.cancelTimer = nil
 	f.settle()
+	f.seedLinks = f.seedLinks[:0]
 	live := f.flows[:0]
 	for _, fl := range f.flows {
-		if fl.remaining <= completionEps {
-			for _, c := range fl.cross {
-				c.link.bytes += fl.remaining * float64(c.k)
-				c.link.active--
+		if fl.draining || fl.remaining > completionEps {
+			live = append(live, fl)
+			continue
+		}
+		for i := range fl.cross {
+			l := fl.cross[i].link
+			l.bytes += fl.remaining * float64(fl.cross[i].k)
+			l.active--
+		}
+		fl.remaining = 0
+		f.ctrFlowsCompleted.Inc()
+		if fl.persistent {
+			fl.draining = true
+			f.drainQ = append(f.drainQ, fl)
+			if !f.finalizePending {
+				f.finalizePending = true
+				if f.finalizeFn == nil {
+					f.finalizeFn = f.finalizeStreams
+				}
+				f.clock.AtInstantEnd(f.finalizeFn)
 			}
-			fl.remaining = 0
-			fl.done = true
-			f.ctrFlowsCompleted.Inc()
-			fl.q.Push(nil)
-		} else {
+			fl.waitGate.Signal()
+			live = append(live, fl)
+			continue
+		}
+		fl.done = true
+		f.unlink(fl)
+		for i := range fl.cross {
+			f.seedLinks = append(f.seedLinks, fl.cross[i].link)
+		}
+		fl.waitGate.Signal()
+	}
+	for i := len(live); i < len(f.flows); i++ {
+		f.flows[i] = nil
+	}
+	f.flows = live
+	if len(f.seedLinks) > 0 {
+		f.recomputeLinks(f.seedLinks)
+	}
+	f.rearm()
+}
+
+// finalizeStreams runs at the end of the instant a stream drained in:
+// any stream still idle leaves the allocation now, before virtual time
+// advances, so the shares it was holding are redistributed with zero
+// elapsed time at the interim rates — byte-for-byte what removing it at
+// drain time would have produced, minus the recompute churn.
+func (f *Fabric) finalizeStreams() {
+	f.finalizePending = false
+	f.seedLinks = f.seedLinks[:0]
+	changed := false
+	for _, fl := range f.drainQ {
+		if !fl.draining {
+			continue // re-extended before the instant ended
+		}
+		fl.draining = false
+		f.unlink(fl)
+		for i := range fl.cross {
+			f.seedLinks = append(f.seedLinks, fl.cross[i].link)
+		}
+		changed = true
+	}
+	for i := range f.drainQ {
+		f.drainQ[i] = nil
+	}
+	f.drainQ = f.drainQ[:0]
+	if !changed {
+		return
+	}
+	live := f.flows[:0]
+	for _, fl := range f.flows {
+		if fl.inFlows {
 			live = append(live, fl)
 		}
 	}
@@ -324,6 +696,6 @@ func (f *Fabric) onTimer(gen uint64) {
 		f.flows[i] = nil
 	}
 	f.flows = live
-	f.recompute()
+	f.recomputeLinks(f.seedLinks)
 	f.rearm()
 }

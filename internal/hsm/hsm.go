@@ -334,13 +334,21 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 // has been stored) comes back as leftover for reassignment.
 func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info, parent *telemetry.Span) (nfiles int, nbytes int64, naggs int, leftover []pfs.Info, err error) {
 	pool := e.fs.DefaultPool()
+	// One persistent stream carries every store of this share: each
+	// object is a segment of the same long-lived flow, so a
+	// hundred-thousand-file share costs one fair-share admission
+	// instead of one per file.
+	stream := e.srv.NewStream(e.route(node))
+	if stream != nil {
+		defer stream.Close()
+	}
 	var bundle []pfs.Info
 	var bundleBytes int64
 	flush := func() error {
 		if len(bundle) == 0 {
 			return nil
 		}
-		if err := e.storeAggregate(node, pool, bundle, bundleBytes, parent); err != nil {
+		if err := e.storeAggregate(node, pool, stream, bundle, bundleBytes, parent); err != nil {
 			return err
 		}
 		nfiles += len(bundle)
@@ -364,7 +372,7 @@ func (e *Engine) migrateOnNode(node *cluster.Node, files []pfs.Info, parent *tel
 			}
 			continue
 		}
-		if err := e.storeSingle(node, pool, f, parent); err != nil {
+		if err := e.storeSingle(node, pool, stream, f, parent); err != nil {
 			return nfiles, nbytes, naggs, nil, err
 		}
 		nfiles++
@@ -456,7 +464,7 @@ func (e *Engine) verifyRestored(path string) error {
 }
 
 // storeSingle stores one file as one tape object and stubs it.
-func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info, parent *telemetry.Span) error {
+func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, stream *fabric.Flow, f pfs.Info, parent *telemetry.Span) error {
 	sum := e.contentSum(f.Path)
 	obj, err := e.srv.Store(tsm.StoreRequest{
 		Client: node.Name,
@@ -467,6 +475,7 @@ func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info, par
 		Group:  e.cfg.Group,
 		Sum:    sum,
 		Route:  e.route(node),
+		Stream: stream,
 		Parent: parent,
 	})
 	if err != nil {
@@ -483,7 +492,7 @@ func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, f pfs.Info, par
 // is stubbed; the aggregate index remembers where members live. The
 // bundle's catalog digest folds the member digests in bundle order, so
 // damage to any slice of the aggregate changes the whole-object sum.
-func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pfs.Info, total int64, parent *telemetry.Span) error {
+func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, stream *fabric.Flow, members []pfs.Info, total int64, parent *telemetry.Span) error {
 	memberSums := make([]uint64, len(members))
 	var sum uint64
 	for i, m := range members {
@@ -499,6 +508,7 @@ func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, members []pf
 		Group:  e.cfg.Group,
 		Sum:    sum,
 		Route:  e.route(node),
+		Stream: stream,
 		Parent: parent,
 	})
 	if err != nil {

@@ -165,7 +165,8 @@ type FS struct {
 	ns      *vfs.FS
 	pools   map[string]*Pool
 	order   []string
-	meta    map[vfs.FileID]*fileMeta
+	meta    []*fileMeta // index = vfs.FileID (dense, never reused)
+	metaPot []fileMeta  // chunked arena behind meta (stable pointers)
 	metaRes *simtime.Resource
 }
 
@@ -183,7 +184,7 @@ func New(clock *simtime.Clock, cfg Config) *FS {
 		cfg:     cfg,
 		ns:      vfs.New(cfg.Name, func() time.Duration { return clock.Now() }),
 		pools:   make(map[string]*Pool),
-		meta:    make(map[vfs.FileID]*fileMeta),
+		meta:    make([]*fileMeta, 1), // index 0 unused
 		metaRes: simtime.NewResource(clock, cfg.MetaParallel),
 	}
 	attach := cfg.Attach
@@ -239,6 +240,42 @@ func (fs *FS) Pools() []*Pool {
 // DefaultPool returns the placement default.
 func (fs *FS) DefaultPool() *Pool { return fs.pools[fs.cfg.DefaultPool] }
 
+// newMeta allocates a residency record from a chunked arena: one heap
+// allocation per 1024 files instead of one per file.
+func (fs *FS) newMeta(pool string, state MigState) *fileMeta {
+	if len(fs.metaPot) == 0 {
+		fs.metaPot = make([]fileMeta, 1024)
+	}
+	m := &fs.metaPot[0]
+	fs.metaPot = fs.metaPot[1:]
+	m.pool, m.state = pool, state
+	return m
+}
+
+// metaOf returns the residency record for id, or nil if none.
+func (fs *FS) metaOf(id vfs.FileID) *fileMeta {
+	if int(id) < len(fs.meta) {
+		return fs.meta[id]
+	}
+	return nil
+}
+
+// setMeta installs the residency record for id, growing the dense table
+// as file IDs are allocated.
+func (fs *FS) setMeta(id vfs.FileID, m *fileMeta) {
+	for int(id) >= len(fs.meta) {
+		fs.meta = append(fs.meta, nil)
+	}
+	fs.meta[id] = m
+}
+
+// delMeta drops the residency record for id.
+func (fs *FS) delMeta(id vfs.FileID) {
+	if int(id) < len(fs.meta) {
+		fs.meta[id] = nil
+	}
+}
+
 // chargeMeta bills one metadata operation against the metadata service.
 func (fs *FS) chargeMeta(ops int) {
 	if fs.cfg.MetaOpCost <= 0 || ops <= 0 {
@@ -277,33 +314,32 @@ func (fs *FS) writeFileQuiet(p string, content synthetic.Content, pool string) e
 	}
 	var oldSize int64
 	var oldMeta *fileMeta
-	if prev, err := fs.ns.Stat(p); err == nil {
-		if prev.IsDir() {
-			return fmt.Errorf("%w: %s", vfs.ErrIsDir, p)
+	id, err := fs.ns.WriteFileReserve(p, content, func(prevID vfs.FileID, prevSize int64) error {
+		if prevID != 0 {
+			oldMeta = fs.metaOf(prevID)
+			if oldMeta != nil && oldMeta.state != Migrated {
+				oldSize = prevSize
+			}
 		}
-		oldMeta = fs.meta[prev.ID]
-		if oldMeta != nil && oldMeta.state != Migrated {
-			oldSize = prev.Size
+		need := content.Len() - oldSize
+		if oldMeta != nil && oldMeta.pool != pool {
+			need = content.Len() // moving pools: old accounting released below
 		}
-	}
-	need := content.Len() - oldSize
-	if oldMeta != nil && oldMeta.pool != pool {
-		need = content.Len() // moving pools: old accounting released below
-	}
-	if need > pl.Free() {
-		return fmt.Errorf("%w: pool %s needs %d, free %d", ErrNoSpace, pool, need, pl.Free())
-	}
-	if err := fs.ns.WriteFile(p, content); err != nil {
+		if need > pl.Free() {
+			return fmt.Errorf("%w: pool %s needs %d, free %d", ErrNoSpace, pool, need, pl.Free())
+		}
+		return nil
+	})
+	if err != nil {
 		return err
 	}
-	info, _ := fs.ns.Stat(p)
 	if oldMeta != nil {
 		if oldMeta.state != Migrated {
 			fs.pools[oldMeta.pool].used -= oldSize
 		}
 	}
 	pl.used += content.Len()
-	fs.meta[info.ID] = &fileMeta{pool: pool, state: Resident}
+	fs.setMeta(id, fs.newMeta(pool, Resident))
 	return nil
 }
 
@@ -342,7 +378,7 @@ func (fs *FS) ReadContent(p string) (synthetic.Content, error) {
 	if info.IsDir() {
 		return synthetic.Content{}, fmt.Errorf("%w: %s", vfs.ErrIsDir, p)
 	}
-	if m := fs.meta[info.ID]; m != nil && m.state == Migrated {
+	if m := fs.metaOf(info.ID); m != nil && m.state == Migrated {
 		return synthetic.Content{}, fmt.Errorf("%w: %s", ErrOffline, p)
 	}
 	return fs.ns.ReadFile(p)
@@ -356,7 +392,7 @@ func (fs *FS) WriteAt(p string, off int64, data synthetic.Content) error {
 	if err != nil {
 		return err
 	}
-	m := fs.meta[info.ID]
+	m := fs.metaOf(info.ID)
 	if m == nil {
 		return fmt.Errorf("pfs: no pool metadata for %s", p)
 	}
@@ -383,7 +419,7 @@ func (fs *FS) Truncate(p string, length int64) error {
 	if err != nil {
 		return err
 	}
-	m := fs.meta[info.ID]
+	m := fs.metaOf(info.ID)
 	if m != nil && m.state == Migrated {
 		return fmt.Errorf("%w: %s", ErrOffline, p)
 	}
@@ -413,7 +449,7 @@ func (fs *FS) statQuiet(p string) (Info, error) {
 
 func (fs *FS) decorate(vi vfs.Info) Info {
 	out := Info{Info: vi}
-	if m := fs.meta[vi.ID]; m != nil {
+	if m := fs.metaOf(vi.ID); m != nil {
 		out.Pool = m.pool
 		out.State = m.state
 	}
@@ -463,35 +499,48 @@ func (fs *FS) Remove(p string) error {
 
 // RemoveAll removes a subtree, releasing pool space.
 func (fs *FS) RemoveAll(p string) error {
-	var infos []vfs.Info
-	if err := fs.ns.Walk(p, func(i vfs.Info) error {
-		infos = append(infos, i)
-		return nil
-	}); err != nil {
+	// Count first (the metadata charge precedes the removal, as one
+	// batch), then release pool/meta accounting per inode on a second
+	// pass. Both passes enumerate without building paths or Infos: a
+	// campaign tears down millions of archived stubs this way.
+	count := 0
+	if err := fs.ns.VisitTree(p, func(vfs.FileID, int64, bool) { count++ }); err != nil {
 		if errors.Is(err, vfs.ErrNotExist) {
 			return nil
 		}
 		return err
 	}
-	fs.chargeMeta(len(infos))
-	if err := fs.ns.RemoveAll(p); err != nil {
+	fs.chargeMeta(count)
+	if err := fs.ns.VisitTree(p, func(id vfs.FileID, size int64, dir bool) {
+		fs.releaseMetaID(id, size)
+	}); err != nil {
 		return err
 	}
-	for _, i := range infos {
-		fs.releaseMeta(i)
+	return fs.ns.RemoveAll(p)
+}
+
+// releaseMetaID is releaseMeta for callers that already hold the inode
+// identity and size (the bulk-removal pass).
+func (fs *FS) releaseMetaID(id vfs.FileID, size int64) {
+	m := fs.metaOf(id)
+	if m == nil {
+		return
 	}
-	return nil
+	if m.state != Migrated {
+		fs.pools[m.pool].used -= size
+	}
+	fs.delMeta(id)
 }
 
 func (fs *FS) releaseMeta(info vfs.Info) {
-	m := fs.meta[info.ID]
+	m := fs.metaOf(info.ID)
 	if m == nil {
 		return
 	}
 	if m.state != Migrated {
 		fs.pools[m.pool].used -= info.Size
 	}
-	delete(fs.meta, info.ID)
+	fs.delMeta(info.ID)
 }
 
 // Rename moves a file or tree (one metadata operation; IDs persist).
@@ -599,7 +648,7 @@ func (fs *FS) transition(p string, fn func(*fileMeta, vfs.Info) error) error {
 	if info.IsDir() {
 		return fmt.Errorf("%w: %s", vfs.ErrIsDir, p)
 	}
-	m := fs.meta[info.ID]
+	m := fs.metaOf(info.ID)
 	if m == nil {
 		return fmt.Errorf("pfs: no pool metadata for %s", p)
 	}

@@ -150,10 +150,17 @@ type run struct {
 	deadRanks map[int]bool
 
 	// Fabric data-path state: the shared graph, per-node resolved
-	// routes, in-flight flows (the WatchDog samples their byte
-	// progress), and bytes of completed flows.
+	// routes, one persistent stream per worker rank (every copy job a
+	// rank runs is a segment of its stream, so small-file batches cost
+	// no per-flow scheduler churn), registered flows (the WatchDog
+	// samples their byte progress), and bytes of completed one-shot
+	// flows.
 	fab        *fabric.Fabric
 	routes     map[string]fabric.Path
+	streams    map[int]*fabric.Flow
+	// per-rank scratch buffers reused across copy batches
+	specScratch map[int][]pfs.FileSpec
+	dstScratch  map[int][]string
 	flows      map[*fabric.Flow]struct{}
 	movedBytes int64
 
@@ -199,6 +206,9 @@ func (r *run) execute() Result {
 	r.deadRanks = make(map[int]bool)
 	r.fab = r.req.SrcFS.Fabric()
 	r.routes = make(map[string]fabric.Path)
+	r.streams = make(map[int]*fabric.Flow)
+	r.specScratch = make(map[int][]pfs.FileSpec)
+	r.dstScratch = make(map[int][]string)
 	r.flows = make(map[*fabric.Flow]struct{})
 	r.res.Op = r.req.Op
 	r.res.Started = r.clock.Now()
@@ -606,7 +616,13 @@ func (r *run) expand(res dirResult) {
 	for _, e := range res.entries {
 		dst := ""
 		if res.dst != "" {
-			dst = path.Join(res.dst, e.Name)
+			// res.dst is already clean and rooted; joining a leaf name
+			// needs no path.Clean pass (this runs once per tree entry).
+			if res.dst == "/" {
+				dst = "/" + e.Name
+			} else {
+				dst = res.dst + "/" + e.Name
+			}
 		}
 		if e.IsDir() {
 			r.res.DirsListed++

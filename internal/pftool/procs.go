@@ -70,11 +70,11 @@ func (r *run) workerProc(rank int) {
 		var res copyResult
 		switch job.kind {
 		case kindBatch:
-			res = r.copyBatch(node, job)
+			res = r.copyBatch(rank, node, job)
 		case kindChunk, kindFuse:
-			res = r.copyChunk(node, job)
+			res = r.copyChunk(rank, node, job)
 		case kindCompare:
-			res = r.compareBatch(node, job)
+			res = r.compareBatch(rank, node, job)
 		}
 		if node.Down() {
 			return // died mid-job: no report, the job replays elsewhere
@@ -88,15 +88,23 @@ func (r *run) workerProc(rank int) {
 // destination pool — at a single max-min fair rate. The pools'
 // single-stream ceilings enter the allocation as a per-flow cap (a
 // stream only reaches the NSDs its stripes land on), which is exactly
-// why PFTool runs many workers in the first place. The flow is
-// registered so the WatchDog can sample its byte progress directly: a
-// healthy hours-long single-chunk transfer must not look like a stall.
-func (r *run) transfer(node *cluster.Node, bytes int64) {
-	fl := r.fab.Start(r.route(node), bytes, fabric.WithCap(r.streamFloor()))
-	r.flows[fl] = struct{}{}
-	fl.Wait()
-	delete(r.flows, fl)
-	r.movedBytes += bytes
+// why PFTool runs many workers in the first place.
+//
+// Each worker rank drives all its jobs through one persistent fabric
+// stream: every batch/chunk is a segment of that stream, so thousands
+// of small-file batches cost O(1) scheduler work each instead of a
+// join/leave fair-share recompute pair. The stream stays registered in
+// r.flows so the WatchDog can sample its (cumulative) byte progress
+// directly: a healthy hours-long single-chunk transfer must not look
+// like a stall.
+func (r *run) transfer(rank int, node *cluster.Node, bytes int64) {
+	st, ok := r.streams[rank]
+	if !ok {
+		st = r.fab.Stream(r.route(node), fabric.WithCap(r.streamFloor()))
+		r.streams[rank] = st
+		r.flows[st] = struct{}{}
+	}
+	st.Send(bytes)
 }
 
 // streamFloor returns the tightest single-stream rate cap on the data
@@ -136,10 +144,10 @@ func (r *run) route(node *cluster.Node) fabric.Path {
 // copyBatch copies a batch of whole files. With Restart enabled, files
 // whose destination already exists with the same size and an equal or
 // newer mtime are skipped — the paper's whole-file restart rule (§4.5).
-func (r *run) copyBatch(node *cluster.Node, job copyJob) copyResult {
+func (r *run) copyBatch(rank int, node *cluster.Node, job copyJob) copyResult {
 	res := copyResult{}
-	var toWrite []pfs.FileSpec
-	var written []string
+	toWrite := r.specScratch[rank][:0]
+	written := r.dstScratch[rank][:0]
 	var transferBytes int64
 	for _, f := range job.batch {
 		if r.req.Tunables.Restart {
@@ -173,7 +181,7 @@ func (r *run) copyBatch(node *cluster.Node, job copyJob) copyResult {
 	}
 	if transferBytes > 0 {
 		node.Slots().Acquire(1)
-		r.transfer(node, transferBytes)
+		r.transfer(rank, node, transferBytes)
 		node.Slots().Release(1)
 	}
 	if len(toWrite) > 0 {
@@ -183,13 +191,14 @@ func (r *run) copyBatch(node *cluster.Node, job copyJob) copyResult {
 		// Only now are the copies durable and journalable.
 		res.dsts = append(res.dsts, written...)
 	}
+	r.specScratch[rank], r.dstScratch[rank] = toWrite, written
 	return res
 }
 
 // copyChunk copies one chunk of a large file: N-to-1 (overwrite into a
 // preallocated inode) or N-to-N (write an independent chunk file).
 // Chunks are marked good on completion so restarts skip them (§4.5).
-func (r *run) copyChunk(node *cluster.Node, job copyJob) copyResult {
+func (r *run) copyChunk(rank int, node *cluster.Node, job copyJob) copyResult {
 	res := copyResult{logical: job.logical}
 	markKey := fmt.Sprintf("pfcp.chunk.%d", job.chunkIdx)
 	if r.req.Tunables.Restart {
@@ -221,7 +230,7 @@ func (r *run) copyChunk(node *cluster.Node, job copyJob) copyResult {
 	}
 	slice := content.Slice(job.off, job.length)
 	node.Slots().Acquire(1)
-	r.transfer(node, job.length)
+	r.transfer(rank, node, job.length)
 	node.Slots().Release(1)
 	switch job.kind {
 	case kindChunk:
@@ -244,7 +253,7 @@ func (r *run) copyChunk(node *cluster.Node, job copyJob) copyResult {
 
 // compareBatch byte-compares source and destination files (pfcm). Both
 // sides are read in full, so the comparison pays two transfers.
-func (r *run) compareBatch(node *cluster.Node, job copyJob) copyResult {
+func (r *run) compareBatch(rank int, node *cluster.Node, job copyJob) copyResult {
 	res := copyResult{}
 	var transferBytes int64
 	for _, f := range job.batch {
@@ -281,7 +290,7 @@ func (r *run) compareBatch(node *cluster.Node, job copyJob) copyResult {
 	}
 	if transferBytes > 0 {
 		node.Slots().Acquire(1)
-		r.transfer(node, transferBytes)
+		r.transfer(rank, node, transferBytes)
 		node.Slots().Release(1)
 	}
 	return res

@@ -12,9 +12,9 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,12 +28,29 @@ type Clock struct {
 	mu      sync.Mutex
 	sched   *sync.Cond // scheduler waits here for running to hit zero
 	now     Duration
+	nowBits atomic.Int64 // mirror of now: Now() reads it without the lock
 	queue   eventHeap
 	seq     uint64
 	running int // actors currently runnable (not parked, not finished)
 	parked  int // actors parked on a non-time wait (queue/cond/resource)
 	started bool
 	actors  int // actors that have been registered and not yet finished
+
+	// ncanceled counts canceled events still sitting in the heap; when
+	// they outnumber the live half the heap is compacted in place.
+	// Cancels that race a pop may overcount, which at worst compacts a
+	// little early, so the counter is clamped rather than trusted.
+	ncanceled int
+
+	// wakePool recycles one-shot wake channels: a paper-scale campaign
+	// parks and sleeps millions of times, and each wake channel would
+	// otherwise be a fresh allocation.
+	wakePool []chan struct{}
+
+	// instantFns run once the current virtual instant has fully drained,
+	// before time advances (see AtInstantEnd).
+	instantFns   []func()
+	instantSpare []func() // recycled backing array for instantFns
 
 	attachments map[string]interface{}
 }
@@ -42,27 +59,79 @@ type event struct {
 	at       Duration
 	seq      uint64 // FIFO tiebreak for equal timestamps
 	wake     chan struct{}
-	fn       func() // if non-nil, spawn as actor instead of waking
+	fn       func() // if non-nil, spawn as actor (or run inline when cb)
+	fnArg    func(uint64)
+	arg      uint64 // argument for fnArg
+	cb       bool   // run fn inline in the scheduler loop, no goroutine
 	canceled *bool
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It implements
+// push/pop directly on the concrete element type: container/heap's
+// interface methods would box every event in and out of an interface
+// value, one heap allocation per Sleep, wake, and timer in a simulation
+// that performs millions of each.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	ev := old[n]
+	old[n] = event{}
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
 	return ev
+}
+
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 // NewClock returns a clock at virtual time zero.
@@ -72,11 +141,17 @@ func NewClock() *Clock {
 	return c
 }
 
-// Now reports the current virtual time.
+// Now reports the current virtual time. It reads an atomic mirror of
+// the scheduler's clock, so hot paths (telemetry counter bumps, fabric
+// settles) pay no lock.
 func (c *Clock) Now() Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return Duration(c.nowBits.Load())
+}
+
+// advance moves virtual time forward. The caller must hold c.mu.
+func (c *Clock) advance(t Duration) {
+	c.now = t
+	c.nowBits.Store(int64(t))
 }
 
 // Go registers fn as an actor goroutine. Actors may spawn further
@@ -101,6 +176,26 @@ func (c *Clock) finish() {
 	c.mu.Unlock()
 }
 
+// getWake returns a pooled wake channel. The caller must hold c.mu.
+// Every channel carries exactly one value per park/wake cycle, so a
+// drained channel is safe to reuse.
+func (c *Clock) getWake() chan struct{} {
+	if n := len(c.wakePool); n > 0 {
+		ch := c.wakePool[n-1]
+		c.wakePool[n-1] = nil
+		c.wakePool = c.wakePool[:n-1]
+		return ch
+	}
+	return make(chan struct{}, 1)
+}
+
+// putWake recycles a drained wake channel.
+func (c *Clock) putWake(ch chan struct{}) {
+	c.mu.Lock()
+	c.wakePool = append(c.wakePool, ch)
+	c.mu.Unlock()
+}
+
 // Sleep blocks the calling actor for d of virtual time. Non-positive
 // durations yield to the scheduler at the current instant (other events
 // scheduled for the same instant but earlier in FIFO order run first).
@@ -108,20 +203,22 @@ func (c *Clock) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ch := make(chan struct{})
 	c.mu.Lock()
+	ch := c.getWake()
 	c.seq++
-	heap.Push(&c.queue, event{at: c.now + d, seq: c.seq, wake: ch})
+	c.queue.push(event{at: c.now + d, seq: c.seq, wake: ch})
 	c.running--
 	if c.running == 0 {
 		c.sched.Signal()
 	}
 	c.mu.Unlock()
 	<-ch
+	c.putWake(ch)
 }
 
 // park blocks the calling actor until another actor (or the scheduler)
-// closes ch via unpark. The caller must hold c.mu; park releases it.
+// wakes ch via unpark. The caller must hold c.mu; park releases it.
+// The channel must come from getWake; park recycles it on wake.
 func (c *Clock) park(ch chan struct{}) {
 	c.running--
 	c.parked++
@@ -130,6 +227,7 @@ func (c *Clock) park(ch chan struct{}) {
 	}
 	c.mu.Unlock()
 	<-ch
+	c.putWake(ch)
 }
 
 // unpark schedules a wake event at the current instant for a parked
@@ -140,7 +238,7 @@ func (c *Clock) park(ch chan struct{}) {
 func (c *Clock) unpark(ch chan struct{}) {
 	c.parked--
 	c.seq++
-	heap.Push(&c.queue, event{at: c.now, seq: c.seq, wake: ch})
+	c.queue.push(event{at: c.now, seq: c.seq, wake: ch})
 	if c.running == 0 {
 		c.sched.Signal()
 	}
@@ -163,22 +261,141 @@ func (c *Clock) After(d Duration, fn func()) (cancel func()) {
 	return c.atLocked(c.now+d, fn)
 }
 
-// atLocked requires c.mu held.
-func (c *Clock) atLocked(t Duration, fn func()) (cancel func()) {
+// Callback schedules fn to run inline in the scheduler loop at virtual
+// time t (clamped to now), without spawning an actor goroutine. It is
+// the cheap timer for bookkeeping callbacks that never block: fn must
+// not call Sleep, Pop, Acquire, Wait or any other parking primitive
+// (scheduling further events, unparking waiters and bumping telemetry
+// are all fine). The returned cancel works like At's.
+func (c *Clock) Callback(t Duration, fn func()) (cancel func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.callbackAtLocked(t, fn)
+}
+
+// CallbackArg schedules fn(arg) inline in the scheduler loop at virtual
+// time t, like Callback, but takes a standing function value plus a
+// uint64 argument so rearm-heavy callers (the fabric's completion
+// timer) allocate no closure per scheduling. It returns a cancellation
+// handle for CancelCallback rather than a closure, for the same reason.
+// The same no-parking rule as Callback applies to fn.
+func (c *Clock) CallbackArg(t Duration, fn func(uint64), arg uint64) *bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if t < c.now {
 		t = c.now
 	}
 	canceled := new(bool)
 	c.seq++
-	heap.Push(&c.queue, event{at: t, seq: c.seq, fn: fn, canceled: canceled})
+	c.queue.push(event{at: t, seq: c.seq, fnArg: fn, arg: arg, cb: true, canceled: canceled})
+	if c.running == 0 {
+		c.sched.Signal()
+	}
+	return canceled
+}
+
+// CancelCallback cancels a pending CallbackArg timer by its handle.
+// Like At's cancel it is best-effort: a callback already popped still
+// runs, so periodic callbacks should carry a generation check.
+func (c *Clock) CancelCallback(canceled *bool) {
+	c.mu.Lock()
+	if !*canceled {
+		*canceled = true
+		c.ncanceled++
+		c.maybeCompactLocked()
+	}
+	c.mu.Unlock()
+}
+
+// AtInstantEnd queues fn to run once the current virtual instant has
+// fully drained: every actor is blocked and no live pending event
+// remains at the present time — the last word before time advances.
+// Like Callback's fn it runs inline on the scheduler and must not park,
+// but it may schedule events (including at the current instant, which
+// re-opens the instant; queued instant-end callbacks then run again
+// once it drains). The fabric uses this to tear down idle persistent
+// flows only when the instant's burst of work is truly over.
+func (c *Clock) AtInstantEnd(fn func()) {
+	c.mu.Lock()
+	c.instantFns = append(c.instantFns, fn)
+	if c.running == 0 {
+		c.sched.Signal()
+	}
+	c.mu.Unlock()
+}
+
+// popCanceledLocked discards canceled events sitting at the heap top,
+// so peeking at the next live event is accurate. The caller must hold
+// c.mu.
+func (c *Clock) popCanceledLocked() {
+	for len(c.queue) > 0 && c.queue[0].canceled != nil && *c.queue[0].canceled {
+		c.queue.pop()
+		if c.ncanceled > 0 {
+			c.ncanceled--
+		}
+	}
+}
+
+// atLocked requires c.mu held.
+func (c *Clock) atLocked(t Duration, fn func()) (cancel func()) {
+	return c.pushFnLocked(t, fn, false)
+}
+
+// callbackAtLocked requires c.mu held.
+func (c *Clock) callbackAtLocked(t Duration, fn func()) (cancel func()) {
+	return c.pushFnLocked(t, fn, true)
+}
+
+func (c *Clock) pushFnLocked(t Duration, fn func(), cb bool) (cancel func()) {
+	if t < c.now {
+		t = c.now
+	}
+	canceled := new(bool)
+	c.seq++
+	c.queue.push(event{at: t, seq: c.seq, fn: fn, cb: cb, canceled: canceled})
 	if c.running == 0 {
 		c.sched.Signal()
 	}
 	return func() {
 		c.mu.Lock()
-		*canceled = true
+		if !*canceled {
+			*canceled = true
+			c.ncanceled++
+			c.maybeCompactLocked()
+		}
 		c.mu.Unlock()
 	}
+}
+
+// maybeCompactLocked drops canceled events from the heap once they
+// outnumber the live ones, so churny timer patterns (cancel-and-rearm
+// per flow completion) keep the heap bounded by live work instead of
+// growing with cancellation history. The caller must hold c.mu.
+func (c *Clock) maybeCompactLocked() {
+	if c.ncanceled <= len(c.queue)/2 || len(c.queue) < 64 {
+		return
+	}
+	kept := c.queue[:0]
+	for _, ev := range c.queue {
+		if ev.canceled != nil && *ev.canceled {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(c.queue); i++ {
+		c.queue[i] = event{}
+	}
+	c.queue = kept
+	c.queue.init()
+	c.ncanceled = 0
+}
+
+// pendingEvents reports the heap size (canceled events included), for
+// tests asserting compaction keeps it bounded.
+func (c *Clock) pendingEvents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
 }
 
 // Attach returns the value registered on the clock under key, creating
@@ -215,26 +432,54 @@ func (c *Clock) Run() (Duration, error) {
 		for c.running > 0 {
 			c.sched.Wait()
 		}
-		if c.queue.Len() == 0 {
-			break
-		}
-		ev := heap.Pop(&c.queue).(event)
-		if ev.canceled != nil && *ev.canceled {
+		c.popCanceledLocked()
+		if len(c.instantFns) > 0 && (len(c.queue) == 0 || c.queue[0].at > c.now) {
+			// The current instant has drained: run the end-of-instant
+			// callbacks before time advances. They may re-open the
+			// instant (schedule events at now), so loop back after.
+			fns := c.instantFns
+			c.instantFns = c.instantSpare[:0]
+			c.instantSpare = nil
+			c.mu.Unlock()
+			for i, fn := range fns {
+				fns[i] = nil
+				fn()
+			}
+			c.mu.Lock()
+			if c.instantSpare == nil {
+				c.instantSpare = fns[:0]
+			}
 			continue
 		}
-		if ev.at > c.now {
-			c.now = ev.at
+		if len(c.queue) == 0 {
+			break
 		}
-		if ev.fn != nil {
+		ev := c.queue.pop()
+		if ev.at > c.now {
+			c.advance(ev.at)
+		}
+		switch {
+		case ev.cb:
+			// Inline callback: run on the scheduler goroutine with the
+			// lock dropped. The callback never parks, so the running
+			// count stays zero and the loop resumes at the next event.
+			c.mu.Unlock()
+			if ev.fnArg != nil {
+				ev.fnArg(ev.arg)
+			} else {
+				ev.fn()
+			}
+			c.mu.Lock()
+		case ev.fn != nil:
 			c.running++
 			c.actors++
 			go func() {
 				defer c.finish()
 				ev.fn()
 			}()
-		} else {
+		default:
 			c.running++
-			close(ev.wake)
+			ev.wake <- struct{}{}
 		}
 		// Loop back; we wait until the woken chain blocks again.
 	}

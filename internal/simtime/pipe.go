@@ -26,10 +26,14 @@ type Pipe struct {
 	gen      uint64 // completion-timer generation
 	total    float64
 	maxFlows int
+	flowSeq  uint64
+
+	doneScratch []*pipeFlow // reused by complete
 }
 
 type pipeFlow struct {
 	target float64 // svc value at which this flow completes
+	seq    uint64  // admission order, for deterministic same-instant release
 	ch     chan struct{}
 }
 
@@ -98,7 +102,8 @@ func (p *Pipe) Transfer(n int64) {
 	}
 	p.clock.mu.Lock()
 	p.settleLocked()
-	f := &pipeFlow{target: p.svc + float64(n), ch: make(chan struct{})}
+	p.flowSeq++
+	f := &pipeFlow{target: p.svc + float64(n), seq: p.flowSeq, ch: p.clock.getWake()}
 	p.flows[f] = struct{}{}
 	if len(p.flows) > p.maxFlows {
 		p.maxFlows = len(p.flows)
@@ -138,8 +143,10 @@ func (p *Pipe) rescheduleLocked() {
 	secs := deficit * float64(len(p.flows)) / p.rate
 	gen := p.gen
 	// +1ns guarantees forward progress even when float rounding makes
-	// the computed deficit vanish.
-	p.clock.atLocked(p.clock.now+durationFromSeconds(secs)+1, func() {
+	// the computed deficit vanish. The timer is an inline scheduler
+	// callback: complete only releases waiters and re-arms, so it never
+	// parks and needs no actor goroutine of its own.
+	p.clock.callbackAtLocked(p.clock.now+durationFromSeconds(secs)+1, func() {
 		p.complete(gen)
 	})
 }
@@ -157,12 +164,26 @@ func (p *Pipe) complete(gen uint64) {
 	// precision; 64 bytes of slack is invisible at simulation scale and
 	// absorbs accumulated rounding across many settle steps.
 	const eps = 64.0
+	// Release in admission order, not map order: waiters released at the
+	// same instant must wake deterministically. Insertion sort into a
+	// reused scratch buffer — completions per instant are tiny.
+	done := p.doneScratch[:0]
 	for f := range p.flows {
 		if f.target <= p.svc+eps {
-			delete(p.flows, f)
-			p.clock.unpark(f.ch)
+			i := len(done)
+			done = append(done, f)
+			for i > 0 && done[i-1].seq > f.seq {
+				done[i] = done[i-1]
+				i--
+			}
+			done[i] = f
 		}
 	}
+	for _, f := range done {
+		delete(p.flows, f)
+		p.clock.unpark(f.ch)
+	}
+	p.doneScratch = done[:0]
 	p.rescheduleLocked()
 	p.clock.mu.Unlock()
 }

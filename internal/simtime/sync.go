@@ -1,6 +1,41 @@
 package simtime
 
-import "container/list"
+// fifo is a slice-backed FIFO used in place of container/list for
+// waiter and mailbox queues: pushes append, pops advance a head index,
+// and the backing array is reused once drained, so steady-state
+// operation allocates nothing (a list.Element per entry otherwise).
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *fifo[T]) len() int  { return len(q.buf) - q.head }
+func (q *fifo[T]) front() *T { return &q.buf[q.head] }
+
+func (q *fifo[T]) push(v T) {
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		var zero T
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = zero
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+func (q *fifo[T]) pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
 
 // Resource is a counted resource with FIFO admission: think tape
 // drives, link transmission slots, or CPU slots. Acquire blocks in
@@ -11,7 +46,7 @@ type Resource struct {
 	clock *Clock
 	cap   int
 	inUse int
-	wait  list.List // of *resWaiter
+	wait  fifo[resWaiter]
 }
 
 type resWaiter struct {
@@ -45,14 +80,14 @@ func (r *Resource) Acquire(n int) {
 		panic("simtime: Acquire out of range")
 	}
 	r.clock.mu.Lock()
-	if r.wait.Len() == 0 && r.inUse+n <= r.cap {
+	if r.wait.len() == 0 && r.inUse+n <= r.cap {
 		r.inUse += n
 		r.clock.mu.Unlock()
 		return
 	}
-	w := &resWaiter{n: n, ch: make(chan struct{})}
-	r.wait.PushBack(w)
-	r.clock.park(w.ch) // releases the lock
+	ch := r.clock.getWake()
+	r.wait.push(resWaiter{n: n, ch: ch})
+	r.clock.park(ch) // releases the lock
 }
 
 // TryAcquire acquires n units without blocking, reporting success.
@@ -62,7 +97,7 @@ func (r *Resource) TryAcquire(n int) bool {
 	}
 	r.clock.mu.Lock()
 	defer r.clock.mu.Unlock()
-	if r.wait.Len() == 0 && r.inUse+n <= r.cap {
+	if r.wait.len() == 0 && r.inUse+n <= r.cap {
 		r.inUse += n
 		return true
 	}
@@ -77,16 +112,14 @@ func (r *Resource) Release(n int) {
 		panic("simtime: Release out of range")
 	}
 	r.inUse -= n
-	for e := r.wait.Front(); e != nil; {
-		w := e.Value.(*resWaiter)
+	for r.wait.len() > 0 {
+		w := r.wait.front()
 		if r.inUse+w.n > r.cap {
 			break // strict FIFO: head of queue blocks followers
 		}
-		next := e.Next()
-		r.wait.Remove(e)
 		r.inUse += w.n
 		r.clock.unpark(w.ch)
-		e = next
+		r.wait.pop()
 	}
 }
 
@@ -102,16 +135,14 @@ func (r *Resource) SetCap(n int) {
 	r.clock.mu.Lock()
 	defer r.clock.mu.Unlock()
 	r.cap = n
-	for e := r.wait.Front(); e != nil; {
-		w := e.Value.(*resWaiter)
+	for r.wait.len() > 0 {
+		w := r.wait.front()
 		if w.n > r.cap || r.inUse+w.n > r.cap {
 			break // strict FIFO: head of queue blocks followers
 		}
-		next := e.Next()
-		r.wait.Remove(e)
 		r.inUse += w.n
 		r.clock.unpark(w.ch)
-		e = next
+		r.wait.pop()
 	}
 }
 
@@ -127,8 +158,8 @@ func (r *Resource) Use(n int, fn func()) {
 // and daemon inboxes are all Queues. Close wakes all blocked Poppers.
 type Queue struct {
 	clock  *Clock
-	items  list.List // of interface{}
-	wait   list.List // of chan struct{}
+	items  fifo[interface{}]
+	wait   fifo[chan struct{}]
 	closed bool
 }
 
@@ -145,10 +176,9 @@ func (q *Queue) Push(v interface{}) {
 	if q.closed {
 		panic("simtime: Push on closed queue")
 	}
-	q.items.PushBack(v)
-	if e := q.wait.Front(); e != nil {
-		ch := q.wait.Remove(e).(chan struct{})
-		q.clock.unpark(ch)
+	q.items.push(v)
+	if q.wait.len() > 0 {
+		q.clock.unpark(q.wait.pop())
 	}
 }
 
@@ -158,8 +188,8 @@ func (q *Queue) Push(v interface{}) {
 func (q *Queue) Pop() (v interface{}, ok bool) {
 	for {
 		q.clock.mu.Lock()
-		if e := q.items.Front(); e != nil {
-			v = q.items.Remove(e)
+		if q.items.len() > 0 {
+			v = q.items.pop()
 			q.clock.mu.Unlock()
 			return v, true
 		}
@@ -167,8 +197,8 @@ func (q *Queue) Pop() (v interface{}, ok bool) {
 			q.clock.mu.Unlock()
 			return nil, false
 		}
-		ch := make(chan struct{})
-		q.wait.PushBack(ch)
+		ch := q.clock.getWake()
+		q.wait.push(ch)
 		q.clock.park(ch) // releases the lock
 	}
 }
@@ -177,8 +207,8 @@ func (q *Queue) Pop() (v interface{}, ok bool) {
 func (q *Queue) TryPop() (v interface{}, ok bool) {
 	q.clock.mu.Lock()
 	defer q.clock.mu.Unlock()
-	if e := q.items.Front(); e != nil {
-		return q.items.Remove(e), true
+	if q.items.len() > 0 {
+		return q.items.pop(), true
 	}
 	return nil, false
 }
@@ -187,7 +217,7 @@ func (q *Queue) TryPop() (v interface{}, ok bool) {
 func (q *Queue) Len() int {
 	q.clock.mu.Lock()
 	defer q.clock.mu.Unlock()
-	return q.items.Len()
+	return q.items.len()
 }
 
 // Close marks the queue closed; blocked and future Pops return ok=false
@@ -199,11 +229,8 @@ func (q *Queue) Close() {
 		return
 	}
 	q.closed = true
-	for e := q.wait.Front(); e != nil; {
-		next := e.Next()
-		ch := q.wait.Remove(e).(chan struct{})
-		q.clock.unpark(ch)
-		e = next
+	for q.wait.len() > 0 {
+		q.clock.unpark(q.wait.pop())
 	}
 }
 
@@ -248,7 +275,57 @@ func (w *WaitGroup) Wait() {
 		w.clock.mu.Unlock()
 		return
 	}
-	ch := make(chan struct{})
+	ch := w.clock.getWake()
 	w.wait = append(w.wait, ch)
 	w.clock.park(ch)
+}
+
+// Latch is a one-shot completion gate: Wait parks the calling actor
+// until Signal, which wakes every waiter (then and later ones return
+// immediately). It is the lean alternative to a one-item Queue for
+// completion mailboxes — no item list, no per-latch allocation when
+// embedded by value — and the fabric uses one per flow.
+type Latch struct {
+	clock *Clock
+	done  bool
+	ch    chan struct{}   // first waiter (the common case; no slice alloc)
+	wait  []chan struct{} // additional waiters, rarely needed
+}
+
+// MakeLatch returns a latch value ready to embed.
+func MakeLatch(clock *Clock) Latch { return Latch{clock: clock} }
+
+// Signal opens the latch, waking every current waiter. Signaling twice
+// is a no-op.
+func (l *Latch) Signal() {
+	l.clock.mu.Lock()
+	defer l.clock.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	if l.ch != nil {
+		l.clock.unpark(l.ch)
+		l.ch = nil
+	}
+	for _, ch := range l.wait {
+		l.clock.unpark(ch)
+	}
+	l.wait = nil
+}
+
+// Wait blocks the calling actor until the latch is signaled.
+func (l *Latch) Wait() {
+	l.clock.mu.Lock()
+	if l.done {
+		l.clock.mu.Unlock()
+		return
+	}
+	ch := l.clock.getWake()
+	if l.ch == nil {
+		l.ch = ch
+	} else {
+		l.wait = append(l.wait, ch)
+	}
+	l.clock.park(ch)
 }

@@ -215,6 +215,23 @@ func (s *Server) Library() *tape.Library { return s.lib }
 // non-LAN-free mode every byte crosses it).
 func (s *Server) NetLink() *fabric.Link { return s.netLink }
 
+// NewStream opens a persistent fabric stream along the store route p,
+// with the server link spliced in when the deployment is not LAN-free —
+// for callers that store many objects over one path (an HSM migration
+// mover working through its share). Pass the flow via
+// StoreRequest.Stream and Close it when the pass ends. Returns nil for
+// an empty path, which callers may pass straight through (Store then
+// falls back to its routeless accounting).
+func (s *Server) NewStream(p fabric.Path) *fabric.Flow {
+	if p.Empty() {
+		return nil
+	}
+	if !s.cfg.LANFree {
+		p = p.With(s.netLink)
+	}
+	return p.Fabric().Stream(p)
+}
+
 // Stats returns a copy of the server counters.
 func (s *Server) Stats() Stats { return s.stats }
 
@@ -312,6 +329,14 @@ type StoreRequest struct {
 	// tape drive itself and, when not LAN-free, the server link, are
 	// added by the server.
 	Route fabric.Path
+	// Stream, when non-nil, carries the data as one segment of a
+	// persistent fabric stream (from Server.NewStream) instead of a
+	// fresh one-shot flow: a migration pass storing thousands of files
+	// through the same mover pays O(1) scheduler work per store. The
+	// stream must already include the server link when the deployment
+	// is not LAN-free — NewStream handles that — and Route is ignored
+	// for data movement when Stream is set.
+	Stream *fabric.Flow
 	// DataPath carries raw pipes instead of a fabric route.
 	//
 	// Deprecated: resolve a route with fabric.Route and set Route. This
@@ -359,7 +384,7 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 			s.dropAffinity(req.Client, drive)
 			return err
 		}
-		taintCause, tainted, err = s.moveData(req.Bytes, req.Route, req.DataPath, func() error {
+		taintCause, tainted, err = s.moveData(req.Bytes, req.Route, req.Stream, req.DataPath, func() error {
 			var e error
 			tf, e = drive.AppendSum(id, req.Bytes, req.Sum)
 			return e
@@ -421,12 +446,14 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 
 // moveData runs the tape operation concurrently with the shared-path
 // transfer; the slower of the two gates completion (store-and-forward
-// free, cut-through streaming). Fabric routes get one coupled flow over
-// every hop — with the server link spliced in when not LAN-free; the
-// deprecated pipe-slice path keeps legacy semantics. It reports whether
-// a crossed link silently corrupted the stream in flight, and which
-// fault event armed the taint (legacy pipes carry no taint).
-func (s *Server) moveData(bytes int64, p fabric.Path, legacy []*simtime.Pipe, tapeOp func() error) (taintCause uint64, tainted bool, err error) {
+// free, cut-through streaming). A persistent stream (Server.NewStream)
+// carries the bytes as one segment; otherwise fabric routes get one
+// coupled flow over every hop — with the server link spliced in when
+// not LAN-free; the deprecated pipe-slice path keeps legacy semantics.
+// It reports whether a crossed link silently corrupted the stream in
+// flight, and which fault event armed the taint (legacy pipes carry no
+// taint).
+func (s *Server) moveData(bytes int64, p fabric.Path, stream *fabric.Flow, legacy []*simtime.Pipe, tapeOp func() error) (taintCause uint64, tainted bool, err error) {
 	errCh := make(chan error, 1)
 	wg := simtime.NewWaitGroup(s.clock)
 	wg.Add(1)
@@ -435,6 +462,8 @@ func (s *Server) moveData(bytes int64, p fabric.Path, legacy []*simtime.Pipe, ta
 		wg.Done()
 	})
 	switch {
+	case stream != nil:
+		taintCause, tainted = stream.Send(bytes)
 	case !p.Empty():
 		if !s.cfg.LANFree {
 			p = p.With(s.netLink)
@@ -681,7 +710,7 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 				return err
 			}
 			var readErr error
-			tCause, tainted, readErr = s.moveData(obj.Bytes, req.Route, req.DataPath, func() error {
+			tCause, tainted, readErr = s.moveData(obj.Bytes, req.Route, nil, req.DataPath, func() error {
 				_, sum, e := d.ReadSeqSum(obj.Seq)
 				delivered = sum
 				return e
@@ -783,7 +812,7 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 		bytes := obj.Bytes
 		var delivered, tCause uint64
 		var tainted bool
-		tCause, tainted, readErr := s.moveData(bytes, req.Route, req.DataPath, func() error {
+		tCause, tainted, readErr := s.moveData(bytes, req.Route, nil, req.DataPath, func() error {
 			_, sum, e := d.ReadSeqSum(seq)
 			delivered = sum
 			return e

@@ -86,7 +86,15 @@ type FS struct {
 	name   string
 	root   *node
 	nextID FileID
-	byID   map[FileID]*node
+	byID   []*node // index = FileID (IDs are dense and never reused)
+	pot    []node  // chunked inode arena (stable pointers)
+	// memoDir/memoNode cache the directory of the last successful
+	// multi-segment resolution. Per-file operations in bulk loads and
+	// tree walks hit the same directory run after run, so the memo
+	// replaces a full segment walk with one string compare plus one
+	// child lookup. Any operation that unlinks or moves nodes clears it.
+	memoDir  string
+	memoNode *node
 	now    func() time.Duration
 	nfiles int
 	ndirs  int
@@ -98,7 +106,7 @@ func New(name string, now func() time.Duration) *FS {
 	if now == nil {
 		now = func() time.Duration { return 0 }
 	}
-	fs := &FS{name: name, now: now, byID: make(map[FileID]*node)}
+	fs := &FS{name: name, now: now, byID: make([]*node, 1)} // index 0 unused
 	fs.root = fs.newNode(TypeDir)
 	fs.ndirs = 1
 	return fs
@@ -118,38 +126,116 @@ func (fs *FS) NumInodes() int { return fs.nfiles + fs.ndirs }
 
 func (fs *FS) newNode(t FileType) *node {
 	fs.nextID++
-	n := &node{id: fs.nextID, typ: t, modTime: fs.now(), nlink: 1}
+	// Inodes come from a chunked arena: one heap allocation per 1024
+	// inodes instead of one per file, which mattered at paper scale.
+	if len(fs.pot) == 0 {
+		fs.pot = make([]node, 1024)
+	}
+	n := &fs.pot[0]
+	fs.pot = fs.pot[1:]
+	*n = node{id: fs.nextID, typ: t, modTime: fs.now(), nlink: 1}
 	if t == TypeDir {
 		n.children = make(map[string]*node)
 	}
-	fs.byID[n.id] = n
+	fs.byID = append(fs.byID, n)
 	return n
 }
 
-// clean canonicalizes p to a rooted slash path.
+// clean canonicalizes p to a rooted slash path. Paths that are already
+// canonical — the overwhelming case in simulation hot loops, which
+// resolve millions of generated "/job/dNNNN/fNNNNNN" names — are
+// returned as-is without allocating.
 func clean(p string) string {
-	p = path.Clean("/" + p)
-	return p
+	if isClean(p) {
+		return p
+	}
+	return path.Clean("/" + p)
+}
+
+// isClean reports whether p is a rooted slash path with no empty, "."
+// or ".." segments and no trailing slash (root excepted) — i.e. whether
+// path.Clean("/"+p) would return p unchanged.
+func isClean(p string) bool {
+	if len(p) == 0 || p[0] != '/' {
+		return false
+	}
+	if len(p) == 1 {
+		return true
+	}
+	if p[len(p)-1] == '/' {
+		return false
+	}
+	segStart := 1
+	for i := 1; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			switch seg := p[segStart:i]; seg {
+			case "", ".", "..":
+				return false
+			}
+			segStart = i + 1
+		}
+	}
+	return true
+}
+
+// resolve walks a clean rooted path to its node, without allocating.
+// On a miss it reports the failing condition via notDir/ok so callers
+// choose between an error (lookup) and a cheap boolean (lookupOK).
+func (fs *FS) resolve(p string) (n *node, notDir, ok bool) {
+	if p == "/" {
+		return fs.root, false, true
+	}
+	if d := len(fs.memoDir); d > 0 && len(p) > d+1 && p[d] == '/' &&
+		p[:d] == fs.memoDir && strings.IndexByte(p[d+1:], '/') < 0 {
+		n, ok := fs.memoNode.children[p[d+1:]]
+		return n, false, ok
+	}
+	cur := fs.root
+	parent := cur
+	rest := p[1:]
+	for len(rest) > 0 {
+		var part string
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			part, rest = rest[:j], rest[j+1:]
+		} else {
+			part, rest = rest, ""
+		}
+		if cur.typ != TypeDir {
+			return nil, true, false
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, false, false
+		}
+		parent = cur
+		cur = next
+	}
+	if parent != fs.root {
+		fs.memoDir = p[:strings.LastIndexByte(p, '/')]
+		fs.memoNode = parent
+	}
+	return cur, false, true
 }
 
 // lookup resolves p to its node.
 func (fs *FS) lookup(p string) (*node, error) {
 	p = clean(p)
-	if p == "/" {
-		return fs.root, nil
-	}
-	cur := fs.root
-	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
-		if cur.typ != TypeDir {
+	n, notDir, ok := fs.resolve(p)
+	if !ok {
+		if notDir {
 			return nil, fmt.Errorf("%w: %s", ErrNotDir, p)
 		}
-		next, ok := cur.children[part]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
-		}
-		cur = next
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
 	}
-	return cur, nil
+	return n, nil
+}
+
+// lookupOK resolves p to its node, reporting a miss as a boolean
+// instead of a constructed error: the existence probes issued for every
+// file created in bulk loads never pay an allocation.
+func (fs *FS) lookupOK(p string) (*node, bool) {
+	n, _, ok := fs.resolve(clean(p))
+	return n, ok
 }
 
 // lookupParent resolves the parent directory of p and the leaf name.
@@ -158,13 +244,23 @@ func (fs *FS) lookupParent(p string) (*node, string, error) {
 	if p == "/" {
 		return nil, "", fmt.Errorf("%w: cannot address root's parent", ErrInvalid)
 	}
-	dir, leaf := path.Split(p)
+	i := strings.LastIndexByte(p, '/')
+	dir, leaf := p[:i], p[i+1:]
+	if dir == "" {
+		dir = "/"
+	}
+	if dir == fs.memoDir && fs.memoNode != nil {
+		return fs.memoNode, leaf, nil
+	}
 	parent, err := fs.lookup(dir)
 	if err != nil {
 		return nil, "", err
 	}
 	if parent.typ != TypeDir {
 		return nil, "", fmt.Errorf("%w: %s", ErrNotDir, dir)
+	}
+	if dir != "/" {
+		fs.memoDir, fs.memoNode = dir, parent
 	}
 	return parent, leaf, nil
 }
@@ -191,7 +287,14 @@ func (fs *FS) MkdirAll(p string) error {
 		return nil
 	}
 	cur := fs.root
-	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+	rest := p[1:]
+	for len(rest) > 0 {
+		var part string
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			part, rest = rest[:j], rest[j+1:]
+		} else {
+			part, rest = rest, ""
+		}
 		next, ok := cur.children[part]
 		if !ok {
 			next = fs.newNode(TypeDir)
@@ -229,6 +332,41 @@ func (fs *FS) WriteFile(p string, content synthetic.Content) error {
 	parent.modTime = fs.now()
 	fs.nfiles++
 	return nil
+}
+
+// WriteFileReserve writes content at p like WriteFileID, but first
+// calls reserve with the inode about to be replaced (ID zero on fresh
+// create). If reserve errors the namespace is left untouched. This
+// lets the pfs layer run its capacity check with the same single path
+// resolution that performs the write.
+func (fs *FS) WriteFileReserve(p string, content synthetic.Content, reserve func(prevID FileID, prevSize int64) error) (FileID, error) {
+	parent, leaf, err := fs.lookupParent(p)
+	if err != nil {
+		return 0, err
+	}
+	existing, ok := parent.children[leaf]
+	if ok && existing.typ == TypeDir {
+		return 0, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	if ok {
+		if err := reserve(existing.id, existing.size); err != nil {
+			return 0, err
+		}
+		existing.content = content
+		existing.size = content.Len()
+		existing.modTime = fs.now()
+		return existing.id, nil
+	}
+	if err := reserve(0, 0); err != nil {
+		return 0, err
+	}
+	n := fs.newNode(TypeFile)
+	n.content = content
+	n.size = content.Len()
+	parent.children[leaf] = n
+	parent.modTime = fs.now()
+	fs.nfiles++
+	return n.id, nil
 }
 
 // ReadFile returns the content of the regular file at p, updating its
@@ -299,11 +437,26 @@ func (fs *FS) Stat(p string) (Info, error) {
 	return fs.info(clean(p), n), nil
 }
 
+// StatOK is Stat for existence probes: a miss is reported as a boolean
+// with no error value constructed, so bulk loaders probing every path
+// they create do not allocate an error chain per new file.
+func (fs *FS) StatOK(p string) (Info, bool) {
+	p = clean(p)
+	n, _, ok := fs.resolve(p)
+	if !ok {
+		return Info{}, false
+	}
+	return fs.info(p, n), true
+}
+
 // StatID returns the Info for a file ID, with an empty Path (IDs are
 // path-independent).
 func (fs *FS) StatID(id FileID) (Info, error) {
-	n, ok := fs.byID[id]
-	if !ok {
+	var n *node
+	if int(id) < len(fs.byID) {
+		n = fs.byID[id]
+	}
+	if n == nil {
 		return Info{}, fmt.Errorf("%w: id %d", ErrNotExist, id)
 	}
 	return fs.info("", n), nil
@@ -329,6 +482,19 @@ func (fs *FS) info(p string, n *node) Info {
 	}
 }
 
+// infoLean is info without the xattr copy (Xattrs stays nil).
+func (fs *FS) infoLean(p string, n *node) Info {
+	return Info{
+		Name:    path.Base(p),
+		Path:    p,
+		ID:      n.id,
+		Type:    n.typ,
+		Size:    n.size,
+		ModTime: n.modTime,
+		ATime:   n.atime,
+	}
+}
+
 // ReadDir lists the entries of directory p sorted by name.
 func (fs *FS) ReadDir(p string) ([]Info, error) {
 	n, err := fs.lookup(p)
@@ -345,8 +511,11 @@ func (fs *FS) ReadDir(p string) ([]Info, error) {
 	sort.Strings(names)
 	out := make([]Info, len(names))
 	base := clean(p)
+	if base == "/" {
+		base = ""
+	}
 	for i, name := range names {
-		out[i] = fs.info(path.Join(base, name), n.children[name])
+		out[i] = fs.info(base+"/"+name, n.children[name])
 	}
 	return out, nil
 }
@@ -366,6 +535,7 @@ func (fs *FS) Remove(p string) error {
 	}
 	delete(parent.children, leaf)
 	parent.modTime = fs.now()
+	fs.memoDir, fs.memoNode = "", nil
 	fs.drop(n)
 	return nil
 }
@@ -386,6 +556,7 @@ func (fs *FS) RemoveAll(p string) error {
 	}
 	delete(parent.children, leaf)
 	parent.modTime = fs.now()
+	fs.memoDir, fs.memoNode = "", nil
 	fs.dropTree(n)
 	return nil
 }
@@ -395,7 +566,7 @@ func (fs *FS) drop(n *node) {
 	if n.nlink > 0 {
 		return
 	}
-	delete(fs.byID, n.id)
+	fs.byID[n.id] = nil
 	if n.typ == TypeDir {
 		fs.ndirs--
 	} else {
@@ -444,6 +615,7 @@ func (fs *FS) Rename(oldp, newp string) error {
 	nparent.children[nleaf] = n
 	oparent.modTime = fs.now()
 	nparent.modTime = fs.now()
+	fs.memoDir, fs.memoNode = "", nil
 	return nil
 }
 
@@ -491,11 +663,30 @@ func (fs *FS) Walk(p string, fn WalkFunc) error {
 	if err != nil {
 		return err
 	}
-	return fs.walk(clean(p), n, fn)
+	return fs.walk(clean(p), n, fn, false)
 }
 
-func (fs *FS) walk(p string, n *node, fn WalkFunc) error {
-	if err := fn(fs.info(p, n)); err != nil {
+// WalkLean is Walk without the per-inode xattr copy: every Info is
+// delivered with a nil Xattrs map. Housekeeping walks that only need
+// identities, sizes and types (tree-removal accounting over millions of
+// stubbed files, each carrying HSM xattrs) skip a map allocation per
+// inode.
+func (fs *FS) WalkLean(p string, fn WalkFunc) error {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return err
+	}
+	return fs.walk(clean(p), n, fn, true)
+}
+
+func (fs *FS) walk(p string, n *node, fn WalkFunc, lean bool) error {
+	var err error
+	if lean {
+		err = fn(fs.infoLean(p, n))
+	} else {
+		err = fn(fs.info(p, n))
+	}
+	if err != nil {
 		return err
 	}
 	if n.typ != TypeDir {
@@ -506,12 +697,37 @@ func (fs *FS) walk(p string, n *node, fn WalkFunc) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	base := p
+	if base == "/" {
+		base = ""
+	}
 	for _, name := range names {
-		if err := fs.walk(path.Join(p, name), n.children[name], fn); err != nil {
+		if err := fs.walk(base+"/"+name, n.children[name], fn, lean); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// VisitTree calls fn(id, size, dir) for every inode under p, p itself
+// included, without constructing paths or Infos — the allocation-free
+// enumeration backing bulk-removal accounting. Visit order is
+// unspecified (callers must be order-insensitive; size and identity
+// accounting is).
+func (fs *FS) VisitTree(p string, fn func(id FileID, size int64, dir bool)) error {
+	n, err := fs.lookup(p)
+	if err != nil {
+		return err
+	}
+	fs.visitTree(n, fn)
+	return nil
+}
+
+func (fs *FS) visitTree(n *node, fn func(id FileID, size int64, dir bool)) {
+	fn(n.id, n.size, n.typ == TypeDir)
+	for _, c := range n.children {
+		fs.visitTree(c, fn)
+	}
 }
 
 // TotalBytes sums the sizes of all regular files.

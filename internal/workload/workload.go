@@ -13,9 +13,12 @@
 package workload
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/fabric"
+	"strconv"
+	"strings"
 
 	"repro/internal/pfs"
 	"repro/internal/simtime"
@@ -181,6 +184,31 @@ func FileSizes(spec JobSpec, seed int64) []int64 {
 	return sizes
 }
 
+// numName builds "<prefix>/<c><n zero-padded to width>" without the
+// fmt machinery: tree builds format one name per simulated file, which
+// made Sprintf a top allocator at paper scale.
+func numName(prefix string, c byte, width, n int) string {
+	digits := 1
+	for v := n; v >= 10; v /= 10 {
+		digits++
+	}
+	if digits < width {
+		digits = width
+	}
+	var buf [20]byte
+	num := strconv.AppendInt(buf[:0], int64(n), 10)
+	var b strings.Builder
+	b.Grow(len(prefix) + 2 + digits)
+	b.WriteString(prefix)
+	b.WriteByte('/')
+	b.WriteByte(c)
+	for i := len(num); i < width; i++ {
+		b.WriteByte('0')
+	}
+	b.Write(num)
+	return b.String()
+}
+
 // BuildTree materializes a job's files on fs under root, spreading them
 // over subdirectories of at most dirFanout entries. It returns the
 // total bytes written.
@@ -200,13 +228,13 @@ func BuildTree(fs *pfs.FS, root string, spec JobSpec, seed int64, dirFanout int)
 				}
 				specs = specs[:0]
 			}
-			dir = fmt.Sprintf("%s/d%04d", root, i/dirFanout)
+			dir = numName(root, 'd', 4, i/dirFanout)
 			if err := fs.MkdirAll(dir); err != nil {
 				return total, err
 			}
 		}
 		specs = append(specs, pfs.FileSpec{
-			Path:    fmt.Sprintf("%s/f%06d", dir, i),
+			Path:    numName(dir, 'f', 6, i),
 			Content: synthetic.NewUniform(uint64(seed)^uint64(spec.ID)<<32^uint64(i), size),
 		})
 		total += size
@@ -253,9 +281,27 @@ func Noise(clock *simtime.Clock, pipe NoiseTarget, fraction float64, stop *bool)
 	}
 	for i := 0; i < streams; i++ {
 		clock.Go(func() {
+			// A fabric link offers a persistent stream: each burst is a
+			// segment of one long-lived flow, so a multi-day campaign's
+			// millions of bursts cost no fair-share recompute churn. The
+			// generic path keeps per-burst transfers for other targets.
+			if l, ok := pipe.(streamTarget); ok {
+				st := l.Stream()
+				for !*stop {
+					st.Send(burst)
+				}
+				st.Close()
+				return
+			}
 			for !*stop {
 				pipe.Transfer(burst)
 			}
 		})
 	}
+}
+
+// streamTarget is the optional NoiseTarget refinement fabric links
+// provide: a persistent flow whose segments replace per-burst flows.
+type streamTarget interface {
+	Stream(opts ...fabric.Option) *fabric.Flow
 }
