@@ -43,6 +43,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the campaign + fabric experiments and write their virtual-throughput metrics as JSON to this file")
 	flightPath := flag.String("flight-record", "", "write the run's flight-recorder dump (recent spans and events) as JSON to this file, including on invariant-violation crashes")
 	scrubPath := flag.String("scrub-report", "", "write the run's tape-scrubber pass reports as JSON to this file (the integrity experiment produces them)")
+	drPath := flag.String("dr-report", "", "write the disaster-recovery drill's replication summary as JSON to this file (the dr experiment produces it)")
 	metricsText := flag.Bool("metrics-text", false, "print each experiment's telemetry registry in Prometheus text exposition format")
 	scaleJSON := flag.String("scale-json", "", "with -exp scale, write the wall-clock benchmark metrics as JSON to this file")
 	wallCeiling := flag.Float64("wall-ceiling", 0, "with -exp scale, exit nonzero if the paper-scale run's wall clock exceeds this many seconds (CI regression tripwire)")
@@ -142,6 +143,12 @@ func main() {
 	if *scrubPath != "" {
 		if err := writeScrubReport(*scrubPath, *seed, reports); err != nil {
 			fmt.Fprintln(os.Stderr, "archsim: scrub:", err)
+			os.Exit(1)
+		}
+	}
+	if *drPath != "" {
+		if err := writeDRReport(*drPath, *seed, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: dr:", err)
 			os.Exit(1)
 		}
 	}
@@ -264,6 +271,37 @@ func writeScrubReport(path string, seed int64, reports []experiments.Report) err
 	}
 	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
 	return nil
+}
+
+// drFile is the schema of the file -dr-report writes: the
+// disaster-recovery drill's replication and failover summary.
+type drFile struct {
+	Schema string                `json:"schema"`
+	Seed   int64                 `json:"seed"`
+	DR     *experiments.DRReport `json:"dr"`
+}
+
+// writeDRReport persists the DR drill's replication summary (CI
+// archives the file as a build artifact on every push).
+func writeDRReport(path string, seed int64, reports []experiments.Report) error {
+	for _, r := range reports {
+		if r.DR == nil {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(drFile{Schema: "archsim-dr/v1", Seed: seed, DR: r.DR}); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+		return nil
+	}
+	return fmt.Errorf("no DR report in this run (use -exp dr)")
 }
 
 // writeFlightFromReports persists the flight dump of the completed run:

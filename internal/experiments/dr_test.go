@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestDRStudyInvariants is the acceptance check for E20: a whole-site
+// kill mid-campaign ends with every recall of the dead site's data
+// served from a replica, the skipped campaign share requeued, the
+// catch-up backlog drained within its bound, and no file lost or
+// double-replicated. DRStudy panics on any violated invariant, so the
+// test mostly confirms the drill ran at full scale and the report
+// carries the machine-readable summary CI archives.
+func TestDRStudyInvariants(t *testing.T) {
+	r := DRStudy(11)
+
+	if r.DR == nil {
+		t.Fatal("no DR report attached")
+	}
+	if r.DR.FailoverServed != 1 {
+		t.Errorf("failover served fraction = %v, want 1 (100%% from replicas)", r.DR.FailoverServed)
+	}
+	if !r.DR.Drained {
+		t.Error("catch-up backlog not drained within the bound")
+	}
+	if r.DR.LostFiles != 0 || r.DR.DuplicateRep != 0 {
+		t.Errorf("lost=%d duplicates=%d, want zero of each", r.DR.LostFiles, r.DR.DuplicateRep)
+	}
+	if r.DR.SkippedMigrations == 0 || r.DR.RequeuedFiles != r.DR.SkippedMigrations {
+		t.Errorf("skipped=%d requeued=%d, want a nonzero skip fully requeued",
+			r.DR.SkippedMigrations, r.DR.RequeuedFiles)
+	}
+	if r.Metrics["failover_recalls"] == 0 {
+		t.Error("no failover recalls exercised")
+	}
+	if r.Metrics["catchup_seconds"] <= 0 || r.DR.CatchUpSeconds > r.DR.CatchUpBoundSeconds {
+		t.Errorf("catch-up took %vs against a %vs bound", r.DR.CatchUpSeconds, r.DR.CatchUpBoundSeconds)
+	}
+	if r.Flight == nil || r.Telemetry == nil {
+		t.Error("DR report missing its flight dump or telemetry snapshot")
+	}
+}

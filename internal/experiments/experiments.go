@@ -35,6 +35,11 @@ type Report struct {
 	// experiments that run one; cmd/archsim writes them as JSON behind
 	// the -scrub-report flag (CI archives the file).
 	Scrub []tsm.ScrubReport
+
+	// DR carries the disaster-recovery drill's replication summary;
+	// cmd/archsim writes it as JSON behind the -dr-report flag (CI
+	// archives the file).
+	DR *DRReport
 }
 
 // ErrUnknownExperiment reports an experiment name Run does not know.
@@ -111,6 +116,7 @@ func All(seed int64) []Report {
 		ChaosStudy(seed),
 		ObservabilitySelfCheck(seed),
 		IntegrityStudy(seed),
+		DRStudy(seed),
 	}...)
 }
 
@@ -122,7 +128,7 @@ func Names() []string {
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
 		"ablation-lanfree", "reclaim", "fabric", "chaos", "obs",
-		"integrity", "scale", "all",
+		"integrity", "dr", "scale", "all",
 	}
 }
 
@@ -169,6 +175,8 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{ObservabilitySelfCheck(seed)}, nil
 	case "integrity":
 		return []Report{IntegrityStudy(seed)}, nil
+	case "dr":
+		return []Report{DRStudy(seed)}, nil
 	case "scale":
 		return []Report{ScaleStudy(seed)}, nil
 	case "all":

@@ -8,8 +8,8 @@ import (
 	"repro/internal/archive"
 	"repro/internal/faults"
 	"repro/internal/hsm"
-	"repro/internal/pftool"
 	"repro/internal/pfs"
+	"repro/internal/pftool"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/tape"

@@ -222,7 +222,7 @@ func (f *Fabric) Route(src, via, dst string) (Path, error) {
 		legs = [][2]string{{src, via}, {via, dst}}
 	}
 	for _, leg := range legs {
-		links, err := f.bfs(leg[0], leg[1])
+		links, err := f.bfs(leg[0], leg[1], nil)
 		if err != nil {
 			return Path{}, err
 		}
@@ -231,9 +231,24 @@ func (f *Fabric) Route(src, via, dst string) (Path, error) {
 	return p, nil
 }
 
+// RouteAvoid resolves the fewest-link path src -> dst that crosses no
+// link for which avoid reports true — WAN route selection around dead
+// or partitioned links: a federation routes replication and failover
+// traffic through surviving sites instead of crawling across a failed
+// trunk. A nil avoid is plain Route. The error names both endpoints
+// when every route is blocked (the partition case callers back off on).
+func (f *Fabric) RouteAvoid(src, dst string, avoid func(*Link) bool) (Path, error) {
+	links, err := f.bfs(src, dst, avoid)
+	if err != nil {
+		return Path{}, err
+	}
+	return Path{fab: f, src: src, dst: dst, links: links}, nil
+}
+
 // bfs finds the fewest-link path a -> b, returning the links crossed in
-// order (wires contribute nothing).
-func (f *Fabric) bfs(a, b string) ([]*Link, error) {
+// order (wires contribute nothing). Links for which avoid reports true
+// are not traversed (nil avoid admits every link).
+func (f *Fabric) bfs(a, b string, avoid func(*Link) bool) ([]*Link, error) {
 	if _, ok := f.adj[a]; !ok {
 		return nil, fmt.Errorf("fabric: unknown endpoint %q", a)
 	}
@@ -255,6 +270,9 @@ func (f *Fabric) bfs(a, b string) ([]*Link, error) {
 		frontier = frontier[1:]
 		for _, e := range f.adj[cur] {
 			if _, seen := prev[e.to]; seen {
+				continue
+			}
+			if avoid != nil && e.link != nil && avoid(e.link) {
 				continue
 			}
 			prev[e.to] = hop{from: cur, via: e.link}

@@ -69,6 +69,40 @@ func TestRouteWirePreferred(t *testing.T) {
 	}
 }
 
+func TestRouteAvoidRoutesAroundLinks(t *testing.T) {
+	c := simtime.NewClock()
+	f := New(c)
+	// Triangle of WAN trunks: a direct east link and a two-hop detour
+	// through west.
+	f.AddLink("wan-east", 100, "site:A", "site:B")
+	f.AddLink("wan-west", 100, "site:A", "site:C")
+	f.AddLink("wan-south", 100, "site:C", "site:B")
+
+	direct, err := f.RouteAvoid("site:A", "site:B", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := direct.Names(); len(got) != 1 || got[0] != "wan-east" {
+		t.Fatalf("nil avoid route = %v, want [wan-east]", got)
+	}
+
+	dead := map[string]bool{"wan-east": true}
+	detour, err := f.RouteAvoid("site:A", "site:B", func(l *Link) bool { return dead[l.Name()] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"wan-west", "wan-south"}
+	got := detour.Names()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("avoiding route = %v, want %v", got, want)
+	}
+
+	dead["wan-west"] = true
+	if _, err := f.RouteAvoid("site:A", "site:B", func(l *Link) bool { return dead[l.Name()] }); err == nil {
+		t.Fatal("expected no-route error when every path is avoided")
+	}
+}
+
 func TestSingleFlowBottleneck(t *testing.T) {
 	c := simtime.NewClock()
 	f := build(c)

@@ -96,11 +96,18 @@ func (e Event) String() string {
 
 // Component name helpers: every subsystem agrees on these prefixes so a
 // schedule written against one deployment wires up everywhere.
-func DriveComponent(name string) string  { return "drive:" + name }
-func NodeComponent(name string) string   { return "node:" + name }
+func DriveComponent(name string) string   { return "drive:" + name }
+func NodeComponent(name string) string    { return "node:" + name }
 func VolumeComponent(label string) string { return "volume:" + label }
-func LinkComponent(name string) string   { return "link:" + name }
-func CellComponent(name string) string   { return "cell:" + name }
+func LinkComponent(name string) string    { return "link:" + name }
+func CellComponent(name string) string    { return "cell:" + name }
+
+// SiteComponent names a whole archive site. A site failure is the
+// compound disaster-recovery fault: the federation's dispatcher expands
+// it into cell, mover-node, and WAN-link failures for every component
+// the site owns, and the repair event reverses them all (the rejoin
+// that triggers replication catch-up).
+func SiteComponent(name string) string { return "site:" + name }
 
 // TSMComponent is the single TSM server of a deployment.
 const TSMComponent = "tsm"
@@ -252,6 +259,9 @@ type Profile struct {
 	LinkDegradeLen  simtime.Duration // degradation window length (default 30 min)
 	MediaRots       int              // silent bit-rot events on cartridges (Volumes)
 	LinkCorrupts    int              // silent in-flight corruptions on Links
+	SiteKills       int              // whole-site outage windows (the DR drill)
+	Sites           []string         // site names to draw victims from
+	SiteOutageLen   simtime.Duration // site outage length (default 30 min)
 }
 
 // GenerateSchedule expands a statistical profile into a concrete event
@@ -273,6 +283,9 @@ func (r *Registry) GenerateSchedule(p Profile) []Event {
 	}
 	if p.LinkFactor <= 0 || p.LinkFactor >= 1 {
 		p.LinkFactor = 0.5
+	}
+	if p.SiteOutageLen <= 0 {
+		p.SiteOutageLen = 30 * time.Minute
 	}
 	at := func() simtime.Duration {
 		return simtime.Duration(r.rng.Int63n(int64(p.Horizon)))
@@ -314,6 +327,13 @@ func (r *Registry) GenerateSchedule(p Profile) []Event {
 	for i := 0; i < p.LinkCorrupts && len(p.Links) > 0; i++ {
 		evs = append(evs, Event{At: at(), Component: LinkComponent(pick(p.Links)),
 			Kind: KindCorrupt, Param: 1})
+	}
+	for i := 0; i < p.SiteKills && len(p.Sites) > 0; i++ {
+		t := at()
+		comp := SiteComponent(pick(p.Sites))
+		evs = append(evs,
+			Event{At: t, Component: comp, Kind: KindFail},
+			Event{At: t + p.SiteOutageLen, Component: comp, Kind: KindRepair})
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	return evs

@@ -122,6 +122,52 @@ func TestGenerateScheduleDeterministic(t *testing.T) {
 	}
 }
 
+func TestGenerateScheduleSiteKills(t *testing.T) {
+	profile := Profile{
+		Horizon:       time.Hour,
+		SiteKills:     2,
+		Sites:         []string{"east", "west"},
+		SiteOutageLen: 20 * time.Minute,
+	}
+	evs := New(simtime.NewClock(), 7).GenerateSchedule(profile)
+	if len(evs) != 4 {
+		t.Fatalf("schedule has %d events, want 2 fail+repair pairs", len(evs))
+	}
+	var fails, repairs []Event
+	for _, ev := range evs {
+		if ev.Component != SiteComponent("east") && ev.Component != SiteComponent("west") {
+			t.Fatalf("unexpected component %q", ev.Component)
+		}
+		switch ev.Kind {
+		case KindFail:
+			fails = append(fails, ev)
+		case KindRepair:
+			repairs = append(repairs, ev)
+		default:
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+	}
+	if len(fails) != 2 || len(repairs) != 2 {
+		t.Fatalf("want 2 fails and 2 repairs, got %d and %d", len(fails), len(repairs))
+	}
+	// Every fail is closed by a repair on the same site exactly one
+	// outage length later.
+	for _, f := range fails {
+		closed := false
+		for _, r := range repairs {
+			if r.Component == f.Component && r.At == f.At+profile.SiteOutageLen {
+				closed = true
+			}
+		}
+		if !closed {
+			t.Errorf("fail of %s at %v has no matching repair window", f.Component, f.At)
+		}
+	}
+	if SiteComponent("east") != "site:east" {
+		t.Errorf("SiteComponent = %q", SiteComponent("east"))
+	}
+}
+
 func TestComponentStatusSingleMechanism(t *testing.T) {
 	clock := simtime.NewClock()
 	r := New(clock, 1)

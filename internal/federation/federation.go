@@ -70,6 +70,14 @@ func (c *Cell) SetDown(down bool) {
 type Federation struct {
 	clock *simtime.Clock
 	cells []*Cell
+
+	// Multi-site state — empty for a single-site federation; populated
+	// by NewMultiSite (see site.go).
+	sites   []*Site
+	siteOf  map[*Cell]*Site
+	wan     []*wanLink
+	wanDown map[string]bool
+	rep     *Replicator
 }
 
 // New assembles a federation over the given cells.
@@ -133,75 +141,166 @@ func (f *Federation) Stat(path string) (pfs.Info, error) {
 	return c.FS.Stat(path)
 }
 
+// MigrateOutcome is the federation-wide result of one Migrate call.
+type MigrateOutcome struct {
+	// Cells maps cell name -> that cell engine's result.
+	Cells map[string]hsm.MigrateResult
+	// Skipped maps a down cell's name -> the paths it owns that were
+	// dropped from this call, in input order. This is the requeue list:
+	// a DR driver feeds it back into Migrate once the cell returns, so
+	// a site outage delays those files instead of losing them.
+	Skipped map[string][]string
+}
+
+// SkippedCount totals the files dropped because their owner was down.
+func (o MigrateOutcome) SkippedCount() int {
+	n := 0
+	for _, paths := range o.Skipped {
+		n += len(paths)
+	}
+	return n
+}
+
+// SkippedPaths flattens the per-cell skip lists, sorted by cell name
+// and in input order within a cell — ready to feed back into Migrate.
+func (o MigrateOutcome) SkippedPaths() []string {
+	cells := make([]string, 0, len(o.Skipped))
+	for name := range o.Skipped {
+		cells = append(cells, name)
+	}
+	sort.Strings(cells)
+	var out []string
+	for _, name := range cells {
+		out = append(out, o.Skipped[name]...)
+	}
+	return out
+}
+
+// RecallOutcome is the federation-wide result of one Recall call.
+type RecallOutcome struct {
+	// Cells maps cell name -> that cell engine's result.
+	Cells map[string]hsm.RecallResult
+	// Skipped maps a down cell's name -> the paths it owns that were
+	// dropped from this call — the list a DR driver reroutes to
+	// replica sites (Replicator.FailoverRecall) or retries after
+	// repair.
+	Skipped map[string][]string
+}
+
+// SkippedCount totals the paths dropped because their owner was down.
+func (o RecallOutcome) SkippedCount() int {
+	n := 0
+	for _, paths := range o.Skipped {
+		n += len(paths)
+	}
+	return n
+}
+
+// SkippedPaths flattens the per-cell skip lists, sorted by cell name
+// and in input order within a cell.
+func (o RecallOutcome) SkippedPaths() []string {
+	cells := make([]string, 0, len(o.Skipped))
+	for name := range o.Skipped {
+		cells = append(cells, name)
+	}
+	sort.Strings(cells)
+	var out []string
+	for _, name := range cells {
+		out = append(out, o.Skipped[name]...)
+	}
+	return out
+}
+
+// sortedCells returns byCell's keys sorted by cell name. Fan-out MUST spawn
+// in this order: ranging the map directly would seed the cell actors
+// in a different order each run and break the simulator's bit-exact
+// determinism contract.
+func sortedCells[T any](byCell map[*Cell]T) []*Cell {
+	order := make([]*Cell, 0, len(byCell))
+	for c := range byCell {
+		order = append(order, c)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Name < order[j].Name })
+	return order
+}
+
 // Migrate partitions candidate files by owning cell and migrates each
 // cell's share on its own engine, in parallel. Files that live in a
-// down cell are reported in the error but the healthy cells complete.
-func (f *Federation) Migrate(files []pfs.Info, opt hsm.MigrateOptions) (map[string]hsm.MigrateResult, error) {
+// down cell are skipped: the healthy cells complete, the skipped paths
+// come back in the outcome's per-cell Skipped lists for requeueing,
+// and the call still reports ErrCellDown so a caller that ignores the
+// outcome cannot mistake a partial campaign for a complete one.
+func (f *Federation) Migrate(files []pfs.Info, opt hsm.MigrateOptions) (MigrateOutcome, error) {
+	out := MigrateOutcome{
+		Cells:   make(map[string]hsm.MigrateResult),
+		Skipped: make(map[string][]string),
+	}
 	byCell := make(map[*Cell][]pfs.Info)
-	var downPaths []string
 	for _, file := range files {
 		c := f.CellFor(file.Path)
 		if c.Down() {
-			downPaths = append(downPaths, file.Path)
+			out.Skipped[c.Name] = append(out.Skipped[c.Name], file.Path)
 			continue
 		}
 		byCell[c] = append(byCell[c], file)
 	}
-	results := make(map[string]hsm.MigrateResult)
 	var firstErr error
 	wg := simtime.NewWaitGroup(f.clock)
-	for c, share := range byCell {
-		c, share := c, share
+	for _, c := range sortedCells(byCell) {
+		c, share := c, byCell[c]
 		wg.Add(1)
 		f.clock.Go(func() {
 			defer wg.Done()
 			res, err := c.Engine.Migrate(share, opt)
-			results[c.Name] = res
+			out.Cells[c.Name] = res
 			if err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("federation: cell %s: %w", c.Name, err)
 			}
 		})
 	}
 	wg.Wait()
-	if firstErr == nil && len(downPaths) > 0 {
-		firstErr = fmt.Errorf("%w: %d file(s) owned by failed cells", ErrCellDown, len(downPaths))
+	if firstErr == nil && len(out.Skipped) > 0 {
+		firstErr = fmt.Errorf("%w: %d file(s) owned by failed cells", ErrCellDown, out.SkippedCount())
 	}
-	return results, firstErr
+	return out, firstErr
 }
 
 // Recall partitions paths by owning cell and recalls each share in
-// parallel with the given mode.
-func (f *Federation) Recall(paths []string, mode hsm.RecallMode) (map[string]hsm.RecallResult, error) {
+// parallel with the given mode. Down-cell paths surface in the
+// outcome's Skipped lists exactly as in Migrate.
+func (f *Federation) Recall(paths []string, mode hsm.RecallMode) (RecallOutcome, error) {
+	out := RecallOutcome{
+		Cells:   make(map[string]hsm.RecallResult),
+		Skipped: make(map[string][]string),
+	}
 	byCell := make(map[*Cell][]string)
-	var downPaths []string
 	for _, p := range paths {
 		c := f.CellFor(p)
 		if c.Down() {
-			downPaths = append(downPaths, p)
+			out.Skipped[c.Name] = append(out.Skipped[c.Name], p)
 			continue
 		}
 		byCell[c] = append(byCell[c], p)
 	}
-	results := make(map[string]hsm.RecallResult)
 	var firstErr error
 	wg := simtime.NewWaitGroup(f.clock)
-	for c, share := range byCell {
-		c, share := c, share
+	for _, c := range sortedCells(byCell) {
+		c, share := c, byCell[c]
 		wg.Add(1)
 		f.clock.Go(func() {
 			defer wg.Done()
 			res, err := c.Engine.Recall(share, mode)
-			results[c.Name] = res
+			out.Cells[c.Name] = res
 			if err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("federation: cell %s: %w", c.Name, err)
 			}
 		})
 	}
 	wg.Wait()
-	if firstErr == nil && len(downPaths) > 0 {
-		firstErr = fmt.Errorf("%w: %d path(s) owned by failed cells", ErrCellDown, len(downPaths))
+	if firstErr == nil && len(out.Skipped) > 0 {
+		firstErr = fmt.Errorf("%w: %d path(s) owned by failed cells", ErrCellDown, out.SkippedCount())
 	}
-	return results, firstErr
+	return out, firstErr
 }
 
 // QueryByPath answers the unindexed TSM path query against the single

@@ -3,6 +3,8 @@ package federation
 import (
 	"errors"
 	"fmt"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -119,7 +121,7 @@ func TestMigrateAndRecallAcrossCells(t *testing.T) {
 			t.Fatal(err)
 		}
 		total := 0
-		for _, r := range results {
+		for _, r := range results.Cells {
 			total += r.Files
 		}
 		if total != 20 {
@@ -133,7 +135,7 @@ func TestMigrateAndRecallAcrossCells(t *testing.T) {
 			t.Fatal(err)
 		}
 		recalled := 0
-		for _, r := range rres {
+		for _, r := range rres.Cells {
 			recalled += r.Files
 		}
 		if recalled != 20 {
@@ -180,11 +182,18 @@ func TestCellFailureIsPartial(t *testing.T) {
 			t.Errorf("recall err = %v, want ErrCellDown", err)
 		}
 		recalled := 0
-		for _, r := range rres {
+		for _, r := range rres.Cells {
 			recalled += r.Files
 		}
 		if recalled != 1 {
 			t.Errorf("healthy cell recalled %d, want 1", recalled)
+		}
+		downCell := e.fed.CellFor("/" + projB)
+		if got := rres.Skipped[downCell.Name]; len(got) != 1 || got[0] != infosB[0].Path {
+			t.Errorf("Skipped[%s] = %v, want [%s]", downCell.Name, got, infosB[0].Path)
+		}
+		if rres.SkippedCount() != 1 {
+			t.Errorf("SkippedCount = %d, want 1", rres.SkippedCount())
 		}
 
 		// Revive and everything works again.
@@ -265,6 +274,173 @@ func TestBindFaultsDrivesCellHealth(t *testing.T) {
 			t.Error("cell still down after the repair event")
 		}
 	})
+}
+
+// TestFanOutIsDeterministic runs the same federated campaign several
+// times in fresh environments and demands bit-identical outcomes —
+// the virtual end time included. Before the cells were sorted at spawn
+// time, ranging the map[*Cell] seeded the engines' actors in a
+// different order each run and broke the simulator's bit-exact
+// determinism contract.
+func TestFanOutIsDeterministic(t *testing.T) {
+	type runResult struct {
+		elapsed  simtime.Duration
+		migrated MigrateOutcome
+		recalled RecallOutcome
+	}
+	campaign := func() runResult {
+		e := newEnv(t, 4)
+		var rr runResult
+		e.run(t, func() {
+			var all []pfs.Info
+			var paths []string
+			for _, proj := range []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"} {
+				infos := e.seedProject(t, proj, 4, 2e8)
+				all = append(all, infos...)
+				for _, i := range infos {
+					paths = append(paths, i.Path)
+				}
+			}
+			var err error
+			rr.migrated, err = e.fed.Migrate(all, hsm.MigrateOptions{Balanced: true})
+			if err != nil {
+				t.Error(err)
+			}
+			rr.recalled, err = e.fed.Recall(paths, hsm.RecallOrdered)
+			if err != nil {
+				t.Error(err)
+			}
+			rr.elapsed = e.clock.Now()
+		})
+		return rr
+	}
+	first := campaign()
+	for i := 0; i < 2; i++ {
+		again := campaign()
+		if again.elapsed != first.elapsed {
+			t.Fatalf("run %d elapsed %v, first run %v: fan-out is nondeterministic", i+2, again.elapsed, first.elapsed)
+		}
+		if !reflect.DeepEqual(again.migrated, first.migrated) {
+			t.Fatalf("run %d migrate outcome differs from first run", i+2)
+		}
+		if !reflect.DeepEqual(again.recalled, first.recalled) {
+			t.Fatalf("run %d recall outcome differs from first run", i+2)
+		}
+	}
+}
+
+// TestSkippedSurfacesBeforeAndAfterBindFaults drives the down-cell
+// path through both health mechanisms: the local flag (no registry)
+// and the registry-backed status after BindFaults.
+func TestSkippedSurfacesBeforeAndAfterBindFaults(t *testing.T) {
+	e := newEnv(t, 2)
+	e.run(t, func() {
+		var projA, projB string
+		for i := 0; projB == "" && i < 100; i++ {
+			p := fmt.Sprintf("proj%02d", i)
+			if projA == "" {
+				projA = p
+				continue
+			}
+			if e.fed.CellFor("/"+p) != e.fed.CellFor("/"+projA) {
+				projB = p
+			}
+		}
+		if projB == "" {
+			t.Skip("hash put all probes in one cell")
+		}
+		infosA := e.seedProject(t, projA, 2, 1e6)
+		infosB := e.seedProject(t, projB, 2, 1e6)
+		downCell := e.fed.CellFor("/" + projB)
+
+		// Before BindFaults: the local flag drives Down().
+		downCell.SetDown(true)
+		out, err := e.fed.Migrate(append(infosA, infosB...), hsm.MigrateOptions{})
+		if !errors.Is(err, ErrCellDown) {
+			t.Fatalf("pre-bind migrate err = %v, want ErrCellDown", err)
+		}
+		if got := out.Skipped[downCell.Name]; len(got) != 2 {
+			t.Errorf("pre-bind Skipped[%s] = %v, want both projB files", downCell.Name, got)
+		}
+		if want := []string{infosB[0].Path, infosB[1].Path}; !reflect.DeepEqual(out.SkippedPaths(), want) {
+			t.Errorf("pre-bind SkippedPaths = %v, want %v", out.SkippedPaths(), want)
+		}
+		downCell.SetDown(false)
+
+		// After BindFaults: the registry drives Down(); results agree.
+		reg := faults.New(e.clock, 1)
+		e.fed.BindFaults(reg)
+		downCell.SetDown(true)
+		if !reg.Down(faults.CellComponent(downCell.Name)) {
+			t.Fatal("registry did not see the post-bind SetDown")
+		}
+		// Only projB's files this time: projA's are already migrated.
+		out2, err := e.fed.Migrate(infosB, hsm.MigrateOptions{})
+		if !errors.Is(err, ErrCellDown) {
+			t.Fatalf("post-bind migrate err = %v, want ErrCellDown", err)
+		}
+		if !reflect.DeepEqual(out2.Skipped, out.Skipped) {
+			t.Errorf("post-bind Skipped %v != pre-bind %v", out2.Skipped, out.Skipped)
+		}
+		// Requeue the skip list after repair: nothing is lost.
+		downCell.SetDown(false)
+		var requeue []pfs.Info
+		for _, p := range out2.SkippedPaths() {
+			info, err := downCell.FS.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requeue = append(requeue, info)
+		}
+		out3, err := e.fed.Migrate(requeue, hsm.MigrateOptions{})
+		if err != nil || out3.Cells[downCell.Name].Files != 2 {
+			t.Errorf("requeue migrated %d files (err %v), want 2", out3.Cells[downCell.Name].Files, err)
+		}
+	})
+}
+
+// TestBindFaultsWithPreexistingRegistryEvent covers the edge where the
+// registry already holds a fail event for a cell's component before
+// BindFaults runs: binding must adopt the registry's view, not clobber
+// it with the cell's local (up) flag.
+func TestBindFaultsWithPreexistingRegistryEvent(t *testing.T) {
+	e := newEnv(t, 2)
+	reg := faults.New(e.clock, 1)
+	cell := e.fed.Cells()[0]
+	reg.Apply(faults.Event{Component: faults.CellComponent(cell.Name), Kind: faults.KindFail})
+	if cell.Down() {
+		t.Fatal("unbound cell saw the registry event")
+	}
+	e.fed.BindFaults(reg)
+	if !cell.Down() {
+		t.Error("binding dropped the registry's pre-existing down state")
+	}
+	logLen := len(reg.Log())
+	// Binding must not have synthesized an extra event for it.
+	if logLen != 1 {
+		t.Errorf("registry log has %d events after bind, want 1", logLen)
+	}
+	cell.SetDown(false)
+	if cell.Down() || reg.Down(faults.CellComponent(cell.Name)) {
+		t.Error("repair after bind did not clear both views")
+	}
+}
+
+// TestCellComponentRoundTrip pins the component-name contract the
+// dispatcher prefixes rely on.
+func TestCellComponentRoundTrip(t *testing.T) {
+	for _, name := range []string{"cell0", "a-b.c", ""} {
+		comp := faults.CellComponent(name)
+		if !strings.HasPrefix(comp, "cell:") {
+			t.Fatalf("CellComponent(%q) = %q, want cell: prefix", name, comp)
+		}
+		if got := strings.TrimPrefix(comp, "cell:"); got != name {
+			t.Errorf("round trip of %q via %q gave %q", name, comp, got)
+		}
+	}
+	if faults.SiteComponent("s") != "site:s" {
+		t.Errorf("SiteComponent = %q, want site:s", faults.SiteComponent("s"))
+	}
 }
 
 func TestSetDownRoutesThroughRegistry(t *testing.T) {

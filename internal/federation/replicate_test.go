@@ -1,0 +1,174 @@
+package federation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/hsm"
+	"repro/internal/telemetry"
+)
+
+func TestReplicationFansOutToOtherSites(t *testing.T) {
+	e := newSiteEnv(t, 3)
+	rep, err := NewReplicator(e.fed, ReplicationPolicy{Copies: 3}, faults.Backoff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := e.sites[0]
+	e.run(t, func() {
+		infos := e.seed(t, home, 4, 50e6)
+		if _, err := e.fed.Migrate(infos, hsm.MigrateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if !rep.DrainWithin(2 * time.Hour) {
+			t.Fatalf("backlog never drained: %d pending", rep.Pending())
+		}
+		for _, other := range e.sites[1:] {
+			srv := other.Cells[0].Server
+			if srv.NumReplicas() != 4 {
+				t.Errorf("site %s holds %d replicas, want 4", other.Name, srv.NumReplicas())
+			}
+			for _, info := range infos {
+				ent := rep.Catalog(info.Path)
+				if ent == nil {
+					t.Fatalf("no catalog entry for %s", info.Path)
+				}
+				if !srv.HasReplica(ent.HomeCell, ent.Object.ID) {
+					t.Errorf("site %s missing replica of %s", other.Name, info.Path)
+				}
+			}
+		}
+		st := rep.Stats()
+		if st.Replicated != 8 || st.Pending != 0 {
+			t.Errorf("stats = %+v, want 8 replicated, 0 pending", st)
+		}
+		if telemetry.Of(e.clock).Histogram("federation_replication_lag_seconds").Count() != 8 {
+			t.Error("replication lag histogram not fed")
+		}
+		rep.Close()
+	})
+}
+
+func TestReplicationParksDuringOutageAndCatchesUp(t *testing.T) {
+	e := newSiteEnv(t, 3)
+	// A fast-burning retry budget so the park happens within the test's
+	// virtual hour rather than after the default minutes of backoff.
+	retry := faults.Backoff{Attempts: 2, Base: time.Second, Factor: 2, Max: 5 * time.Second}
+	rep, err := NewReplicator(e.fed, ReplicationPolicy{Copies: 3}, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, victim := e.sites[0], e.sites[2]
+	e.run(t, func() {
+		// Kill a destination site BEFORE the campaign: its share of the
+		// replication work must park, not vanish and not block the rest.
+		e.reg.Apply(faults.Event{Component: faults.SiteComponent(victim.Name), Kind: faults.KindFail})
+		infos := e.seed(t, home, 3, 50e6)
+		if _, err := e.fed.Migrate(infos, hsm.MigrateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if rep.DrainWithin(time.Hour) {
+			t.Fatal("drain reported complete with a destination site dead")
+		}
+		if e.sites[1].Cells[0].Server.NumReplicas() != 3 {
+			t.Errorf("healthy site holds %d replicas, want 3", e.sites[1].Cells[0].Server.NumReplicas())
+		}
+		st := rep.Stats()
+		if st.Parked == 0 {
+			t.Error("no park events during the outage")
+		}
+		if st.Pending != 3 {
+			t.Errorf("pending = %d, want 3 (the dead site's share)", st.Pending)
+		}
+
+		// Rejoin: the repair event kicks the parked backlog and the
+		// catch-up drain completes.
+		e.reg.Apply(faults.Event{Component: faults.SiteComponent(victim.Name), Kind: faults.KindRepair})
+		if !rep.DrainWithin(2 * time.Hour) {
+			t.Fatalf("catch-up never drained: %d pending", rep.Pending())
+		}
+		if got := victim.Cells[0].Server.NumReplicas(); got != 3 {
+			t.Errorf("rejoined site holds %d replicas, want 3 (exactly once)", got)
+		}
+		rep.Close()
+	})
+}
+
+func TestFailoverRecallServesFromNearestReplica(t *testing.T) {
+	e := newSiteEnv(t, 3)
+	rep, err := NewReplicator(e.fed, ReplicationPolicy{Copies: 2}, faults.Backoff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, portal := e.sites[0], e.sites[2]
+	e.run(t, func() {
+		infos := e.seed(t, home, 2, 50e6)
+		if _, err := e.fed.Migrate(infos, hsm.MigrateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if !rep.DrainWithin(2 * time.Hour) {
+			t.Fatal("replication never drained")
+		}
+		// Disaster: the home site dies. Normal recall skips its paths;
+		// failover recall serves them from the replica site.
+		e.reg.Apply(faults.Event{Component: faults.SiteComponent(home.Name), Kind: faults.KindFail})
+		out, err := e.fed.Recall([]string{infos[0].Path}, hsm.RecallOrdered)
+		if !errors.Is(err, ErrCellDown) || out.SkippedCount() != 1 {
+			t.Fatalf("normal recall: err=%v skipped=%d, want ErrCellDown/1", err, out.SkippedCount())
+		}
+		for _, info := range infos {
+			r, err := rep.FailoverRecall(portal, info.Path)
+			if err != nil {
+				t.Fatalf("failover recall of %s: %v", info.Path, err)
+			}
+			if r.Bytes != info.Size {
+				t.Errorf("replica bytes = %d, want %d", r.Bytes, info.Size)
+			}
+		}
+		if rep.Stats().FailoverRecalls != 2 {
+			t.Errorf("FailoverRecalls = %d, want 2", rep.Stats().FailoverRecalls)
+		}
+		// Every failover span ended OK and cites the site-kill event.
+		tel := telemetry.Of(e.clock)
+		killEvent, ok := tel.LastEventFor(faults.SiteComponent(home.Name))
+		if !ok {
+			t.Fatal("no site-kill event on the books")
+		}
+		dump := tel.FlightDump()
+		found := 0
+		for _, sp := range dump.Spans {
+			if sp.Name != "federation.failover-recall" {
+				continue
+			}
+			found++
+			if sp.Status != telemetry.StatusOK {
+				t.Errorf("failover span status = %s", sp.Status)
+			}
+			if sp.CauseEvent != killEvent {
+				t.Errorf("failover span cause = %d, want site-kill event %d", sp.CauseEvent, killEvent)
+			}
+		}
+		if found != 2 {
+			t.Errorf("found %d failover spans, want 2", found)
+		}
+
+		// A path that was never cataloged is a typed error.
+		if _, err := rep.FailoverRecall(portal, "/no/such/path"); !errors.Is(err, ErrNotCataloged) {
+			t.Errorf("uncataloged path: err = %v, want ErrNotCataloged", err)
+		}
+		rep.Close()
+	})
+}
+
+func TestReplicatorRequiresMultiSiteAndPolicy(t *testing.T) {
+	e := newEnv(t, 2) // single-site federation
+	if _, err := NewReplicator(e.fed, ReplicationPolicy{Copies: 2}, faults.Backoff{}); err == nil {
+		t.Error("replicator accepted a single-site federation")
+	}
+	se := newSiteEnv(t, 2)
+	if _, err := NewReplicator(se.fed, ReplicationPolicy{Copies: 1}, faults.Backoff{}); err == nil {
+		t.Error("replicator accepted Copies < 2")
+	}
+}

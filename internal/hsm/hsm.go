@@ -86,6 +86,7 @@ type Engine struct {
 	aggOf      map[string]uint64      // member path -> aggregate object ID
 	aggMembers map[uint64][]aggMember // aggregate object ID -> members
 	routes     map[string]fabric.Path // node name -> pool..SAN fabric route
+	onStored   []func(tsm.Object)     // notified after each tape object lands
 
 	migratedFiles int
 	recalledFiles int
@@ -128,6 +129,20 @@ func New(clock *simtime.Clock, fs *pfs.FS, srv *tsm.Server, shadow *metadb.DB, n
 	e.ctrRequeued = e.tel.Counter("hsm_requeued_files_total")
 	e.gBacklog = e.tel.Gauge("hsm_candidate_backlog")
 	return e
+}
+
+// OnStored registers a hook fired (in registration order) after each
+// tape object lands during migration — single files and aggregates
+// alike. This is the feed an async replicator subscribes to: the hook
+// runs in the mover's actor, so it must only enqueue, never block.
+func (e *Engine) OnStored(fn func(tsm.Object)) {
+	e.onStored = append(e.onStored, fn)
+}
+
+func (e *Engine) notifyStored(obj tsm.Object) {
+	for _, fn := range e.onStored {
+		fn(obj)
+	}
 }
 
 // MigratedFiles reports lifetime migrated file count.
@@ -485,6 +500,7 @@ func (e *Engine) storeSingle(node *cluster.Node, pool *pfs.Pool, stream *fabric.
 	if e.shadow != nil {
 		e.shadow.UpsertObject(obj)
 	}
+	e.notifyStored(obj)
 	return e.stub(f.Path)
 }
 
@@ -517,6 +533,7 @@ func (e *Engine) storeAggregate(node *cluster.Node, pool *pfs.Pool, stream *fabr
 	if e.shadow != nil {
 		e.shadow.UpsertObject(obj)
 	}
+	e.notifyStored(obj)
 	for i, m := range members {
 		e.aggOf[m.Path] = obj.ID
 		e.aggMembers[obj.ID] = append(e.aggMembers[obj.ID], aggMember{path: m.Path, bytes: m.Size})

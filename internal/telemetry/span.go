@@ -89,6 +89,18 @@ func (sp *Span) Attr(key string) string {
 	return ""
 }
 
+// SetCause records the telemetry event that provoked this span without
+// closing it. Failover paths use it: the work *succeeds*, but only
+// because a fault forced the reroute, so the span must cite the fault's
+// event ID even though it ends with StatusOK. A later Abort carrying
+// its own nonzero cause event overrides it.
+func (sp *Span) SetCause(causeEvent uint64) {
+	if sp == nil || sp.Status != StatusOpen {
+		return
+	}
+	sp.CauseEvent = causeEvent
+}
+
 // End closes the span successfully. Closing an already-closed span is
 // a no-op: result handlers and cleanup paths may race benignly over
 // who closes a job's span.
@@ -108,7 +120,9 @@ func (sp *Span) close(status, cause string, causeEvent uint64) {
 	}
 	sp.Status = status
 	sp.Cause = cause
-	sp.CauseEvent = causeEvent
+	if causeEvent != 0 || sp.CauseEvent == 0 {
+		sp.CauseEvent = causeEvent
+	}
 	sp.EndAt = sp.r.clock.Now()
 	delete(sp.r.open, sp.ID)
 	sp.r.record(flightItem{span: sp})

@@ -1,0 +1,209 @@
+// Replica targets: duplicates of objects whose primaries live in a
+// DIFFERENT archive site, landed on this server's copy-pool volumes by
+// the federation's async WAN replication. The replica catalog is keyed
+// by (home cell, object ID) so two sites' object-ID sequences never
+// collide, and a replica store is idempotent on that key — catch-up
+// after a partition can re-offer everything in its backlog without
+// ever writing a duplicate.
+
+package tsm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/synthetic"
+	"repro/internal/tape"
+	"repro/internal/telemetry"
+)
+
+// Replica-path errors.
+var (
+	// ErrServerDown means the server is in an outage. Unlike primary
+	// transactions — which block and re-poll until repair — replication
+	// and DR paths need to fail fast so work parks in a backlog instead
+	// of hanging an actor on a dead site.
+	ErrServerDown = errors.New("tsm: server down")
+	// ErrNoReplica means this server holds no replica for the requested
+	// (home cell, object) pair.
+	ErrNoReplica = errors.New("tsm: no replica")
+)
+
+// replicaKey identifies a replica: object IDs are per-cell sequences,
+// so the home cell name is part of the key.
+type replicaKey struct {
+	Cell string
+	ID   uint64
+}
+
+// Replica records one cross-site duplicate held by this server.
+type Replica struct {
+	Cell   string // home cell whose catalog owns the primary
+	ID     uint64 // object ID in the home cell's catalog
+	Path   string
+	Bytes  int64
+	Sum    uint64 // catalog digest carried over from the primary
+	Volume string // copy-pool volume holding the duplicate
+	Seq    int
+}
+
+// StoreReplica writes one remote object's bytes to this server's copy
+// pool and records it in the replica catalog. The WAN transfer is the
+// caller's concern (the replicator charges it against the WAN route);
+// this charges the local tape write. Storing a (cell, ID) pair already
+// held is a no-op — the idempotency that makes catch-up retries and
+// re-drained backlogs exactly-once. Fails fast with ErrServerDown
+// during an outage and tape.ErrNoScratch when the copy pool is full.
+func (s *Server) StoreReplica(client, homeCell string, obj Object, parent *telemetry.Span) error {
+	if s.down {
+		return ErrServerDown
+	}
+	key := replicaKey{Cell: homeCell, ID: obj.ID}
+	if _, ok := s.replicas[key]; ok {
+		return nil
+	}
+	s.reapDownDrives()
+	s.txn()
+	sp := telemetry.ChildOf(s.tel, parent, "tsm.store-replica",
+		"cell", homeCell, "path", obj.Path)
+	var tf tape.File
+	var cvol *tape.Cartridge
+	err := s.cfg.Retry.Do(s.clock, func(attempt int) error {
+		if attempt > 1 {
+			s.reapDownDrives()
+			s.stats.Retries++
+			s.ctrRetries.Inc()
+		}
+		d, v, err := s.acquireCopyDrive(obj.Bytes)
+		if err != nil {
+			return err
+		}
+		d.SetTraceParent(sp)
+		if err := d.BeginSession(client); err != nil {
+			s.ReleaseDrive(d)
+			return err
+		}
+		tf, err = d.AppendSum(obj.ID, obj.Bytes, obj.Sum)
+		s.ReleaseDrive(d)
+		if err != nil {
+			return err
+		}
+		cvol = v
+		return nil
+	}, retryable)
+	if err != nil {
+		sp.Abort(err.Error(), 0)
+		return err
+	}
+	s.txn() // commit the catalog entry
+	s.replicas[key] = &Replica{
+		Cell:   homeCell,
+		ID:     obj.ID,
+		Path:   obj.Path,
+		Bytes:  obj.Bytes,
+		Sum:    obj.Sum,
+		Volume: cvol.Label,
+		Seq:    tf.Seq,
+	}
+	s.replicaOrder = append(s.replicaOrder, key)
+	s.stats.ReplicasStored++
+	s.stats.ReplicaBytes += obj.Bytes
+	s.ctrReplicas.Inc()
+	s.ctrReplicaBytes.Add(float64(obj.Bytes))
+	sp.SetAttr("volume", cvol.Label)
+	sp.End()
+	return nil
+}
+
+// ReadReplica streams a replica's bytes back toward a client — the DR
+// failover recall path when the home site is dead. route is the fabric
+// path the data crosses (typically a WAN route resolved around the
+// failure); the tape read and the transfer overlap exactly as in a
+// primary recall. The delivered digest is verified against the replica
+// catalog before success. Fails fast with ErrServerDown during an
+// outage.
+func (s *Server) ReadReplica(client, homeCell string, id uint64, route fabric.Path, parent *telemetry.Span) (Replica, error) {
+	if s.down {
+		return Replica{}, ErrServerDown
+	}
+	rep, ok := s.replicas[replicaKey{Cell: homeCell, ID: id}]
+	if !ok {
+		return Replica{}, fmt.Errorf("%w: cell %s object %d", ErrNoReplica, homeCell, id)
+	}
+	s.reapDownDrives()
+	s.txn()
+	sp := telemetry.ChildOf(s.tel, parent, "tsm.recall-replica",
+		"cell", homeCell, "volume", rep.Volume)
+	vol, err := s.lib.Cartridge(rep.Volume)
+	if err != nil {
+		sp.Abort(err.Error(), 0)
+		return Replica{}, err
+	}
+	var delivered uint64
+	var tainted bool
+	err = s.cfg.Retry.Do(s.clock, func(attempt int) error {
+		if attempt > 1 {
+			s.reapDownDrives()
+			s.stats.Retries++
+			s.ctrRetries.Inc()
+		}
+		s.drvPool.Acquire(1)
+		d, err := s.acquireVolumeDrive(vol)
+		if err != nil {
+			s.drvPool.Release(1)
+			return err
+		}
+		d.SetTraceParent(sp)
+		if err := d.BeginSession(client); err != nil {
+			s.ReleaseDrive(d)
+			return err
+		}
+		var readErr error
+		_, tainted, readErr = s.moveData(rep.Bytes, route, nil, nil, func() error {
+			_, sum, e := d.ReadSeqSum(rep.Seq)
+			delivered = sum
+			return e
+		})
+		s.ReleaseDrive(d)
+		return readErr
+	}, retryable)
+	if err != nil {
+		sp.Abort(err.Error(), 0)
+		return Replica{}, err
+	}
+	if tainted && delivered != 0 {
+		delivered = synthetic.CorruptDigest(delivered)
+	}
+	if rep.Sum != 0 && delivered != rep.Sum {
+		err := fmt.Errorf("%w: cell %s object %d (replica on %s corrupt)",
+			ErrNoReplica, homeCell, id, rep.Volume)
+		sp.Abort(err.Error(), 0)
+		return Replica{}, err
+	}
+	sp.End()
+	s.stats.ReplicaRecalls++
+	s.stats.BytesRead += rep.Bytes
+	s.ctrReplicaRecalls.Inc()
+	s.ctrBytesRead.Add(float64(rep.Bytes))
+	return *rep, nil
+}
+
+// HasReplica reports whether this server holds a replica for the
+// (home cell, object) pair.
+func (s *Server) HasReplica(homeCell string, id uint64) bool {
+	_, ok := s.replicas[replicaKey{Cell: homeCell, ID: id}]
+	return ok
+}
+
+// NumReplicas reports how many replicas this server holds.
+func (s *Server) NumReplicas() int { return len(s.replicas) }
+
+// Replicas lists the held replicas in store order.
+func (s *Server) Replicas() []Replica {
+	out := make([]Replica, 0, len(s.replicaOrder))
+	for _, k := range s.replicaOrder {
+		out = append(out, *s.replicas[k])
+	}
+	return out
+}

@@ -123,6 +123,12 @@ type Stats struct {
 	// IntegrityUnrepairable counts detections with no surviving good
 	// copy: the object is reported, never silently delivered.
 	IntegrityUnrepairable int
+	// ReplicasStored counts cross-site duplicates landed in this
+	// server's copy pool; ReplicaBytes their size.
+	ReplicasStored int
+	ReplicaBytes   int64
+	// ReplicaRecalls counts DR failover reads served from replicas.
+	ReplicaRecalls int
 }
 
 // Server is the TSM instance: one per archive (the paper's §6.4 single
@@ -132,38 +138,43 @@ type Server struct {
 	cfg   Config
 	lib   *tape.Library
 
-	db         map[uint64]*Object
-	order      []uint64
-	nextID     uint64
-	txnRes     *simtime.Resource
-	drvPool    *simtime.Resource
-	netLink    *fabric.Link
-	coloc      map[string]string // group -> current volume label
-	mounting   map[string]bool   // volume labels with a mount in flight
-	reclaiming map[string]bool   // volumes being reclaimed: never a write target
-	quarantine map[string]bool   // volumes with detected corruption: never a write target
-	copyPool   map[string]bool   // copy-storage-pool volumes: never a primary write target
-	copyOrder  []string          // copy-pool labels in insertion order
-	copies     map[uint64]copyLoc
-	onRepair   []func(Object) // notified after an object moves during repair
-	lastDrive  map[string]*tape.Drive
-	down       bool // server outage: transactions block until repair
-	stats      Stats
+	db           map[uint64]*Object
+	order        []uint64
+	nextID       uint64
+	txnRes       *simtime.Resource
+	drvPool      *simtime.Resource
+	netLink      *fabric.Link
+	coloc        map[string]string // group -> current volume label
+	mounting     map[string]bool   // volume labels with a mount in flight
+	reclaiming   map[string]bool   // volumes being reclaimed: never a write target
+	quarantine   map[string]bool   // volumes with detected corruption: never a write target
+	copyPool     map[string]bool   // copy-storage-pool volumes: never a primary write target
+	copyOrder    []string          // copy-pool labels in insertion order
+	copies       map[uint64]copyLoc
+	replicas     map[replicaKey]*Replica // cross-site duplicates held here
+	replicaOrder []replicaKey
+	onRepair     []func(Object) // notified after an object moves during repair
+	lastDrive    map[string]*tape.Drive
+	down         bool // server outage: transactions block until repair
+	stats        Stats
 
-	tel            *telemetry.Registry
-	ctrTxn         *telemetry.Counter
-	ctrStores      *telemetry.Counter
-	ctrRecalls     *telemetry.Counter
-	ctrDeletes     *telemetry.Counter
-	ctrRetries     *telemetry.Counter
-	ctrPathQueries *telemetry.Counter
-	ctrBytesStored *telemetry.Counter
-	ctrBytesRead   *telemetry.Counter
-	ctrDetected    *telemetry.Counter
-	ctrRepaired    *telemetry.Counter
-	ctrUnrepair    *telemetry.Counter
-	ctrStoreTaints *telemetry.Counter
-	gDown          *telemetry.Gauge
+	tel               *telemetry.Registry
+	ctrTxn            *telemetry.Counter
+	ctrStores         *telemetry.Counter
+	ctrRecalls        *telemetry.Counter
+	ctrDeletes        *telemetry.Counter
+	ctrRetries        *telemetry.Counter
+	ctrPathQueries    *telemetry.Counter
+	ctrBytesStored    *telemetry.Counter
+	ctrBytesRead      *telemetry.Counter
+	ctrDetected       *telemetry.Counter
+	ctrRepaired       *telemetry.Counter
+	ctrUnrepair       *telemetry.Counter
+	ctrStoreTaints    *telemetry.Counter
+	ctrReplicas       *telemetry.Counter
+	ctrReplicaBytes   *telemetry.Counter
+	ctrReplicaRecalls *telemetry.Counter
+	gDown             *telemetry.Gauge
 }
 
 // NewServer creates a server managing lib.
@@ -188,6 +199,7 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 		quarantine: make(map[string]bool),
 		copyPool:   make(map[string]bool),
 		copies:     make(map[uint64]copyLoc),
+		replicas:   make(map[replicaKey]*Replica),
 		lastDrive:  make(map[string]*tape.Drive),
 	}
 	s.tel = telemetry.Of(clock)
@@ -203,6 +215,9 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 	s.ctrRepaired = s.tel.Counter("tsm_integrity_repaired_total")
 	s.ctrUnrepair = s.tel.Counter("tsm_integrity_unrepairable_total")
 	s.ctrStoreTaints = s.tel.Counter("tsm_stores_corrupted_total")
+	s.ctrReplicas = s.tel.Counter("tsm_replicas_stored_total")
+	s.ctrReplicaBytes = s.tel.Counter("tsm_replica_bytes_total")
+	s.ctrReplicaRecalls = s.tel.Counter("tsm_replica_recalls_total")
 	s.gDown = s.tel.Gauge("tsm_down")
 	s.tel.GaugeFunc("tsm_objects_live", func() float64 { return float64(s.NumObjects()) })
 	return s
