@@ -44,6 +44,7 @@ func main() {
 	flightPath := flag.String("flight-record", "", "write the run's flight-recorder dump (recent spans and events) as JSON to this file, including on invariant-violation crashes")
 	scrubPath := flag.String("scrub-report", "", "write the run's tape-scrubber pass reports as JSON to this file (the integrity experiment produces them)")
 	drPath := flag.String("dr-report", "", "write the disaster-recovery drill's replication summary as JSON to this file (the dr experiment produces it)")
+	tenantPath := flag.String("tenant-report", "", "write the multi-tenant QoS study's summary as JSON to this file (the tenants experiment produces it)")
 	metricsText := flag.Bool("metrics-text", false, "print each experiment's telemetry registry in Prometheus text exposition format")
 	scaleJSON := flag.String("scale-json", "", "with -exp scale, write the wall-clock benchmark metrics as JSON to this file")
 	wallCeiling := flag.Float64("wall-ceiling", 0, "with -exp scale, exit nonzero if the paper-scale run's wall clock exceeds this many seconds (CI regression tripwire)")
@@ -149,6 +150,12 @@ func main() {
 	if *drPath != "" {
 		if err := writeDRReport(*drPath, *seed, reports); err != nil {
 			fmt.Fprintln(os.Stderr, "archsim: dr:", err)
+			os.Exit(1)
+		}
+	}
+	if *tenantPath != "" {
+		if err := writeTenantReport(*tenantPath, *seed, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: tenants:", err)
 			os.Exit(1)
 		}
 	}
@@ -302,6 +309,37 @@ func writeDRReport(path string, seed int64, reports []experiments.Report) error 
 		return nil
 	}
 	return fmt.Errorf("no DR report in this run (use -exp dr)")
+}
+
+// tenantFile is the schema of the file -tenant-report writes: the
+// multi-tenant QoS study's per-class queue-wait summary.
+type tenantFile struct {
+	Schema  string                    `json:"schema"`
+	Seed    int64                     `json:"seed"`
+	Tenants *experiments.TenantReport `json:"tenants"`
+}
+
+// writeTenantReport persists the multi-tenant QoS study's summary (CI
+// archives the file as a build artifact on every push).
+func writeTenantReport(path string, seed int64, reports []experiments.Report) error {
+	for _, r := range reports {
+		if r.Tenants == nil {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tenantFile{Schema: "archsim-tenants/v1", Seed: seed, Tenants: r.Tenants}); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+		return nil
+	}
+	return fmt.Errorf("no tenant report in this run (use -exp tenants)")
 }
 
 // writeFlightFromReports persists the flight dump of the completed run:

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metadb"
 	"repro/internal/pfs"
 	"repro/internal/pftool"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/tape"
 	"repro/internal/trash"
@@ -161,8 +162,8 @@ func (r hsmRestorer) Locate(paths []string) ([]pftool.TapeLoc, []string) {
 	return out, missing
 }
 
-func (r hsmRestorer) RecallPinned(node string, paths []string) error {
-	return r.eng.RecallPinned(node, paths)
+func (r hsmRestorer) RecallPinned(node string, paths []string, qos sched.QoS) error {
+	return r.eng.RecallPinned(node, paths, qos)
 }
 
 // machineList picks the MPI machine list for a PFTool launch.

@@ -40,6 +40,11 @@ type Report struct {
 	// cmd/archsim writes it as JSON behind the -dr-report flag (CI
 	// archives the file).
 	DR *DRReport
+
+	// Tenants carries the multi-tenant QoS study's summary; cmd/archsim
+	// writes it as JSON behind the -tenant-report flag (CI archives the
+	// file).
+	Tenants *TenantReport
 }
 
 // ErrUnknownExperiment reports an experiment name Run does not know.
@@ -117,6 +122,7 @@ func All(seed int64) []Report {
 		ObservabilitySelfCheck(seed),
 		IntegrityStudy(seed),
 		DRStudy(seed),
+		TenantStudy(seed),
 	}...)
 }
 
@@ -128,7 +134,7 @@ func Names() []string {
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
 		"ablation-lanfree", "reclaim", "fabric", "chaos", "obs",
-		"integrity", "dr", "scale", "all",
+		"integrity", "dr", "tenants", "scale", "all",
 	}
 }
 
@@ -177,6 +183,8 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{IntegrityStudy(seed)}, nil
 	case "dr":
 		return []Report{DRStudy(seed)}, nil
+	case "tenants":
+		return []Report{TenantStudy(seed)}, nil
 	case "scale":
 		return []Report{ScaleStudy(seed)}, nil
 	case "all":

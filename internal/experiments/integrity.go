@@ -10,6 +10,7 @@ import (
 	"repro/internal/hsm"
 	"repro/internal/pfs"
 	"repro/internal/pftool"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/tape"
@@ -205,7 +206,7 @@ func integrityRun(seed int64, inject bool) integrityOutcome {
 			for i, l := range locs {
 				ordered[i] = l.Path
 			}
-			if err := sys.Restorer().RecallPinned(node, ordered); err != nil {
+			if err := sys.Restorer().RecallPinned(node, ordered, sched.QoS{}); err != nil {
 				panic(fmt.Sprintf("integrity recall: %v", err))
 			}
 			if left := sys.Fabric.Link(node + "-hba").ArmedCorruptions(); left != 0 {

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTenantStudyInvariants is the acceptance check for E21: a
+// million-registered-user day of recall demand under the unified
+// admission layer ends with strictly ordered per-class p99 waits, no
+// starved tenant, the scavenger floor honored, and no throughput paid
+// for the arbitration. TenantStudy panics on any violated invariant,
+// so the test mostly confirms the study ran at contract scale and the
+// report carries the machine-readable summary CI archives.
+func TestTenantStudyInvariants(t *testing.T) {
+	r := TenantStudy(11)
+
+	if r.Tenants == nil {
+		t.Fatal("no tenant report attached")
+	}
+	rep := r.Tenants
+	if rep.Population < 1_000_000 {
+		t.Errorf("population %d below the 1M contract", rep.Population)
+	}
+	if rep.Requests == 0 || rep.ActiveTenants == 0 {
+		t.Errorf("empty demand: %d requests over %d active tenants", rep.Requests, rep.ActiveTenants)
+	}
+	if rep.Top1PctShare < 0.5 {
+		t.Errorf("top-1%% request share %.2f: the heavy tail went missing", rep.Top1PctShare)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("report carries %d classes, want 3", len(rep.Classes))
+	}
+	if !(rep.Classes[0].P99Seconds < rep.Classes[1].P99Seconds &&
+		rep.Classes[1].P99Seconds < rep.Classes[2].P99Seconds) {
+		t.Errorf("p99 waits not strictly ordered across classes: %+v", rep.Classes)
+	}
+	if rep.StarvationEvents != 0 {
+		t.Errorf("%d starvation events, want 0", rep.StarvationEvents)
+	}
+	if rep.ScavShareObserved < 0.5*rep.ScavShareConfig {
+		t.Errorf("observed scavenger share %.3f below half the configured %.2f",
+			rep.ScavShareObserved, rep.ScavShareConfig)
+	}
+	if d := rep.ThroughputDeltaPct; d < -5 || d > 5 {
+		t.Errorf("throughput delta %.1f%% outside the 5%% band", d)
+	}
+	if rep.FairnessBatchJain <= 0 || rep.FairnessBatchJain > 1 {
+		t.Errorf("Jain fairness %.3f outside (0, 1]", rep.FairnessBatchJain)
+	}
+	if r.Telemetry == nil {
+		t.Error("tenant report missing its telemetry snapshot")
+	}
+
+	// Same seed, same study: the report (quantiles included) must be
+	// bit-identical across runs — the demand generator and the
+	// scheduler are both deterministic.
+	again := TenantStudy(11)
+	if !reflect.DeepEqual(rep, again.Tenants) {
+		t.Errorf("repeated run diverged:\n  first %+v\n  again %+v", rep, again.Tenants)
+	}
+}

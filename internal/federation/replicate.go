@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
 	"repro/internal/tsm"
@@ -53,6 +54,11 @@ type ReplicationPolicy struct {
 	// the healthy topology) first, ties by name. The home site is
 	// never a replica target.
 	Prefer []string
+	// QoS tags the replicator's scheduler admissions. Unset fields
+	// default to the "federation" tenant at Batch class: replication is
+	// background durability work that must not crowd out interactive
+	// recalls, but it is not scavenger work either — RPO depends on it.
+	QoS sched.QoS
 }
 
 // repItem is one pending replica: obj from homeCell (on homeSite) to
@@ -97,6 +103,7 @@ type Replicator struct {
 	pol   ReplicationPolicy
 	retry faults.Backoff
 
+	sch     *sched.Scheduler
 	queues  map[string]*simtime.Queue // dest site name -> mailbox
 	parked  map[string][]repItem      // dest site name -> partition backlog
 	catalog map[string]*CatalogEntry  // object path -> entry
@@ -136,6 +143,7 @@ func NewReplicator(fed *Federation, pol ReplicationPolicy, retry faults.Backoff)
 		parked:  make(map[string][]repItem),
 		catalog: make(map[string]*CatalogEntry),
 	}
+	r.sch = sched.Of(fed.clock)
 	r.tel = telemetry.Of(fed.clock)
 	r.hLag = r.tel.Histogram("federation_replication_lag_seconds")
 	r.ctrRep = r.tel.Counter("federation_replicas_total")
@@ -290,6 +298,16 @@ func repRetryable(err error) bool {
 // transfer, land the bytes. Budget exhausted -> park until a repair
 // kicks the backlog.
 func (r *Replicator) replicate(item repItem) {
+	// One admission per replica transfer (retries ride the same grant:
+	// the backoff budget is one unit of work from the scheduler's view).
+	qos := r.pol.QoS
+	if qos.Tenant == "" {
+		qos.Tenant = "federation"
+	}
+	grant := r.sch.Station(sched.StationReplicate).Admit(sched.Item{
+		QoS: qos.Or(sched.Batch), Kind: "federation.replicate", Units: item.obj.Bytes,
+	})
+	defer grant.Done()
 	sp := r.tel.StartSpan("federation.replicate",
 		"path", item.obj.Path, "home", item.homeSite.Name, "to", item.dest.Name)
 	err := r.retry.Do(r.clock, func(attempt int) error {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metadb"
 	"repro/internal/pfs"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
 	"repro/internal/telemetry"
@@ -82,6 +83,7 @@ type Engine struct {
 	shadow *metadb.DB
 	nodes  []*cluster.Node
 	cfg    Config
+	sch    *sched.Scheduler
 
 	aggOf      map[string]uint64      // member path -> aggregate object ID
 	aggMembers map[uint64][]aggMember // aggregate object ID -> members
@@ -121,6 +123,7 @@ func New(clock *simtime.Clock, fs *pfs.FS, srv *tsm.Server, shadow *metadb.DB, n
 		routes:     make(map[string]fabric.Path),
 	}
 	e.tel = telemetry.Of(clock)
+	e.sch = sched.Of(clock)
 	e.ctrMigFiles = e.tel.Counter("hsm_migrated_files_total")
 	e.ctrMigBytes = e.tel.Counter("hsm_migrated_bytes_total")
 	e.ctrRecFiles = e.tel.Counter("hsm_recalled_files_total")
@@ -197,6 +200,9 @@ type MigrateOptions struct {
 	// machine (the GPFS policy engine "may start multiple migrations";
 	// zero means one).
 	StreamsPerNode int
+	// QoS tags the run's scheduler admissions; an unset class defaults
+	// to Batch (migration is throughput work).
+	QoS sched.QoS
 }
 
 // MigrateResult reports one migration run.
@@ -296,10 +302,20 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 					continue
 				}
 				share := share
+				var shareBytes int64
+				for _, f := range share {
+					shareBytes += f.Size
+				}
 				wg.Add(1)
 				e.clock.Go(func() {
 					defer wg.Done()
 					node := e.nodes[i]
+					// Each mover stream is one scheduler admission: the
+					// whole share is a single batch-class work item.
+					grant := e.sch.Station(sched.StationMigrate).Admit(sched.Item{
+						QoS: opt.QoS.Or(sched.Batch), Kind: "hsm.migrate", Units: shareBytes,
+					})
+					defer grant.Done()
 					sp := runSpan.StartChild("hsm.migrate.node",
 						"node", node.Name, "round", strconv.Itoa(round))
 					files, bytes, aggs, left, err := e.migrateOnNode(node, share, sp)
@@ -328,6 +344,12 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 			}
 		}
 		wg.Wait()
+		// Requeue in path order: leftovers arrive in per-node completion
+		// order, which depends on which movers crashed when. Sorting
+		// before the redistribute round makes the round's partition — and
+		// with it the whole dispatch schedule — a function of the work
+		// alone, so identical runs requeue identically.
+		sort.Slice(leftovers, func(i, j int) bool { return leftovers[i].Path < leftovers[j].Path })
 		remaining = leftovers
 	}
 	e.gBacklog.Set(0)
@@ -598,8 +620,17 @@ type RecallResult struct {
 
 // Recall brings the named migrated files back to disk using mode's
 // routing. Paths that are not migrated are skipped silently if already
-// resident, or reported in NotFound when unknown.
+// resident, or reported in NotFound when unknown. The run is admitted
+// under the default tenant; callers with a QoS tag use RecallQoS.
 func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
+	return e.RecallQoS(paths, mode, sched.QoS{})
+}
+
+// RecallQoS is Recall with the scheduler admission tagged for a
+// tenant: each recall daemon's bin passes the hsm.recall station as an
+// expedited item (an unset class defaults to Interactive — someone is
+// usually waiting on a recall).
+func (e *Engine) RecallQoS(paths []string, mode RecallMode, qos sched.QoS) (RecallResult, error) {
 	if len(e.nodes) == 0 {
 		return RecallResult{}, ErrNoNodes
 	}
@@ -681,10 +712,19 @@ func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
 				continue
 			}
 			round := round
+			var binBytes int64
+			for _, it := range bins[bi] {
+				binBytes += it.bytes
+			}
 			wg.Add(1)
 			e.clock.Go(func() {
 				defer wg.Done()
 				node := e.nodes[i]
+				grant := e.sch.Station(sched.StationRecall).Admit(sched.Item{
+					QoS: qos.Or(sched.Interactive), Kind: "hsm.recall",
+					Units: binBytes, Expedite: true,
+				})
+				defer grant.Done()
 				sp := runSpan.StartChild("hsm.recall.node",
 					"node", node.Name, "round", strconv.Itoa(round))
 				left := e.recallOnNode(node, bins[bi], mode, &res, &firstErr, sp)
@@ -698,6 +738,19 @@ func (e *Engine) Recall(paths []string, mode RecallMode) (RecallResult, error) {
 			})
 		}
 		wg.Wait()
+		// Requeue in tape order (volume, then seq, then path): like the
+		// migrate path, leftover arrival order is a crash-timing
+		// artifact, and the next round's routing must not inherit it.
+		sort.Slice(leftovers, func(i, j int) bool {
+			a, b := leftovers[i], leftovers[j]
+			if a.volume != b.volume {
+				return a.volume < b.volume
+			}
+			if a.seq != b.seq {
+				return a.seq < b.seq
+			}
+			return a.path < b.path
+		})
 		// Another node's aggregate recall may already have restored some
 		// leftover members; only still-migrated work is reassigned.
 		remaining = e.stillMigrated(leftovers)
@@ -977,8 +1030,9 @@ func (e *Engine) Locate(paths []string) (locs []TapeLoc, missing []string) {
 // batching by volume in the order given. This is the primitive under
 // PFTool's TapeProc: one machine owns one tape end to end in a single
 // drive session, so there are no LAN-free hand-off penalties and the
-// tape reads front to back.
-func (e *Engine) RecallPinned(nodeName string, paths []string) error {
+// tape reads front to back. The whole pinned run passes the scheduler
+// as one expedited recall admission for qos's tenant.
+func (e *Engine) RecallPinned(nodeName string, paths []string, qos sched.QoS) error {
 	var node *cluster.Node
 	for _, n := range e.nodes {
 		if n.Name == nodeName {
@@ -1019,6 +1073,15 @@ func (e *Engine) RecallPinned(nodeName string, paths []string) error {
 		}
 		items = append(items, it)
 	}
+	var totalBytes int64
+	for _, it := range items {
+		totalBytes += it.bytes
+	}
+	grant := e.sch.Station(sched.StationRecall).Admit(sched.Item{
+		QoS: qos.Or(sched.Interactive), Kind: "hsm.recall-pinned",
+		Units: totalBytes, Expedite: true,
+	})
+	defer grant.Done()
 	// One drive session per volume run, in the caller's order (the
 	// caller has already tape-ordered the paths).
 	runSpan := e.tel.StartSpan("hsm.recall-pinned",

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/pfs"
+	"repro/internal/sched"
 )
 
 func TestLocateResolvesAndReportsMissing(t *testing.T) {
@@ -54,7 +55,7 @@ func TestLocateAggregateMembers(t *testing.T) {
 func TestRecallPinnedUnknownNode(t *testing.T) {
 	e := newEnv(t, 2, Config{})
 	e.run(t, func() {
-		if err := e.eng.RecallPinned("not-a-node", nil); err == nil {
+		if err := e.eng.RecallPinned("not-a-node", nil, sched.QoS{}); err == nil {
 			t.Error("unknown node accepted")
 		}
 	})
@@ -65,7 +66,7 @@ func TestRecallPinnedSkipsResident(t *testing.T) {
 	e.run(t, func() {
 		files := e.mkFiles(t, "/d", 2, 1e6)
 		// Nothing migrated: pinned recall is a no-op.
-		if err := e.eng.RecallPinned("fta01", []string{files[0].Path, files[1].Path}); err != nil {
+		if err := e.eng.RecallPinned("fta01", []string{files[0].Path, files[1].Path}, sched.QoS{}); err != nil {
 			t.Fatal(err)
 		}
 		if e.eng.RecalledFiles() != 0 {

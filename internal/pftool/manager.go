@@ -12,6 +12,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/pfs"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
 	"repro/internal/telemetry"
@@ -116,6 +117,7 @@ type run struct {
 	clock  *simtime.Clock
 	comm   *mpi.Comm
 	layout rankLayout
+	sch    *sched.Scheduler
 
 	res Result
 

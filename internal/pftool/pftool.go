@@ -25,6 +25,7 @@ import (
 	"repro/internal/ilm"
 	"repro/internal/mpi"
 	"repro/internal/pfs"
+	"repro/internal/sched"
 )
 
 // Op selects the PFTool command.
@@ -64,8 +65,9 @@ type Restorer interface {
 	// are returned in missing.
 	Locate(paths []string) (locs []TapeLoc, missing []string)
 	// RecallPinned recalls the given paths as the named client machine,
-	// in the order given (the caller has already tape-ordered them).
-	RecallPinned(node string, paths []string) error
+	// in the order given (the caller has already tape-ordered them),
+	// admitted under the given QoS tag.
+	RecallPinned(node string, paths []string, qos sched.QoS) error
 }
 
 // Tunables are the runtime-adjustable parameters of §4.1.2(5).
@@ -143,6 +145,11 @@ type Request struct {
 	// pool's pipe — the slow pool holds small files, so its share of
 	// the bytes is negligible.
 	Placement *ilm.Placement
+
+	// QoS tags every scheduler admission the run makes (worker copy
+	// jobs, tape restores). Unset fields default per station: copy and
+	// compare jobs are Batch, tape restores Interactive.
+	QoS sched.QoS
 
 	Tunables Tunables
 	Output   io.Writer // OutPutProc destination; nil discards
@@ -292,6 +299,7 @@ func Run(req Request) (Result, error) {
 		clock:  clock,
 		comm:   comm,
 		layout: layout,
+		sch:    sched.Of(clock),
 	}
 	res := run.execute()
 	if len(res.Errors) > 0 {

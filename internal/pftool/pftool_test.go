@@ -13,6 +13,7 @@ import (
 	"repro/internal/ilm"
 	"repro/internal/metadb"
 	"repro/internal/pfs"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
 	"repro/internal/tape"
@@ -67,8 +68,8 @@ func (a restorerAdapter) Locate(paths []string) ([]TapeLoc, []string) {
 	return out, missing
 }
 
-func (a restorerAdapter) RecallPinned(node string, paths []string) error {
-	return a.eng.RecallPinned(node, paths)
+func (a restorerAdapter) RecallPinned(node string, paths []string, qos sched.QoS) error {
+	return a.eng.RecallPinned(node, paths, qos)
 }
 
 // seedTree builds a small tree on fs under root: files of the given
@@ -496,7 +497,7 @@ func (s stuckRestorer) Locate(paths []string) ([]TapeLoc, []string) {
 	return out, nil
 }
 
-func (s stuckRestorer) RecallPinned(node string, paths []string) error {
+func (s stuckRestorer) RecallPinned(node string, paths []string, qos sched.QoS) error {
 	s.clock.Sleep(10 * time.Hour)
 	return nil
 }

@@ -8,9 +8,35 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/pfs"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
 )
+
+// jobKindName labels a worker job for scheduler telemetry and traces.
+func jobKindName(k copyKind) string {
+	switch k {
+	case kindBatch:
+		return "pftool.copy"
+	case kindChunk, kindFuse:
+		return "pftool.chunk"
+	case kindCompare:
+		return "pftool.compare"
+	}
+	return "pftool.job"
+}
+
+// jobUnits is a worker job's admission cost in bytes.
+func jobUnits(job copyJob) int64 {
+	if job.kind == kindChunk || job.kind == kindFuse {
+		return job.length
+	}
+	var n int64
+	for _, f := range job.batch {
+		n += f.bytes
+	}
+	return n
+}
 
 // readDirProc is one ReadDir process: it exposes directories the
 // Manager assigns from the DirQ and ships the entries back (§4.1.1(4)).
@@ -67,6 +93,12 @@ func (r *run) workerProc(rank int) {
 			return // died holding the job; the WatchDog has it requeued
 		}
 		job := msg.Data.(copyJob)
+		// Every worker job passes the unified admission layer before it
+		// moves data; on the single-tenant default path the station is
+		// pass-through and the grant is immediate.
+		grant := r.sch.Station(sched.StationPftoolCopy).Admit(sched.Item{
+			QoS: r.req.QoS.Or(sched.Batch), Kind: jobKindName(job.kind), Units: jobUnits(job),
+		})
 		var res copyResult
 		switch job.kind {
 		case kindBatch:
@@ -76,6 +108,7 @@ func (r *run) workerProc(rank int) {
 		case kindCompare:
 			res = r.compareBatch(rank, node, job)
 		}
+		grant.Done()
 		if node.Down() {
 			return // died mid-job: no report, the job replays elsewhere
 		}
@@ -317,12 +350,21 @@ func (r *run) tapeProc(rank int) {
 		}
 		job := msg.Data.(tapeJob)
 		res := tapeResult{paths: job.paths, sizes: job.sizes}
-		if err := r.req.Restorer.RecallPinned(node.Name, job.paths); err != nil {
+		var volBytes int64
+		for _, s := range job.sizes {
+			volBytes += s
+		}
+		// A tape restore is expedited recall work: someone is waiting on
+		// the data coming back from the archive.
+		grant := r.sch.Station(sched.StationPftoolTape).Admit(sched.Item{
+			QoS: r.req.QoS.Or(sched.Interactive), Kind: "pftool.tape",
+			Units: volBytes, Expedite: true,
+		})
+		if err := r.req.Restorer.RecallPinned(node.Name, job.paths, r.req.QoS); err != nil {
 			res.err = fmt.Sprintf("restore volume %s: %v", job.volume, err)
 		}
-		for _, s := range job.sizes {
-			res.bytes += s
-		}
+		grant.Done()
+		res.bytes = volBytes
 		if node.Down() {
 			// Died mid-restore. The requeued job replays on a survivor;
 			// recalls are idempotent, so files this rank already restored

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// privateEnqueue lists the textual signatures of "private admission":
+// the ways a subsystem used to queue archive work without the
+// scheduler seeing it. Every file that still legitimately contains one
+// is frozen in the allowlist — those sites sit DOWNSTREAM of a
+// sched.Station.Admit (drive-pool waits after admission, worker
+// mailboxes fed by admitted producers). New code must submit work
+// through sched.Of(clock) instead of growing a private queue. Shrink
+// these lists; never grow them.
+var privateEnqueue = []struct {
+	pattern string
+	allowed map[string]bool // path relative to internal/
+}{
+	{"drvPool.Acquire(", map[string]bool{
+		"tsm/tsm.go":      true, // drive waits inside admitted sessions
+		"tsm/scrub.go":    true, // per-volume scan, admitted at StationScrub
+		"tsm/reclaim.go":  true, // per-volume move, admitted at StationReclaim
+		"tsm/replica.go":  true, // replica read under the caller's grant
+		"tsm/copypool.go": true, // copy-pool writes under the caller's grant
+	}},
+	{"copyQ = append", map[string]bool{
+		"pftool/manager.go": true, // run-internal work list; workers admit at dispatch
+	}},
+	{"dirQ = append", map[string]bool{
+		"pftool/manager.go": true, // directory scan list (metadata, not data movement)
+	}},
+	{"tapeQ = append", map[string]bool{
+		"pftool/manager.go": true, // run-internal work list; tapeProc admits at dispatch
+	}},
+	{"simtime.NewQueue(", map[string]bool{
+		"federation/replicate.go": true, // per-site mailbox; replicate() admits per item
+		"mpi/mpi.go":              true, // message-passing rank mailboxes, not admission
+	}},
+}
+
+// TestNoPrivateAdmissionPaths enforces the unified-admission refactor:
+// outside the frozen allowlist, no file under internal/ may enqueue
+// archive work through a subsystem-private queue. A new demand source
+// that bypasses the scheduler fails here.
+func TestNoPrivateAdmissionPaths(t *testing.T) {
+	root := ".." // internal/
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, "sched/") || strings.HasPrefix(rel, "simtime/") {
+			// The scheduler itself and the queue primitive it is built
+			// on are the sanctioned owners.
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, pe := range privateEnqueue {
+			if strings.Contains(string(src), pe.pattern) && !pe.allowed[rel] {
+				t.Errorf("internal/%s contains %q: submit work through sched.Of(clock) instead of a private queue (or, if this site is provably downstream of an admission, freeze it in lint_test.go with a justification)", rel, pe.pattern)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,774 @@
+// Package sched is the archive's unified admission and scheduling
+// layer: one per-clock scheduler (sched.Of, mirroring fabric.Of and
+// telemetry.Of) that owns admission for every demand source in the
+// stack — pftool copy/compare jobs, HSM migration and recall batches,
+// TSM drive sessions, scrubber and reclamation passes, and federation
+// replication. Before this layer each subsystem enqueued privately;
+// now every one submits a typed work Item tagged with a tenant and a
+// QoS class and blocks at a named Station until the scheduler grants
+// admission, the shape TALICS³ simulates for a tape library serving
+// cloud tenants with request mixes and service objectives.
+//
+// Policy, per station:
+//
+//   - strict priority across classes: interactive > batch > scavenger,
+//     bounded by an anti-starvation share — while scavenger work is
+//     backlogged, every higher-class dispatch accrues scavenger credit
+//     and at ≥1 credit the next grant must come from the scavenger
+//     lane, so background work keeps a guaranteed minimum share;
+//   - start-time weighted fair queueing across tenants within a class:
+//     each tenant queue carries a virtual start tag advanced by
+//     units/weight on dispatch, the minimum tag wins (ties broken by
+//     tenant name for determinism), so long-run shares are
+//     weight-proportional and an idle tenant's tag catches up to lane
+//     virtual time instead of hoarding credit;
+//   - per-tenant token-bucket quotas (units/second with a burst cap):
+//     a tenant out of tokens is skipped — work-conserving, others run
+//     ahead — and when every backlogged tenant is throttled the
+//     station arms a wake timer at the earliest refill.
+//
+// The scheduler arbitrates *admission order only* and then dispatches
+// into the existing executors; data movement still charges the
+// fabric's max-min fair-share underneath. A station with no
+// configured limit is pass-through: grants are immediate, no virtual
+// time passes, no events are scheduled — which is exactly why the
+// single-tenant default path stays byte-identical to the
+// pre-scheduler behavior.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// attachKey is the clock-attachment slot Of uses.
+const attachKey = "sched"
+
+// Of returns the scheduler shared by every component on the clock,
+// creating it on first use. Like fabric.Of it must NOT be called from
+// inside another component's Attach constructor; resolve lazily.
+func Of(clock *simtime.Clock) *Scheduler {
+	return clock.Attach(attachKey, func() interface{} { return newScheduler(clock) }).(*Scheduler)
+}
+
+// Class is a work item's QoS class.
+type Class int
+
+// QoS classes, in strict dispatch priority order. The zero value is
+// "unset" so each admission point can apply its own default (recalls
+// default interactive, migrations batch, scrubbing scavenger).
+const (
+	ClassUnset  Class = iota
+	Interactive       // a user is waiting on the result
+	Batch             // throughput work: migrations, campaign copies
+	Scavenger         // background upkeep: scrub, reclaim, replication
+)
+
+// classOrder is the strict dispatch priority.
+var classOrder = [...]Class{Interactive, Batch, Scavenger}
+
+func (c Class) String() string {
+	switch c {
+	case ClassUnset:
+		return "unset"
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	case Scavenger:
+		return "scavenger"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// DefaultTenant labels work submitted without a tenant tag — the
+// single-tenant default path of E1–E19.
+const DefaultTenant = "default"
+
+// QoS tags a work item with who it is for and how urgent it is.
+type QoS struct {
+	Tenant string
+	Class  Class
+}
+
+// Or fills unset fields: an empty tenant becomes DefaultTenant, an
+// unset class becomes the admission point's default.
+func (q QoS) Or(class Class) QoS {
+	if q.Tenant == "" {
+		q.Tenant = DefaultTenant
+	}
+	if q.Class == ClassUnset {
+		q.Class = class
+	}
+	return q
+}
+
+// Station names: one per admission point in the stack. The name is
+// the unit of capacity configuration (SetLimit) and shows up as the
+// "station" label on the scheduler's telemetry.
+const (
+	StationPftoolCopy = "pftool.copy"          // worker copy/compare jobs
+	StationPftoolTape = "pftool.tape"          // tape-ordered restore jobs
+	StationMigrate    = "hsm.migrate"          // per-mover migration streams
+	StationRecall     = "hsm.recall"           // per-mover recall sessions
+	StationSession    = "tsm.session"          // TSM drive sessions (store/recall)
+	StationScrub      = "tsm.scrub"            // scrubber volume passes
+	StationReclaim    = "tsm.reclaim"          // reclamation volume passes
+	StationReplicate  = "federation.replicate" // WAN replication tasks
+)
+
+// Item is one typed unit of archive work submitted for admission.
+type Item struct {
+	QoS
+	Kind     string // e.g. "hsm.recall" — telemetry and trace label
+	Units    int64  // cost in bytes (quota charge, WFQ advance); min 1
+	Expedite bool   // recall lane: runs before non-expedite work of the same tenant
+}
+
+// Grant is an admitted item; Done releases its slot.
+type Grant struct {
+	st   *Station
+	item Item
+	wait simtime.Duration
+	done bool
+}
+
+// Wait reports how long admission queued the item (0 on pass-through).
+func (g *Grant) Wait() simtime.Duration { return g.wait }
+
+// Done releases the grant's dispatch slot, letting the station admit
+// the next queued item. Calling Done twice is a no-op.
+func (g *Grant) Done() {
+	if g == nil || g.done {
+		return
+	}
+	g.done = true
+	g.st.inFlight--
+	g.st.s.metrics().completed[g.item.Class].Inc()
+	if g.st.slots > 0 {
+		g.st.pump()
+	}
+}
+
+// Dispatch is one admission decision, recorded when tracing is on —
+// the repeated-run determinism tests compare these logs.
+type Dispatch struct {
+	Seq     uint64
+	At      simtime.Duration
+	Station string
+	Tenant  string
+	Class   Class
+	Kind    string
+	Units   int64
+}
+
+// TenantStat is one (tenant, class) admission record.
+type TenantStat struct {
+	Tenant  string
+	Class   Class
+	Items   int64
+	Units   int64
+	WaitSum simtime.Duration
+}
+
+// Scheduler is the per-clock admission layer.
+type Scheduler struct {
+	clock    *simtime.Clock
+	stations map[string]*Station
+
+	weights     map[string]float64 // tenant -> WFQ weight (default 1)
+	quotas      map[string]*bucket // tenant -> token bucket (nil = unlimited)
+	scavShare   float64            // anti-starvation share for scavenger work
+	starveAfter simtime.Duration   // queue wait counted as starvation (0 = off)
+	slo         [4]simtime.Duration
+
+	acct map[acctKey]*TenantStat
+
+	// Contention ledger: dispatches decided while scavenger work was
+	// backlogged — the denominator of the observed scavenger share.
+	contScav, contTotal int64
+
+	traceOn bool
+	trace   []Dispatch
+	seq     uint64
+
+	m *schedMetrics // lazy: telemetry.Of is illegal inside Attach
+}
+
+type acctKey struct {
+	tenant string
+	class  Class
+}
+
+// DefaultScavengerShare is the minimum dispatch share reserved for
+// backlogged scavenger work on a limited station.
+const DefaultScavengerShare = 0.05
+
+func newScheduler(clock *simtime.Clock) *Scheduler {
+	return &Scheduler{
+		clock:     clock,
+		stations:  make(map[string]*Station),
+		weights:   make(map[string]float64),
+		quotas:    make(map[string]*bucket),
+		scavShare: DefaultScavengerShare,
+		acct:      make(map[acctKey]*TenantStat),
+	}
+}
+
+// Clock returns the clock the scheduler is attached to.
+func (s *Scheduler) Clock() *simtime.Clock { return s.clock }
+
+// Station finds or creates the named admission point. New stations
+// are pass-through until SetLimit gives them a slot budget.
+func (s *Scheduler) Station(name string) *Station {
+	if st, ok := s.stations[name]; ok {
+		return st
+	}
+	st := &Station{s: s, name: name}
+	for i := range st.lanes {
+		st.lanes[i].tenants = make(map[string]*tenantQ)
+	}
+	s.stations[name] = st
+	m := s.metrics()
+	m.reg.GaugeFunc("sched_in_flight", func() float64 { return float64(st.inFlight) }, "station", name)
+	m.reg.GaugeFunc("sched_station_queued", func() float64 { return float64(st.queued) }, "station", name)
+	return st
+}
+
+// SetLimit bounds the station to n concurrent grants (0 restores
+// pass-through). Lowering the limit never revokes live grants; the
+// station just stops admitting until enough of them finish.
+func (s *Scheduler) SetLimit(station string, n int) {
+	st := s.Station(station)
+	st.slots = n
+	if n > 0 {
+		st.pump()
+	} else {
+		// Pass-through again: drain everyone still queued.
+		st.drainAll()
+	}
+}
+
+// SetTenantWeight sets a tenant's WFQ weight (default 1; w <= 0 resets).
+func (s *Scheduler) SetTenantWeight(tenant string, w float64) {
+	if w <= 0 {
+		delete(s.weights, tenant)
+		return
+	}
+	s.weights[tenant] = w
+}
+
+// SetQuota installs a token bucket for the tenant: a long-run rate in
+// units/second and a burst allowance. rate <= 0 removes the quota.
+// Quotas only bind on limited stations; pass-through admission never
+// waits.
+func (s *Scheduler) SetQuota(tenant string, rate, burst float64) {
+	if rate <= 0 {
+		delete(s.quotas, tenant)
+		return
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	s.quotas[tenant] = &bucket{rate: rate, burst: burst, tokens: burst, last: s.clock.Now()}
+}
+
+// SetScavengerShare sets the anti-starvation dispatch share reserved
+// for backlogged scavenger work.
+func (s *Scheduler) SetScavengerShare(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	s.scavShare = f
+}
+
+// ScavengerShare reports the configured anti-starvation share.
+func (s *Scheduler) ScavengerShare() float64 { return s.scavShare }
+
+// SetStarvationThreshold makes any admission wait beyond d count on
+// the sched_starvation_total counter (0 disables).
+func (s *Scheduler) SetStarvationThreshold(d simtime.Duration) { s.starveAfter = d }
+
+// SetSLO sets the class's queue-wait objective; dispatches that
+// waited longer count on sched_slo_violations_total (0 disables).
+func (s *Scheduler) SetSLO(c Class, d simtime.Duration) {
+	if c > ClassUnset && int(c) < len(s.slo) {
+		s.slo[c] = d
+	}
+}
+
+// EnableTrace starts recording every admission decision.
+func (s *Scheduler) EnableTrace() { s.traceOn = true }
+
+// TraceLog returns the admission decisions recorded since EnableTrace.
+func (s *Scheduler) TraceLog() []Dispatch { return s.trace }
+
+// TenantStats returns per-(tenant, class) admission totals, sorted by
+// tenant then class — the fairness-index input.
+func (s *Scheduler) TenantStats() []TenantStat {
+	out := make([]TenantStat, 0, len(s.acct))
+	for _, a := range s.acct {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// ContentionStats reports how many dispatches were decided while
+// scavenger work was backlogged, and how many of those went to the
+// scavenger lane — observed share = scav/total.
+func (s *Scheduler) ContentionStats() (scav, total int64) { return s.contScav, s.contTotal }
+
+// Queued totals items waiting for admission across all stations.
+func (s *Scheduler) Queued() int {
+	n := 0
+	for _, st := range s.stations {
+		n += st.queued
+	}
+	return n
+}
+
+// schedMetrics bundles the scheduler's telemetry handles, created on
+// first use from normal (non-Attach) context.
+type schedMetrics struct {
+	reg        *telemetry.Registry
+	submitted  [4]*telemetry.Counter
+	dispatched [4]*telemetry.Counter
+	completed  [4]*telemetry.Counter
+	queuedG    [4]*telemetry.Gauge
+	wait       [4]*telemetry.Summary
+	starved    [4]*telemetry.Counter
+	sloViol    [4]*telemetry.Counter
+	scavCredit *telemetry.Counter
+}
+
+func (s *Scheduler) metrics() *schedMetrics {
+	if s.m != nil {
+		return s.m
+	}
+	reg := telemetry.Of(s.clock)
+	m := &schedMetrics{reg: reg}
+	for _, c := range classOrder {
+		lbl := c.String()
+		m.submitted[c] = reg.Counter("sched_submitted_total", "class", lbl)
+		m.dispatched[c] = reg.Counter("sched_dispatched_total", "class", lbl)
+		m.completed[c] = reg.Counter("sched_completed_total", "class", lbl)
+		m.queuedG[c] = reg.Gauge("sched_queued", "class", lbl)
+		m.wait[c] = reg.Summary("sched_queue_wait_seconds", "class", lbl)
+		m.starved[c] = reg.Counter("sched_starvation_total", "class", lbl)
+		m.sloViol[c] = reg.Counter("sched_slo_violations_total", "class", lbl)
+	}
+	m.scavCredit = reg.Counter("sched_scavenger_credit_grants_total")
+	s.m = m
+	return m
+}
+
+// bucket is a token bucket charged in item units, refilled lazily on
+// the virtual clock. Tokens may go negative (a single oversized item
+// is admitted whenever the bucket is positive) — the tenant then
+// waits out the deficit, which is what bounds its long-run rate.
+type bucket struct {
+	rate   float64 // units per second
+	burst  float64
+	tokens float64
+	last   simtime.Duration
+}
+
+func (b *bucket) refill(now simtime.Duration) {
+	if now > b.last {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*(now-b.last).Seconds())
+		b.last = now
+	}
+}
+
+// refillAt returns the virtual time the bucket turns positive.
+func (b *bucket) refillAt(now simtime.Duration) simtime.Duration {
+	if b.tokens > 0 {
+		return now
+	}
+	need := -b.tokens / b.rate // seconds until tokens > 0
+	return now + simtime.Duration(need*float64(simtime.Duration(1e9))) + simtime.Duration(1e6)
+}
+
+// waiter is one blocked Admit call.
+type waiter struct {
+	item  Item
+	enq   simtime.Duration
+	latch simtime.Latch
+}
+
+// wfifo is a head-indexed FIFO of waiters (simtime's fifo shape).
+type wfifo struct {
+	buf  []*waiter
+	head int
+}
+
+func (q *wfifo) len() int       { return len(q.buf) - q.head }
+func (q *wfifo) front() *waiter { return q.buf[q.head] }
+func (q *wfifo) push(w *waiter) { q.buf = append(q.buf, w) }
+func (q *wfifo) pop() *waiter {
+	w := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return w
+}
+
+// tenantQ is one tenant's backlog within a station lane.
+type tenantQ struct {
+	name      string
+	exp, norm wfifo   // expedite (recall) items run first
+	vtag      float64 // WFQ virtual start tag of the next item
+}
+
+func (t *tenantQ) empty() bool { return t.exp.len() == 0 && t.norm.len() == 0 }
+
+func (t *tenantQ) head() *waiter {
+	if t.exp.len() > 0 {
+		return t.exp.front()
+	}
+	return t.norm.front()
+}
+
+func (t *tenantQ) pop() *waiter {
+	if t.exp.len() > 0 {
+		return t.exp.pop()
+	}
+	return t.norm.pop()
+}
+
+// lane is one QoS class's queue state within a station.
+type lane struct {
+	v       float64 // lane virtual time: start tag of the last dispatch
+	tenants map[string]*tenantQ
+	active  []*tenantQ // tenants with backlog, sorted by name
+}
+
+func (l *lane) backlogged() bool { return len(l.active) > 0 }
+
+func (l *lane) activate(t *tenantQ) {
+	i := sort.Search(len(l.active), func(i int) bool { return l.active[i].name >= t.name })
+	if i < len(l.active) && l.active[i] == t {
+		return
+	}
+	l.active = append(l.active, nil)
+	copy(l.active[i+1:], l.active[i:])
+	l.active[i] = t
+}
+
+func (l *lane) deactivate(t *tenantQ) {
+	i := sort.Search(len(l.active), func(i int) bool { return l.active[i].name >= t.name })
+	if i < len(l.active) && l.active[i] == t {
+		l.active = append(l.active[:i], l.active[i+1:]...)
+	}
+}
+
+// Station is one named admission point.
+type Station struct {
+	s    *Scheduler
+	name string
+
+	slots    int // 0 = pass-through
+	inFlight int
+	queued   int
+
+	lanes    [4]lane // indexed by Class; ClassUnset never populated
+	scavDebt float64
+
+	timerCancel func()
+	timerAt     simtime.Duration
+}
+
+// Name returns the station's name.
+func (st *Station) Name() string { return st.name }
+
+// InFlight reports the number of live grants.
+func (st *Station) InFlight() int { return st.inFlight }
+
+// Limit reports the slot budget (0 = pass-through).
+func (st *Station) Limit() int { return st.slots }
+
+// Admit blocks the calling actor until the scheduler grants the item
+// a dispatch slot, and returns the grant; call Done when the work
+// finishes. On a pass-through station the grant is immediate — no
+// virtual time passes and no events are scheduled, so an unlimited
+// station is invisible to the simulation.
+func (st *Station) Admit(it Item) *Grant {
+	it.QoS = it.QoS.Or(Batch)
+	if it.Units < 1 {
+		it.Units = 1
+	}
+	s := st.s
+	m := s.metrics()
+	m.submitted[it.Class].Inc()
+	a := s.account(it)
+	a.Items++
+	a.Units += it.Units
+
+	if st.slots <= 0 {
+		// Pass-through: immediate grant. Skip the zero queue-wait
+		// observation — a million exact zeros tell us nothing and the
+		// summary would hold them all.
+		st.inFlight++
+		st.noteDispatch(it, 0)
+		return &Grant{st: st, item: it}
+	}
+
+	w := &waiter{item: it, enq: s.clock.Now(), latch: simtime.MakeLatch(s.clock)}
+	st.enqueue(w)
+	st.pump()
+	w.latch.Wait()
+	wait := s.clock.Now() - w.enq
+	a.WaitSum += wait
+	return &Grant{st: st, item: it, wait: wait}
+}
+
+func (st *Station) enqueue(w *waiter) {
+	ln := &st.lanes[w.item.Class]
+	tq, ok := ln.tenants[w.item.Tenant]
+	if !ok {
+		tq = &tenantQ{name: w.item.Tenant}
+		ln.tenants[w.item.Tenant] = tq
+	}
+	if w.item.Expedite {
+		tq.exp.push(w)
+	} else {
+		tq.norm.push(w)
+	}
+	ln.activate(tq)
+	st.queued++
+	st.s.metrics().queuedG[w.item.Class].Add(1)
+}
+
+// pump grants queued items while slots are free and someone is
+// eligible, then (if work remains but every backlogged tenant is
+// quota-throttled) arms a wake timer at the earliest token refill.
+func (st *Station) pump() {
+	for st.slots > 0 && st.inFlight < st.slots && st.queued > 0 {
+		w, scavCredit := st.pick()
+		if w == nil {
+			break
+		}
+		st.grant(w, scavCredit)
+	}
+	st.armQuotaTimer()
+}
+
+// pick selects the next admission per policy; nil if nothing is
+// eligible (backlogged tenants all quota-throttled). The second
+// result reports whether the anti-starvation credit forced a
+// scavenger pick over backlogged higher-class work.
+func (st *Station) pick() (*waiter, bool) {
+	s := st.s
+	now := s.clock.Now()
+	scav := &st.lanes[Scavenger]
+	higherBacklog := st.lanes[Interactive].backlogged() || st.lanes[Batch].backlogged()
+	if scav.backlogged() && st.scavDebt >= 1 {
+		if tq := st.pickTenant(scav, now); tq != nil {
+			return tq.head(), higherBacklog
+		}
+	}
+	for _, c := range classOrder {
+		ln := &st.lanes[c]
+		if !ln.backlogged() {
+			continue
+		}
+		if tq := st.pickTenant(ln, now); tq != nil {
+			return tq.head(), false
+		}
+	}
+	return nil, false
+}
+
+// pickTenant returns the lane's quota-eligible backlogged tenant with
+// the minimum virtual start tag (ties broken by name — the active
+// list is name-sorted and the scan keeps the first minimum).
+func (st *Station) pickTenant(ln *lane, now simtime.Duration) *tenantQ {
+	var best *tenantQ
+	for _, tq := range ln.active {
+		if b := st.s.quotas[tq.name]; b != nil {
+			b.refill(now)
+			if b.tokens <= 0 {
+				continue
+			}
+		}
+		start := math.Max(ln.v, tq.vtag)
+		if best == nil || start < math.Max(ln.v, best.vtag) {
+			best = tq
+		}
+	}
+	return best
+}
+
+// grant dispatches the head item of the picked waiter's queue.
+func (st *Station) grant(w *waiter, scavCredit bool) {
+	s := st.s
+	it := w.item
+	ln := &st.lanes[it.Class]
+	tq := ln.tenants[it.Tenant]
+	got := tq.pop()
+	if got != w {
+		panic("sched: picked waiter is not its tenant queue head")
+	}
+	if tq.empty() {
+		ln.deactivate(tq)
+	}
+	st.queued--
+	s.metrics().queuedG[it.Class].Add(-1)
+
+	// Advance the WFQ tags: the dispatched item starts at
+	// max(lane.v, tenant.vtag) and the tenant's next start tag moves
+	// units/weight past it.
+	start := math.Max(ln.v, tq.vtag)
+	ln.v = start
+	w8 := s.weights[it.Tenant]
+	if w8 <= 0 {
+		w8 = 1
+	}
+	tq.vtag = start + float64(it.Units)/w8
+
+	// Charge the quota (may push the bucket negative — that deficit
+	// is the rate limit).
+	if b := s.quotas[it.Tenant]; b != nil {
+		b.refill(s.clock.Now())
+		b.tokens -= float64(it.Units)
+	}
+
+	// Anti-starvation ledger.
+	if it.Class == Scavenger {
+		if st.scavDebt >= 1 {
+			st.scavDebt -= 1
+		}
+		if scavCredit {
+			s.metrics().scavCredit.Inc()
+		}
+	} else if st.lanes[Scavenger].backlogged() {
+		st.scavDebt += s.scavShare
+	}
+	if st.lanes[Scavenger].backlogged() || it.Class == Scavenger {
+		s.contTotal++
+		if it.Class == Scavenger {
+			s.contScav++
+		}
+	}
+
+	st.inFlight++
+	st.noteDispatch(it, s.clock.Now()-w.enq)
+	w.latch.Signal()
+}
+
+// noteDispatch records one admission on the telemetry and trace.
+func (st *Station) noteDispatch(it Item, wait simtime.Duration) {
+	s := st.s
+	m := s.metrics()
+	m.dispatched[it.Class].Inc()
+	if st.slots > 0 {
+		m.wait[it.Class].Observe(wait.Seconds())
+		if s.starveAfter > 0 && wait > s.starveAfter {
+			m.starved[it.Class].Inc()
+		}
+		if d := s.slo[it.Class]; d > 0 && wait > d {
+			m.sloViol[it.Class].Inc()
+		}
+	}
+	if s.traceOn {
+		s.seq++
+		s.trace = append(s.trace, Dispatch{
+			Seq: s.seq, At: s.clock.Now(), Station: st.name,
+			Tenant: it.Tenant, Class: it.Class, Kind: it.Kind, Units: it.Units,
+		})
+	}
+}
+
+// armQuotaTimer schedules a pump at the earliest token refill when
+// free slots exist but every backlogged tenant is throttled.
+func (st *Station) armQuotaTimer() {
+	if st.slots <= 0 || st.queued == 0 || st.inFlight >= st.slots {
+		st.disarmTimer()
+		return
+	}
+	now := st.s.clock.Now()
+	var wake simtime.Duration
+	found := false
+	for i := range st.lanes {
+		for _, tq := range st.lanes[i].active {
+			b := st.s.quotas[tq.name]
+			if b == nil {
+				continue // eligible tenant exists; pick() would have run
+			}
+			b.refill(now)
+			at := b.refillAt(now)
+			if !found || at < wake {
+				wake, found = at, true
+			}
+		}
+	}
+	if !found {
+		st.disarmTimer()
+		return
+	}
+	if st.timerCancel != nil {
+		if st.timerAt <= wake {
+			return // an earlier-or-equal wake is already armed
+		}
+		st.disarmTimer()
+	}
+	st.timerAt = wake
+	st.timerCancel = st.s.clock.Callback(wake, func() {
+		st.timerCancel = nil
+		st.pump()
+	})
+}
+
+func (st *Station) disarmTimer() {
+	if st.timerCancel != nil {
+		st.timerCancel()
+		st.timerCancel = nil
+	}
+}
+
+// drainAll grants everything queued immediately (pass-through
+// restore): quotas and lanes no longer apply.
+func (st *Station) drainAll() {
+	st.disarmTimer()
+	for i := range st.lanes {
+		ln := &st.lanes[i]
+		for len(ln.active) > 0 {
+			tq := ln.active[0]
+			for !tq.empty() {
+				w := tq.pop()
+				st.queued--
+				st.s.metrics().queuedG[w.item.Class].Add(-1)
+				st.inFlight++
+				st.noteDispatch(w.item, st.s.clock.Now()-w.enq)
+				w.latch.Signal()
+			}
+			ln.deactivate(tq)
+		}
+	}
+}
+
+func (s *Scheduler) account(it Item) *TenantStat {
+	k := acctKey{it.Tenant, it.Class}
+	a, ok := s.acct[k]
+	if !ok {
+		a = &TenantStat{Tenant: it.Tenant, Class: it.Class}
+		s.acct[k] = a
+	}
+	return a
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/simtime"
+	"repro/internal/stats"
 )
 
 // attachKey is the clock-attachment slot Of uses.
@@ -113,6 +114,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindSummary
 )
 
 func (k metricKind) String() string {
@@ -123,6 +125,8 @@ func (k metricKind) String() string {
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
+	case kindSummary:
+		return "summary"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -137,6 +141,7 @@ type metric struct {
 	buckets map[int]float64 // histogram: decade -> count
 	hsum    float64
 	hcount  float64
+	sample  *stats.Summary // summary: exact observations for quantiles
 	updated simtime.Duration
 }
 
@@ -157,6 +162,9 @@ func (r *Registry) lookup(kind metricKind, name string, kv []string) *metric {
 	m := &metric{name: name, labels: labels, kind: kind}
 	if kind == kindHistogram {
 		m.buckets = make(map[int]float64)
+	}
+	if kind == kindSummary {
+		m.sample = &stats.Summary{}
 	}
 	r.metrics[id] = m
 	r.order = append(r.order, m)
@@ -264,16 +272,59 @@ func (h *Histogram) Count() float64 { return h.m.hcount }
 // Sum reports the observation total.
 func (h *Histogram) Sum() float64 { return h.m.hsum }
 
+// Summary records every observation exactly and answers arbitrary
+// quantiles — what the per-class queue-wait SLOs need. A decade
+// histogram can say "between 100 s and 1000 s"; asserting that p99
+// latencies are *ordered* across QoS classes needs the real
+// percentile. Use a Histogram when volume is unbounded; summaries
+// hold their observations in memory.
+type Summary struct {
+	r *Registry
+	m *metric
+}
+
+// Summary finds or creates a summary series.
+func (r *Registry) Summary(name string, kv ...string) *Summary {
+	return &Summary{r: r, m: r.lookup(kindSummary, name, kv)}
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	s.m.sample.Add(v)
+	s.m.hsum += v
+	s.m.hcount++
+	s.m.updated = s.r.clock.Now()
+}
+
+// Count reports the number of observations.
+func (s *Summary) Count() float64 { return s.m.hcount }
+
+// Sum reports the observation total.
+func (s *Summary) Sum() float64 { return s.m.hsum }
+
+// Quantile reports the q-quantile (q in [0,1]) of everything observed
+// so far; 0 with no observations.
+func (s *Summary) Quantile(q float64) float64 {
+	if s.m.sample.N() == 0 {
+		return 0
+	}
+	return s.m.sample.Percentile(q * 100)
+}
+
+// summaryQuantiles are the fixed quantiles exported in snapshots.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
 // Point is one series in a snapshot.
 type Point struct {
-	Name    string
-	Kind    string
-	Labels  []Label
-	Value   float64         // counters and gauges
-	Buckets map[int]float64 // histograms: decade -> count
-	Sum     float64
-	Count   float64
-	Updated simtime.Duration // virtual time of the last direct update
+	Name      string
+	Kind      string
+	Labels    []Label
+	Value     float64             // counters and gauges
+	Buckets   map[int]float64     // histograms: decade -> count
+	Quantiles map[float64]float64 // summaries: q -> value
+	Sum       float64
+	Count     float64
+	Updated   simtime.Duration // virtual time of the last direct update
 }
 
 // Label reports the value of one label key ("" if absent).
@@ -319,6 +370,12 @@ func (r *Registry) Snapshot() *Snapshot {
 				p.Buckets[d] = c
 			}
 		}
+		if m.kind == kindSummary && m.sample.N() > 0 {
+			p.Quantiles = make(map[float64]float64, len(summaryQuantiles))
+			for _, q := range summaryQuantiles {
+				p.Quantiles[q] = m.sample.Percentile(q * 100)
+			}
+		}
 		s.Points = append(s.Points, p)
 	}
 	sort.SliceStable(s.Points, func(i, j int) bool {
@@ -353,6 +410,18 @@ func (s *Snapshot) Family(name string) []Point {
 	return out
 }
 
+// Quantile reports the q-quantile of the summary series with exactly
+// the given name and labels (0 if absent or empty).
+func (s *Snapshot) Quantile(name string, q float64, kv ...string) float64 {
+	want := name + labelString(labelsOf(kv))
+	for _, p := range s.Points {
+		if p.Name+labelString(p.Labels) == want {
+			return p.Quantiles[q]
+		}
+	}
+	return 0
+}
+
 // Total sums a family's values across all label sets.
 func (s *Snapshot) Total(name string) float64 {
 	var sum float64
@@ -373,6 +442,20 @@ func (s *Snapshot) Text() string {
 		if p.Name != lastFamily {
 			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Kind)
 			lastFamily = p.Name
+		}
+		if p.Kind == "summary" {
+			var qs []float64
+			for q := range p.Quantiles {
+				qs = append(qs, q)
+			}
+			sort.Float64s(qs)
+			for _, q := range qs {
+				labels := append(append([]Label(nil), p.Labels...), Label{Key: "quantile", Value: fmt.Sprintf("%g", q)})
+				fmt.Fprintf(&b, "%s%s %s\n", p.Name, labelString(labels), formatSample(p.Quantiles[q]))
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Sum))
+			fmt.Fprintf(&b, "%s_count%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Count))
+			continue
 		}
 		if p.Kind != "histogram" {
 			fmt.Fprintf(&b, "%s%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Value))

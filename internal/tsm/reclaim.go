@@ -3,6 +3,8 @@ package tsm
 import (
 	"sort"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // Reclamation is the TSM space-reclaim process: a volume whose live
@@ -85,6 +87,17 @@ func (s *Server) reclaimVolume(client, label string, objs []*Object) (moved int,
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	// One admission per volume consolidated: reclamation is scavenger
+	// work under the system tenant — it must yield to everything else.
+	var liveBytes int64
+	for _, o := range objs {
+		liveBytes += o.Bytes
+	}
+	grant := s.sch.Station(sched.StationReclaim).Admit(sched.Item{
+		QoS:  sched.QoS{Tenant: "system", Class: sched.Scavenger},
+		Kind: "tsm.reclaim", Units: liveBytes,
+	})
+	defer grant.Done()
 	s.reclaiming[label] = true
 	defer delete(s.reclaiming, label)
 	sort.Slice(objs, func(i, j int) bool { return objs[i].Seq < objs[j].Seq })

@@ -3,12 +3,18 @@ package tsm
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // ScrubConfig tunes the background media scrubber.
 type ScrubConfig struct {
 	// Client owns the scrubber's drive sessions.
 	Client string
+	// QoS tags the scrubber's scheduler admissions. Unset fields
+	// default to the "system" tenant at Scavenger class: a scrub pass
+	// must never crowd out user recalls.
+	QoS sched.QoS
 	// Interval is the gap between full passes when Run drives the
 	// scrubber on an ILM-style schedule.
 	Interval time.Duration
@@ -64,6 +70,17 @@ func (sc *Scrubber) Reports() []ScrubReport {
 	return append([]ScrubReport(nil), sc.reports...)
 }
 
+// admit passes one volume scan through the scheduler as scavenger work.
+func (sc *Scrubber) admit(volBytes int64) *sched.Grant {
+	qos := sc.cfg.QoS
+	if qos.Tenant == "" {
+		qos.Tenant = "system"
+	}
+	return sc.s.sch.Station(sched.StationScrub).Admit(sched.Item{
+		QoS: qos.Or(sched.Scavenger), Kind: "tsm.scrub", Units: volBytes,
+	})
+}
+
 // Run drives rounds full passes, sleeping the configured interval
 // between them. Call from actor context (clock.Go).
 func (sc *Scrubber) Run(rounds int) {
@@ -112,16 +129,23 @@ func (sc *Scrubber) ScrubOnce() ScrubReport {
 			continue
 		}
 		rep.VolumesScanned++
+		var volBytes int64
+		for _, obj := range byVol[label] {
+			volBytes += obj.Bytes
+		}
+		grant := sc.admit(volBytes)
 		s.drvPool.Acquire(1)
 		d, err := s.acquireVolumeDrive(vol)
 		if err != nil {
 			s.drvPool.Release(1)
+			grant.Done()
 			rep.Failures = append(rep.Failures, err.Error())
 			continue
 		}
 		d.SetTraceParent(sp)
 		if err := d.BeginSession(sc.cfg.Client); err != nil {
 			s.ReleaseDrive(d)
+			grant.Done()
 			rep.Failures = append(rep.Failures, err.Error())
 			continue
 		}
@@ -151,6 +175,7 @@ func (sc *Scrubber) ScrubOnce() ScrubReport {
 			badCause[obj.ID] = cause
 		}
 		s.ReleaseDrive(d)
+		grant.Done()
 		if damaged && !s.Quarantined(label) {
 			s.Quarantine(label)
 		}

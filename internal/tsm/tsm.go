@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/synthetic"
 	"repro/internal/tape"
@@ -157,6 +158,7 @@ type Server struct {
 	lastDrive    map[string]*tape.Drive
 	down         bool // server outage: transactions block until repair
 	stats        Stats
+	sch          *sched.Scheduler
 
 	tel               *telemetry.Registry
 	ctrTxn            *telemetry.Counter
@@ -203,6 +205,7 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 		lastDrive:  make(map[string]*tape.Drive),
 	}
 	s.tel = telemetry.Of(clock)
+	s.sch = sched.Of(clock)
 	s.ctrTxn = s.tel.Counter("tsm_transactions_total")
 	s.ctrStores = s.tel.Counter("tsm_stores_total")
 	s.ctrRecalls = s.tel.Counter("tsm_recalls_total")
@@ -360,6 +363,9 @@ type StoreRequest struct {
 	// Parent, when set, is the telemetry span (e.g. the HSM store phase)
 	// the session's span nests under.
 	Parent *telemetry.Span
+	// QoS tags the scheduler admission this store makes at the
+	// tsm.session station (an unset class defaults to Batch).
+	QoS sched.QoS
 }
 
 // Store writes one object to tape and records it, returning the
@@ -372,6 +378,10 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 	if req.Bytes < 0 {
 		return Object{}, fmt.Errorf("tsm: negative size")
 	}
+	grant := s.sch.Station(sched.StationSession).Admit(sched.Item{
+		QoS: req.QoS.Or(sched.Batch), Kind: "tsm.store", Units: req.Bytes,
+	})
+	defer grant.Done()
 	s.reapDownDrives()
 	s.txn()
 	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.store", "client", req.Client, "path", req.Path)
@@ -677,6 +687,9 @@ type RecallRequest struct {
 	DataPath []*simtime.Pipe
 	// Parent, when set, is the telemetry span the session nests under.
 	Parent *telemetry.Span
+	// QoS tags the scheduler admission (unset class = Interactive;
+	// recalls are expedited — someone is waiting on the bytes).
+	QoS sched.QoS
 }
 
 // Recall reads an object from tape back to the client. Transient drive
@@ -693,6 +706,11 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 	if !ok || obj.Deleted {
 		return Object{}, fmt.Errorf("%w: %d", ErrNoSuchObject, req.ObjectID)
 	}
+	grant := s.sch.Station(sched.StationSession).Admit(sched.Item{
+		QoS: req.QoS.Or(sched.Interactive), Kind: "tsm.recall",
+		Units: obj.Bytes, Expedite: true,
+	})
+	defer grant.Done()
 	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.recall", "client", req.Client, "volume", obj.Volume)
 	// Each pass re-resolves the volume: a repair moves the object to a
 	// fresh primary location. Pass 2 after a clean repair (or a consumed
@@ -774,6 +792,8 @@ type RecallBatchRequest struct {
 	DataPath []*simtime.Pipe
 	// Parent, when set, is the telemetry span the session nests under.
 	Parent *telemetry.Span
+	// QoS tags the scheduler admission (unset class = Interactive).
+	QoS sched.QoS
 }
 
 // RecallBatch restores a batch of same-volume objects in one session:
@@ -802,18 +822,32 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 	if err != nil {
 		return nil, err
 	}
+	var batchBytes int64
+	for _, obj := range objs {
+		batchBytes += obj.Bytes
+	}
+	// The admission covers the drive session only: objects that fail
+	// verification re-run through single-object Recall afterwards, each
+	// under its own grant (never while this one is held — a limited
+	// station must not wait on itself).
+	grant := s.sch.Station(sched.StationSession).Admit(sched.Item{
+		QoS: req.QoS.Or(sched.Interactive), Kind: "tsm.recall",
+		Units: batchBytes, Expedite: true,
+	})
 	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.recall-batch",
 		"client", req.Client, "volume", req.Volume, "objects", strconv.Itoa(len(objs)))
 	s.drvPool.Acquire(1)
 	d, err := s.acquireVolumeDrive(vol)
 	if err != nil {
 		s.drvPool.Release(1)
+		grant.Done()
 		sp.Abort(err.Error(), 0)
 		return nil, err
 	}
 	d.SetTraceParent(sp)
 	if err := d.BeginSession(req.Client); err != nil {
 		s.ReleaseDrive(d)
+		grant.Done()
 		sp.Abort(err.Error(), 0)
 		return nil, err
 	}
@@ -834,6 +868,7 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 		})
 		if readErr != nil {
 			s.ReleaseDrive(d)
+			grant.Done()
 			sp.Abort(readErr.Error(), 0)
 			return out, readErr
 		}
@@ -853,9 +888,10 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 		out = append(out, *obj)
 	}
 	s.ReleaseDrive(d)
+	grant.Done()
 	for _, id := range bad {
 		o, err := s.Recall(RecallRequest{Client: req.Client, ObjectID: id,
-			Route: req.Route, DataPath: req.DataPath, Parent: sp})
+			Route: req.Route, DataPath: req.DataPath, Parent: sp, QoS: req.QoS})
 		if err != nil {
 			sp.Abort(err.Error(), 0)
 			return out, err
