@@ -10,6 +10,8 @@
 //
 //	archsim -exp chaos -flight-record flight.json   # dump recent spans/events
 //	archsim -exp fabric -metrics-text               # Prometheus-style metrics
+//	archsim -serve :9090 -pace 60                   # live operator plane over the campaign
+//	archsim -exp ops -ops-report ops.json           # E22 scripted operator drill
 package main
 
 import (
@@ -46,6 +48,10 @@ func main() {
 	drPath := flag.String("dr-report", "", "write the disaster-recovery drill's replication summary as JSON to this file (the dr experiment produces it)")
 	tenantPath := flag.String("tenant-report", "", "write the multi-tenant QoS study's summary as JSON to this file (the tenants experiment produces it)")
 	metricsText := flag.Bool("metrics-text", false, "print each experiment's telemetry registry in Prometheus text exposition format")
+	serveAddr := flag.String("serve", "", "serve the live operator plane on this address (e.g. :9090) while running the campaign; /metrics, /events, /spans, /snapshot, /ops/...")
+	pace := flag.Float64("pace", -1, "with -serve, throttle the clock to this many virtual seconds per real second (-1 = default 60; 0 = free-run)")
+	opsReportPath := flag.String("ops-report", "", "write the operator drill's summary as JSON to this file (the ops experiment produces it)")
+	opsScrapePath := flag.String("ops-scrape", "", "write the operator drill's final live /metrics scrape verbatim to this file")
 	scaleJSON := flag.String("scale-json", "", "with -exp scale, write the wall-clock benchmark metrics as JSON to this file")
 	wallCeiling := flag.Float64("wall-ceiling", 0, "with -exp scale, exit nonzero if the paper-scale run's wall clock exceeds this many seconds (CI regression tripwire)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,6 +86,18 @@ func main() {
 				fmt.Fprintln(os.Stderr, "archsim: flight:", err)
 			}
 		})
+	}
+
+	if *serveAddr != "" {
+		p := *pace
+		if p < 0 {
+			p = 60
+		}
+		if err := serveLive(*serveAddr, p, *seed, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *benchJSON != "" {
@@ -156,6 +174,18 @@ func main() {
 	if *tenantPath != "" {
 		if err := writeTenantReport(*tenantPath, *seed, reports); err != nil {
 			fmt.Fprintln(os.Stderr, "archsim: tenants:", err)
+			os.Exit(1)
+		}
+	}
+	if *opsReportPath != "" {
+		if err := writeOpsReport(*opsReportPath, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: ops:", err)
+			os.Exit(1)
+		}
+	}
+	if *opsScrapePath != "" {
+		if err := writeOpsScrape(*opsScrapePath, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: ops:", err)
 			os.Exit(1)
 		}
 	}
@@ -340,6 +370,47 @@ func writeTenantReport(path string, seed int64, reports []experiments.Report) er
 		return nil
 	}
 	return fmt.Errorf("no tenant report in this run (use -exp tenants)")
+}
+
+// writeOpsReport persists the operator drill's summary (CI archives
+// the file as a build artifact). The final scrape body is written
+// separately by -ops-scrape, not embedded in the JSON.
+func writeOpsReport(path string, reports []experiments.Report) error {
+	for _, r := range reports {
+		if r.Ops == nil {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Ops); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+		return nil
+	}
+	return fmt.Errorf("no ops report in this run (use -exp ops)")
+}
+
+// writeOpsScrape persists the drill's final live /metrics scrape
+// verbatim — the artifact CI validates and archives: real bytes that
+// went over HTTP, not a post-hoc re-render.
+func writeOpsScrape(path string, reports []experiments.Report) error {
+	for _, r := range reports {
+		if r.Ops == nil || r.Ops.FinalScrape == "" {
+			continue
+		}
+		if err := os.WriteFile(path, []byte(r.Ops.FinalScrape), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+		return nil
+	}
+	return fmt.Errorf("no live scrape in this run (use -exp ops)")
 }
 
 // writeFlightFromReports persists the flight dump of the completed run:

@@ -61,6 +61,14 @@ func (s *System) InstallFaults(reg *faults.Registry) {
 					d.CorruptNextOps(n, cause())
 					continue
 				}
+				if ev.Kind == faults.KindDegrade {
+					// A crawling head: the drive stays in service but
+					// streams at Param x rated speed (Param >= 1
+					// restores). Previously this case fell through to
+					// SetDown(false), silently repairing the drive.
+					d.SetDegraded(ev.Param)
+					continue
+				}
 				d.SetDown(ev.Kind == faults.KindFail)
 			}
 		case strings.HasPrefix(ev.Component, "volume:"):

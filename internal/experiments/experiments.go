@@ -45,6 +45,11 @@ type Report struct {
 	// writes it as JSON behind the -tenant-report flag (CI archives the
 	// file).
 	Tenants *TenantReport
+
+	// Ops carries the operator drill's summary (waves, runbook actions,
+	// recovery ratio, the final live scrape); cmd/archsim writes it as
+	// JSON behind -ops-report and the raw scrape behind -ops-scrape.
+	Ops *OpsReport
 }
 
 // ErrUnknownExperiment reports an experiment name Run does not know.
@@ -134,7 +139,7 @@ func Names() []string {
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
 		"ablation-lanfree", "reclaim", "fabric", "chaos", "obs",
-		"integrity", "dr", "tenants", "scale", "all",
+		"integrity", "dr", "tenants", "scale", "ops", "all",
 	}
 }
 
@@ -187,6 +192,11 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{TenantStudy(seed)}, nil
 	case "scale":
 		return []Report{ScaleStudy(seed)}, nil
+	case "ops":
+		// E22 runs under wall-clock pacing with a live HTTP operator, so
+		// like "scale" it is excluded from "all": its results depend on
+		// real time, not just the seed.
+		return []Report{OpsDrill(seed)}, nil
 	case "all":
 		return All(seed), nil
 	default:

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testOpsParams shrinks E22 to test scale: smaller waves, a faster
+// pace, and a detector window matched to the smaller files.
+func testOpsParams() opsParams {
+	return opsParams{
+		Drives:        8,
+		Cartridges:    64,
+		WaveFiles:     16,
+		FileBytes:     250e6,
+		FaultWave:     3,
+		DegradeTo:     0.05,
+		RecoveryWaves: 4,
+		MaxWaves:      16,
+		Pace:          400,
+		ScrapeEvery:   10 * time.Millisecond,
+		MinXfer:       10,
+		RateFraction:  0.25,
+		ScrubStart:    6 * time.Hour,
+		ScrubTighten:  20 * time.Minute,
+		Addr:          "127.0.0.1:0",
+	}
+}
+
+// TestOpsDrill runs the whole drill at test scale. opsDrill panics on
+// any violated invariant (no drain, weak recovery, scrape/snapshot
+// drift, dirty audit), so surviving the call is most of the test; the
+// assertions below pin the report shape the tooling depends on.
+func TestOpsDrill(t *testing.T) {
+	r := opsDrill(7, testOpsParams())
+
+	if r.Name != "ops" || r.Ops == nil {
+		t.Fatalf("report: name %q, ops %v", r.Name, r.Ops)
+	}
+	ops := r.Ops
+	if ops.Schema != "archsim-ops/v1" {
+		t.Fatalf("schema %q", ops.Schema)
+	}
+	if ops.DrainWave < ops.FaultWave {
+		t.Fatalf("drained at wave %d before the fault at wave %d", ops.DrainWave, ops.FaultWave)
+	}
+	if ops.RecoveryRatio < 0.8 {
+		t.Fatalf("recovery ratio %.2f", ops.RecoveryRatio)
+	}
+	if ops.ContaminatedMinMBs > 0.6*ops.BaselineMBs {
+		t.Fatalf("fault did not dent throughput: min %.1f vs baseline %.1f",
+			ops.ContaminatedMinMBs, ops.BaselineMBs)
+	}
+	if len(ops.Actions) != 3 {
+		t.Fatalf("runbook actions: %+v", ops.Actions)
+	}
+	if got := ops.Actions[0]; got.Action != "drain-drive" || got.Target != ops.SlowDrive {
+		t.Fatalf("first action %+v, want drain of %s", got, ops.SlowDrive)
+	}
+	if !ops.ScrapeMatches || !ops.AuditClean {
+		t.Fatalf("scrape match %v, audit clean %v", ops.ScrapeMatches, ops.AuditClean)
+	}
+
+	// The final scrape the report carries is a valid exposition, and the
+	// report JSON round-trips without the scrape body embedded.
+	if _, err := obs.ValidateExposition(strings.NewReader(ops.FinalScrape)); err != nil {
+		t.Fatalf("final scrape invalid: %v", err)
+	}
+	b, err := json.Marshal(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "archsim_virtual_seconds") {
+		t.Fatal("ops report JSON embeds the raw scrape; FinalScrape must be json:\"-\"")
+	}
+
+	// Phase accounting: every phase the summary derives from is present.
+	seen := map[string]int{}
+	for _, w := range ops.Waves {
+		seen[w.Phase]++
+	}
+	for _, ph := range []string{"warmup", "baseline", "contaminated", "recovery"} {
+		if seen[ph] == 0 {
+			t.Fatalf("no %s wave in %v", ph, seen)
+		}
+	}
+}
+
+// TestOpsRegistered pins the experiment's registration: runnable by
+// name, but excluded from the deterministic "all" sweep (it depends on
+// wall-clock pacing like "scale" does).
+func TestOpsRegistered(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == "ops" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal(`Names() lacks "ops"`)
+	}
+}

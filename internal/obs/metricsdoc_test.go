@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// Registration call sites come in two shapes: the usual
+// tel.Counter("family", ...) literal, and the tape drive's table of
+// {"family", collector} pairs fed to CounterFunc in a loop.
+var (
+	reRegister  = regexp.MustCompile(`\.(?:Counter|CounterFunc|Gauge|GaugeFunc|Histogram|Summary)\(\s*"([a-z][a-z0-9_]*)"`)
+	reTableRow  = regexp.MustCompile(`\{"(tape_[a-z0-9_]+)",`)
+	reDocFamily = regexp.MustCompile("(?m)^\\| `([a-z][a-z0-9_]*)` \\|")
+)
+
+// registeredFamilies scans every non-test source file under internal/
+// for metric registrations.
+func registeredFamilies(t *testing.T) map[string]bool {
+	t.Helper()
+	root := filepath.Join("..", "..")
+	fams := map[string]bool{telemetry.VirtualSecondsFamily: true}
+	err := filepath.Walk(filepath.Join(root, "internal"), func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range reRegister.FindAllSubmatch(src, -1) {
+			fams[string(m[1])] = true
+		}
+		for _, m := range reTableRow.FindAllSubmatch(src, -1) {
+			fams[string(m[1])] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// TestMetricsDocCurrent diffs METRICS.md against the code's metric
+// registrations in both directions, so the doc cannot go stale: a new
+// family must be documented, and a removed one must be deleted from
+// the doc.
+func TestMetricsDocCurrent(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "METRICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range reDocFamily.FindAllSubmatch(doc, -1) {
+		documented[string(m[1])] = true
+	}
+	registered := registeredFamilies(t)
+
+	var missing, stale []string
+	for f := range registered {
+		if !documented[f] {
+			missing = append(missing, f)
+		}
+	}
+	for f := range documented {
+		if !registered[f] {
+			stale = append(stale, f)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("families registered in code but absent from METRICS.md: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("families documented in METRICS.md but not registered anywhere: %v", stale)
+	}
+	if len(registered) < 40 {
+		t.Fatalf("scan found only %d families; the registration regexes look broken", len(registered))
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/tsm"
+)
+
+// Actions wires the /ops control surface to a deployment's existing
+// hooks. Every field is optional; a nil field turns its endpoint into
+// a 404. The actions run in simulation context through the gate, so
+// they are serialized with the actors exactly like a scheduled fault.
+type Actions struct {
+	// Faults drains/undrains drives: /ops/drain-drive applies a
+	// KindFail (restore: KindRepair) event for drive:<name>, flowing
+	// through the same dispatch as scheduled faults — telemetry cause
+	// linkage and subsystem reactions (TSM drive reaping) included.
+	Faults *faults.Registry
+	// TSM quarantines volumes out of the write path.
+	TSM *tsm.Server
+	// Scrub retunes the scrubber's pass interval.
+	Scrub *tsm.Scrubber
+}
+
+// opResult is the JSON reply of every /ops endpoint.
+type opResult struct {
+	OK      bool   `json:"ok"`
+	Action  string `json:"action"`
+	Target  string `json:"target,omitempty"`
+	Restore bool   `json:"restore,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+func (s *Server) opReply(w http.ResponseWriter, res opResult) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// recordOp stamps the action into telemetry (inside the gate) so the
+// flight recorder carries the operator's moves next to the faults they
+// answer, and the registry counts them.
+func (s *Server) recordOp(action, target string) {
+	s.tel.Event("ops", "action", action, "component", "operator", "target", target)
+	s.tel.Counter("obs_ops_actions_total", "action", action).Inc()
+}
+
+func (s *Server) handleDrainDrive(w http.ResponseWriter, r *http.Request) {
+	if s.act.Faults == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	drive := r.URL.Query().Get("drive")
+	if drive == "" {
+		http.Error(w, "missing drive parameter", http.StatusBadRequest)
+		return
+	}
+	restore := r.URL.Query().Get("restore") == "1"
+	kind := faults.KindFail
+	action := "drain-drive"
+	if restore {
+		kind = faults.KindRepair
+		action = "undrain-drive"
+	}
+	s.gate.Do(func() {
+		s.recordOp(action, drive)
+		s.act.Faults.Apply(faults.Event{Component: faults.DriveComponent(drive), Kind: kind})
+	})
+	s.opReply(w, opResult{OK: true, Action: action, Target: drive, Restore: restore})
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	if s.act.TSM == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	volume := r.URL.Query().Get("volume")
+	if volume == "" {
+		http.Error(w, "missing volume parameter", http.StatusBadRequest)
+		return
+	}
+	restore := r.URL.Query().Get("restore") == "1"
+	action := "quarantine-volume"
+	if restore {
+		action = "unquarantine-volume"
+	}
+	s.gate.Do(func() {
+		s.recordOp(action, volume)
+		if restore {
+			s.act.TSM.Unquarantine(volume)
+		} else {
+			s.act.TSM.Quarantine(volume)
+		}
+	})
+	s.opReply(w, opResult{OK: true, Action: action, Target: volume, Restore: restore})
+}
+
+func (s *Server) handleScrubInterval(w http.ResponseWriter, r *http.Request) {
+	if s.act.Scrub == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var d time.Duration
+	switch {
+	case r.URL.Query().Get("interval") != "":
+		var err error
+		d, err = time.ParseDuration(r.URL.Query().Get("interval"))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad interval: %v", err), http.StatusBadRequest)
+			return
+		}
+	case r.URL.Query().Get("seconds") != "":
+		secs, err := strconv.ParseFloat(r.URL.Query().Get("seconds"), 64)
+		if err != nil {
+			http.Error(w, "bad seconds", http.StatusBadRequest)
+			return
+		}
+		d = time.Duration(secs * float64(time.Second))
+	default:
+		http.Error(w, "missing interval (Go duration) or seconds parameter", http.StatusBadRequest)
+		return
+	}
+	if d <= 0 {
+		http.Error(w, "interval must be positive", http.StatusBadRequest)
+		return
+	}
+	s.gate.Do(func() {
+		s.recordOp("scrub-interval", d.String())
+		s.act.Scrub.SetInterval(d)
+	})
+	s.opReply(w, opResult{OK: true, Action: "scrub-interval", Detail: d.String()})
+}

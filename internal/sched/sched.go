@@ -369,7 +369,14 @@ func (s *Scheduler) metrics() *schedMetrics {
 		m.wait[c] = reg.Summary("sched_queue_wait_seconds", "class", lbl)
 		m.starved[c] = reg.Counter("sched_starvation_total", "class", lbl)
 		m.sloViol[c] = reg.Counter("sched_slo_violations_total", "class", lbl)
+		// Config gauges for the live operator plane: a scraper can see
+		// the objectives the violation counters are judged against
+		// (and watch an /ops retune land) without any report.
+		c := c
+		reg.GaugeFunc("sched_slo_seconds", func() float64 { return s.slo[c].Seconds() }, "class", lbl)
 	}
+	reg.GaugeFunc("sched_starvation_threshold_seconds", func() float64 { return s.starveAfter.Seconds() })
+	reg.GaugeFunc("sched_scavenger_share", func() float64 { return s.scavShare })
 	m.scavCredit = reg.Counter("sched_scavenger_credit_grants_total")
 	s.m = m
 	return m

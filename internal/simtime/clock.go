@@ -52,6 +52,13 @@ type Clock struct {
 	instantFns   []func()
 	instantSpare []func() // recycled backing array for instantFns
 
+	// Wall-clock pacing (SetPace): ratio is virtual-per-real seconds,
+	// zero = free-run. The anchor pins a (virtual, real) origin so the
+	// scheduler can compute the real-time budget for any future instant.
+	paceRatio      float64
+	paceAnchorVirt Duration
+	paceAnchorReal time.Time
+
 	attachments map[string]interface{}
 }
 
@@ -453,6 +460,12 @@ func (c *Clock) Run() (Duration, error) {
 		}
 		if len(c.queue) == 0 {
 			break
+		}
+		if c.paceRatio > 0 && c.queue[0].at > c.now && c.paceWaitLocked(c.queue[0].at) {
+			// Slept a pacing slice with the lock dropped: re-evaluate
+			// from the top — an external Callback may have landed at
+			// the current instant and must run before time advances.
+			continue
 		}
 		ev := c.queue.pop()
 		if ev.at > c.now {

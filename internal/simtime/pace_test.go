@@ -1,0 +1,119 @@
+package simtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPaceThrottles: a paced run spends at least (virtual span / ratio)
+// of real time, an unpaced run of the same workload is near-instant.
+func TestPaceThrottles(t *testing.T) {
+	run := func(pace float64) (Duration, time.Duration) {
+		c := NewClock()
+		c.SetPace(pace)
+		c.Go(func() {
+			for i := 0; i < 10; i++ {
+				c.Sleep(10 * time.Millisecond)
+			}
+		})
+		start := time.Now()
+		end := c.RunFor()
+		return end, time.Since(start)
+	}
+
+	end, real := run(2.0) // 100ms virtual at 2x => ~50ms real
+	if end != 100*time.Millisecond {
+		t.Fatalf("paced end = %v, want 100ms", end)
+	}
+	if real < 35*time.Millisecond {
+		t.Fatalf("paced run finished in %v real, want >= ~50ms", real)
+	}
+
+	endFree, realFree := run(0)
+	if endFree != end {
+		t.Fatalf("free-run end = %v, paced end = %v: pacing changed virtual time", endFree, end)
+	}
+	if realFree > 20*time.Millisecond {
+		t.Fatalf("free run took %v real, expected near-instant", realFree)
+	}
+}
+
+// TestPaceDeterminism: pacing must not change the event order. Two
+// actors interleave sleeps and record their wake sequence; the paced
+// and unpaced traces must be identical.
+func TestPaceDeterminism(t *testing.T) {
+	trace := func(pace float64) []Duration {
+		c := NewClock()
+		if pace > 0 {
+			c.SetPace(pace)
+		}
+		var out []Duration
+		for a := 0; a < 2; a++ {
+			a := a
+			c.Go(func() {
+				for i := 0; i < 5; i++ {
+					c.Sleep(time.Duration(1+a) * 3 * time.Millisecond)
+					out = append(out, c.Now())
+				}
+			})
+		}
+		c.RunFor()
+		return out
+	}
+	free := trace(0)
+	paced := trace(4)
+	if len(free) != len(paced) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(free), len(paced))
+	}
+	for i := range free {
+		if free[i] != paced[i] {
+			t.Fatalf("trace[%d]: free %v vs paced %v", i, free[i], paced[i])
+		}
+	}
+}
+
+// TestPaceInjectionLatency: while a paced clock sits in a long virtual
+// gap, an externally injected Callback at the current instant must run
+// within a few pacing slices, not wait out the gap.
+func TestPaceInjectionLatency(t *testing.T) {
+	c := NewClock()
+	c.SetPace(2.0) // 1s virtual sleep => ~500ms real gap
+	c.Go(func() { c.Sleep(time.Second) })
+
+	var fired atomic.Int64
+	injected := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond) // let Run enter the gap
+		injected <- time.Now()
+		c.Callback(c.Now(), func() { fired.Store(time.Now().UnixNano()) })
+	}()
+
+	c.RunFor()
+	at := <-injected
+	if fired.Load() == 0 {
+		t.Fatal("injected callback never ran")
+	}
+	latency := time.Duration(fired.Load() - at.UnixNano())
+	if latency > 200*time.Millisecond {
+		t.Fatalf("injected callback latency %v, want well under the 500ms gap", latency)
+	}
+}
+
+// TestPaceCatchUp: when the simulation falls behind its real-time
+// budget (anchor in the past), it advances at full speed rather than
+// adding the full per-event wait on top.
+func TestPaceCatchUp(t *testing.T) {
+	c := NewClock()
+	c.SetPace(1000) // 100ms virtual => 0.1ms real budget: always behind
+	c.Go(func() {
+		for i := 0; i < 100; i++ {
+			c.Sleep(time.Millisecond)
+		}
+	})
+	start := time.Now()
+	c.RunFor()
+	if real := time.Since(start); real > 100*time.Millisecond {
+		t.Fatalf("catch-up run took %v real, want near-instant", real)
+	}
+}

@@ -1,0 +1,127 @@
+package tape
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// TestDriveDegradeStretchesTransfers: a degraded drive streams at the
+// given fraction of rated speed, restore brings it back exactly, and
+// the health gauges track the state.
+func TestDriveDegradeStretchesTransfers(t *testing.T) {
+	clock := simtime.NewClock()
+	lib := NewLibrary(clock, 1, 1, 1, LTO4())
+	d := lib.Drives()[0]
+
+	const bytes = 1e9
+	var healthy, slow, restored time.Duration
+	clock.Go(func() {
+		d.Acquire()
+		defer d.Release()
+		c, err := lib.Scratch(3 * bytes)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := lib.Mount(d, c); err != nil {
+			t.Error(err)
+			return
+		}
+		t0 := clock.Now()
+		if _, err := d.Append(1, bytes); err != nil {
+			t.Error(err)
+			return
+		}
+		healthy = clock.Now() - t0
+
+		d.SetDegraded(0.05)
+		t0 = clock.Now()
+		if _, err := d.Append(2, bytes); err != nil {
+			t.Error(err)
+			return
+		}
+		slow = clock.Now() - t0
+
+		d.SetDegraded(1)
+		t0 = clock.Now()
+		if _, err := d.Append(3, bytes); err != nil {
+			t.Error(err)
+			return
+		}
+		restored = clock.Now() - t0
+	})
+	clock.RunFor()
+
+	// 1 GB at 100 MB/s = 10 s streaming; at 5% = 200 s. The start/stop
+	// penalty is charged at full speed either way.
+	pen := LTO4().StartStopPenalty
+	wantHealthy := pen + 10*time.Second
+	if healthy != wantHealthy {
+		t.Fatalf("healthy append took %v, want %v", healthy, wantHealthy)
+	}
+	if want := pen + 200*time.Second; slow != want {
+		t.Fatalf("degraded append took %v, want %v", slow, want)
+	}
+	if restored != wantHealthy {
+		t.Fatalf("restored append took %v, want healthy %v", restored, wantHealthy)
+	}
+}
+
+// TestDriveHealthGauges: the operator-plane gauges report down state,
+// degrade factor, and the mounted volume.
+func TestDriveHealthGauges(t *testing.T) {
+	clock := simtime.NewClock()
+	lib := NewLibrary(clock, 1, 2, 1, LTO4())
+	d := lib.Drives()[0]
+	tel := telemetry.Of(clock)
+
+	var label string
+	var mounted, failed, ejected *telemetry.Snapshot
+	clock.Go(func() {
+		d.Acquire()
+		defer d.Release()
+		c, err := lib.Scratch(1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := lib.Mount(d, c); err != nil {
+			t.Error(err)
+			return
+		}
+		label = c.Label
+		mounted = tel.Snapshot()
+
+		d.SetDown(true)
+		d.SetDegraded(0.25)
+		failed = tel.Snapshot()
+
+		// ForceEject (dead-drive recovery) clears the mounted-info
+		// series even though the drive cannot run an Unmount.
+		lib.ForceEject(d)
+		ejected = tel.Snapshot()
+	})
+	clock.RunFor()
+
+	if v := mounted.Value("tape_drive_down", "drive", d.Name); v != 0 {
+		t.Fatalf("tape_drive_down = %v, want 0", v)
+	}
+	if v := mounted.Value("tape_drive_degrade_factor", "drive", d.Name); v != 1 {
+		t.Fatalf("tape_drive_degrade_factor = %v, want 1", v)
+	}
+	if v := mounted.Value("tape_drive_mounted_info", "drive", d.Name, "volume", label); v != 1 {
+		t.Fatalf("tape_drive_mounted_info{%s,%s} = %v, want 1", d.Name, label, v)
+	}
+	if v := failed.Value("tape_drive_down", "drive", d.Name); v != 1 {
+		t.Fatalf("after SetDown: tape_drive_down = %v, want 1", v)
+	}
+	if v := failed.Value("tape_drive_degrade_factor", "drive", d.Name); v != 0.25 {
+		t.Fatalf("tape_drive_degrade_factor = %v, want 0.25", v)
+	}
+	if v := ejected.Value("tape_drive_mounted_info", "drive", d.Name, "volume", label); v != 0 {
+		t.Fatalf("after eject: tape_drive_mounted_info = %v, want 0", v)
+	}
+}

@@ -268,10 +268,11 @@ type Drive struct {
 	cart       *Cartridge
 	pos        int64 // current head byte position
 	lastClient string
-	failOps    int    // pending injected transaction failures
-	corruptOps int    // pending silently-corrupted transactions
-	corruptCau uint64 // fault event behind the pending corruptions
-	down       bool   // hard failure: every operation refused until repair
+	failOps    int     // pending injected transaction failures
+	corruptOps int     // pending silently-corrupted transactions
+	corruptCau uint64  // fault event behind the pending corruptions
+	down       bool    // hard failure: every operation refused until repair
+	slow       float64 // degrade factor in (0,1): streaming at a fraction of rated; 0 = healthy
 	stats      Stats
 
 	tel    *telemetry.Registry
@@ -299,6 +300,17 @@ func NewDrive(clock *simtime.Clock, name string, spec Spec) *Drive {
 	} {
 		d.tel.CounterFunc(c.name, c.fn, "drive", name)
 	}
+	// Live health gauges for the operator plane: a scraper can spot a
+	// failed or crawling drive (and judge its effective rate against
+	// nominal) without any post-hoc report.
+	d.tel.GaugeFunc("tape_drive_down", func() float64 {
+		if d.down {
+			return 1
+		}
+		return 0
+	}, "drive", name)
+	d.tel.GaugeFunc("tape_drive_degrade_factor", func() float64 { return d.DegradeFactor() }, "drive", name)
+	d.tel.GaugeFunc("tape_drive_nominal_bytes_per_second", func() float64 { return d.spec.StreamRate }, "drive", name)
 	return d
 }
 
@@ -372,6 +384,40 @@ func (d *Drive) SetDown(down bool) { d.down = down }
 // Down reports whether the drive has failed hard.
 func (d *Drive) Down() bool { return d.down }
 
+// SetDegraded throttles (or restores) the drive's streaming rate:
+// transactions started while factor is in (0,1) stream at that
+// fraction of the rated StreamRate — the "slow drive" failure mode
+// where a dying head crawls instead of failing loudly. A factor of 1
+// (or anything outside (0,1)) restores full speed. Like SetDown, the
+// change takes effect at transaction boundaries; a transfer already
+// under way keeps the rate it started with.
+func (d *Drive) SetDegraded(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		d.slow = 0
+		return
+	}
+	d.slow = factor
+}
+
+// DegradeFactor reports the streaming-rate fraction currently in
+// effect (1 = healthy).
+func (d *Drive) DegradeFactor() float64 {
+	if d.slow > 0 {
+		return d.slow
+	}
+	return 1
+}
+
+// xferTime is the busy time of one read/write transaction: start/stop
+// penalty plus streaming, stretched by any degrade factor.
+func (d *Drive) xferTime(bytes int64) time.Duration {
+	rate := d.spec.StreamRate
+	if d.slow > 0 {
+		rate *= d.slow
+	}
+	return d.spec.StartStopPenalty + time.Duration(float64(bytes)/rate*1e9)
+}
+
 // injectedFault consumes one pending failure, charging the fault time.
 func (d *Drive) injectedFault() bool {
 	if d.failOps <= 0 {
@@ -400,8 +446,18 @@ func (d *Drive) mount(c *Cartridge) {
 	d.lastClient = ""
 	d.stats.Mounts++
 	d.stats.LabelVerifies++
+	d.setMountedInfo(c.Label, 1)
 	d.busy(d.spec.MountTime + d.spec.LabelVerifyTime)
 	sp.End()
+}
+
+// setMountedInfo maintains the tape_drive_mounted_info gauge — the
+// Prometheus "info" idiom: one series per (drive, volume) pairing ever
+// seen, value 1 while that volume sits in this drive. A live scraper
+// joins it against per-drive rates to name the volume a sick drive is
+// holding.
+func (d *Drive) setMountedInfo(volume string, v float64) {
+	d.tel.Gauge("tape_drive_mounted_info", "drive", d.Name, "volume", volume).Set(v)
 }
 
 // Unmount rewinds and ejects the mounted cartridge.
@@ -414,6 +470,7 @@ func (d *Drive) Unmount() error {
 	}
 	d.rewind()
 	d.busy(d.spec.UnloadTime)
+	d.setMountedInfo(d.cart.Label, 0)
 	d.cart = nil
 	d.lastClient = ""
 	d.stats.Unmounts++
@@ -513,7 +570,7 @@ func (d *Drive) AppendSum(object uint64, bytes int64, sum uint64) (File, error) 
 	d.parent = sp
 	d.seekTo(d.cart.eod)
 	d.parent = outer
-	xfer := d.spec.StartStopPenalty + time.Duration(float64(bytes)/d.spec.StreamRate*1e9)
+	xfer := d.xferTime(bytes)
 	d.stats.TransferTime += xfer
 	d.busy(xfer)
 	f := File{Object: object, Seq: len(d.cart.files) + 1, Off: d.cart.eod, Bytes: bytes, Sum: sum}
@@ -566,7 +623,7 @@ func (d *Drive) ReadSeqSum(seq int) (File, uint64, error) {
 	d.parent = sp
 	d.seekTo(f.Off)
 	d.parent = outer
-	xfer := d.spec.StartStopPenalty + time.Duration(float64(f.Bytes)/d.spec.StreamRate*1e9)
+	xfer := d.xferTime(f.Bytes)
 	d.stats.TransferTime += xfer
 	d.busy(xfer)
 	d.pos = f.Off + f.Bytes
@@ -705,6 +762,7 @@ func (l *Library) ForceEject(d *Drive) *Cartridge {
 		return nil
 	}
 	l.exchange(d)
+	d.setMountedInfo(c.Label, 0)
 	d.cart = nil
 	d.lastClient = ""
 	d.pos = 0

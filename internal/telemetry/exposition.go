@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the one renderer of the Prometheus text exposition
+// format. Snapshot.Text (the -metrics-text flag), the obs /metrics
+// endpoint, and the CI scrape artifact all call WriteExposition, so the
+// post-hoc text and the live scrape cannot drift: byte-equality between
+// them is asserted by the E22 ops drill.
+
+// VirtualSecondsFamily is the synthetic gauge carrying the snapshot's
+// virtual timestamp, so a scraper can tell simulated time (and pace)
+// without parsing comments.
+const VirtualSecondsFamily = "archsim_virtual_seconds"
+
+// labelEscaper implements the exposition format's label-value escaping
+// (backslash, double-quote, newline). Note this is NOT Go %q quoting:
+// the identity strings used for series lookup keep labelString, this
+// escaper is only for rendered output.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabels renders a label set in exposition syntax ("" when empty).
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteExposition renders the snapshot in the Prometheus text
+// exposition format: one "# TYPE" line per family, one sample line per
+// series, histogram decades as cumulative le buckets plus _sum/_count,
+// summaries as quantile samples plus _sum/_count. When withVirtualTS is
+// set every sample carries its virtual-time timestamp in milliseconds
+// (the series' last direct update, or the snapshot instant for
+// func-collected series) — virtual, not wall, time: feed it to a real
+// Prometheus only knowing the samples will land in January 1970.
+func (s *Snapshot) WriteExposition(w io.Writer, withVirtualTS bool) {
+	ts := func(updated time.Duration) string {
+		if !withVirtualTS {
+			return ""
+		}
+		at := updated
+		if at == 0 {
+			at = s.At
+		}
+		return fmt.Sprintf(" %d", at.Milliseconds())
+	}
+	fmt.Fprintf(w, "# archsim registry snapshot at %s virtual\n", s.At)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", VirtualSecondsFamily)
+	fmt.Fprintf(w, "%s %s%s\n", VirtualSecondsFamily, formatSample(s.At.Seconds()), ts(s.At))
+	lastFamily := ""
+	for _, p := range s.Points {
+		if p.Name != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind)
+			lastFamily = p.Name
+		}
+		switch p.Kind {
+		case "summary":
+			var qs []float64
+			for q := range p.Quantiles {
+				qs = append(qs, q)
+			}
+			sort.Float64s(qs)
+			for _, q := range qs {
+				labels := append(append([]Label(nil), p.Labels...), Label{Key: "quantile", Value: fmt.Sprintf("%g", q)})
+				fmt.Fprintf(w, "%s%s %s%s\n", p.Name, promLabels(labels), formatSample(p.Quantiles[q]), ts(p.Updated))
+			}
+			fmt.Fprintf(w, "%s_sum%s %s%s\n", p.Name, promLabels(p.Labels), formatSample(p.Sum), ts(p.Updated))
+			fmt.Fprintf(w, "%s_count%s %s%s\n", p.Name, promLabels(p.Labels), formatSample(p.Count), ts(p.Updated))
+		case "histogram":
+			var decades []int
+			for d := range p.Buckets {
+				decades = append(decades, d)
+			}
+			sort.Ints(decades)
+			cum := 0.0
+			for _, d := range decades {
+				cum += p.Buckets[d]
+				le := "1"
+				if d != negDecade {
+					le = fmt.Sprintf("1e%+03d", d+1)
+				}
+				labels := append(append([]Label(nil), p.Labels...), Label{Key: "le", Value: le})
+				fmt.Fprintf(w, "%s_bucket%s %s%s\n", p.Name, promLabels(labels), formatSample(cum), ts(p.Updated))
+			}
+			inf := append(append([]Label(nil), p.Labels...), Label{Key: "le", Value: "+Inf"})
+			fmt.Fprintf(w, "%s_bucket%s %s%s\n", p.Name, promLabels(inf), formatSample(p.Count), ts(p.Updated))
+			fmt.Fprintf(w, "%s_sum%s %s%s\n", p.Name, promLabels(p.Labels), formatSample(p.Sum), ts(p.Updated))
+			fmt.Fprintf(w, "%s_count%s %s%s\n", p.Name, promLabels(p.Labels), formatSample(p.Count), ts(p.Updated))
+		default:
+			fmt.Fprintf(w, "%s%s %s%s\n", p.Name, promLabels(p.Labels), formatSample(p.Value), ts(p.Updated))
+		}
+	}
+}

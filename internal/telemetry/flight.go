@@ -12,7 +12,10 @@ import (
 // fault fired first — without unbounded memory on long campaigns.
 
 // flightItem is one ring slot: exactly one of span or event is set.
+// seq is the record's position in the registry's monotone record
+// sequence (1-based), the cursor space FlightSince tails by.
 type flightItem struct {
+	seq   uint64
 	span  *Span
 	event *eventRec
 }
@@ -31,6 +34,8 @@ func (r *Registry) SetFlightCapacity(n int) {
 
 // record appends to the ring, overwriting the oldest slot when full.
 func (r *Registry) record(it flightItem) {
+	r.recSeq++
+	it.seq = r.recSeq
 	if len(r.ring) < r.ringCap {
 		r.ring = append(r.ring, it)
 		return
@@ -132,4 +137,78 @@ func (d *FlightDump) EventByID(id uint64) (FlightEvent, bool) {
 
 func sortSpans(spans []*Span) {
 	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
+}
+
+// FlightTail is an incremental read of the flight ring: every record
+// made after a cursor, in record order, plus the currently open spans.
+// It is the paging unit behind the obs /events and /spans NDJSON
+// streams.
+type FlightTail struct {
+	// Cursor names the last record included; pass it back to
+	// FlightSince to receive only newer records. Cursors count records
+	// ever made, so they stay valid across ring wraparound.
+	Cursor uint64
+	// Missed counts records that were evicted from the ring after the
+	// cursor but before this read — the tailer polled too slowly for
+	// the ring capacity.
+	Missed int
+	Spans  []FlightSpan  // closed spans recorded after the cursor
+	Events []FlightEvent // events recorded after the cursor
+	Open   []FlightSpan  // every currently open span (full set, status "open")
+}
+
+// FlightSince reads the ring records newer than cursor (0 = from the
+// oldest retained record). Span and event records are value copies —
+// safe to serialize after the simulation has moved on.
+func (r *Registry) FlightSince(cursor uint64) *FlightTail {
+	t := &FlightTail{Cursor: r.recSeq}
+	if oldest := r.recSeq - uint64(len(r.ring)); cursor < oldest {
+		t.Missed = int(oldest - cursor)
+	}
+	emit := func(it flightItem) {
+		if it.seq <= cursor {
+			return
+		}
+		switch {
+		case it.span != nil:
+			// Attr slices are deep-copied: the tail is serialized from
+			// an HTTP goroutine after the simulation has moved on, and
+			// a live span's Attrs may still be appended to.
+			sp := it.span
+			t.Spans = append(t.Spans, FlightSpan{
+				ID: sp.ID, Parent: sp.Parent, Name: sp.Name,
+				Attrs:   append([]Label(nil), sp.Attrs...),
+				StartNs: sp.StartAt, EndNs: sp.EndAt,
+				Status: sp.Status, Cause: sp.Cause, CauseEvent: sp.CauseEvent,
+			})
+		case it.event != nil:
+			t.Events = append(t.Events, FlightEvent{
+				ID: it.event.ID, Name: it.event.Name,
+				Attrs: append([]Label(nil), it.event.Attrs...),
+				AtNs:  it.event.At,
+			})
+		}
+	}
+	// Oldest-to-newest: once the ring has wrapped, ringNext is the
+	// oldest slot.
+	if len(r.ring) == r.ringCap {
+		for _, it := range r.ring[r.ringNext:] {
+			emit(it)
+		}
+		for _, it := range r.ring[:r.ringNext] {
+			emit(it)
+		}
+	} else {
+		for _, it := range r.ring {
+			emit(it)
+		}
+	}
+	for _, sp := range r.OpenSpans() {
+		t.Open = append(t.Open, FlightSpan{
+			ID: sp.ID, Parent: sp.Parent, Name: sp.Name,
+			Attrs:   append([]Label(nil), sp.Attrs...),
+			StartNs: sp.StartAt, Status: sp.Status, CauseEvent: sp.CauseEvent,
+		})
+	}
+	return t
 }

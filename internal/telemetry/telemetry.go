@@ -54,8 +54,9 @@ type Registry struct {
 
 	ring     []flightItem // bounded ring of closed spans + events
 	ringCap  int
-	ringNext int // next overwrite position once the ring is full
-	dropped  int
+	ringNext int    // next overwrite position once the ring is full
+	dropped  int    // records evicted by overwrite
+	recSeq   uint64 // monotone count of records ever made (FlightSince cursor)
 }
 
 // DefaultFlightCapacity bounds the flight recorder: enough recent
@@ -431,56 +432,12 @@ func (s *Snapshot) Total(name string) float64 {
 	return sum
 }
 
-// Text renders the snapshot as a Prometheus-style text exposition:
-// one "# TYPE" line per family, one sample line per series, histogram
-// decades as cumulative le buckets plus _sum and _count.
+// Text renders the snapshot as a Prometheus text exposition via the
+// one shared renderer (see exposition.go): -metrics-text output and a
+// live /metrics scrape are byte-for-byte the same serialization.
 func (s *Snapshot) Text() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# archsim registry snapshot at %s virtual\n", s.At)
-	lastFamily := ""
-	for _, p := range s.Points {
-		if p.Name != lastFamily {
-			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Kind)
-			lastFamily = p.Name
-		}
-		if p.Kind == "summary" {
-			var qs []float64
-			for q := range p.Quantiles {
-				qs = append(qs, q)
-			}
-			sort.Float64s(qs)
-			for _, q := range qs {
-				labels := append(append([]Label(nil), p.Labels...), Label{Key: "quantile", Value: fmt.Sprintf("%g", q)})
-				fmt.Fprintf(&b, "%s%s %s\n", p.Name, labelString(labels), formatSample(p.Quantiles[q]))
-			}
-			fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Sum))
-			fmt.Fprintf(&b, "%s_count%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Count))
-			continue
-		}
-		if p.Kind != "histogram" {
-			fmt.Fprintf(&b, "%s%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Value))
-			continue
-		}
-		var decades []int
-		for d := range p.Buckets {
-			decades = append(decades, d)
-		}
-		sort.Ints(decades)
-		cum := 0.0
-		for _, d := range decades {
-			cum += p.Buckets[d]
-			le := "1"
-			if d != negDecade {
-				le = fmt.Sprintf("1e%+03d", d+1)
-			}
-			labels := append(append([]Label(nil), p.Labels...), Label{Key: "le", Value: le})
-			fmt.Fprintf(&b, "%s_bucket%s %s\n", p.Name, labelString(labels), formatSample(cum))
-		}
-		inf := append(append([]Label(nil), p.Labels...), Label{Key: "le", Value: "+Inf"})
-		fmt.Fprintf(&b, "%s_bucket%s %s\n", p.Name, labelString(inf), formatSample(p.Count))
-		fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Sum))
-		fmt.Fprintf(&b, "%s_count%s %s\n", p.Name, labelString(p.Labels), formatSample(p.Count))
-	}
+	s.WriteExposition(&b, false)
 	return b.String()
 }
 

@@ -70,6 +70,22 @@ func (sc *Scrubber) Reports() []ScrubReport {
 	return append([]ScrubReport(nil), sc.reports...)
 }
 
+// Interval reports the gap between full passes.
+func (sc *Scrubber) Interval() time.Duration { return sc.cfg.Interval }
+
+// SetInterval retunes the gap between passes mid-run — the operator
+// knob behind the obs /ops/scrub-interval endpoint: after quarantining
+// a suspect volume an operator tightens the scrub cadence to sweep the
+// rest of the pool sooner. A pass already sleeping keeps its old wake
+// time; the new interval applies from the next pass. Non-positive
+// intervals are ignored.
+func (sc *Scrubber) SetInterval(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	sc.cfg.Interval = d
+}
+
 // admit passes one volume scan through the scheduler as scavenger work.
 func (sc *Scrubber) admit(volBytes int64) *sched.Grant {
 	qos := sc.cfg.QoS
