@@ -47,6 +47,7 @@ func main() {
 	scrubPath := flag.String("scrub-report", "", "write the run's tape-scrubber pass reports as JSON to this file (the integrity experiment produces them)")
 	drPath := flag.String("dr-report", "", "write the disaster-recovery drill's replication summary as JSON to this file (the dr experiment produces it)")
 	tenantPath := flag.String("tenant-report", "", "write the multi-tenant QoS study's summary as JSON to this file (the tenants experiment produces it)")
+	stormPath := flag.String("storm-report", "", "write the overload-resilience study's summary as JSON to this file (the storm experiment produces it)")
 	metricsText := flag.Bool("metrics-text", false, "print each experiment's telemetry registry in Prometheus text exposition format")
 	serveAddr := flag.String("serve", "", "serve the live operator plane on this address (e.g. :9090) while running the campaign; /metrics, /events, /spans, /snapshot, /ops/...")
 	pace := flag.Float64("pace", -1, "with -serve, throttle the clock to this many virtual seconds per real second (-1 = default 60; 0 = free-run)")
@@ -174,6 +175,12 @@ func main() {
 	if *tenantPath != "" {
 		if err := writeTenantReport(*tenantPath, *seed, reports); err != nil {
 			fmt.Fprintln(os.Stderr, "archsim: tenants:", err)
+			os.Exit(1)
+		}
+	}
+	if *stormPath != "" {
+		if err := writeStormReport(*stormPath, *seed, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: storm:", err)
 			os.Exit(1)
 		}
 	}
@@ -370,6 +377,38 @@ func writeTenantReport(path string, seed int64, reports []experiments.Report) er
 		return nil
 	}
 	return fmt.Errorf("no tenant report in this run (use -exp tenants)")
+}
+
+// stormFile is the schema of the file -storm-report writes: the
+// overload-resilience study's per-cohort goodput curves and defense
+// counters.
+type stormFile struct {
+	Schema string                   `json:"schema"`
+	Seed   int64                    `json:"seed"`
+	Storm  *experiments.StormReport `json:"storm"`
+}
+
+// writeStormReport persists the overload study's summary (CI archives
+// the file as a build artifact on every push).
+func writeStormReport(path string, seed int64, reports []experiments.Report) error {
+	for _, r := range reports {
+		if r.Storm == nil {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stormFile{Schema: "archsim-storm/v1", Seed: seed, Storm: r.Storm}); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+		return nil
+	}
+	return fmt.Errorf("no storm report in this run (use -exp storm)")
 }
 
 // writeOpsReport persists the operator drill's summary (CI archives

@@ -50,6 +50,11 @@ type Report struct {
 	// recovery ratio, the final live scrape); cmd/archsim writes it as
 	// JSON behind -ops-report and the raw scrape behind -ops-scrape.
 	Ops *OpsReport
+
+	// Storm carries the overload-resilience study's summary; cmd/archsim
+	// writes it as JSON behind the -storm-report flag (CI archives the
+	// file).
+	Storm *StormReport
 }
 
 // ErrUnknownExperiment reports an experiment name Run does not know.
@@ -128,6 +133,7 @@ func All(seed int64) []Report {
 		IntegrityStudy(seed),
 		DRStudy(seed),
 		TenantStudy(seed),
+		StormStudy(seed),
 	}...)
 }
 
@@ -139,7 +145,7 @@ func Names() []string {
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
 		"ablation-lanfree", "reclaim", "fabric", "chaos", "obs",
-		"integrity", "dr", "tenants", "scale", "ops", "all",
+		"integrity", "dr", "tenants", "storm", "scale", "ops", "all",
 	}
 }
 
@@ -190,6 +196,8 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{DRStudy(seed)}, nil
 	case "tenants":
 		return []Report{TenantStudy(seed)}, nil
+	case "storm":
+		return []Report{StormStudy(seed)}, nil
 	case "scale":
 		return []Report{ScaleStudy(seed)}, nil
 	case "ops":

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestStormStudyInvariants is the acceptance check for E23: the same
+// overloaded outage day replays against the naive stack and the
+// defended stack. StormStudy panics on any violated invariant — the
+// baseline must stay metastable (goodput under half of pre-fault for
+// ten minutes AFTER the repair), the defended stack must re-converge
+// to >=95% of pre-fault within five minutes, shed only batch work,
+// and account for every admission — so the test mostly confirms the
+// study ran and the report carries the summary CI archives.
+func TestStormStudyInvariants(t *testing.T) {
+	r := StormStudy(7)
+
+	if r.Storm == nil {
+		t.Fatal("no storm report attached")
+	}
+	rep := r.Storm
+	if rep.Requests == 0 || len(rep.Cohorts) == 0 {
+		t.Fatalf("empty demand: %d requests, %d cohorts", rep.Requests, len(rep.Cohorts))
+	}
+	if rep.BaselineAttempts <= rep.Requests {
+		t.Errorf("baseline attempts %d did not amplify %d requests", rep.BaselineAttempts, rep.Requests)
+	}
+	if rep.DefendedAttempts >= rep.BaselineAttempts {
+		t.Errorf("defended attempts %d not below the naive %d — the budget bought nothing",
+			rep.DefendedAttempts, rep.BaselineAttempts)
+	}
+	if rep.BaselinePostFaultMean >= 0.5*rep.PreFaultGoodput {
+		t.Errorf("baseline post-fault goodput %.2f vs pre-fault %.2f: no collapse",
+			rep.BaselinePostFaultMean, rep.PreFaultGoodput)
+	}
+	if rep.DefendedRecoveryMinute > 5 {
+		t.Errorf("defended recovery took %d minutes, want <= 5", rep.DefendedRecoveryMinute)
+	}
+	if rep.InteractiveShed != 0 {
+		t.Errorf("%v interactive admissions shed", rep.InteractiveShed)
+	}
+	if rep.BatchShed == 0 || rep.DeadlineExceeded == 0 ||
+		rep.RetryBudgetExhausted == 0 || rep.BreakerRejected == 0 {
+		t.Errorf("a defense primitive never fired: %+v", rep)
+	}
+	if r.Telemetry == nil {
+		t.Fatal("no telemetry snapshot attached")
+	}
+	for _, fam := range []string{"sched_shed_total", "deadline_exceeded_total",
+		"retry_budget_exhausted_total", "breaker_rejected_total", "breaker_state"} {
+		if len(r.Telemetry.Family(fam)) == 0 {
+			t.Errorf("telemetry family %s missing from the defended snapshot", fam)
+		}
+	}
+}

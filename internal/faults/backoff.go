@@ -15,6 +15,20 @@ type Backoff struct {
 	Base     time.Duration // delay before the second attempt
 	Factor   float64       // delay multiplier per further attempt
 	Max      time.Duration // delay ceiling
+	// Jitter randomizes each delay downward by up to this fraction:
+	// the slept delay is drawn uniformly from [delay*(1-Jitter), delay].
+	// Zero (the default) keeps the exact deterministic delays of the
+	// un-jittered policy. Jitter is what breaks retry synchronization:
+	// a population of actors backing off from the same fault with the
+	// same un-jittered policy retries in lockstep, and every retry wave
+	// lands on the recovering service at once — the storm amplifier.
+	Jitter float64
+	// Seed drives the jitter stream. Jitter is deterministic: the same
+	// (Seed, Jitter) produces the same delay sequence on every run, so
+	// seeded simulations stay reproducible. Callers that want
+	// decorrelated actors derive a distinct Seed per actor (the Defense
+	// helper does this per target automatically).
+	Seed uint64
 }
 
 // DefaultBackoff returns the policy used by the TSM data paths: four
@@ -37,22 +51,57 @@ func (b Backoff) normalized() Backoff {
 	if b.Max <= 0 {
 		b.Max = time.Minute
 	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Jitter > 1 {
+		b.Jitter = 1
+	}
 	return b
 }
 
+// splitmix64 is the jitter stream's generator: a tiny, well-mixed
+// stateless PRNG (each output is the next state), chosen so the jitter
+// sequence is a pure function of the seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Do runs op until it succeeds, returns a non-retryable error, or the
-// attempt budget is spent, sleeping the backoff delay on the clock
-// between attempts. op receives the 1-based attempt number. The final
-// error (nil on success) is returned.
+// attempt budget is spent, sleeping the (possibly jittered) backoff
+// delay on the clock between attempts. op receives the 1-based attempt
+// number. The final error (nil on success) is returned.
 func (b Backoff) Do(clock *simtime.Clock, op func(attempt int) error, retryable func(error) bool) error {
+	return b.do(clock, op, retryable, nil)
+}
+
+// do is Do with a hook consulted before every retry; a non-nil return
+// aborts the loop with that error. The Defense layer charges its retry
+// budget through the hook.
+func (b Backoff) do(clock *simtime.Clock, op func(attempt int) error, retryable func(error) bool, beforeRetry func(err error) error) error {
 	b = b.normalized()
 	delay := b.Base
+	seq := b.Seed
 	for attempt := 1; ; attempt++ {
 		err := op(attempt)
 		if err == nil || attempt >= b.Attempts || retryable == nil || !retryable(err) {
 			return err
 		}
-		clock.Sleep(delay)
+		if beforeRetry != nil {
+			if berr := beforeRetry(err); berr != nil {
+				return berr
+			}
+		}
+		d := delay
+		if b.Jitter > 0 {
+			seq = splitmix64(seq)
+			u := float64(seq>>11) / (1 << 53) // uniform in [0, 1)
+			d = time.Duration(float64(d) * (1 - b.Jitter*u))
+		}
+		clock.Sleep(d)
 		delay = time.Duration(float64(delay) * b.Factor)
 		if delay > b.Max {
 			delay = b.Max

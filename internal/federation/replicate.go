@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/fabric"
@@ -59,6 +60,13 @@ type ReplicationPolicy struct {
 	// background durability work that must not crowd out interactive
 	// recalls, but it is not scavenger work either — RPO depends on it.
 	QoS sched.QoS
+	// MaxParkKicks bounds how many times a parked item may be kicked
+	// back into its queue by repair events (0 = default 8). An item
+	// that exhausts its backoff budget that many times is permanently
+	// parked — visible on the federation_parked_permanent gauge and
+	// ReplicatorStats — instead of cycling park→kick→park forever
+	// against a destination that never truly heals.
+	MaxParkKicks int
 }
 
 // repItem is one pending replica: obj from homeCell (on homeSite) to
@@ -69,6 +77,7 @@ type repItem struct {
 	dest     *Site
 	obj      tsm.Object
 	storedAt simtime.Duration // when the primary landed; RPO base
+	kicks    int              // park→kick round trips consumed so far
 }
 
 // CatalogEntry is the replicator's federation-wide record of one
@@ -90,6 +99,7 @@ type ReplicatorStats struct {
 	ReplicatedBytes int64 // bytes landed on remote copy pools
 	Pending         int   // offered - replicated: queue + parked + in flight
 	Parked          int   // park events (backoff budget exhausted)
+	ParkedPermanent int   // items retired after MaxParkKicks park→kick cycles
 	Retries         int   // WAN attempts re-driven under backoff
 	FailoverRecalls int   // recalls served from a replica site
 }
@@ -103,12 +113,15 @@ type Replicator struct {
 	pol   ReplicationPolicy
 	retry faults.Backoff
 
-	sch     *sched.Scheduler
-	queues  map[string]*simtime.Queue // dest site name -> mailbox
-	parked  map[string][]repItem      // dest site name -> partition backlog
-	catalog map[string]*CatalogEntry  // object path -> entry
-	closed  bool
-	stats   ReplicatorStats
+	sch      *sched.Scheduler
+	defense  *faults.Defense           // shared retry budgets + breakers (inert unless enabled)
+	maxKicks int                       // park→kick bound per item
+	queues   map[string]*simtime.Queue // dest site name -> mailbox
+	parked   map[string][]repItem      // dest site name -> partition backlog
+	permPark []repItem                 // items retired after maxKicks cycles
+	catalog  map[string]*CatalogEntry  // object path -> entry
+	closed   bool
+	stats    ReplicatorStats
 
 	tel        *telemetry.Registry
 	hLag       *telemetry.Histogram
@@ -134,16 +147,21 @@ func NewReplicator(fed *Federation, pol ReplicationPolicy, retry faults.Backoff)
 	if retry == (faults.Backoff{}) {
 		retry = faults.DefaultBackoff()
 	}
+	if pol.MaxParkKicks <= 0 {
+		pol.MaxParkKicks = 8
+	}
 	r := &Replicator{
-		clock:   fed.clock,
-		fed:     fed,
-		pol:     pol,
-		retry:   retry,
-		queues:  make(map[string]*simtime.Queue),
-		parked:  make(map[string][]repItem),
-		catalog: make(map[string]*CatalogEntry),
+		clock:    fed.clock,
+		fed:      fed,
+		pol:      pol,
+		retry:    retry,
+		maxKicks: pol.MaxParkKicks,
+		queues:   make(map[string]*simtime.Queue),
+		parked:   make(map[string][]repItem),
+		catalog:  make(map[string]*CatalogEntry),
 	}
 	r.sch = sched.Of(fed.clock)
+	r.defense = faults.DefenseOf(fed.clock)
 	r.tel = telemetry.Of(fed.clock)
 	r.hLag = r.tel.Histogram("federation_replication_lag_seconds")
 	r.ctrRep = r.tel.Counter("federation_replicas_total")
@@ -310,7 +328,7 @@ func (r *Replicator) replicate(item repItem) {
 	defer grant.Done()
 	sp := r.tel.StartSpan("federation.replicate",
 		"path", item.obj.Path, "home", item.homeSite.Name, "to", item.dest.Name)
-	err := r.retry.Do(r.clock, func(attempt int) error {
+	err := r.defense.Do("wan:"+item.dest.Name, r.retry, func(attempt int) error {
 		if attempt > 1 {
 			r.stats.Retries++
 			r.ctrRetries.Inc()
@@ -334,10 +352,20 @@ func (r *Replicator) replicate(item repItem) {
 		return destCell.Server.StoreReplica("rep:"+srcCell.Name, item.homeCell.Name, item.obj, sp)
 	}, repRetryable)
 	if err != nil {
+		cause, _ := r.tel.LastEventFor(faults.SiteComponent(item.dest.Name))
+		if item.kicks >= r.maxKicks {
+			// The item has already cycled park→kick maxKicks times and
+			// still cannot land: retire it permanently instead of
+			// spinning against a destination that never heals. It stays
+			// on the books (Pending, the gauge, PermanentlyParked) — work
+			// is retired loudly, never silently dropped.
+			r.retirePermanently(item)
+			sp.Abort("parked permanently after "+strconv.Itoa(item.kicks)+" kicks: "+err.Error(), cause)
+			return
+		}
 		r.parked[item.dest.Name] = append(r.parked[item.dest.Name], item)
 		r.stats.Parked++
 		r.ctrParked.Inc()
-		cause, _ := r.tel.LastEventFor(faults.SiteComponent(item.dest.Name))
 		sp.Abort("parked: "+err.Error(), cause)
 		return
 	}
@@ -377,9 +405,34 @@ func (r *Replicator) pickSource(item repItem) (*Site, *Cell) {
 	return nil, nil
 }
 
+// retirePermanently moves an item to the permanent-park list and
+// registers the federation_parked_permanent gauge on first use (lazy
+// so runs that never retire anything keep their telemetry unchanged).
+func (r *Replicator) retirePermanently(item repItem) {
+	if r.stats.ParkedPermanent == 0 {
+		r.tel.GaugeFunc("federation_parked_permanent", func() float64 {
+			return float64(r.stats.ParkedPermanent)
+		})
+	}
+	r.permPark = append(r.permPark, item)
+	r.stats.ParkedPermanent++
+}
+
+// PermanentlyParked lists the replica tasks retired after exhausting
+// their park→kick budget, in retirement order: the operator's worklist
+// (each still counts as Pending — the copy genuinely does not exist).
+func (r *Replicator) PermanentlyParked() []tsm.Object {
+	out := make([]tsm.Object, len(r.permPark))
+	for i, it := range r.permPark {
+		out[i] = it.obj
+	}
+	return out
+}
+
 // kick re-offers every parked item to its queue — called by the fault
 // dispatcher on site rejoin and WAN-link repair. Sites drain in name
 // order (determinism); idempotent stores make double kicks harmless.
+// Each kick charges the item's park→kick budget; see MaxParkKicks.
 func (r *Replicator) kick() {
 	if r.closed {
 		return
@@ -396,6 +449,7 @@ func (r *Replicator) kick() {
 		}
 		delete(r.parked, name)
 		for _, it := range items {
+			it.kicks++
 			r.queues[name].Push(it)
 		}
 	}

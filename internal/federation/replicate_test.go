@@ -172,3 +172,60 @@ func TestReplicatorRequiresMultiSiteAndPolicy(t *testing.T) {
 		t.Error("replicator accepted Copies < 2")
 	}
 }
+
+// TestParkKickCycleIsBounded: a destination that "repairs" but never
+// actually serves (the repair event is immediately followed by another
+// failure) must not cycle park→kick→park forever. After MaxParkKicks
+// round trips the item retires to the permanent-park list — visible on
+// stats and the gauge — and later kicks stop re-offering it.
+func TestParkKickCycleIsBounded(t *testing.T) {
+	e := newSiteEnv(t, 3)
+	retry := faults.Backoff{Attempts: 1, Base: time.Second}
+	rep, err := NewReplicator(e.fed, ReplicationPolicy{Copies: 3, MaxParkKicks: 2}, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, victim := e.sites[0], e.sites[2]
+	flap := func() {
+		// A lying repair: the kick re-offers the backlog, but the site is
+		// down again before any retry can land.
+		e.reg.Apply(faults.Event{Component: faults.SiteComponent(victim.Name), Kind: faults.KindRepair})
+		e.reg.Apply(faults.Event{Component: faults.SiteComponent(victim.Name), Kind: faults.KindFail})
+		e.clock.Sleep(time.Minute)
+	}
+	e.run(t, func() {
+		e.reg.Apply(faults.Event{Component: faults.SiteComponent(victim.Name), Kind: faults.KindFail})
+		infos := e.seed(t, home, 2, 50e6)
+		if _, err := e.fed.Migrate(infos, hsm.MigrateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		rep.DrainWithin(time.Hour) // healthy site drains; victim's share parks
+		if rep.Stats().Parked == 0 {
+			t.Fatal("no park events during the outage")
+		}
+		for i := 0; i < 4; i++ {
+			flap()
+		}
+		st := rep.Stats()
+		if st.ParkedPermanent != 2 {
+			t.Fatalf("ParkedPermanent = %d, want 2 (both of the victim's items)", st.ParkedPermanent)
+		}
+		if got := len(rep.PermanentlyParked()); got != 2 {
+			t.Fatalf("PermanentlyParked() has %d objects, want 2", got)
+		}
+		if telemetry.Of(e.clock).Snapshot().Value("federation_parked_permanent") != 2 {
+			t.Error("federation_parked_permanent gauge != 2")
+		}
+		// A real repair now kicks nothing: the items are retired, not in
+		// the park backlog, so the healed site stays empty and the work
+		// remains loudly pending.
+		e.reg.Apply(faults.Event{Component: faults.SiteComponent(victim.Name), Kind: faults.KindRepair})
+		if rep.DrainWithin(30 * time.Minute) {
+			t.Fatal("drain completed; permanently parked items must stay pending")
+		}
+		if got := victim.Cells[0].Server.NumReplicas(); got != 0 {
+			t.Errorf("retired items landed %d replicas on the healed site", got)
+		}
+		rep.Close()
+	})
+}

@@ -212,6 +212,7 @@ type MigrateResult struct {
 	Aggregates  int
 	Skipped     int // non-resident or directory entries ignored
 	Requeued    int // files reassigned after a mover crash
+	Rejected    int // files whose stream the scheduler refused (deadline/shed)
 	Rounds      int // distribution rounds run (1 = no crashes)
 	NodeBytes   []int64
 	NodeFinish  []simtime.Duration // per-node completion times
@@ -315,6 +316,21 @@ func (e *Engine) Migrate(candidates []pfs.Info, opt MigrateOptions) (MigrateResu
 					grant := e.sch.Station(sched.StationMigrate).Admit(sched.Item{
 						QoS: opt.QoS.Or(sched.Batch), Kind: "hsm.migrate", Units: shareBytes,
 					})
+					if gerr := grant.Err(); gerr != nil {
+						// Admission refused the stream (deadline passed or
+						// brownout shed): abort its span, count the files,
+						// and surface the first refusal to the caller.
+						sp := runSpan.StartChild("hsm.migrate.node",
+							"node", node.Name, "round", strconv.Itoa(round))
+						cause, _ := e.tel.LastEventFor(faults.TSMComponent)
+						sp.Abort(gerr.Error(), cause)
+						res.Rejected += len(share)
+						if firstErr == nil && !errors.Is(gerr, sched.ErrShed) {
+							firstErr = gerr
+							res.FirstErrors = append(res.FirstErrors, gerr.Error())
+						}
+						return
+					}
 					defer grant.Done()
 					sp := runSpan.StartChild("hsm.migrate.node",
 						"node", node.Name, "round", strconv.Itoa(round))
@@ -615,6 +631,7 @@ type RecallResult struct {
 	NotFound  []string
 	Aggregate int // files recovered via aggregate recall
 	Requeued  int // recall items reassigned after a daemon's node crashed
+	Rejected  int // recall items whose bin the scheduler refused (deadline/shed)
 	Rounds    int // distribution rounds run (1 = no crashes)
 }
 
@@ -724,6 +741,20 @@ func (e *Engine) RecallQoS(paths []string, mode RecallMode, qos sched.QoS) (Reca
 					QoS: qos.Or(sched.Interactive), Kind: "hsm.recall",
 					Units: binBytes, Expedite: true,
 				})
+				if gerr := grant.Err(); gerr != nil {
+					// The bin's deadline passed while it queued (or the
+					// class was shed): abandon it, counted and linked to
+					// the fault that congested the station.
+					sp := runSpan.StartChild("hsm.recall.node",
+						"node", node.Name, "round", strconv.Itoa(round))
+					cause, _ := e.tel.LastEventFor(faults.TSMComponent)
+					sp.Abort(gerr.Error(), cause)
+					res.Rejected += len(bins[bi])
+					if firstErr == nil {
+						firstErr = gerr
+					}
+					return
+				}
 				defer grant.Done()
 				sp := runSpan.StartChild("hsm.recall.node",
 					"node", node.Name, "round", strconv.Itoa(round))
@@ -1081,6 +1112,12 @@ func (e *Engine) RecallPinned(nodeName string, paths []string, qos sched.QoS) er
 		QoS: qos.Or(sched.Interactive), Kind: "hsm.recall-pinned",
 		Units: totalBytes, Expedite: true,
 	})
+	if gerr := grant.Err(); gerr != nil {
+		sp := e.tel.StartSpan("hsm.recall-pinned", "node", nodeName)
+		cause, _ := e.tel.LastEventFor(faults.TSMComponent)
+		sp.Abort(gerr.Error(), cause)
+		return fmt.Errorf("hsm: recall-pinned on %s: %w", nodeName, gerr)
+	}
 	defer grant.Done()
 	// One drive session per volume run, in the caller's order (the
 	// caller has already tape-ordered the paths).

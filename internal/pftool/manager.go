@@ -559,6 +559,14 @@ func (r *run) rankDead(rank int) {
 	r.idleTapeProcs = removeRank(r.idleTapeProcs, rank)
 	if job, ok := r.inflight[rank]; ok {
 		delete(r.inflight, rank)
+		// Requeueing a dead rank's job is a retry like any other: it
+		// charges the shared budget, so a failure wave (many ranks dying
+		// with work in hand) cannot amplify into an unbounded requeue
+		// storm. Inert unless the run enabled the defense policy.
+		if !faults.DefenseOf(r.tel.Clock()).AllowRetry("pftool.requeue") {
+			r.fail(fmt.Sprintf("rank %d died and the requeue retry budget is exhausted", rank))
+			return
+		}
 		switch j := job.(type) {
 		case dirJob:
 			r.dirQ = append(r.dirQ, j)

@@ -1,0 +1,85 @@
+package pftool
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TestRequeueRetryBudgetBoundsDeathStorm: with the overload defense
+// enabled and a near-empty requeue budget, a wave of rank deaths with
+// jobs in hand cannot amplify into an unbounded requeue storm — the
+// first requeue spends the budget and the second fails the run with a
+// clear error instead of silently re-offering work forever.
+func TestRequeueRetryBudgetBoundsDeathStorm(t *testing.T) {
+	e := newEnv()
+	faults.DefenseOf(e.clock).Enable(faults.DefensePolicy{
+		RetryRate: 1e-9, RetryBurst: 1, // one requeue, then dry
+		BreakerThreshold: 1000, // keep the breaker out of this test
+	})
+	layout := layoutFor(tunablesForTest())
+	nodes := e.cl.Nodes()
+	// Take down the machines hosting the first two worker ranks while
+	// their copy jobs are still in flight.
+	v0 := layout.workers[0] % len(nodes)
+	v1 := layout.workers[1] % len(nodes)
+	e.clock.At(10*time.Second, func() {
+		nodes[v0].SetDown(true)
+		if v1 != v0 {
+			nodes[v1].SetDown(true)
+		}
+	})
+	e.run(t, func() {
+		sizes := make([]int64, 40)
+		for i := range sizes {
+			sizes[i] = 2e9
+		}
+		seedTree(t, e.scratch, "/src", sizes)
+		req := baseRequest(e, OpCopy)
+		req.Tunables.CopyBatchFiles = 4
+		req.Tunables.WatchdogInterval = 5 * time.Second
+		res, err := Run(req)
+		if err == nil || !strings.Contains(err.Error(), "requeue retry budget is exhausted") {
+			t.Fatalf("err = %v, want requeue-budget exhaustion", err)
+		}
+		if res.RanksDied < 2 {
+			t.Errorf("RanksDied = %d, want >= 2 (two machines went down)", res.RanksDied)
+		}
+	})
+}
+
+// TestRankDeathRequeueUnlimitedByDefault: the same death storm with the
+// defense left unconfigured requeues freely and the survivors finish
+// the copy — the legacy behavior is untouched.
+func TestRankDeathRequeueUnlimitedByDefault(t *testing.T) {
+	e := newEnv()
+	layout := layoutFor(tunablesForTest())
+	nodes := e.cl.Nodes()
+	v0 := layout.workers[0] % len(nodes)
+	v1 := layout.workers[1] % len(nodes)
+	e.clock.At(10*time.Second, func() {
+		nodes[v0].SetDown(true)
+		if v1 != v0 {
+			nodes[v1].SetDown(true)
+		}
+	})
+	e.run(t, func() {
+		sizes := make([]int64, 40)
+		for i := range sizes {
+			sizes[i] = 2e9
+		}
+		seedTree(t, e.scratch, "/src", sizes)
+		req := baseRequest(e, OpCopy)
+		req.Tunables.CopyBatchFiles = 4
+		req.Tunables.WatchdogInterval = 5 * time.Second
+		res, err := Run(req)
+		if err != nil {
+			t.Fatalf("copy with dead ranks and no budget = %v, want success", err)
+		}
+		if res.FilesCopied != 40 {
+			t.Errorf("FilesCopied = %d, want 40", res.FilesCopied)
+		}
+	})
+}

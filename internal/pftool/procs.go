@@ -99,6 +99,13 @@ func (r *run) workerProc(rank int) {
 		grant := r.sch.Station(sched.StationPftoolCopy).Admit(sched.Item{
 			QoS: r.req.QoS.Or(sched.Batch), Kind: jobKindName(job.kind), Units: jobUnits(job),
 		})
+		if gerr := grant.Err(); gerr != nil {
+			// Admission refused the job (deadline passed, brownout shed):
+			// report it as a failed result — counted and surfaced, never
+			// silently dropped.
+			r.comm.Send(rank, mgr, tagCopyResult, copyResult{err: gerr.Error()})
+			continue
+		}
 		var res copyResult
 		switch job.kind {
 		case kindBatch:
@@ -360,6 +367,11 @@ func (r *run) tapeProc(rank int) {
 			QoS: r.req.QoS.Or(sched.Interactive), Kind: "pftool.tape",
 			Units: volBytes, Expedite: true,
 		})
+		if gerr := grant.Err(); gerr != nil {
+			res.err = fmt.Sprintf("restore volume %s: %v", job.volume, gerr)
+			r.comm.Send(rank, mgr, tagTapeResult, res)
+			continue
+		}
 		if err := r.req.Restorer.RecallPinned(node.Name, job.paths, r.req.QoS); err != nil {
 			res.err = fmt.Sprintf("restore volume %s: %v", job.volume, err)
 		}

@@ -37,12 +37,29 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
+)
+
+// Admission-refusal errors, surfaced through Grant.Err. Work is never
+// silently dropped: every refusal increments deadline_exceeded_total
+// or sched_shed_total alongside the error.
+var (
+	// ErrDeadlineExceeded means the item's virtual-time deadline passed
+	// before the scheduler could grant it a slot — the work is doomed
+	// (nobody is waiting anymore) so admitting it would only hold a
+	// drive that live work needs.
+	ErrDeadlineExceeded = errors.New("sched: deadline exceeded")
+	// ErrShed means the brownout watermark rejected the item at
+	// admission: its class's queue was already waiting longer than the
+	// configured watermark, so adding more of that class would only
+	// deepen the overload.
+	ErrShed = errors.New("sched: shed by overload watermark")
 )
 
 // attachKey is the clock-attachment slot Of uses.
@@ -93,6 +110,13 @@ const DefaultTenant = "default"
 type QoS struct {
 	Tenant string
 	Class  Class
+	// Deadline is the absolute virtual time past which the work is no
+	// longer worth doing (0 = none). It rides the QoS struct so it
+	// propagates pfcp→hsm→tsm→tape through the existing request
+	// plumbing: an expired item is refused at Admit (or cancelled in
+	// queue when its deadline passes before a slot frees) instead of
+	// holding a drive for a caller that already gave up.
+	Deadline simtime.Duration
 }
 
 // Or fills unset fields: an empty tenant becomes DefaultTenant, an
@@ -129,21 +153,30 @@ type Item struct {
 	Expedite bool   // recall lane: runs before non-expedite work of the same tenant
 }
 
-// Grant is an admitted item; Done releases its slot.
+// Grant is an admitted item; Done releases its slot. Check Err first:
+// a refused item (deadline passed, brownout shed) carries no slot.
 type Grant struct {
 	st   *Station
 	item Item
 	wait simtime.Duration
+	err  error
 	done bool
 }
 
 // Wait reports how long admission queued the item (0 on pass-through).
 func (g *Grant) Wait() simtime.Duration { return g.wait }
 
+// Err reports why admission was refused: ErrDeadlineExceeded if the
+// deadline passed before a slot was granted, ErrShed if the brownout
+// watermark rejected the item. Nil means the grant is live and Done
+// must be called.
+func (g *Grant) Err() error { return g.err }
+
 // Done releases the grant's dispatch slot, letting the station admit
-// the next queued item. Calling Done twice is a no-op.
+// the next queued item. Calling Done twice, or on a refused grant, is
+// a no-op.
 func (g *Grant) Done() {
-	if g == nil || g.done {
+	if g == nil || g.done || g.err != nil {
 		return
 	}
 	g.done = true
@@ -185,6 +218,7 @@ type Scheduler struct {
 	scavShare   float64            // anti-starvation share for scavenger work
 	starveAfter simtime.Duration   // queue wait counted as starvation (0 = off)
 	slo         [4]simtime.Duration
+	shedMark    [4]simtime.Duration // brownout watermark per class (0 = off)
 
 	acct map[acctKey]*TenantStat
 
@@ -296,6 +330,23 @@ func (s *Scheduler) ScavengerShare() float64 { return s.scavShare }
 // the sched_starvation_total counter (0 disables).
 func (s *Scheduler) SetStarvationThreshold(d simtime.Duration) { s.starveAfter = d }
 
+// SetShedWatermark arms brownout shedding for the class: on limited
+// stations, a new item of the class is refused at admission (ErrShed,
+// counted on sched_shed_total) whenever the class's oldest queued item
+// has already been waiting longer than d. Shedding the low classes at
+// the door is what keeps interactive latency bounded through overload
+// — the queue the watermark bounds is exactly the queue interactive
+// work never stands in, because dispatch is strict-priority. d = 0
+// disables (the default; unconfigured stations never shed).
+func (s *Scheduler) SetShedWatermark(c Class, d simtime.Duration) {
+	if c > ClassUnset && int(c) < len(s.shedMark) {
+		if d < 0 {
+			d = 0
+		}
+		s.shedMark[c] = d
+	}
+}
+
 // SetSLO sets the class's queue-wait objective; dispatches that
 // waited longer count on sched_slo_violations_total (0 disables).
 func (s *Scheduler) SetSLO(c Class, d simtime.Duration) {
@@ -352,6 +403,17 @@ type schedMetrics struct {
 	starved    [4]*telemetry.Counter
 	sloViol    [4]*telemetry.Counter
 	scavCredit *telemetry.Counter
+	shed       [4]*telemetry.Counter // lazy: only overload runs shed
+}
+
+// shedCtr returns the class's sched_shed_total counter, registering it
+// on first shed so unconfigured runs keep their telemetry snapshots
+// unchanged.
+func (m *schedMetrics) shedCtr(c Class) *telemetry.Counter {
+	if m.shed[c] == nil {
+		m.shed[c] = m.reg.Counter("sched_shed_total", "class", c.String())
+	}
+	return m.shed[c]
 }
 
 func (s *Scheduler) metrics() *schedMetrics {
@@ -411,9 +473,10 @@ func (b *bucket) refillAt(now simtime.Duration) simtime.Duration {
 
 // waiter is one blocked Admit call.
 type waiter struct {
-	item  Item
-	enq   simtime.Duration
-	latch simtime.Latch
+	item     Item
+	enq      simtime.Duration
+	latch    simtime.Latch
+	rejected error // set before Signal when the queue cancels the item
 }
 
 // wfifo is a head-indexed FIFO of waiters (simtime's fifo shape).
@@ -496,9 +559,24 @@ type Station struct {
 
 	lanes    [4]lane // indexed by Class; ClassUnset never populated
 	scavDebt float64
+	dlQueued int // queued waiters carrying a deadline (fast path skip)
 
 	timerCancel func()
 	timerAt     simtime.Duration
+	dlCancel    func() // deadline-cancel wake timer
+	dlAt        simtime.Duration
+
+	ctrDeadline *telemetry.Counter // lazy: only deadline runs cancel
+}
+
+// deadlineCtr returns the station's deadline_exceeded_total counter,
+// registered on first cancellation so unconfigured runs keep their
+// telemetry snapshots unchanged.
+func (st *Station) deadlineCtr() *telemetry.Counter {
+	if st.ctrDeadline == nil {
+		st.ctrDeadline = st.s.metrics().reg.Counter("deadline_exceeded_total", "station", st.name)
+	}
+	return st.ctrDeadline
 }
 
 // Name returns the station's name.
@@ -527,6 +605,17 @@ func (st *Station) Admit(it Item) *Grant {
 	a.Items++
 	a.Units += it.Units
 
+	if it.Deadline > 0 && s.clock.Now() >= it.Deadline {
+		// Already doomed on arrival: refuse without taking a slot.
+		st.deadlineCtr().Inc()
+		return &Grant{st: st, item: it, err: ErrDeadlineExceeded}
+	}
+	if mark := s.shedMark[it.Class]; mark > 0 && st.slots > 0 &&
+		st.classWait(it.Class, s.clock.Now()) > mark {
+		m.shedCtr(it.Class).Inc()
+		return &Grant{st: st, item: it, err: ErrShed}
+	}
+
 	if st.slots <= 0 {
 		// Pass-through: immediate grant. Skip the zero queue-wait
 		// observation — a million exact zeros tell us nothing and the
@@ -541,8 +630,27 @@ func (st *Station) Admit(it Item) *Grant {
 	st.pump()
 	w.latch.Wait()
 	wait := s.clock.Now() - w.enq
+	if w.rejected != nil {
+		return &Grant{st: st, item: it, wait: wait, err: w.rejected}
+	}
 	a.WaitSum += wait
 	return &Grant{st: st, item: it, wait: wait}
+}
+
+// classWait reports how long the class's oldest queued item has been
+// waiting at the station — the brownout signal SetShedWatermark
+// compares against.
+func (st *Station) classWait(c Class, now simtime.Duration) simtime.Duration {
+	var oldest simtime.Duration = -1
+	for _, tq := range st.lanes[c].active {
+		if e := tq.head().enq; oldest < 0 || e < oldest {
+			oldest = e
+		}
+	}
+	if oldest < 0 {
+		return 0
+	}
+	return now - oldest
 }
 
 func (st *Station) enqueue(w *waiter) {
@@ -559,13 +667,19 @@ func (st *Station) enqueue(w *waiter) {
 	}
 	ln.activate(tq)
 	st.queued++
+	if w.item.Deadline > 0 {
+		st.dlQueued++
+	}
 	st.s.metrics().queuedG[w.item.Class].Add(1)
 }
 
 // pump grants queued items while slots are free and someone is
 // eligible, then (if work remains but every backlogged tenant is
 // quota-throttled) arms a wake timer at the earliest token refill.
+// Expired deadlines are purged first so a doomed item never takes a
+// slot ahead of live work.
 func (st *Station) pump() {
+	st.expireDeadlines()
 	for st.slots > 0 && st.inFlight < st.slots && st.queued > 0 {
 		w, scavCredit := st.pick()
 		if w == nil {
@@ -574,6 +688,91 @@ func (st *Station) pump() {
 		st.grant(w, scavCredit)
 	}
 	st.armQuotaTimer()
+	st.armDeadlineTimer()
+}
+
+// expireDeadlines cancels queued items whose deadline passed while
+// they waited: the waiter is signalled with ErrDeadlineExceeded and
+// counted on deadline_exceeded_total. Only queue heads are examined —
+// per-tenant FIFO order means an expired head is cancelled as soon as
+// the station wakes, and buried items surface as heads in turn.
+func (st *Station) expireDeadlines() {
+	if st.dlQueued == 0 {
+		return
+	}
+	now := st.s.clock.Now()
+	for i := range st.lanes {
+		ln := &st.lanes[i]
+		for j := 0; j < len(ln.active); {
+			tq := ln.active[j]
+			for !tq.empty() {
+				w := tq.head()
+				if w.item.Deadline <= 0 || now < w.item.Deadline {
+					break
+				}
+				tq.pop()
+				st.cancelWaiter(w)
+			}
+			if tq.empty() {
+				ln.deactivate(tq) // shifts the next tenant into slot j
+			} else {
+				j++
+			}
+		}
+	}
+}
+
+// cancelWaiter removes a queued item from the station's accounting and
+// wakes its Admit call with a deadline refusal.
+func (st *Station) cancelWaiter(w *waiter) {
+	st.queued--
+	st.dlQueued--
+	st.s.metrics().queuedG[w.item.Class].Add(-1)
+	st.deadlineCtr().Inc()
+	w.rejected = ErrDeadlineExceeded
+	w.latch.Signal()
+}
+
+// armDeadlineTimer schedules a pump at the earliest queued deadline so
+// cancellation does not wait for the next slot to free. Like the quota
+// timer this arms nothing when no queued item carries a deadline, so
+// deadline-free runs schedule no extra events.
+func (st *Station) armDeadlineTimer() {
+	if st.slots <= 0 || st.dlQueued == 0 {
+		st.disarmDeadlineTimer()
+		return
+	}
+	var wake simtime.Duration
+	found := false
+	for i := range st.lanes {
+		for _, tq := range st.lanes[i].active {
+			if dl := tq.head().item.Deadline; dl > 0 && (!found || dl < wake) {
+				wake, found = dl, true
+			}
+		}
+	}
+	if !found {
+		st.disarmDeadlineTimer()
+		return
+	}
+	if st.dlCancel != nil {
+		if st.dlAt <= wake {
+			return // an earlier-or-equal wake is already armed
+		}
+		st.disarmDeadlineTimer()
+	}
+	st.dlAt = wake
+	st.dlCancel = st.s.clock.Callback(wake, func() {
+		st.dlCancel = nil
+		st.pump()
+	})
+}
+
+func (st *Station) disarmDeadlineTimer() {
+	if st.dlCancel != nil {
+		st.dlCancel()
+		st.dlCancel = nil
+	}
 }
 
 // pick selects the next admission per policy; nil if nothing is
@@ -636,6 +835,9 @@ func (st *Station) grant(w *waiter, scavCredit bool) {
 		ln.deactivate(tq)
 	}
 	st.queued--
+	if it.Deadline > 0 {
+		st.dlQueued--
+	}
 	s.metrics().queuedG[it.Class].Add(-1)
 
 	// Advance the WFQ tags: the dispatched item starts at
@@ -750,16 +952,26 @@ func (st *Station) disarmTimer() {
 }
 
 // drainAll grants everything queued immediately (pass-through
-// restore): quotas and lanes no longer apply.
+// restore): quotas and lanes no longer apply. Items whose deadline
+// already passed are cancelled, not granted.
 func (st *Station) drainAll() {
 	st.disarmTimer()
+	st.disarmDeadlineTimer()
+	now := st.s.clock.Now()
 	for i := range st.lanes {
 		ln := &st.lanes[i]
 		for len(ln.active) > 0 {
 			tq := ln.active[0]
 			for !tq.empty() {
 				w := tq.pop()
+				if w.item.Deadline > 0 && now >= w.item.Deadline {
+					st.cancelWaiter(w)
+					continue
+				}
 				st.queued--
+				if w.item.Deadline > 0 {
+					st.dlQueued--
+				}
 				st.s.metrics().queuedG[w.item.Class].Add(-1)
 				st.inFlight++
 				st.noteDispatch(w.item, st.s.clock.Now()-w.enq)

@@ -159,6 +159,7 @@ type Server struct {
 	down         bool // server outage: transactions block until repair
 	stats        Stats
 	sch          *sched.Scheduler
+	defense      *faults.Defense // shared retry budgets + breakers (inert unless enabled)
 
 	tel               *telemetry.Registry
 	ctrTxn            *telemetry.Counter
@@ -206,6 +207,7 @@ func NewServer(clock *simtime.Clock, cfg Config, lib *tape.Library) *Server {
 	}
 	s.tel = telemetry.Of(clock)
 	s.sch = sched.Of(clock)
+	s.defense = faults.DefenseOf(clock)
 	s.ctrTxn = s.tel.Counter("tsm_transactions_total")
 	s.ctrStores = s.tel.Counter("tsm_stores_total")
 	s.ctrRecalls = s.tel.Counter("tsm_recalls_total")
@@ -295,6 +297,38 @@ func (s *Server) txn() {
 	s.txnRes.Release(1)
 }
 
+// txnDeadline is txn with a virtual-time budget: a caller that carries
+// a deadline gives up when it passes during an outage, instead of
+// polling the down server until repair — a doomed request blocking for
+// minutes is exactly the queue the retry storm feeds on. deadline = 0
+// blocks like txn.
+func (s *Server) txnDeadline(deadline simtime.Duration) error {
+	if deadline > 0 {
+		for s.down {
+			now := s.clock.Now()
+			if now >= deadline {
+				return fmt.Errorf("tsm: server down: %w", sched.ErrDeadlineExceeded)
+			}
+			d := simtime.Duration(5 * time.Second)
+			if rem := deadline - now; rem < d {
+				d = rem
+			}
+			s.clock.Sleep(d)
+		}
+	}
+	s.txn()
+	return nil
+}
+
+// abortAdmit records a span for a session the scheduler refused
+// (deadline passed or brownout shed), linking the last known fault
+// event against the TSM server as the cause when one exists.
+func (s *Server) abortAdmit(kind, client, what string, err error) {
+	sp := s.tel.StartSpan(kind, "client", client, "what", what)
+	cause, _ := s.tel.LastEventFor(faults.TSMComponent)
+	sp.Abort(err.Error(), cause)
+}
+
 // reapDownDrives resizes the drive pool to the operational drive count
 // and drops client affinities to dead drives. It runs lazily at the top
 // of every data operation — the way a real server notices a drive fault
@@ -381,9 +415,16 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 	grant := s.sch.Station(sched.StationSession).Admit(sched.Item{
 		QoS: req.QoS.Or(sched.Batch), Kind: "tsm.store", Units: req.Bytes,
 	})
+	if gerr := grant.Err(); gerr != nil {
+		s.abortAdmit("tsm.store", req.Client, req.Path, gerr)
+		return Object{}, fmt.Errorf("tsm: store %s: %w", req.Path, gerr)
+	}
 	defer grant.Done()
 	s.reapDownDrives()
-	s.txn()
+	if err := s.txnDeadline(req.QoS.Deadline); err != nil {
+		s.abortAdmit("tsm.store", req.Client, req.Path, err)
+		return Object{}, err
+	}
 	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.store", "client", req.Client, "path", req.Path)
 	s.nextID++ // allocate the object ID up front: concurrent stores must not collide
 	id := s.nextID
@@ -392,7 +433,7 @@ func (s *Server) Store(req StoreRequest) (Object, error) {
 	var taintCause uint64
 	var tainted bool
 	attempts := 0
-	storeErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
+	storeErr := s.defense.Do("tsm.session", s.cfg.Retry, func(attempt int) error {
 		attempts = attempt
 		if attempt > 1 {
 			s.reapDownDrives() // the failover must see the shrunken pool
@@ -701,7 +742,10 @@ type RecallRequest struct {
 // *IntegrityError rather than silently delivering wrong bytes.
 func (s *Server) Recall(req RecallRequest) (Object, error) {
 	s.reapDownDrives()
-	s.txn()
+	if err := s.txnDeadline(req.QoS.Deadline); err != nil {
+		s.abortAdmit("tsm.recall", req.Client, strconv.FormatUint(req.ObjectID, 10), err)
+		return Object{}, err
+	}
 	obj, ok := s.db[req.ObjectID]
 	if !ok || obj.Deleted {
 		return Object{}, fmt.Errorf("%w: %d", ErrNoSuchObject, req.ObjectID)
@@ -710,6 +754,10 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 		QoS: req.QoS.Or(sched.Interactive), Kind: "tsm.recall",
 		Units: obj.Bytes, Expedite: true,
 	})
+	if gerr := grant.Err(); gerr != nil {
+		s.abortAdmit("tsm.recall", req.Client, strconv.FormatUint(req.ObjectID, 10), gerr)
+		return Object{}, fmt.Errorf("tsm: recall %d: %w", req.ObjectID, gerr)
+	}
 	defer grant.Done()
 	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.recall", "client", req.Client, "volume", obj.Volume)
 	// Each pass re-resolves the volume: a repair moves the object to a
@@ -725,7 +773,7 @@ func (s *Server) Recall(req RecallRequest) (Object, error) {
 		}
 		var delivered, tCause, headCause uint64
 		var tainted bool
-		recallErr := s.cfg.Retry.Do(s.clock, func(attempt int) error {
+		recallErr := s.defense.Do("tsm.session", s.cfg.Retry, func(attempt int) error {
 			if attempt > 1 {
 				s.reapDownDrives()
 				s.stats.Retries++
@@ -806,7 +854,10 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 		return nil, nil
 	}
 	s.reapDownDrives()
-	s.txn()
+	if err := s.txnDeadline(req.QoS.Deadline); err != nil {
+		s.abortAdmit("tsm.recall-batch", req.Client, req.Volume, err)
+		return nil, err
+	}
 	objs := make([]*Object, 0, len(req.ObjectIDs))
 	for _, id := range req.ObjectIDs {
 		obj, ok := s.db[id]
@@ -834,6 +885,10 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 		QoS: req.QoS.Or(sched.Interactive), Kind: "tsm.recall",
 		Units: batchBytes, Expedite: true,
 	})
+	if gerr := grant.Err(); gerr != nil {
+		s.abortAdmit("tsm.recall-batch", req.Client, req.Volume, gerr)
+		return nil, fmt.Errorf("tsm: recall batch %s: %w", req.Volume, gerr)
+	}
 	sp := telemetry.ChildOf(s.tel, req.Parent, "tsm.recall-batch",
 		"client", req.Client, "volume", req.Volume, "objects", strconv.Itoa(len(objs)))
 	s.drvPool.Acquire(1)
@@ -857,6 +912,16 @@ func (s *Server) RecallBatch(req RecallBatchRequest) ([]Object, error) {
 	// ladder (re-read/repair/typed error) once the session is released.
 	var bad []uint64
 	for _, obj := range objs {
+		if dl := req.QoS.Deadline; dl > 0 && s.clock.Now() >= dl {
+			// The caller's deadline passed mid-stream: stop here rather
+			// than hold the drive for objects nobody is waiting on.
+			s.ReleaseDrive(d)
+			grant.Done()
+			err := fmt.Errorf("tsm: recall batch %s: %w", req.Volume, sched.ErrDeadlineExceeded)
+			cause, _ := s.tel.LastEventFor(faults.TSMComponent)
+			sp.Abort(err.Error(), cause)
+			return out, err
+		}
 		seq := obj.Seq
 		bytes := obj.Bytes
 		var delivered, tCause uint64
