@@ -293,4 +293,23 @@ func BenchmarkCampaignWallClock(b *testing.B) {
 		b.ReportMetric(snap.At.Seconds()/wall, "sim-sec/real-sec")
 		b.ReportMetric(snap.Value("fabric_flows_started_total")/wall, "flows/sec")
 	}
+
+	// The islands axis: the same campaign slice run by the parallel
+	// engine at 1, 2, 4, and 8 islands (one worker each). files/sec and
+	// events/sec per island count are the scaling trajectory E24
+	// defends at full scale; `archsim -parallel-bench-json` emits the
+	// same sweep as BENCH_parallel.json for CI.
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("islands=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, pr := experiments.ParallelRun(experiments.ParallelParams{
+					Seed: 2010, Islands: n, Workers: n,
+					Jobs: 8, MaxSimFiles: 10_000, NoBaseline: true,
+				})
+				b.ReportMetric(pr.FilesPerSec, "files/sec")
+				b.ReportMetric(pr.EventsPerSec, "events/sec")
+			}
+		})
+	}
 }

@@ -54,9 +54,17 @@ func main() {
 	opsReportPath := flag.String("ops-report", "", "write the operator drill's summary as JSON to this file (the ops experiment produces it)")
 	opsScrapePath := flag.String("ops-scrape", "", "write the operator drill's final live /metrics scrape verbatim to this file")
 	scaleJSON := flag.String("scale-json", "", "with -exp scale, write the wall-clock benchmark metrics as JSON to this file")
-	wallCeiling := flag.Float64("wall-ceiling", 0, "with -exp scale, exit nonzero if the paper-scale run's wall clock exceeds this many seconds (CI regression tripwire)")
+	wallCeiling := flag.Float64("wall-ceiling", 0, "with -exp scale or -exp parallel, exit nonzero if the measured run's wall clock exceeds this many seconds (CI regression tripwire)")
+	islands := flag.Int("islands", 0, "with -exp parallel, concurrent-island worker cap (1 = single-threaded reference; 0 = one per core; SIMTIME_ISLANDS env overrides)")
+	parallelPath := flag.String("parallel-report", "", "write the parallel-engine study's summary as JSON to this file (the parallel experiment produces it)")
+	parallelBenchJSON := flag.String("parallel-bench-json", "", "sweep the engine over 1/2/4/8 islands and write files/s + events/s per island count as JSON to this file (honors -jobs)")
+	checkpointPath := flag.String("checkpoint", "", "with -exp parallel, write the versioned mid-run snapshot to this file")
+	checkpointEpoch := flag.Int("checkpoint-epoch", 0, "with -checkpoint, cut the snapshot at this epoch barrier (0 = the middle one)")
+	restorePath := flag.String("restore", "", "with -exp parallel, resume from this checkpoint file instead of starting at virtual zero")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit (island imbalance shows up here)")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
@@ -71,6 +79,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
 	}
 
 	if *list {
@@ -109,6 +123,14 @@ func main() {
 		return
 	}
 
+	if *parallelBenchJSON != "" {
+		if err := writeParallelBenchJSON(*parallelBenchJSON, *seed, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: parallel-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var reports []experiments.Report
 	var err error
 	switch *exp {
@@ -131,6 +153,17 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "parallel":
+		p := experiments.ParallelParams{
+			Seed: *seed, Jobs: *jobs, Workers: *islands,
+			CheckpointPath: *checkpointPath, CheckpointEpoch: *checkpointEpoch,
+			RestorePath: *restorePath,
+		}
+		if *full {
+			p.MaxSimFiles = -1
+		}
+		r, _ := experiments.ParallelRun(p)
+		reports = []experiments.Report{r}
 	default:
 		reports, err = experiments.Run(*exp, *seed)
 		if err != nil {
@@ -202,9 +235,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *parallelPath != "" {
+		if err := writeParallelReport(*parallelPath, *seed, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: parallel:", err)
+			os.Exit(1)
+		}
+	}
 	if *memProfile != "" {
 		if err := writeMemProfile(*memProfile); err != nil {
 			fmt.Fprintln(os.Stderr, "archsim: memprofile:", err)
+			os.Exit(1)
+		}
+	}
+	if *blockProfile != "" {
+		if err := writePprofProfile(*blockProfile, "block"); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: blockprofile:", err)
+			os.Exit(1)
+		}
+	}
+	if *mutexProfile != "" {
+		if err := writePprofProfile(*mutexProfile, "mutex"); err != nil {
+			fmt.Fprintln(os.Stderr, "archsim: mutexprofile:", err)
 			os.Exit(1)
 		}
 	}
@@ -269,19 +320,20 @@ func writeScaleJSON(path string, seed int64, reports []experiments.Report) error
 	return fmt.Errorf("no scale report in this run (use -exp scale)")
 }
 
-// checkWallCeiling fails the run if the scale experiment's wall clock
-// blew past the ceiling — the CI tripwire for wall-clock regressions.
+// checkWallCeiling fails the run if a wall-clock-measured experiment
+// (scale or parallel) blew past the ceiling — the CI tripwire for
+// wall-clock regressions.
 func checkWallCeiling(ceiling float64, reports []experiments.Report) error {
 	for _, r := range reports {
-		if r.Name != "scale" {
+		if r.Name != "scale" && r.Name != "parallel" {
 			continue
 		}
 		if w := r.Metrics["wall_seconds"]; w > ceiling {
-			return fmt.Errorf("scale: wall clock %.1fs exceeds ceiling %.1fs", w, ceiling)
+			return fmt.Errorf("%s: wall clock %.1fs exceeds ceiling %.1fs", r.Name, w, ceiling)
 		}
 		return nil
 	}
-	return fmt.Errorf("wall-ceiling: no scale report in this run (use -exp scale)")
+	return fmt.Errorf("wall-ceiling: no wall-clock report in this run (use -exp scale or -exp parallel)")
 }
 
 // scrubFile is the schema of the file -scrub-report writes: every
@@ -409,6 +461,104 @@ func writeStormReport(path string, seed int64, reports []experiments.Report) err
 		return nil
 	}
 	return fmt.Errorf("no storm report in this run (use -exp storm)")
+}
+
+// parallelBenchFile is the schema of the file -parallel-bench-json
+// writes: the engine's scaling trajectory over island counts, the CI
+// artifact BENCH_parallel.json.
+type parallelBenchFile struct {
+	Schema string               `json:"schema"`
+	Seed   int64                `json:"seed"`
+	Jobs   int                  `json:"jobs"`
+	Cores  int                  `json:"cores"`
+	Sweep  []parallelBenchPoint `json:"sweep"`
+}
+
+type parallelBenchPoint struct {
+	Islands      int     `json:"islands"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Files        int     `json:"files"`
+	Events       uint64  `json:"events"`
+	FilesPerSec  float64 `json:"files_per_wall_second"`
+	EventsPerSec float64 `json:"events_per_wall_second"`
+}
+
+// writeParallelBenchJSON sweeps the parallel engine over 1/2/4/8
+// islands (one worker each, no A/B baseline) and records throughput
+// per island count.
+func writeParallelBenchJSON(path string, seed int64, jobs int) error {
+	out := parallelBenchFile{
+		Schema: "archsim-parallel-bench/v1", Seed: seed, Jobs: jobs,
+		Cores: runtime.NumCPU(),
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, pr := experiments.ParallelRun(experiments.ParallelParams{
+			Seed: seed, Islands: n, Workers: n, Jobs: jobs, NoBaseline: true,
+		})
+		out.Sweep = append(out.Sweep, parallelBenchPoint{
+			Islands: n, WallSeconds: pr.WallSeconds,
+			Files: pr.Files, Events: pr.Events,
+			FilesPerSec: pr.FilesPerSec, EventsPerSec: pr.EventsPerSec,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+	return nil
+}
+
+// parallelFile is the schema of the file -parallel-report writes.
+type parallelFile struct {
+	Schema   string                      `json:"schema"`
+	Seed     int64                       `json:"seed"`
+	Parallel *experiments.ParallelReport `json:"parallel"`
+}
+
+// writeParallelReport persists the parallel-engine study's summary (CI
+// archives the file as a build artifact on every push).
+func writeParallelReport(path string, seed int64, reports []experiments.Report) error {
+	for _, r := range reports {
+		if r.Parallel == nil {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(parallelFile{Schema: "archsim-parallel/v1", Seed: seed, Parallel: r.Parallel}); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+		return nil
+	}
+	return fmt.Errorf("no parallel report in this run (use -exp parallel)")
+}
+
+// writePprofProfile writes a named runtime profile (block, mutex) at
+// exit; the profiling workflow in the README reads island imbalance
+// out of these.
+func writePprofProfile(path, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "archsim: wrote", path)
+	return nil
 }
 
 // writeOpsReport persists the operator drill's summary (CI archives

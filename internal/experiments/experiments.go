@@ -55,6 +55,12 @@ type Report struct {
 	// writes it as JSON behind the -storm-report flag (CI archives the
 	// file).
 	Storm *StormReport
+
+	// Parallel carries the island-parallel engine study's summary
+	// (E24: speedup, determinism verdict, per-island balance, engine
+	// metrics); cmd/archsim writes it as JSON behind the
+	// -parallel-report flag (CI archives the file).
+	Parallel *ParallelReport
 }
 
 // ErrUnknownExperiment reports an experiment name Run does not know.
@@ -145,7 +151,8 @@ func Names() []string {
 		"verylarge", "restart", "delete", "migrate", "scan", "kiviat",
 		"ablation-colocation", "ablation-chunksize", "ablation-batching",
 		"ablation-lanfree", "reclaim", "fabric", "chaos", "obs",
-		"integrity", "dr", "tenants", "storm", "scale", "ops", "all",
+		"integrity", "dr", "tenants", "storm", "parallel", "scale",
+		"ops", "all",
 	}
 }
 
@@ -198,6 +205,11 @@ func Run(name string, seed int64) ([]Report, error) {
 		return []Report{TenantStudy(seed)}, nil
 	case "storm":
 		return []Report{StormStudy(seed)}, nil
+	case "parallel":
+		// E24 measures wall-clock speedup across worker counts, so like
+		// "scale" it is excluded from "all": its headline numbers depend
+		// on the host's cores, not just the seed.
+		return []Report{ParallelStudy(seed)}, nil
 	case "scale":
 		return []Report{ScaleStudy(seed)}, nil
 	case "ops":

@@ -212,10 +212,15 @@ func integrityRun(seed int64, inject bool) integrityOutcome {
 			if left := sys.Fabric.Link(node + "-hba").ArmedCorruptions(); left != 0 {
 				panic(fmt.Sprintf("integrity: %d armed link corruptions never crossed a recall flow", left))
 			}
-			for src, dst := range map[string]string{"/proj": "/arc/proj", "/proj2": "/arc/proj2"} {
-				res, err := sys.Pfcm(src, dst, tun)
+			// Fixed order, not a map literal: map iteration order is
+			// randomized per run, and which project verifies first decides
+			// the fabric settle grouping — a byte-level determinism leak
+			// (ulp drift in fabric_link_bytes_total) that only map order
+			// could produce.
+			for _, pair := range [][2]string{{"/proj", "/arc/proj"}, {"/proj2", "/arc/proj2"}} {
+				res, err := sys.Pfcm(pair[0], pair[1], tun)
 				if err != nil {
-					panic(fmt.Sprintf("integrity pfcm %s: %v (%v)", src, err, res.Mismatches))
+					panic(fmt.Sprintf("integrity pfcm %s: %v (%v)", pair[0], err, res.Mismatches))
 				}
 				out.matched += res.Matched
 				out.mismatched += res.Mismatched

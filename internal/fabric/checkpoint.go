@@ -1,0 +1,117 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Checkpoint codec: the fabric's durable state is per-link accounting
+// plus a couple of allocator counters. Everything else (solver scratch,
+// crossing lists, the completion timer) is transient flow state, and
+// checkpoints are only cut at quiescent instants — SaveState refuses
+// while any flow is active, because an in-flight flow's completion
+// callback lives on an actor stack that cannot be serialized.
+
+// savedLink is one link's accounting in the codec payload. Topology
+// (endpoints, adjacency) is NOT saved: the restoring plant rebuilds the
+// same graph from code, and links are matched by name.
+type savedLink struct {
+	Name      string           `json:"name"`
+	Capacity  float64          `json:"capacity"`
+	Nominal   float64          `json:"nominal"`
+	LatencyNs int64            `json:"latency_ns,omitempty"`
+	Bytes     float64          `json:"bytes"`
+	BusyNs    int64            `json:"busy_ns"`
+	Peak      int              `json:"peak"`
+	WidthNs   int64            `json:"width_ns,omitempty"`
+	Timeline  []savedTimePoint `json:"timeline,omitempty"`
+	CorruptQ  []uint64         `json:"corrupt_q,omitempty"`
+}
+
+type savedTimePoint struct {
+	AtNs   int64   `json:"at_ns"`
+	Bytes  float64 `json:"bytes"`
+	BusyNs int64   `json:"busy_ns"`
+}
+
+// savedFabric is the codec payload.
+type savedFabric struct {
+	Links []savedLink `json:"links"`
+	Seq   uint64      `json:"seq"`
+	Gen   uint64      `json:"gen"`
+}
+
+// SaveState serializes the fabric's accounting. It errors while flows
+// are active: quiesce the plant first.
+func (f *Fabric) SaveState() (json.RawMessage, error) {
+	if n := len(f.flows); n > 0 {
+		return nil, fmt.Errorf("fabric: %d flow(s) still active at checkpoint", n)
+	}
+	s := savedFabric{Seq: f.seq, Gen: f.gen}
+	for _, l := range f.order {
+		sl := savedLink{
+			Name: l.name, Capacity: l.capacity, Nominal: l.nominal,
+			LatencyNs: int64(l.latency),
+			Bytes:     l.bytes, BusyNs: int64(l.busy), Peak: l.peak,
+			WidthNs: int64(l.width),
+		}
+		for _, p := range l.timeline {
+			sl.Timeline = append(sl.Timeline, savedTimePoint{
+				AtNs: int64(p.At), Bytes: p.Bytes, BusyNs: int64(p.Busy),
+			})
+		}
+		if len(l.corruptQ) > 0 {
+			sl.CorruptQ = append([]uint64(nil), l.corruptQ...)
+		}
+		s.Links = append(s.Links, sl)
+	}
+	return json.Marshal(s)
+}
+
+// LoadState replays a SaveState payload onto a rebuilt fabric. Links
+// are matched by name; the restoring plant must have constructed the
+// same topology, and a saved link with no counterpart is an error (a
+// silent skip would resume with rewound counters).
+func (f *Fabric) LoadState(data json.RawMessage) error {
+	var s savedFabric
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("fabric: %w", err)
+	}
+	for _, sl := range s.Links {
+		l, ok := f.links[sl.Name]
+		if !ok {
+			return fmt.Errorf("fabric: restore found no link %q — plant topology mismatch", sl.Name)
+		}
+		l.capacity = sl.Capacity
+		l.nominal = sl.Nominal
+		l.latency = simtime.Duration(sl.LatencyNs)
+		l.bytes = sl.Bytes
+		l.busy = simtime.Duration(sl.BusyNs)
+		l.peak = sl.Peak
+		l.width = simtime.Duration(sl.WidthNs)
+		l.timeline = nil
+		for _, p := range sl.Timeline {
+			l.timeline = append(l.timeline, TimePoint{
+				At: simtime.Duration(p.AtNs), Bytes: p.Bytes, Busy: simtime.Duration(p.BusyNs),
+			})
+		}
+		l.corruptQ = append([]uint64(nil), sl.CorruptQ...)
+	}
+	f.seq = s.Seq
+	f.gen = s.Gen
+	// Accounting resumes from the restored instant; without this the
+	// first settle would charge busy time back to virtual zero.
+	f.last = f.clock.Now()
+	return nil
+}
+
+// RegisterCheckpoint wires the clock's fabric into the simtime
+// checkpoint framework under the component name "fabric". Call it once
+// per island after constructing the plant (not from inside a SlotOf
+// constructor).
+func RegisterCheckpoint(clock *simtime.Clock) {
+	f := Of(clock)
+	clock.OnSnapshot("fabric", f.SaveState, f.LoadState)
+}

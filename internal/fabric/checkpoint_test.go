@@ -1,0 +1,114 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func buildWANFabric(clock *simtime.Clock) *Fabric {
+	f := Of(clock)
+	f.AddLink("lan", 1000, "src", "edge")
+	f.AddLink("wan", 100, "edge", "far").SetLatency(simtime.Duration(50 * time.Millisecond))
+	return f
+}
+
+func TestPathLookahead(t *testing.T) {
+	clock := simtime.NewClock()
+	f := buildWANFabric(clock)
+	p, err := f.Route("src", "", "far")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency sum 50ms; fastest hop nominal 1000 B/s carries a 100-byte
+	// quantum in 100ms.
+	want := simtime.Duration(150 * time.Millisecond)
+	if got := p.Lookahead(100); got != want {
+		t.Errorf("Lookahead(100) = %v, want %v", got, want)
+	}
+	if got := p.Lookahead(0); got != simtime.Duration(50*time.Millisecond) {
+		t.Errorf("Lookahead(0) = %v, want 50ms", got)
+	}
+	// Degrading a link must not shrink the bound (nominal is used).
+	f.Link("lan").Scale(0.1)
+	if got := p.Lookahead(100); got != want {
+		t.Errorf("degraded Lookahead(100) = %v, want %v", got, want)
+	}
+}
+
+func TestFabricCheckpointRoundTrip(t *testing.T) {
+	clock := simtime.NewClock()
+	f := buildWANFabric(clock)
+	clock.Go(func() {
+		p, err := f.Route("src", "", "far")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 5; i++ {
+			p.Transfer(10_000)
+			clock.Sleep(simtime.Duration(time.Minute))
+		}
+	})
+	if _, err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f.Link("wan").ArmCorrupt(42)
+	data, err := f.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock2 := simtime.NewClock()
+	f2 := buildWANFabric(clock2)
+	if err := f2.LoadState(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lan", "wan"} {
+		a, b := f.Link(name).Stats(), f2.Link(name).Stats()
+		if a.Bytes != b.Bytes || a.Busy != b.Busy || a.PeakFlows != b.PeakFlows ||
+			a.Capacity != b.Capacity || a.Nominal != b.Nominal || len(a.Timeline) != len(b.Timeline) {
+			t.Errorf("link %s stats differ after restore:\n%+v\n%+v", name, a, b)
+		}
+	}
+	if got := f2.Link("wan").Latency(); got != simtime.Duration(50*time.Millisecond) {
+		t.Errorf("restored latency = %v", got)
+	}
+	if got := f2.Link("wan").ArmedCorruptions(); got != 1 {
+		t.Errorf("restored armed corruptions = %d, want 1", got)
+	}
+}
+
+func TestFabricCheckpointRefusesActiveFlows(t *testing.T) {
+	clock := simtime.NewClock()
+	f := buildWANFabric(clock)
+	clock.Go(func() {
+		p, _ := f.Route("src", "", "far")
+		// ~10.5k virtual seconds over the 100 B/s wan hop: still in
+		// flight when the checkpoint attempt fires at t=1s.
+		p.Transfer(1 << 20)
+	})
+	clock.Go(func() {
+		clock.Sleep(simtime.Duration(time.Second))
+		if _, err := f.SaveState(); err == nil {
+			t.Error("SaveState accepted an active flow")
+		}
+	})
+	clock.Run() // the huge transfer eventually completes; ignore result
+}
+
+func TestFabricCheckpointTopologyMismatch(t *testing.T) {
+	clock := simtime.NewClock()
+	f := buildWANFabric(clock)
+	data, err := f.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock2 := simtime.NewClock()
+	f2 := Of(clock2)
+	f2.AddLink("lan", 1000, "src", "edge") // "wan" missing
+	if err := f2.LoadState(data); err == nil {
+		t.Fatal("LoadState accepted a snapshot with an unknown link")
+	}
+}

@@ -54,8 +54,12 @@ const (
 	SAN = "san"
 )
 
-// attachKey is the clock-attachment slot Of uses.
-const attachKey = "fabric"
+// slot is the clock slot Of resolves; with one clock per island the
+// fabric is automatically island-local (flows are solved per island,
+// and cross-island transfers hand off at the channel boundary).
+var slot = simtime.NewSlot()
+
+func newForClock(clock *simtime.Clock) interface{} { return New(clock) }
 
 // edge is one adjacency: a link between two endpoints, or a zero-cost
 // wire (nil link) that BFS traverses for free.
@@ -119,9 +123,10 @@ func New(clock *simtime.Clock) *Fabric {
 }
 
 // Of returns the fabric shared by every component on the clock,
-// creating it on first use.
+// creating it on first use. The lookup is allocation-free and
+// lock-free after the first call (one atomic load).
 func Of(clock *simtime.Clock) *Fabric {
-	return clock.Attach(attachKey, func() interface{} { return New(clock) }).(*Fabric)
+	return clock.SlotOf(slot, newForClock).(*Fabric)
 }
 
 // Clock returns the simulation clock the fabric runs on.
@@ -312,6 +317,30 @@ type Path struct {
 // route between co-located endpoints).
 func (p Path) Empty() bool { return len(p.links) == 0 }
 
+// Lookahead derives the conservative-engine lookahead this path
+// supports: the earliest a transfer of at least minBytes dispatched
+// "now" can complete at the far end is the summed propagation latency
+// plus the time the fastest hop needs to carry the minimum quantum at
+// nominal capacity. Degradation only slows links down (arrivals get
+// later, never earlier), so nominal capacity keeps the bound safe. A
+// cross-island channel built on this path may therefore promise its
+// receiver exactly this much slack — the lookahead bound the parallel
+// engine's concurrency is proportional to.
+func (p Path) Lookahead(minBytes int64) simtime.Duration {
+	var d simtime.Duration
+	best := 0.0
+	for _, l := range p.links {
+		d += l.latency
+		if l.nominal > best {
+			best = l.nominal
+		}
+	}
+	if minBytes > 0 && best > 0 {
+		d += simtime.Duration(float64(minBytes) / best * 1e9)
+	}
+	return d
+}
+
 // Fabric returns the owning fabric (nil for the zero Path).
 func (p Path) Fabric() *Fabric { return p.fab }
 
@@ -387,7 +416,28 @@ type Link struct {
 	// carries the taint. The link itself stays at full capacity — the
 	// damage is invisible until a checksum is verified.
 	corruptQ []uint64
+
+	// latency is the link's propagation delay. The flow solver does not
+	// charge it (LAN hops round to zero at archive timescales, and
+	// charging it would perturb every calibrated experiment); it exists
+	// for WAN links, where it is realized at the island boundary: the
+	// cross-island channel delays each replication message by the
+	// path's Lookahead, which sums these latencies. Zero by default.
+	latency simtime.Duration
 }
+
+// SetLatency records the link's propagation delay (see the latency
+// field for how it is realized). Returns the link for chaining.
+func (l *Link) SetLatency(d simtime.Duration) *Link {
+	if d < 0 {
+		d = 0
+	}
+	l.latency = d
+	return l
+}
+
+// Latency reports the link's propagation delay.
+func (l *Link) Latency() simtime.Duration { return l.latency }
 
 // maxTimeline bounds the per-link utilization timeline: beyond this the
 // series is thinned to every other point and the spacing doubles, so

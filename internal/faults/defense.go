@@ -127,14 +127,19 @@ type Defense struct {
 	targets map[string]*target
 }
 
-const defenseKey = "faults.defense"
+// defenseSlot is the clock slot DefenseOf resolves; the lookup sits on
+// every defended call path, so it must stay allocation-free.
+var defenseSlot = simtime.NewSlot()
+
+func newDefense(clock *simtime.Clock) interface{} {
+	return &Defense{clock: clock, targets: make(map[string]*target)}
+}
 
 // DefenseOf returns the clock's Defense, creating an inert one on
-// first use.
+// first use. The lookup is allocation-free and lock-free after the
+// first call (one atomic load).
 func DefenseOf(clock *simtime.Clock) *Defense {
-	return clock.Attach(defenseKey, func() interface{} {
-		return &Defense{clock: clock, targets: make(map[string]*target)}
-	}).(*Defense)
+	return clock.SlotOf(defenseSlot, newDefense).(*Defense)
 }
 
 // Enable arms the defenses with the given policy. Before Enable, Do

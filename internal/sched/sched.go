@@ -62,14 +62,17 @@ var (
 	ErrShed = errors.New("sched: shed by overload watermark")
 )
 
-// attachKey is the clock-attachment slot Of uses.
-const attachKey = "sched"
+// slot is the clock slot Of resolves; with one clock per island the
+// scheduler is automatically island-local.
+var slot = simtime.NewSlot()
+
+func newForClock(clock *simtime.Clock) interface{} { return newScheduler(clock) }
 
 // Of returns the scheduler shared by every component on the clock,
 // creating it on first use. Like fabric.Of it must NOT be called from
 // inside another component's Attach constructor; resolve lazily.
 func Of(clock *simtime.Clock) *Scheduler {
-	return clock.Attach(attachKey, func() interface{} { return newScheduler(clock) }).(*Scheduler)
+	return clock.SlotOf(slot, newForClock).(*Scheduler)
 }
 
 // Class is a work item's QoS class.

@@ -34,7 +34,8 @@ type Clock struct {
 	running int // actors currently runnable (not parked, not finished)
 	parked  int // actors parked on a non-time wait (queue/cond/resource)
 	started bool
-	actors  int // actors that have been registered and not yet finished
+	actors  int    // actors that have been registered and not yet finished
+	events  uint64 // events dispatched since construction (engine throughput)
 
 	// ncanceled counts canceled events still sitting in the heap; when
 	// they outnumber the live half the heap is compacted in place.
@@ -60,6 +61,15 @@ type Clock struct {
 	paceAnchorReal time.Time
 
 	attachments map[string]interface{}
+
+	// slots holds pre-resolved per-clock singletons (see slot.go). The
+	// atomic.Value stores a []interface{} indexed by Slot; readers do one
+	// atomic load and an index, no lock and no allocation.
+	slots atomic.Value
+
+	// snapshotters are the named checkpoint codecs registered with
+	// OnSnapshot (see snapshot.go), kept sorted by name.
+	snapshotters []snapCodec
 }
 
 type event struct {
@@ -72,6 +82,20 @@ type event struct {
 	cb       bool   // run fn inline in the scheduler loop, no goroutine
 	canceled *bool
 }
+
+// internalBand is OR-ed into the seq of every locally scheduled event.
+// Cross-island deliveries (island.go) carry seqs below the band keyed
+// by (channel, message) instead, so a message timestamped T sorts ahead
+// of every local event at T no matter when it was physically handed
+// over. That is what makes one-worker and N-worker island runs execute
+// the identical event order: conservative synchronization only
+// guarantees a message arrives before its island's clock reaches T, not
+// in which settle round, and without the band the delivery's FIFO seq
+// relative to local events at T would depend on physical timing.
+// Local events keep their exact relative order (the OR preserves the
+// counter's ordering), so single-clock simulations are byte-for-byte
+// unchanged.
+const internalBand uint64 = 1 << 63
 
 // eventHeap is a binary min-heap ordered by (at, seq). It implements
 // push/pop directly on the concrete element type: container/heap's
@@ -213,7 +237,7 @@ func (c *Clock) Sleep(d Duration) {
 	c.mu.Lock()
 	ch := c.getWake()
 	c.seq++
-	c.queue.push(event{at: c.now + d, seq: c.seq, wake: ch})
+	c.queue.push(event{at: c.now + d, seq: internalBand | c.seq, wake: ch})
 	c.running--
 	if c.running == 0 {
 		c.sched.Signal()
@@ -245,7 +269,7 @@ func (c *Clock) park(ch chan struct{}) {
 func (c *Clock) unpark(ch chan struct{}) {
 	c.parked--
 	c.seq++
-	c.queue.push(event{at: c.now, seq: c.seq, wake: ch})
+	c.queue.push(event{at: c.now, seq: internalBand | c.seq, wake: ch})
 	if c.running == 0 {
 		c.sched.Signal()
 	}
@@ -294,7 +318,7 @@ func (c *Clock) CallbackArg(t Duration, fn func(uint64), arg uint64) *bool {
 	}
 	canceled := new(bool)
 	c.seq++
-	c.queue.push(event{at: t, seq: c.seq, fnArg: fn, arg: arg, cb: true, canceled: canceled})
+	c.queue.push(event{at: t, seq: internalBand | c.seq, fnArg: fn, arg: arg, cb: true, canceled: canceled})
 	if c.running == 0 {
 		c.sched.Signal()
 	}
@@ -359,7 +383,7 @@ func (c *Clock) pushFnLocked(t Duration, fn func(), cb bool) (cancel func()) {
 	}
 	canceled := new(bool)
 	c.seq++
-	c.queue.push(event{at: t, seq: c.seq, fn: fn, cb: cb, canceled: canceled})
+	c.queue.push(event{at: t, seq: internalBand | c.seq, fn: fn, cb: cb, canceled: canceled})
 	if c.running == 0 {
 		c.sched.Signal()
 	}
@@ -424,17 +448,15 @@ func (c *Clock) Attach(key string, mk func() interface{}) interface{} {
 	return v
 }
 
-// Run drives the simulation until no actor remains runnable and no
-// timed event is pending. It returns the final virtual time. If actors
-// remain parked on queues/conditions that nobody will ever signal, Run
-// returns a deadlock error naming the count.
-func (c *Clock) Run() (Duration, error) {
-	c.mu.Lock()
-	if c.started {
-		c.mu.Unlock()
-		return 0, fmt.Errorf("simtime: Run called twice")
-	}
-	c.started = true
+// runLocked is the scheduler loop, bounded by an exclusive time limit:
+// it drives the simulation until no actor remains runnable and no live
+// event before limit is pending, then returns the earliest pending
+// event time (-1 if the heap is empty). Run passes an unreachable limit
+// to drain everything; the island runtime (island.go) passes its
+// conservative bound so the clock never outruns what its neighbours
+// might still send. The caller must hold c.mu; runLocked returns with
+// it held.
+func (c *Clock) runLocked(limit Duration) (next Duration) {
 	for {
 		for c.running > 0 {
 			c.sched.Wait()
@@ -444,6 +466,9 @@ func (c *Clock) Run() (Duration, error) {
 			// The current instant has drained: run the end-of-instant
 			// callbacks before time advances. They may re-open the
 			// instant (schedule events at now), so loop back after.
+			// Stopping at the limit still counts as draining the
+			// instant — events at or past the limit are strictly in the
+			// future, so the callbacks fire before the clock parks.
 			fns := c.instantFns
 			c.instantFns = c.instantSpare[:0]
 			c.instantSpare = nil
@@ -459,7 +484,10 @@ func (c *Clock) Run() (Duration, error) {
 			continue
 		}
 		if len(c.queue) == 0 {
-			break
+			return -1
+		}
+		if c.queue[0].at >= limit {
+			return c.queue[0].at
 		}
 		if c.paceRatio > 0 && c.queue[0].at > c.now && c.paceWaitLocked(c.queue[0].at) {
 			// Slept a pacing slice with the lock dropped: re-evaluate
@@ -468,6 +496,7 @@ func (c *Clock) Run() (Duration, error) {
 			continue
 		}
 		ev := c.queue.pop()
+		c.events++
 		if ev.at > c.now {
 			c.advance(ev.at)
 		}
@@ -496,6 +525,20 @@ func (c *Clock) Run() (Duration, error) {
 		}
 		// Loop back; we wait until the woken chain blocks again.
 	}
+}
+
+// Run drives the simulation until no actor remains runnable and no
+// timed event is pending. It returns the final virtual time. If actors
+// remain parked on queues/conditions that nobody will ever signal, Run
+// returns a deadlock error naming the count.
+func (c *Clock) Run() (Duration, error) {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("simtime: Run called twice")
+	}
+	c.started = true
+	c.runLocked(maxDuration)
 	end := c.now
 	deadlocked := c.parked
 	c.mu.Unlock()
@@ -503,6 +546,72 @@ func (c *Clock) Run() (Duration, error) {
 		return end, fmt.Errorf("simtime: deadlock, %d actor(s) parked with no pending events", deadlocked)
 	}
 	return end, nil
+}
+
+// maxDuration is an unreachable virtual instant: Run's "no limit".
+const maxDuration = Duration(1<<63 - 1)
+
+// stepUntil runs the scheduler until every actor is blocked and no
+// live event remains before limit (exclusive), returning the earliest
+// pending event time (-1 if none). Unlike Run it may be called
+// repeatedly; the island runtime drives each island's clock through it,
+// one bounded slice at a time. A later Run on the same clock still
+// errors, so a clock belongs to exactly one driver.
+func (c *Clock) stepUntil(limit Duration) Duration {
+	c.mu.Lock()
+	c.started = true
+	next := c.runLocked(limit)
+	c.mu.Unlock()
+	return next
+}
+
+// deliverAt schedules fn inline at virtual time t with an explicit
+// ordering key below every locally scheduled event at the same instant
+// (see internalBand). Only the island runtime calls it, between
+// stepUntil slices when the clock is settled; key is unique per
+// (channel, message) so equal-timestamp deliveries order by channel
+// construction order then send order — physical arrival timing never
+// shows through.
+func (c *Clock) deliverAt(t Duration, key uint64, fn func()) {
+	c.mu.Lock()
+	if t < c.now {
+		panic(fmt.Sprintf("simtime: cross-island delivery at %v behind local clock %v", t, c.now))
+	}
+	c.queue.push(event{at: t, seq: key, fn: fn, cb: true})
+	if c.running == 0 {
+		c.sched.Signal()
+	}
+	c.mu.Unlock()
+}
+
+// Quiesced reports whether the simulation is at rest: no runnable or
+// parked actor, no pending event (canceled ones aside), and no queued
+// instant-end callback. Checkpoints may only be cut at quiescent
+// instants — goroutine stacks cannot be serialized, so the snapshot
+// contract is that all state lives in the registries, not in actors.
+func (c *Clock) Quiesced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.popCanceledLocked()
+	live := len(c.queue)
+	if live > 0 && c.ncanceled > 0 {
+		live = 0
+		for _, ev := range c.queue {
+			if ev.canceled == nil || !*ev.canceled {
+				live++
+			}
+		}
+	}
+	return c.running == 0 && c.parked == 0 && c.actors == 0 &&
+		live == 0 && len(c.instantFns) == 0
+}
+
+// EventsProcessed reports how many events the scheduler has dispatched
+// since construction — the engine-throughput numerator for events/s.
+func (c *Clock) EventsProcessed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
 }
 
 // RunFor is a convenience wrapper: it panics on deadlock and returns the

@@ -1,0 +1,148 @@
+package simtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Checkpoint/restore: goroutine stacks cannot be serialized, so the
+// engine's snapshot contract is quiescence — a checkpoint may only be
+// cut when a clock is at rest (no runnable or parked actor, no pending
+// event), at which point every byte of simulation state lives in the
+// component registries (telemetry, fabric link stats, experiment
+// accumulators...). Each component registers a named codec with
+// OnSnapshot; SnapshotClock captures the clock's own scalars plus
+// every codec's payload into a versioned, deterministic JSON document,
+// and RestoreSnapshot replays it into a freshly constructed plant.
+
+// CheckpointSchema versions the on-disk container format.
+const CheckpointSchema = "archsim-checkpoint/v1"
+
+type snapCodec struct {
+	name string
+	save func() (json.RawMessage, error)
+	load func(json.RawMessage) error
+}
+
+// OnSnapshot registers a named checkpoint codec on the clock. save is
+// invoked at snapshot time (quiescent, so no locking discipline is
+// needed beyond the component's own); load is invoked at restore time
+// with the exact bytes save produced, after the clock's scalars are in
+// place. Names must be unique per clock; codecs are serialized in name
+// order so snapshots are byte-deterministic regardless of registration
+// order. Do not call from inside SlotOf/Attach constructors — both run
+// under the clock mutex.
+func (c *Clock) OnSnapshot(name string, save func() (json.RawMessage, error), load func(json.RawMessage) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sc := range c.snapshotters {
+		if sc.name == name {
+			panic(fmt.Sprintf("simtime: duplicate snapshot codec %q", name))
+		}
+	}
+	c.snapshotters = append(c.snapshotters, snapCodec{name: name, save: save, load: load})
+	sort.Slice(c.snapshotters, func(i, j int) bool { return c.snapshotters[i].name < c.snapshotters[j].name })
+}
+
+// snapComponent is one codec's payload inside a ClockSnapshot.
+type snapComponent struct {
+	Name string          `json:"name"`
+	Data json.RawMessage `json:"data"`
+}
+
+// ClockSnapshot captures one clock: its scalars plus every registered
+// component codec.
+type ClockSnapshot struct {
+	Name       string          `json:"name"`
+	NowNs      int64           `json:"now_ns"`
+	Seq        uint64          `json:"seq"`
+	Events     uint64          `json:"events"`
+	Components []snapComponent `json:"components"`
+}
+
+// Checkpoint is the versioned container cmd/archsim writes to disk:
+// one snapshot per island clock plus an experiment-defined meta blob
+// (epoch index, accumulators).
+type Checkpoint struct {
+	Schema string          `json:"schema"`
+	NowNs  int64           `json:"now_ns"`
+	Meta   json.RawMessage `json:"meta,omitempty"`
+	Clocks []ClockSnapshot `json:"clocks"`
+}
+
+// Encode renders the checkpoint as indented JSON (stable field order).
+func (cp *Checkpoint) Encode() ([]byte, error) {
+	cp.Schema = CheckpointSchema
+	return json.MarshalIndent(cp, "", " ")
+}
+
+// DecodeCheckpoint parses and schema-checks a checkpoint document.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if cp.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("checkpoint: schema %q, want %q", cp.Schema, CheckpointSchema)
+	}
+	return &cp, nil
+}
+
+// SnapshotClock captures the clock under name. The clock must be
+// quiescent.
+func SnapshotClock(c *Clock, name string) (*ClockSnapshot, error) {
+	if !c.Quiesced() {
+		return nil, fmt.Errorf("checkpoint: clock %q not quiescent", name)
+	}
+	c.mu.Lock()
+	s := &ClockSnapshot{Name: name, NowNs: int64(c.now), Seq: c.seq, Events: c.events}
+	codecs := append([]snapCodec(nil), c.snapshotters...)
+	c.mu.Unlock()
+	for _, sc := range codecs {
+		data, err := sc.save()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: component %q: %w", sc.name, err)
+		}
+		s.Components = append(s.Components, snapComponent{Name: sc.name, Data: data})
+	}
+	return s, nil
+}
+
+// RestoreSnapshot replays a snapshot into the clock. The clock must be
+// freshly constructed (time zero, nothing scheduled) with the same
+// components — hence the same codecs — registered as at snapshot time.
+// The clock's scalars are restored first so loaders observe the
+// checkpoint instant through Now().
+func (c *Clock) RestoreSnapshot(s *ClockSnapshot) error {
+	c.mu.Lock()
+	if c.started || c.now != 0 || len(c.queue) != 0 || c.actors != 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("checkpoint: restore target %q is not a fresh clock", s.Name)
+	}
+	c.advance(Duration(s.NowNs))
+	c.seq = s.Seq
+	c.events = s.Events
+	codecs := append([]snapCodec(nil), c.snapshotters...)
+	c.mu.Unlock()
+	byName := make(map[string]snapCodec, len(codecs))
+	for _, sc := range codecs {
+		byName[sc.name] = sc
+	}
+	for _, comp := range s.Components {
+		sc, ok := byName[comp.Name]
+		if !ok {
+			return fmt.Errorf("checkpoint: no codec registered for component %q on clock %q", comp.Name, s.Name)
+		}
+		if err := sc.load(comp.Data); err != nil {
+			return fmt.Errorf("checkpoint: component %q: %w", comp.Name, err)
+		}
+		delete(byName, comp.Name)
+	}
+	if len(byName) > 0 {
+		for name := range byName {
+			return fmt.Errorf("checkpoint: codec %q registered but absent from snapshot of clock %q", name, s.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package simtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// counterBox is a minimal stateful component with a snapshot codec.
+type counterBox struct {
+	n int
+}
+
+func (b *counterBox) register(c *Clock, name string) {
+	c.OnSnapshot(name,
+		func() (json.RawMessage, error) { return json.Marshal(b.n) },
+		func(d json.RawMessage) error { return json.Unmarshal(d, &b.n) },
+	)
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := NewClock()
+	box := &counterBox{}
+	box.register(c, "box")
+	c.Go(func() {
+		for i := 0; i < 5; i++ {
+			c.Sleep(Duration(time.Second))
+			box.n++
+		}
+	})
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := SnapshotClock(c, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NowNs != int64(5*time.Second) {
+		t.Fatalf("NowNs = %d, want 5s", snap.NowNs)
+	}
+	if snap.Events == 0 {
+		t.Fatal("Events = 0, want > 0")
+	}
+
+	// Restore into a fresh clock with the same component wired.
+	c2 := NewClock()
+	box2 := &counterBox{}
+	box2.register(c2, "box")
+	if err := c2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Now() != c.Now() {
+		t.Errorf("restored Now = %v, want %v", c2.Now(), c.Now())
+	}
+	if c2.EventsProcessed() != c.EventsProcessed() {
+		t.Errorf("restored Events = %d, want %d", c2.EventsProcessed(), c.EventsProcessed())
+	}
+	if box2.n != 5 {
+		t.Errorf("restored box = %d, want 5", box2.n)
+	}
+
+	// The restored clock keeps running: seq continuity means event
+	// ordering after restore matches an uninterrupted run.
+	c2.Go(func() {
+		c2.Sleep(Duration(time.Second))
+		box2.n++
+	})
+	if _, err := c2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if box2.n != 6 || c2.Now() != Duration(6*time.Second) {
+		t.Errorf("after resume: box=%d now=%v, want 6 and 6s", box2.n, c2.Now())
+	}
+}
+
+func TestSnapshotRequiresQuiescence(t *testing.T) {
+	c := NewClock()
+	c.Go(func() { c.Sleep(Duration(time.Second)) })
+	// Pending actor start: not quiescent.
+	if _, err := SnapshotClock(c, "main"); err == nil || !strings.Contains(err.Error(), "not quiescent") {
+		t.Fatalf("err = %v, want not-quiescent", err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SnapshotClock(c, "main"); err != nil {
+		t.Fatalf("quiescent snapshot failed: %v", err)
+	}
+}
+
+func TestRestoreRequiresFreshClock(t *testing.T) {
+	c := NewClock()
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := SnapshotClock(c, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := NewClock()
+	used.Go(func() { used.Sleep(Duration(time.Second)) })
+	if _, err := used.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := used.RestoreSnapshot(snap); err == nil || !strings.Contains(err.Error(), "fresh") {
+		t.Fatalf("err = %v, want not-fresh error", err)
+	}
+}
+
+func TestRestoreCodecMismatch(t *testing.T) {
+	c := NewClock()
+	(&counterBox{n: 3}).register(c, "box")
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := SnapshotClock(c, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot carries "box" but the target has no such codec.
+	bare := NewClock()
+	if err := bare.RestoreSnapshot(snap); err == nil || !strings.Contains(err.Error(), "no codec") {
+		t.Fatalf("err = %v, want missing-codec error", err)
+	}
+
+	// Target has an extra codec the snapshot lacks.
+	extra := NewClock()
+	(&counterBox{}).register(extra, "box")
+	(&counterBox{}).register(extra, "other")
+	if err := extra.RestoreSnapshot(snap); err == nil || !strings.Contains(err.Error(), "absent") {
+		t.Fatalf("err = %v, want absent-codec error", err)
+	}
+}
+
+func TestCheckpointEncodeDeterministic(t *testing.T) {
+	build := func() []byte {
+		c := NewClock()
+		// Registration order differs run to run; serialization is name
+		// order, so the bytes must not.
+		boxes := []string{"zeta", "alpha", "mid"}
+		for i, name := range boxes {
+			(&counterBox{n: i}).register(c, name)
+		}
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := SnapshotClock(c, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := &Checkpoint{NowNs: snap.NowNs, Clocks: []ClockSnapshot{*snap}}
+		b, err := cp.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("checkpoint encoding differs between identical runs")
+	}
+	for i, name := range []string{"alpha", "mid", "zeta"} {
+		var cp Checkpoint
+		if err := json.Unmarshal(a, &cp); err != nil {
+			t.Fatal(err)
+		}
+		if got := cp.Clocks[0].Components[i].Name; got != name {
+			t.Errorf("component[%d] = %q, want %q (name order)", i, got, name)
+		}
+	}
+
+	cp, err := DecodeCheckpoint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Schema != CheckpointSchema {
+		t.Errorf("Schema = %q", cp.Schema)
+	}
+	if _, err := DecodeCheckpoint([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("DecodeCheckpoint accepted wrong schema")
+	}
+}
+
+func TestOnSnapshotDuplicatePanics(t *testing.T) {
+	c := NewClock()
+	(&counterBox{}).register(c, "box")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate codec name did not panic")
+		}
+	}()
+	(&counterBox{}).register(c, "box")
+}
+
+func TestSnapshotComponentError(t *testing.T) {
+	c := NewClock()
+	c.OnSnapshot("bad",
+		func() (json.RawMessage, error) { return nil, fmt.Errorf("boom") },
+		func(json.RawMessage) error { return nil },
+	)
+	if _, err := SnapshotClock(c, "main"); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want wrapped save error", err)
+	}
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Checkpoint codec: the registry is pure state (no goroutines), so it
+// serializes completely — every series with its exact buckets and
+// summary observations, the ID allocator, the per-component last-event
+// index, and the flight ring byte-for-byte. A restored registry's
+// Snapshot().Text() and FlightDump() are identical to the original's,
+// which is what makes checkpoint→restore→run byte-comparable to an
+// uninterrupted run.
+
+// savedMetric is one series in the codec payload.
+type savedMetric struct {
+	Name      string          `json:"name"`
+	Labels    []Label         `json:"labels,omitempty"`
+	Kind      string          `json:"kind"`
+	Func      bool            `json:"func,omitempty"` // value lives in the owning component
+	Value     float64         `json:"value,omitempty"`
+	Buckets   map[int]float64 `json:"buckets,omitempty"`
+	Sum       float64         `json:"sum,omitempty"`
+	Count     float64         `json:"count,omitempty"`
+	Sample    []float64       `json:"sample,omitempty"`
+	UpdatedNs int64           `json:"updated_ns,omitempty"`
+}
+
+// savedFlightItem is one ring slot; exactly one of span/event is set.
+type savedFlightItem struct {
+	Seq   uint64       `json:"seq"`
+	Span  *FlightSpan  `json:"span,omitempty"`
+	Event *FlightEvent `json:"event,omitempty"`
+}
+
+// savedRegistry is the codec payload.
+type savedRegistry struct {
+	Metrics   []savedMetric     `json:"metrics"`
+	NextID    uint64            `json:"next_id"`
+	LastEvent map[string]uint64 `json:"last_event,omitempty"`
+	Ring      []savedFlightItem `json:"ring,omitempty"`
+	RingNext  int               `json:"ring_next"`
+	Dropped   int               `json:"dropped,omitempty"`
+	RecSeq    uint64            `json:"rec_seq"`
+}
+
+// SaveState serializes the registry. It refuses while spans are open:
+// checkpoints are only cut at quiescent instants, and an open span is
+// in-flight work whose actor stack cannot be captured.
+func (r *Registry) SaveState() (json.RawMessage, error) {
+	if n := len(r.open); n > 0 {
+		sp := r.OpenSpans()[0]
+		return nil, fmt.Errorf("telemetry: %d span(s) still open at checkpoint (first: %s id=%d)", n, sp.Name, sp.ID)
+	}
+	s := savedRegistry{
+		NextID:   r.nextID,
+		RingNext: r.ringNext,
+		Dropped:  r.dropped,
+		RecSeq:   r.recSeq,
+	}
+	if len(r.lastEvent) > 0 {
+		s.LastEvent = r.lastEvent
+	}
+	for _, m := range r.order {
+		sm := savedMetric{
+			Name: m.name, Labels: m.labels, Kind: m.kind.String(),
+			Func: m.fn != nil, Value: m.val, Sum: m.hsum, Count: m.hcount,
+			UpdatedNs: int64(m.updated),
+		}
+		if m.fn != nil {
+			// Capture the live reading: if the owning component is
+			// lazily created and never re-registers after restore, this
+			// value stands in for the absent closure.
+			sm.Value = m.fn()
+		}
+		if m.kind == kindHistogram && len(m.buckets) > 0 {
+			sm.Buckets = m.buckets
+		}
+		if m.kind == kindSummary && m.sample.N() > 0 {
+			sm.Sample = m.sample.Values()
+		}
+		s.Metrics = append(s.Metrics, sm)
+	}
+	for _, it := range r.ring {
+		si := savedFlightItem{Seq: it.seq}
+		switch {
+		case it.span != nil:
+			sp := it.span
+			si.Span = &FlightSpan{
+				ID: sp.ID, Parent: sp.Parent, Name: sp.Name, Attrs: sp.Attrs,
+				StartNs: sp.StartAt, EndNs: sp.EndAt,
+				Status: sp.Status, Cause: sp.Cause, CauseEvent: sp.CauseEvent,
+			}
+		case it.event != nil:
+			ev := it.event
+			si.Event = &FlightEvent{ID: ev.ID, Name: ev.Name, Attrs: ev.Attrs, AtNs: ev.At}
+		}
+		s.Ring = append(s.Ring, si)
+	}
+	return json.Marshal(s)
+}
+
+// LoadState replays a SaveState payload into the registry. Series
+// already registered by the rebuilt plant (func-collected ones in
+// particular) are matched by identity; the rest are created with their
+// saved kind.
+func (r *Registry) LoadState(data json.RawMessage) error {
+	var s savedRegistry
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	kinds := map[string]metricKind{
+		kindCounter.String(): kindCounter, kindGauge.String(): kindGauge,
+		kindHistogram.String(): kindHistogram, kindSummary.String(): kindSummary,
+	}
+	for _, sm := range s.Metrics {
+		kind, ok := kinds[sm.Kind]
+		if !ok {
+			return fmt.Errorf("telemetry: unknown metric kind %q for %s", sm.Kind, sm.Name)
+		}
+		kv := make([]string, 0, 2*len(sm.Labels))
+		for _, l := range sm.Labels {
+			kv = append(kv, l.Key, l.Value)
+		}
+		m := r.lookup(kind, sm.Name, kv)
+		m.updated = simtime.Duration(sm.UpdatedNs)
+		if sm.Func {
+			// When the rebuilt plant already re-registered the closure,
+			// the live value is the owning component's (its own codec
+			// restored the backing state). For lazily-created owners —
+			// e.g. a scheduler that only registers its gauges on first
+			// dispatch — keep the checkpoint-time reading as a static
+			// stand-in; CounterFunc/GaugeFunc adopt the series if the
+			// owner does come back.
+			if m.fn == nil {
+				m.val = sm.Value
+			}
+			continue
+		}
+		m.val = sm.Value
+		m.hsum = sm.Sum
+		m.hcount = sm.Count
+		if kind == kindHistogram {
+			m.buckets = make(map[int]float64, len(sm.Buckets))
+			for d, c := range sm.Buckets {
+				m.buckets[d] = c
+			}
+		}
+		if kind == kindSummary {
+			m.sample.Reset()
+			m.hsum, m.hcount = 0, 0
+			for _, v := range sm.Sample {
+				m.sample.Add(v)
+			}
+			m.hsum = sm.Sum
+			m.hcount = sm.Count
+		}
+	}
+	r.nextID = s.NextID
+	r.lastEvent = make(map[string]uint64, len(s.LastEvent))
+	for k, v := range s.LastEvent {
+		r.lastEvent[k] = v
+	}
+	r.ring = nil
+	for _, si := range s.Ring {
+		it := flightItem{seq: si.Seq}
+		switch {
+		case si.Span != nil:
+			sp := si.Span
+			it.span = &Span{
+				r: r, ID: sp.ID, Parent: sp.Parent, Name: sp.Name, Attrs: sp.Attrs,
+				StartAt: sp.StartNs, EndAt: sp.EndNs,
+				Status: sp.Status, Cause: sp.Cause, CauseEvent: sp.CauseEvent,
+			}
+		case si.Event != nil:
+			ev := si.Event
+			it.event = &eventRec{ID: ev.ID, Name: ev.Name, Attrs: ev.Attrs, At: ev.AtNs}
+		}
+		r.ring = append(r.ring, it)
+	}
+	r.ringNext = s.RingNext
+	r.dropped = s.Dropped
+	r.recSeq = s.RecSeq
+	return nil
+}
+
+// RegisterCheckpoint wires the clock's registry into the simtime
+// checkpoint framework under the component name "telemetry". Call it
+// once per island after constructing the plant (not from inside a
+// SlotOf constructor).
+func RegisterCheckpoint(clock *simtime.Clock) {
+	r := Of(clock)
+	clock.OnSnapshot("telemetry", r.SaveState, r.LoadState)
+}

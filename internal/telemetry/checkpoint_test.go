@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// populate exercises every metric kind plus the flight recorder so the
+// round trip covers the full codec surface.
+func populate(t *testing.T, r *Registry) {
+	t.Helper()
+	clock := r.Clock()
+	clock.Go(func() {
+		c := r.Counter("bytes_total", "op", "write")
+		g := r.Gauge("queue_depth")
+		h := r.Histogram("latency_seconds")
+		s := r.Summary("rate_mb_s", "dir", "in")
+		for i := 0; i < 12; i++ {
+			clock.Sleep(simtime.Duration(time.Second))
+			c.Add(float64(100 + i))
+			g.Set(float64(i % 5))
+			h.Observe(float64(i) * 0.37)
+			s.Observe(float64(i) * 1.5)
+			sp := r.StartSpan("job", "idx", "x")
+			clock.Sleep(simtime.Duration(time.Millisecond))
+			if i%3 == 0 {
+				ev := r.Event("fault", "kind", "test")
+				sp.Abort("fault", ev)
+			} else {
+				sp.End()
+			}
+		}
+	})
+	if _, err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func roundTrip(t *testing.T, r *Registry, build func(*Registry)) *Registry {
+	t.Helper()
+	data, err := r.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := simtime.NewClock()
+	r2 := Of(c2)
+	if build != nil {
+		build(r2)
+	}
+	// Align the clock so "updated" staleness windows compare equal.
+	snap, err := simtime.SnapshotClock(r.Clock(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Components = nil
+	if err := c2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.LoadState(data); err != nil {
+		t.Fatal(err)
+	}
+	return r2
+}
+
+func TestRegistryCheckpointRoundTrip(t *testing.T) {
+	r := Of(simtime.NewClock())
+	populate(t, r)
+	r2 := roundTrip(t, r, nil)
+
+	if got, want := r2.Snapshot().Text(), r.Snapshot().Text(); got != want {
+		t.Errorf("restored exposition differs:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	a, _ := json.Marshal(r.FlightDump())
+	b, _ := json.Marshal(r2.FlightDump())
+	if string(a) != string(b) {
+		t.Errorf("restored flight dump differs:\nwant %s\ngot  %s", a, b)
+	}
+
+	// Post-restore activity behaves identically: IDs continue from the
+	// restored allocator, series accumulate on top of restored state.
+	for _, reg := range []*Registry{r, r2} {
+		reg.Counter("bytes_total", "op", "write").Add(7)
+		reg.Event("fault", "kind", "post")
+	}
+	if got, want := r2.Snapshot().Text(), r.Snapshot().Text(); got != want {
+		t.Errorf("post-restore exposition differs")
+	}
+	a, _ = json.Marshal(r.FlightDump())
+	b, _ = json.Marshal(r2.FlightDump())
+	if string(a) != string(b) {
+		t.Errorf("post-restore flight dump differs:\nwant %s\ngot  %s", a, b)
+	}
+}
+
+func TestRegistryCheckpointRingWraparound(t *testing.T) {
+	r := Of(simtime.NewClock())
+	r.SetFlightCapacity(8)
+	populate(t, r) // 12 spans + 4 events: well past capacity 8
+	if r.FlightDump().Dropped == 0 {
+		t.Fatal("test needs a wrapped ring")
+	}
+	r2 := roundTrip(t, r, func(r2 *Registry) { r2.SetFlightCapacity(8) })
+	a, _ := json.Marshal(r.FlightDump())
+	b, _ := json.Marshal(r2.FlightDump())
+	if string(a) != string(b) {
+		t.Errorf("wrapped flight dump differs:\nwant %s\ngot  %s", a, b)
+	}
+}
+
+func TestRegistryCheckpointRefusesOpenSpans(t *testing.T) {
+	r := Of(simtime.NewClock())
+	r.StartSpan("stuck")
+	if _, err := r.SaveState(); err == nil {
+		t.Fatal("SaveState accepted an open span")
+	}
+}
+
+func TestRegistryCheckpointFuncMetrics(t *testing.T) {
+	r := Of(simtime.NewClock())
+	val := 3.0
+	r.GaugeFunc("live_value", func() float64 { return val })
+	data, err := r.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := Of(simtime.NewClock())
+	val2 := 9.0
+	r2.GaugeFunc("live_value", func() float64 { return val2 })
+	if err := r2.LoadState(data); err != nil {
+		t.Fatal(err)
+	}
+	// Func-collected series keep the live closure: the owning
+	// component's codec is responsible for its state, not ours.
+	if got := r2.Snapshot().Value("live_value"); got != 9 {
+		t.Errorf("func gauge = %v, want live 9", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(island string, v float64) *Snapshot {
+		r := Of(simtime.NewClock())
+		r.Counter("jobs_total", "pool", "a").Add(v)
+		r.Gauge("depth").Set(v * 2)
+		return r.Snapshot()
+	}
+	s0, s1 := mk("east", 3), mk("west", 5)
+	m := Merge("island", []string{"east", "west"}, []*Snapshot{s0, s1})
+	if got := m.Value("jobs_total", "pool", "a", "island", "east"); got != 3 {
+		t.Errorf("east jobs = %v, want 3", got)
+	}
+	if got := m.Value("jobs_total", "pool", "a", "island", "west"); got != 5 {
+		t.Errorf("west jobs = %v, want 5", got)
+	}
+	if got := m.Total("depth"); got != 16 {
+		t.Errorf("depth total = %v, want 16", got)
+	}
+	// Inputs are label-tagged copies; originals untouched.
+	if got := s0.Value("jobs_total", "pool", "a"); got != 3 {
+		t.Errorf("source snapshot mutated: %v", got)
+	}
+	// Deterministic order regardless of argument order.
+	m2 := Merge("island", []string{"west", "east"}, []*Snapshot{s1, s0})
+	if m.Text() != m2.Text() {
+		t.Errorf("merge order leaked into exposition:\n%s\nvs\n%s", m.Text(), m2.Text())
+	}
+}

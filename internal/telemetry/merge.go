@@ -1,0 +1,40 @@
+package telemetry
+
+import "sort"
+
+// Merge combines per-island registry snapshots into one model-wide
+// snapshot, tagging every point with key=name for its island. Points
+// are re-sorted under the standard snapshot order, so the merged text
+// exposition is deterministic regardless of which island produced
+// which series; At is the latest member instant (islands are aligned
+// at group quiescence, so normally they agree). The inputs are not
+// mutated.
+func Merge(key string, names []string, snaps []*Snapshot) *Snapshot {
+	if len(names) != len(snaps) {
+		panic("telemetry: Merge names/snapshots length mismatch")
+	}
+	out := &Snapshot{}
+	for i, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.At > out.At {
+			out.At = s.At
+		}
+		for _, p := range s.Points {
+			labels := make([]Label, 0, len(p.Labels)+1)
+			labels = append(labels, p.Labels...)
+			labels = append(labels, Label{Key: key, Value: names[i]})
+			sort.Slice(labels, func(a, b int) bool { return labels[a].Key < labels[b].Key })
+			p.Labels = labels
+			out.Points = append(out.Points, p)
+		}
+	}
+	sort.SliceStable(out.Points, func(i, j int) bool {
+		if out.Points[i].Name != out.Points[j].Name {
+			return out.Points[i].Name < out.Points[j].Name
+		}
+		return labelString(out.Points[i].Labels) < labelString(out.Points[j].Labels)
+	})
+	return out
+}

@@ -27,16 +27,21 @@ import (
 	"repro/internal/stats"
 )
 
-// attachKey is the clock-attachment slot Of uses.
-const attachKey = "telemetry"
+// slot is the clock slot Of resolves; with one clock per island the
+// registry is automatically island-local.
+var slot = simtime.NewSlot()
+
+func newForClock(clock *simtime.Clock) interface{} { return New(clock) }
 
 // Of returns the registry shared by every component on the clock,
-// creating it on first use. It must NOT be called from inside another
-// component's Attach constructor (Attach holds the clock mutex while
-// the constructor runs); resolve the handle lazily instead, the way
-// fabric does.
+// creating it on first use. The lookup is allocation-free and lock-free
+// after the first call (one atomic load), so hot paths may resolve it
+// per operation. It must NOT be called from inside another component's
+// SlotOf/Attach constructor (both hold the clock mutex while the
+// constructor runs); resolve the handle lazily instead, the way fabric
+// does.
 func Of(clock *simtime.Clock) *Registry {
-	return clock.Attach(attachKey, func() interface{} { return New(clock) }).(*Registry)
+	return clock.SlotOf(slot, newForClock).(*Registry)
 }
 
 // Registry is one deployment's metric families, open spans, event log
